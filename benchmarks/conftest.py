@@ -1,0 +1,35 @@
+"""Benchmark harness configuration.
+
+Every bench regenerates one of the paper's tables/figures and prints the
+reproduced rows.  Figure computations are deterministic simulations, so each
+runs exactly once (``pedantic`` with one round); the benchmark timings then
+report the cost of regenerating each artifact.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark and return its value."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def print_table(title: str, header: list, rows: list) -> None:
+    widths = [
+        max(len(str(header[i])), max((len(str(r[i])) for r in rows), default=0))
+        for i in range(len(header))
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(header, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+def pct(x: float) -> str:
+    return f"{100.0 * x:6.1f}%"
+
+
+def rel(x: float) -> str:
+    return f"{x:5.3f}"

@@ -1,0 +1,34 @@
+"""Figure 1 — % of dynamic integer instructions per bitwidth under four
+selection techniques (required / declared / static / basic-block-max)."""
+
+from conftest import print_table, run_once
+from repro.eval import figures
+
+
+def test_fig01_bitwidth_selection(benchmark):
+    data = run_once(benchmark, figures.fig01_bitwidth_selection)
+    rows = []
+    for r in data["rows"]:
+        rows.append(
+            [
+                r["benchmark"],
+                f"{r['required'][8]:5.1f}",
+                f"{r['declared'][8]:5.1f}",
+                f"{r['static'][8]:5.1f}",
+                f"{r['bbmax'][8]:5.1f}",
+            ]
+        )
+    print_table(
+        "Fig 1: %% of dynamic integer instructions at <=8 bits",
+        ["benchmark", "required(a)", "declared(b)", "static(c)", "bb-max(d)"],
+        rows,
+    )
+    means = data["mean_8bit_percent"]
+    print(
+        f"means: required {means['required']:.1f}%  declared {means['declared']:.1f}%  "
+        f"static {means['static']:.1f}%  bb-max {means['bbmax']:.1f}%"
+    )
+    print("paper: declared 8-bit mean 23%, static (demanded bits) 41%;")
+    print("       40-100% of instructions need only 8 bits (Fig 1a)")
+    assert means["required"] > means["static"] > 0
+    assert means["required"] > means["declared"]

@@ -1,0 +1,25 @@
+"""Figure 5 — profiler classification under T = MAX / AVG / MIN."""
+
+from conftest import print_table, run_once
+from repro.eval import figures
+
+
+def test_fig05_heuristics(benchmark):
+    data = run_once(benchmark, figures.fig05_heuristics)
+    rows = [
+        [
+            r["benchmark"],
+            f"{r['max'][8]:5.1f}",
+            f"{r['avg'][8]:5.1f}",
+            f"{r['min'][8]:5.1f}",
+        ]
+        for r in data["rows"]
+    ]
+    print_table(
+        "Fig 5: % of dynamic assignments classified 8-bit per heuristic",
+        ["benchmark", "MAX", "AVG", "MIN"],
+        rows,
+    )
+    print("paper: aggressiveness grows MAX < AVG < MIN")
+    for r in data["rows"]:
+        assert r["min"][8] >= r["avg"][8] >= r["max"][8]

@@ -1,0 +1,31 @@
+"""Figure 8 / RQ0 — the headline result: energy, dynamic instructions, EPI."""
+
+from conftest import print_table, run_once
+from repro.eval import figures
+
+
+def test_fig08_energy(benchmark):
+    data = run_once(benchmark, figures.fig08_energy)
+    rows = [
+        [
+            r["benchmark"],
+            f"{r['energy_rel']:.3f}",
+            f"{r['instructions_rel']:.3f}",
+            f"{r['epi_rel']:.3f}",
+            r["misspeculations"],
+        ]
+        for r in data["rows"]
+    ]
+    print_table(
+        "Fig 8: BITSPEC relative to BASELINE",
+        ["benchmark", "energy", "dyn insts", "EPI", "misspecs"],
+        rows,
+    )
+    print(
+        f"measured: mean energy reduction {data['mean_energy_reduction_percent']:.1f}%  "
+        f"max {data['max_energy_reduction_percent']:.1f}%  "
+        f"mean EPI reduction {data['mean_epi_reduction_percent']:.1f}%"
+    )
+    print("paper:    mean energy reduction 9.9%, max 28.2% (rijndael), EPI -10.36%")
+    assert data["mean_energy_reduction_percent"] > 3.0
+    assert data["max_energy_reduction_percent"] > 15.0

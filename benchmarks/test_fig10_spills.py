@@ -1,0 +1,30 @@
+"""Figure 10 / RQ1 — allocator-injected loads/stores/copies."""
+
+from conftest import print_table, run_once
+from repro.eval import figures
+
+
+def test_fig10_spills(benchmark):
+    data = run_once(benchmark, figures.fig10_spills)
+    rows = []
+    for r in data["rows"]:
+        rows.append(
+            [
+                r["benchmark"],
+                f"{r['baseline']['loads']:.2f}/{r['baseline']['stores']:.2f}/{r['baseline']['copies']:.2f}",
+                f"{r['bitspec']['loads']:.2f}/{r['bitspec']['stores']:.2f}/{r['bitspec']['copies']:.2f}",
+            ]
+        )
+    print_table(
+        "Fig 10: spill loads/stores/copies (normalized to BASELINE sum)",
+        ["benchmark", "baseline L/S/C", "bitspec L/S/C"],
+        rows,
+    )
+    print("paper: BITSPEC reduces or eliminates spill loads, occasionally")
+    print("       trading them for register-register copies")
+    fewer_loads = sum(
+        1
+        for r in data["rows"]
+        if r["bitspec"]["loads"] <= r["baseline"]["loads"] + 1e-9
+    )
+    assert fewer_loads >= len(data["rows"]) / 2

@@ -1,0 +1,27 @@
+"""Figure 11 / RQ1 — dynamic register-file accesses at 8 vs 32 bits."""
+
+from conftest import print_table, run_once
+from repro.eval import figures
+
+
+def test_fig11_regaccess(benchmark):
+    data = run_once(benchmark, figures.fig11_regaccess)
+    rows = [
+        [
+            r["benchmark"],
+            f"{sum(r['baseline'].values()):.2f}",
+            f"{r['bitspec']['8']:.2f}",
+            f"{r['bitspec']['32']:.2f}",
+            f"{sum(r['bitspec'].values()):.2f}",
+        ]
+        for r in data["rows"]
+    ]
+    print_table(
+        "Fig 11: register accesses, normalized to BASELINE total",
+        ["benchmark", "baseline(32b)", "bitspec 8b", "bitspec 32b", "bitspec total"],
+        rows,
+    )
+    print("paper: total register accesses drop; a large share becomes 8-bit")
+    print("       slice accesses at 1/4 the energy of a 32-bit access")
+    with_slices = sum(1 for r in data["rows"] if r["bitspec"]["8"] > 0)
+    assert with_slices == len(data["rows"])

@@ -1,0 +1,31 @@
+"""Figure 13 / RQ4 — the expander ablation."""
+
+from conftest import print_table, run_once
+from repro.eval import figures
+
+
+def test_fig13_expander(benchmark):
+    data = run_once(benchmark, figures.fig13_expander)
+    rows = [
+        [
+            r["benchmark"],
+            f"{r['baseline_noexp_energy_rel']:.3f}",
+            f"{r['bitspec_epi_rel']:.3f}",
+            f"{r['bitspec_noexp_epi_rel']:.3f}",
+        ]
+        for r in data["rows"]
+    ]
+    print_table(
+        "Fig 13: expander ablation",
+        ["benchmark", "baseline-noexp energy", "bitspec EPI", "bitspec-noexp EPI"],
+        rows,
+    )
+    print(
+        f"measured: baseline pays {data['baseline_energy_increase_without_expander_percent']:.1f}% "
+        f"without the expander; BITSPEC EPI reduction "
+        f"{data['bitspec_epi_reduction_with_expander_percent']:.1f}% with vs "
+        f"{data['bitspec_epi_reduction_without_expander_percent']:.1f}% without"
+    )
+    print("paper:    ~10% baseline energy increase without the expander;")
+    print("          BITSPEC EPI -10.36% with expander vs -6.41% without")
+    assert data["baseline_energy_increase_without_expander_percent"] > 0

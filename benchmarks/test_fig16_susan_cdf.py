@@ -1,0 +1,19 @@
+"""Figure 16 / RQ6 — susan-edges profile×run cross-product CDF."""
+
+from conftest import run_once
+from repro.eval import figures
+
+
+def test_fig16_susan_cdf(benchmark):
+    data = run_once(benchmark, figures.fig16_susan_cdf, 5)
+    print("\n=== Fig 16: susan-edges relative dynamic instructions (CDF) ===")
+    for heuristic, cdf in data["cdfs"].items():
+        deciles = [cdf[int(q * (len(cdf) - 1))] for q in (0.0, 0.25, 0.5, 0.75, 1.0)]
+        print(
+            f"{heuristic:4s} quartiles: "
+            + "  ".join(f"{v:.3f}" for v in deciles)
+            + f"   p95={data['p95'][heuristic]:.3f}"
+        )
+    print("paper: MAX is robust across image pairs (tight CDF); AVG and MIN")
+    print("       are aggressive and degrade on mismatched profile images")
+    assert data["p95"]["max"] <= data["p95"]["min"] * 1.25

@@ -1,0 +1,20 @@
+"""RQ3 — ablations of the BITSPEC-specific optimizations."""
+
+from conftest import run_once
+from repro.eval import figures
+
+
+def test_rq3_optimizations(benchmark):
+    data = run_once(benchmark, figures.rq3_optimizations)
+    print("\n=== RQ3: optimization ablations ===")
+    for name, cell in data.items():
+        for metric, value in cell.items():
+            print(f"{name:36s} {metric}: {value:+.2f}%")
+    print("paper: removing compare elimination costs dijkstra +9.5% energy")
+    print("       (+13.1% instructions); removing bitmask elision costs")
+    print("       blowfish +6.3% and rijndael +33.4% vs BASELINE")
+    dijkstra = data["dijkstra-compare-elimination"]
+    assert dijkstra["energy_increase_percent"] >= 0.0
+    assert data["rijndael-bitmask-elision"][
+        "energy_increase_vs_baseline_percent"
+    ] >= 0.0

@@ -1,0 +1,19 @@
+"""RQ7 — does BITSPEC eliminate the need for programmer bitwidths?"""
+
+from conftest import run_once
+from repro.eval import figures
+
+
+def test_rq7_auto_bitwidth(benchmark):
+    data = run_once(benchmark, figures.rq7_auto_bitwidth)
+    print("\n=== RQ7: all-64-bit source variants (energy rel. BASELINE/orig) ===")
+    for name, cell in data.items():
+        print(
+            f"{name:14s} bitspec(orig)={cell['bitspec_orig_rel']:.3f}  "
+            f"baseline(wide)={cell['baseline_wide_rel']:.3f}  "
+            f"bitspec(wide)={cell['bitspec_wide_rel']:.3f}"
+        )
+    print("paper: stringsearch: BITSPEC-wide ~= BITSPEC-orig (answer: yes);")
+    print("       dijkstra: below BASELINE-wide but short of parity")
+    for cell in data.values():
+        assert cell["bitspec_wide_rel"] < cell["baseline_wide_rel"]

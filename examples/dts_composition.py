@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""RQ8 interactively: compose BITSPEC with dynamic timing slack.
+
+Shows the four-processor comparison of Figure 17 on one workload, plus the
+paper's future-work ablation — what a *bitwidth-aware* DTS estimator would
+reclaim from the segmented ALU's shorter carry chains.
+
+Run:  python examples/dts_composition.py [workload]
+"""
+
+import sys
+
+from repro.arch import DTSModel
+from repro.core import CompilerConfig, compile_binary
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "dijkstra"
+    workload = get_workload(name)
+    inputs = workload.inputs("test")
+
+    def energy(config, dts_model=None):
+        binary = compile_binary(
+            workload.source, config, profile_inputs=inputs, name=name
+        )
+        run = binary.run(inputs)
+        if dts_model is not None:
+            return dts_model.apply(run).total, run
+        return run.energy().total, run
+
+    base, _ = energy(CompilerConfig.baseline())
+    spec, _ = energy(CompilerConfig.bitspec("max"))
+    dts, _ = energy(CompilerConfig.dts(), DTSModel())
+    combo, combo_run = energy(CompilerConfig.dts_bitspec("max"), DTSModel())
+    aware = DTSModel.bitwidth_aware().apply(combo_run).total
+
+    print(f"=== {name}: composing BITSPEC with time squeezing (Fig 17) ===\n")
+    print(f"{'processor':24} {'energy nJ':>10} {'relative':>9}")
+    print("-" * 46)
+    for label, value in (
+        ("BASELINE", base),
+        ("BITSPEC", spec),
+        ("DTS (time squeezing)", dts),
+        ("DTS + BITSPEC", combo),
+        ("  + bitwidth-aware DTS", aware),
+    ):
+        print(f"{label:24} {value/1e3:>10.1f} {value/base:>9.3f}")
+
+    product = (spec / base) * (dts / base)
+    print(f"\nproduct of the parts:    {product:>9.3f}")
+    print(f"measured composition:    {combo/base:>9.3f}")
+    print("\nThe production DTS estimator is bitwidth-blind, so the")
+    print("composition lands at roughly the product (the paper's finding).")
+    print("A bitwidth-aware estimator — the paper's future work — exploits")
+    print("the 8-bit slice ops' shorter critical paths for further savings.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Quickstart: compile a tiny program with BITSPEC and watch it speculate.
+
+This walks the paper's §3 running example through the whole pipeline:
+
+1. the MiniC front-end produces SSA IR;
+2. the profiler observes that ``x`` needs only 8 bits for 255 of its 256
+   assignments;
+3. the squeezer moves the loop into an 8-bit speculative region with a
+   misspeculation handler;
+4. the machine executes the loop in a register *slice* until the increment
+   to 256 overflows the slice — the hardware bumps PC by Δ into the
+   handler, which re-extends state and finishes at the original bitwidth.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import CompilerConfig, compile_binary
+from repro.ir import print_function
+
+SOURCE = """
+u32 result;
+void main() {
+    u32 x = 0;
+    do { x += 1; } while (x <= 255);
+    result = x;
+    out(x);
+}
+"""
+
+
+def main() -> None:
+    print("=== BITSPEC quickstart: the paper's running example ===\n")
+
+    baseline = compile_binary(SOURCE, CompilerConfig.baseline())
+    base_run = baseline.run()
+    print(f"BASELINE : output={base_run.output}  "
+          f"instructions={base_run.instructions}  "
+          f"energy={base_run.energy().total/1e3:.2f} nJ")
+
+    bitspec = compile_binary(SOURCE, CompilerConfig.bitspec("avg"))
+    spec_run = bitspec.run()
+    print(f"BITSPEC  : output={spec_run.output}  "
+          f"instructions={spec_run.instructions}  "
+          f"energy={spec_run.energy().total/1e3:.2f} nJ  "
+          f"misspeculations={spec_run.misspeculations}")
+
+    assert spec_run.output == base_run.output == [256]
+
+    print("\n--- squeezed IR (CFG_spec runs at 8 bits; CFG_orig recovers) ---")
+    print(print_function(bitspec.module.function("main")))
+
+    print("\n--- the speculative machine loop ---")
+    linked = bitspec.linked
+    for index in range(min(linked.code_size, 24)):
+        inst = linked.insts[index]
+        marker = "  <- monitored" if inst.speculative else ""
+        print(f"  {index:3d}: {inst!r}{marker}")
+    print(f"  ... Δ = {linked.delta}: on misspeculation the PC jumps into "
+          f"the skeleton area, which branches to the handler")
+
+    reads = spec_run.counters.rf_reads_by_width
+    print(f"\n8-bit register-slice reads : {reads[1]}")
+    print(f"32-bit register reads      : {reads[4]}")
+    print("\nEach slice access costs 1/4 of a full-width access — that, plus")
+    print("reduced spilling, is where BITSPEC's energy savings come from.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""BITSPEC reproduction: per-variable bitwidth speculation (ASPLOS 2025).
+
+Top-level convenience imports::
+
+    from repro import compile_source, Interpreter
+
+Subpackages:
+
+* ``repro.ir``        — typed SSA IR (LLVM-IR analog)
+* ``repro.sir``       — speculative regions (SIR)
+* ``repro.frontend``  — MiniC front-end
+* ``repro.interp``    — functional simulator / profiling engine
+* ``repro.analysis``  — static bitwidth analyses
+* ``repro.profiler``  — profile-guided bitwidth selection
+* ``repro.passes``    — expander, squeezer, speculative optimizations
+* ``repro.backend``   — SMIR, instruction selection, slice register allocation
+* ``repro.arch``      — microarchitecture + energy model (+ DTS)
+* ``repro.workloads`` — MiBench-like benchmark programs
+* ``repro.eval``      — experiment harness reproducing the paper's figures
+"""
+
+__version__ = "1.0.0"
+
+from repro.frontend import compile_source
+from repro.interp import Interpreter
+
+__all__ = ["Interpreter", "compile_source", "__version__"]

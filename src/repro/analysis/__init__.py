@@ -1,0 +1,5 @@
+"""Static bitwidth analyses (demanded bits, known bits, combined selection)."""
+
+from repro.analysis.bitwidth import demanded_bits, known_bits, static_selection
+
+__all__ = ["demanded_bits", "known_bits", "static_selection"]

@@ -1,0 +1,242 @@
+"""Static bitwidth analyses (§2.2 of the paper).
+
+Two complementary analyses, combined the way LLVM's demanded-bits users do:
+
+* :func:`known_bits` — forward value-range style analysis: an upper bound on
+  the number of bits a value can occupy, propagated through the SSA graph
+  (the "bit-value inference" family [Budiu et al.]).
+* :func:`demanded_bits` — backward analysis: how many low bits of a value
+  its users actually observe (LLVM's DemandedBits).
+
+``static_selection`` combines both into a per-value bitwidth selection
+``BW(v)``; Figure 1c evaluates exactly this selection.  Like the production
+implementation the paper measures, it is sound but conservative: loads,
+wrap-capable arithmetic and loop-carried phis frequently pin values at their
+declared width — the gap BITSPEC's speculation closes.
+"""
+
+from __future__ import annotations
+
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    BinOp,
+    Call,
+    Cast,
+    CondBr,
+    Gep,
+    Icmp,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+)
+from repro.ir.types import IntType, required_bits
+from repro.ir.values import Argument, Constant, Value
+
+
+def _width(value: Value) -> int:
+    if isinstance(value.type, IntType):
+        return value.type.bits
+    return 32  # pointers
+
+
+def known_bits(func: Function) -> dict[Value, int]:
+    """Forward fixpoint: upper bound on RequiredBits of each integer value.
+
+    Starts optimistic (1 bit) and grows monotonically, so loop-carried phis
+    converge; every result is capped at the declared width.
+    """
+    bounds: dict[Value, int] = {}
+
+    def bound_of(value: Value) -> int:
+        if isinstance(value, Constant):
+            return required_bits(value.value)
+        if isinstance(value, Instruction):
+            return bounds.get(value, 1)
+        # Arguments, globals: unknown, assume full width.
+        return _width(value)
+
+    def transfer(inst: Instruction) -> int:
+        width = _width(inst)
+        if isinstance(inst, BinOp):
+            a = bound_of(inst.lhs)
+            b = bound_of(inst.rhs)
+            op = inst.opcode
+            if op == "add":
+                out = max(a, b) + 1
+            elif op == "sub":
+                # Unsigned subtraction may wrap to the top of the range.
+                out = width
+            elif op == "mul":
+                out = a + b
+            elif op in ("and",):
+                out = min(a, b)
+            elif op in ("or", "xor"):
+                out = max(a, b)
+            elif op == "shl":
+                if isinstance(inst.rhs, Constant):
+                    out = a + inst.rhs.value
+                else:
+                    out = width
+            elif op == "lshr":
+                if isinstance(inst.rhs, Constant):
+                    out = max(1, a - inst.rhs.value)
+                else:
+                    out = a
+            elif op == "ashr":
+                out = width  # sign bits may fill the top
+            elif op == "udiv":
+                out = a
+            elif op == "urem":
+                out = b if isinstance(inst.rhs, Constant) else min(a, b)
+            else:  # sdiv, srem: signedness defeats the unsigned bound
+                out = width
+            return min(out, width)
+        if isinstance(inst, Icmp):
+            return 1
+        if isinstance(inst, Select):
+            return min(max(bound_of(inst.true_value), bound_of(inst.false_value)), width)
+        if isinstance(inst, Cast):
+            if inst.opcode == "zext":
+                return min(bound_of(inst.value), width)
+            if inst.opcode == "trunc":
+                return min(bound_of(inst.value), width)
+            return width  # sext
+        if isinstance(inst, Phi):
+            incoming = [bound_of(v) for v in inst.operands]
+            return min(max(incoming, default=1), width)
+        if isinstance(inst, Load):
+            return width  # memory contents are unknown to the static analysis
+        if isinstance(inst, (Call, Gep)):
+            return width
+        return width
+
+    changed = True
+    while changed:
+        changed = False
+        for block in func.blocks:
+            for inst in block.instructions:
+                if not isinstance(inst.type, IntType):
+                    continue
+                new = transfer(inst)
+                old = bounds.get(inst, 1)
+                if new > old:
+                    bounds[inst] = new
+                    changed = True
+                elif inst not in bounds:
+                    bounds[inst] = old
+    return bounds
+
+
+def demanded_bits(func: Function) -> dict[Value, int]:
+    """Backward fixpoint: number of low bits of each value its users demand.
+
+    The seed demand for values escaping analysis (stores, calls, returns,
+    branch conditions) is their full width.
+    """
+    demand: dict[Value, int] = {}
+
+    def raise_demand(value: Value, bits: int) -> bool:
+        if not isinstance(value, Instruction):
+            return False
+        if not isinstance(value.type, IntType):
+            return False
+        bits = min(bits, value.type.bits)
+        old = demand.get(value, 0)
+        if bits > old:
+            demand[value] = bits
+            return True
+        return False
+
+    def demands_of(inst: Instruction, result_demand: int) -> list[tuple[Value, int]]:
+        if isinstance(inst, BinOp):
+            op = inst.opcode
+            a, b = inst.lhs, inst.rhs
+            if op in ("and", "or", "xor"):
+                if op == "and" and isinstance(b, Constant):
+                    masked = min(result_demand, required_bits(b.value))
+                    return [(a, masked), (b, masked)]
+                return [(a, result_demand), (b, result_demand)]
+            if op in ("add", "sub"):
+                # Low n bits of the result depend only on low n bits of inputs.
+                return [(a, result_demand), (b, result_demand)]
+            if op == "mul":
+                return [(a, result_demand), (b, result_demand)]
+            if op == "shl" and isinstance(b, Constant):
+                return [(a, max(1, result_demand - b.value)), (b, 8)]
+            if op == "lshr" and isinstance(b, Constant):
+                return [(a, min(inst.type.bits, result_demand + b.value)), (b, 8)]
+            return [(a, a.type.bits if isinstance(a.type, IntType) else 32),
+                    (b, b.type.bits if isinstance(b.type, IntType) else 32)]
+        if isinstance(inst, Cast):
+            if inst.opcode == "zext":
+                return [(inst.value, min(result_demand, inst.value.type.bits))]
+            if inst.opcode == "trunc":
+                return [(inst.value, min(result_demand, inst.type.bits))]
+            return [(inst.value, inst.value.type.bits)]
+        if isinstance(inst, Phi):
+            return [(v, result_demand) for v in inst.operands]
+        if isinstance(inst, Select):
+            return [
+                (inst.cond, 1),
+                (inst.true_value, result_demand),
+                (inst.false_value, result_demand),
+            ]
+        # Everything else demands its operands fully.
+        out = []
+        for op in inst.operands:
+            if isinstance(op.type, IntType):
+                out.append((op, op.type.bits))
+            else:
+                out.append((op, 32))
+        return out
+
+    # Seed: escaping uses demand full width.
+    worklist: list[Instruction] = []
+    for block in func.blocks:
+        for inst in block.instructions:
+            if isinstance(inst, (Store, Ret, Call, Icmp, CondBr, Gep, Load)):
+                for op in inst.operands:
+                    if raise_demand(op, _width(op)):
+                        worklist.append(op)
+            if isinstance(inst.type, IntType) and not inst.users:
+                # Unused results: demand nothing (stay at 0 -> treated lazily)
+                demand.setdefault(inst, demand.get(inst, 0))
+
+    while worklist:
+        inst = worklist.pop()
+        result_demand = demand.get(inst, 0)
+        if result_demand == 0:
+            continue
+        for operand, bits in demands_of(inst, result_demand):
+            if raise_demand(operand, bits):
+                worklist.append(operand)
+
+    # Values never demanded (dead) default to 1 bit.
+    for block in func.blocks:
+        for inst in block.instructions:
+            if isinstance(inst.type, IntType):
+                demand.setdefault(inst, 1)
+    return demand
+
+
+def static_selection(func: Function) -> dict[Value, int]:
+    """Combined static bitwidth selection: min(known-bits, demanded-bits).
+
+    This models Figure 1c's ``BW(v) = DemandedBits(v)`` evaluation with the
+    forward range refinement LLVM clients layer on top.
+    """
+    forward = known_bits(func)
+    backward = demanded_bits(func)
+    selection: dict[Value, int] = {}
+    for block in func.blocks:
+        for inst in block.instructions:
+            if isinstance(inst.type, IntType):
+                selection[inst] = max(
+                    1, min(forward.get(inst, inst.type.bits),
+                           backward.get(inst, inst.type.bits))
+                )
+    return selection

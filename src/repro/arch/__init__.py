@@ -1,0 +1,29 @@
+"""Microarchitecture substrate: caches, machine model, energy, DTS."""
+
+from repro.arch.cache import Cache, CacheStats, MemoryHierarchy
+from repro.arch.dts import BITWIDTH_AWARE_SLACK, DTSModel, SLACK_PROFILE
+from repro.arch.energy import (
+    COMPONENTS,
+    COSTS,
+    EnergyBreakdown,
+    EnergyCounters,
+    compute_energy,
+)
+from repro.arch.machine import Machine, MachineError, SimResult
+
+__all__ = [
+    "BITWIDTH_AWARE_SLACK",
+    "COMPONENTS",
+    "COSTS",
+    "Cache",
+    "CacheStats",
+    "DTSModel",
+    "EnergyBreakdown",
+    "EnergyCounters",
+    "Machine",
+    "MachineError",
+    "MemoryHierarchy",
+    "SLACK_PROFILE",
+    "SimResult",
+    "compute_energy",
+]

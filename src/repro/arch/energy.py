@@ -1,0 +1,145 @@
+"""Event-based energy model, standing in for the paper's gate-level power
+analysis (45 nm @ 1.2 V — see DESIGN.md for the substitution argument).
+
+Energy = Σ events × per-event cost.  Per-event constants are
+45 nm-class values; the *relative* costs carry the results:
+
+* an 8-bit register-slice access costs 1/4 of a 32-bit access (§RQ1 —
+  reported directly from the paper's gate-level model);
+* the segmented ALU's 8-bit slice op is ~1/4 of a full 32-bit op
+  (shorter carry chain + idle upper slices);
+* cache/DRAM events dominate when spilling forces memory traffic.
+
+The ``pipeline`` component charges a per-cycle cost covering clocking,
+decode and control — stall cycles therefore surface as pipeline energy,
+matching Fig. 9's attribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: per-event energies in pJ
+COSTS = {
+    # instruction supply
+    "icache_access": 11.0,
+    "l2_access": 85.0,
+    "dram_access": 1800.0,
+    # data supply
+    "dcache_access": 14.0,
+    # register file (32-bit baseline access; narrower scales by width/4)
+    "rf_read": 1.6,
+    "rf_write": 2.0,
+    # execution
+    "alu32": 4.4,
+    "alu8": 1.2,
+    "mul": 13.0,
+    "div": 36.0,
+    "move": 1.8,
+    # control overhead, charged per cycle (stalls included)
+    "pipeline_cycle": 5.0,
+}
+
+#: component attribution for Fig 9
+COMPONENTS = ("alu", "regfile", "dcache", "icache", "pipeline")
+
+
+@dataclass
+class EnergyCounters:
+    """Raw event counts accumulated by the machine simulator."""
+
+    icache_l1: int = 0
+    icache_l2: int = 0
+    icache_mem: int = 0
+    dcache_l1: int = 0
+    dcache_l2: int = 0
+    dcache_mem: int = 0
+    rf_reads_by_width: dict = field(default_factory=lambda: {1: 0, 2: 0, 4: 0})
+    rf_writes_by_width: dict = field(default_factory=lambda: {1: 0, 2: 0, 4: 0})
+    alu32_ops: int = 0
+    alu8_ops: int = 0
+    mul_ops: int = 0
+    div_ops: int = 0
+    move_ops: int = 0
+    cycles: int = 0
+
+    def merge(self, other: "EnergyCounters") -> None:
+        self.icache_l1 += other.icache_l1
+        self.icache_l2 += other.icache_l2
+        self.icache_mem += other.icache_mem
+        self.dcache_l1 += other.dcache_l1
+        self.dcache_l2 += other.dcache_l2
+        self.dcache_mem += other.dcache_mem
+        for width in (1, 2, 4):
+            self.rf_reads_by_width[width] += other.rf_reads_by_width[width]
+            self.rf_writes_by_width[width] += other.rf_writes_by_width[width]
+        self.alu32_ops += other.alu32_ops
+        self.alu8_ops += other.alu8_ops
+        self.mul_ops += other.mul_ops
+        self.div_ops += other.div_ops
+        self.move_ops += other.move_ops
+        self.cycles += other.cycles
+
+
+@dataclass
+class EnergyBreakdown:
+    """Per-component energies (pJ) — the Fig 9 view."""
+
+    alu: float = 0.0
+    regfile: float = 0.0
+    dcache: float = 0.0
+    icache: float = 0.0
+    pipeline: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.alu + self.regfile + self.dcache + self.icache + self.pipeline
+
+    def as_dict(self) -> dict:
+        return {
+            "alu": self.alu,
+            "regfile": self.regfile,
+            "dcache": self.dcache,
+            "icache": self.icache,
+            "pipeline": self.pipeline,
+        }
+
+
+def compute_energy(
+    counters: EnergyCounters, *, scale: dict = None
+) -> EnergyBreakdown:
+    """Convert event counts to a component energy breakdown.
+
+    ``scale`` optionally multiplies each component's energy — the DTS model
+    (RQ8) passes per-component voltage-scaling factors through here.
+    """
+    out = EnergyBreakdown()
+    c = COSTS
+    out.icache = (
+        counters.icache_l1 * c["icache_access"]
+        + counters.icache_l2 * (c["icache_access"] + c["l2_access"])
+        + counters.icache_mem
+        * (c["icache_access"] + c["l2_access"] + c["dram_access"])
+    )
+    out.dcache = (
+        counters.dcache_l1 * c["dcache_access"]
+        + counters.dcache_l2 * (c["dcache_access"] + c["l2_access"])
+        + counters.dcache_mem
+        * (c["dcache_access"] + c["l2_access"] + c["dram_access"])
+    )
+    for width, count in counters.rf_reads_by_width.items():
+        out.regfile += count * c["rf_read"] * (width / 4.0)
+    for width, count in counters.rf_writes_by_width.items():
+        out.regfile += count * c["rf_write"] * (width / 4.0)
+    out.alu = (
+        counters.alu32_ops * c["alu32"]
+        + counters.alu8_ops * c["alu8"]
+        + counters.mul_ops * c["mul"]
+        + counters.div_ops * c["div"]
+        + counters.move_ops * c["move"]
+    )
+    out.pipeline = counters.cycles * c["pipeline_cycle"]
+    if scale:
+        for component, factor in scale.items():
+            setattr(out, component, getattr(out, component) * factor)
+    return out

@@ -1,0 +1,519 @@
+"""Behavioral machine model: executes a linked program while accounting
+events for the energy/timing model (the Gem5 + gate-level sampling flow of
+§4.1, collapsed into one behavioral simulator — see DESIGN.md).
+
+Models the paper's pipeline at event granularity:
+
+* 6-stage in-order single-issue timing: 1 cycle/instruction plus hazard,
+  branch-flush and memory-miss stalls;
+* a register file with byte-slice access on the BITSPEC ISA (reads/writes
+  counted at their width — the 1/4-energy slice accesses of RQ1) and
+  32-bit-only access on baseline ARM/Thumb;
+* the segmented ALU's misspeculation detection: a speculative op whose
+  result leaves its 8-bit slice does not write back; instead the PC is
+  advanced by the Δ special register, landing in the skeleton area which
+  branches to the region's handler (§3.3.4, §3.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.arch.cache import MemoryHierarchy
+from repro.arch.energy import EnergyBreakdown, EnergyCounters, compute_energy
+from repro.backend.layout import LinkedProgram
+from repro.backend.mir import Imm, MachineInst, Slice
+from repro.interp.interpreter import evaluate_icmp
+from repro.interp.memory import FlatMemory, STACK_TOP, initialize_globals
+from repro.ir.function import Module
+from repro.ir.types import int_type
+
+# Return-address sentinel: survives the 32-bit masking of stack save/restore.
+HALT = 0xFFFFFFFF
+
+_MASKS = {1: 0xFF, 2: 0xFFFF, 4: 0xFFFFFFFF}
+
+_DIV_OPS = {"udiv", "sdiv", "urem", "srem"}
+
+#: instruction classes for the DTS timing-slack model (RQ8)
+DTS_CLASSES = ("alu32", "alu8", "mul", "div", "move", "mem", "branch")
+
+
+class MachineError(Exception):
+    """The machine executed an illegal instruction or address."""
+
+
+@dataclass
+class SimResult:
+    """Everything a simulation run produces."""
+
+    output: list = field(default_factory=list)
+    instructions: int = 0
+    cycles: int = 0
+    misspeculations: int = 0
+    branches: int = 0
+    taken_branches: int = 0
+    #: dynamic register-allocator artifacts (Fig 10)
+    spill_stores: int = 0
+    spill_loads: int = 0
+    copies: int = 0
+    loads: int = 0
+    stores: int = 0
+    counters: EnergyCounters = field(default_factory=EnergyCounters)
+    #: dynamic instruction mix for the DTS model
+    class_counts: dict = field(default_factory=lambda: {c: 0 for c in DTS_CLASSES})
+    memory: Optional[FlatMemory] = None
+    return_value: int = 0
+
+    def energy(self, scale: Optional[dict] = None) -> EnergyBreakdown:
+        return compute_energy(self.counters, scale=scale)
+
+    @property
+    def epi(self) -> float:
+        """Energy per instruction (pJ)."""
+        if not self.instructions:
+            return 0.0
+        return self.energy().total / self.instructions
+
+
+class Machine:
+    """Executes a :class:`LinkedProgram`."""
+
+    def __init__(
+        self,
+        linked: LinkedProgram,
+        module: Module,
+        *,
+        step_limit: int = 400_000_000,
+        trace_hook=None,
+    ) -> None:
+        self.linked = linked
+        self.module = module
+        self.step_limit = step_limit
+        self.narrow_rf = linked.isa == "ARM_BS"
+        #: optional debug callback: trace_hook(pc, regs) before each step
+        self.trace_hook = trace_hook
+
+    def run(self) -> SimResult:
+        linked = self.linked
+        insts = linked.insts
+        delta = linked.delta
+        inst_bytes = linked.inst_bytes
+        result = SimResult()
+        counters = result.counters
+        rf_reads = counters.rf_reads_by_width
+        rf_writes = counters.rf_writes_by_width
+        class_counts = result.class_counts
+        hierarchy = MemoryHierarchy()
+        fetch = hierarchy.fetch
+        data_access = hierarchy.data_access
+
+        memory = FlatMemory()
+        initialize_globals(memory, self.module, linked.global_addresses)
+        mem_load = memory.load
+        mem_store = memory.store
+
+        regs = [0] * 16
+        regs[13] = STACK_TOP
+        regs[14] = HALT
+        cmp_state = (0, 0, 4)  # (lhs, rhs, width-or-64)
+        carry = 0
+        narrow_rf = self.narrow_rf
+
+        pc = linked.entry_index
+        steps = 0
+        cycles = 0
+        instructions = 0
+        misspecs = 0
+        last_load_reg = -1
+        out_l1 = out_l2 = out_mem = 0  # dcache level counters
+        ic_l1 = ic_l2 = ic_mem = 0
+
+        def read(op):
+            if type(op) is Slice:
+                size = op.size if op.size <= 4 else 4
+                width = size if narrow_rf else 4
+                rf_reads[width] = rf_reads.get(width, 0) + 1
+                return (regs[op.reg] >> (op.offset * 8)) & _MASKS[size]
+            if type(op) is Imm:
+                return op.value & 0xFFFFFFFF
+            if op == "sp":
+                rf_reads[4] += 1
+                return regs[13]
+            raise MachineError(f"cannot read operand {op!r}")
+
+        def write(op, value):
+            if type(op) is Slice:
+                size = op.size if op.size <= 4 else 4
+                width = size if narrow_rf else 4
+                rf_writes[width] = rf_writes.get(width, 0) + 1
+                shift = op.offset * 8
+                mask = _MASKS[size] << shift
+                regs[op.reg] = (regs[op.reg] & ~mask & 0xFFFFFFFF) | (
+                    (value & _MASKS[size]) << shift
+                )
+            else:
+                raise MachineError(f"cannot write operand {op!r}")
+
+        def dmem(addr, level_counts=True):
+            """Record a data access; returns extra stall cycles."""
+            nonlocal out_l1, out_l2, out_mem
+            level = data_access(addr)
+            if level == "l1":
+                out_l1 += 1
+                return 1
+            if level == "l2":
+                out_l2 += 1
+                return 10
+            out_mem += 1
+            return 70
+
+        limit = self.step_limit
+        trace_hook = self.trace_hook
+        while pc != HALT:
+            if not 0 <= pc < len(insts):
+                raise MachineError(f"pc out of range: {pc}")
+            if trace_hook is not None:
+                trace_hook(pc, regs)
+            inst = insts[pc]
+            steps += 1
+            if steps > limit:
+                raise MachineError("machine step limit exceeded")
+            # instruction fetch
+            level = fetch(pc * inst_bytes)
+            if level == "l1":
+                ic_l1 += 1
+            elif level == "l2":
+                ic_l2 += 1
+                cycles += 10
+            else:
+                ic_mem += 1
+                cycles += 70
+            instructions += 1
+            cycles += 1
+            opcode = inst.opcode
+            # load-use hazard: one bubble when a load's result is consumed
+            # by the immediately following instruction
+            if last_load_reg >= 0:
+                for op in inst.uses:
+                    if type(op) is Slice and op.reg == last_load_reg:
+                        cycles += 1
+                        break
+                last_load_reg = -1
+            kind = inst.kind
+            if kind:
+                if kind == "copy":
+                    result.copies += 1
+                elif kind == "reload":
+                    result.spill_loads += 1
+                elif kind == "spill":
+                    result.spill_stores += 1
+            next_pc = pc + 1
+
+            if opcode == "mov" or opcode == "movi":
+                write(inst.defs[0], read(inst.uses[0]))
+                counters.move_ops += 1
+                class_counts["move"] += 1
+            elif opcode in ("ldr", "ldrb", "ldrh"):
+                base = read(inst.uses[0])
+                disp = inst.uses[1].value if len(inst.uses) > 1 else 0
+                addr = (base + disp) & 0xFFFFFFFF
+                size = {"ldr": 4, "ldrb": 1, "ldrh": 2}[opcode]
+                value = mem_load(addr, size)
+                dest = inst.defs[0]
+                write(dest, value)
+                cycles += dmem(addr)
+                result.loads += 1
+                class_counts["mem"] += 1
+                last_load_reg = dest.reg
+            elif opcode in ("str", "strb", "strh"):
+                value = read(inst.uses[0])
+                base = read(inst.uses[1])
+                disp = inst.uses[2].value if len(inst.uses) > 2 else 0
+                addr = (base + disp) & 0xFFFFFFFF
+                size = {"str": 4, "strb": 1, "strh": 2}[opcode]
+                mem_store(addr, value, size)
+                dmem(addr)
+                result.stores += 1
+                class_counts["mem"] += 1
+            elif opcode in ("add", "sub", "and", "orr", "eor", "lsl", "lsr", "asr"):
+                a = read(inst.uses[0])
+                b = read(inst.uses[1])
+                width = inst.width
+                mask = _MASKS.get(width, 0xFFFFFFFF)
+                if opcode == "add":
+                    value = (a + b) & mask
+                elif opcode == "sub":
+                    value = (a - b) & mask
+                elif opcode == "and":
+                    value = a & b
+                elif opcode == "orr":
+                    value = a | b
+                elif opcode == "eor":
+                    value = a ^ b
+                elif opcode == "lsl":
+                    value = (a << b) & mask if b < 32 else 0
+                elif opcode == "lsr":
+                    value = (a >> b) if b < 32 else 0
+                else:  # asr
+                    bits = width * 8
+                    ty = int_type(bits)
+                    shift = min(b, bits - 1)
+                    value = ty.wrap(ty.to_signed(a) >> shift)
+                write(inst.defs[0], value)
+                if narrow_rf and width == 1:
+                    counters.alu8_ops += 1
+                    class_counts["alu8"] += 1
+                else:
+                    counters.alu32_ops += 1
+                    class_counts["alu32"] += 1
+            elif opcode == "bs_ldr":
+                # Speculative load (Table 1): full-width read, narrow result,
+                # misspeculate when the value does not fit the slice.
+                addr = read(inst.uses[0])
+                size = inst.uses[1].value
+                value = mem_load(addr, size)
+                cycles += dmem(addr)
+                result.loads += 1
+                counters.alu8_ops += 1
+                class_counts["alu8"] += 1
+                if value > 0xFF:
+                    misspecs += 1
+                    cycles += 3
+                    next_pc = pc + delta
+                else:
+                    write(inst.defs[0], value)
+                    last_load_reg = inst.defs[0].reg
+            elif opcode.startswith("bs_"):
+                taken = self._exec_bitspec(
+                    inst, read, write, counters, class_counts
+                )
+                if taken == "misspec":
+                    misspecs += 1
+                    cycles += 3
+                    next_pc = pc + delta
+                elif isinstance(taken, tuple):
+                    cmp_state = taken
+            elif opcode == "cmp":
+                a = read(inst.uses[0])
+                b = read(inst.uses[1])
+                cmp_state = (a, b, inst.width)
+                counters.alu32_ops += 1
+                class_counts["alu32"] += 1
+            elif opcode == "cmp64hi":
+                cmp_state = (read(inst.uses[0]), read(inst.uses[1]), "hi")
+                counters.alu32_ops += 1
+                class_counts["alu32"] += 1
+            elif opcode == "cmp64lo":
+                a_hi, b_hi, tag = cmp_state
+                a = (a_hi << 32) | read(inst.uses[0])
+                b = (b_hi << 32) | read(inst.uses[1])
+                cmp_state = (a, b, 8)
+                counters.alu32_ops += 1
+                class_counts["alu32"] += 1
+            elif opcode == "b":
+                next_pc = inst.target
+                result.branches += 1
+                result.taken_branches += 1
+                cycles += 2
+                class_counts["branch"] += 1
+            elif opcode == "bcond":
+                a, b, width = cmp_state
+                ty = int_type(64 if width == 8 else width * 8)
+                result.branches += 1
+                class_counts["branch"] += 1
+                if evaluate_icmp(inst.cond, a, b, ty):
+                    next_pc = inst.target
+                    result.taken_branches += 1
+                    cycles += 2
+            elif opcode == "movcond":
+                a, b, width = cmp_state
+                ty = int_type(64 if width == 8 else width * 8)
+                if evaluate_icmp(inst.cond, a, b, ty):
+                    write(inst.defs[0], read(inst.uses[0]))
+                counters.move_ops += 1
+                class_counts["move"] += 1
+            elif opcode in ("uxt", "sxt", "trunc"):
+                src = inst.uses[0]
+                value = read(src)
+                if opcode == "sxt":
+                    src_bits = (src.size if type(src) is Slice else 4) * 8
+                    value = int_type(src_bits).to_signed(value) & 0xFFFFFFFF
+                write(inst.defs[0], value)
+                if narrow_rf and inst.width == 1:
+                    counters.alu8_ops += 1
+                    class_counts["alu8"] += 1
+                else:
+                    counters.move_ops += 1
+                    class_counts["move"] += 1
+            elif opcode == "mul":
+                value = (read(inst.uses[0]) * read(inst.uses[1])) & _MASKS.get(
+                    inst.width, 0xFFFFFFFF
+                )
+                write(inst.defs[0], value)
+                counters.mul_ops += 1
+                class_counts["mul"] += 1
+                cycles += 2
+            elif opcode == "umull":
+                product = read(inst.uses[0]) * read(inst.uses[1])
+                write(inst.defs[0], product & 0xFFFFFFFF)
+                write(inst.defs[1], (product >> 32) & 0xFFFFFFFF)
+                counters.mul_ops += 1
+                class_counts["mul"] += 1
+                cycles += 3
+            elif opcode in _DIV_OPS:
+                a = read(inst.uses[0])
+                b = read(inst.uses[1])
+                bits = inst.width * 8
+                ty = int_type(bits)
+                if b == 0:
+                    raise MachineError("division by zero")
+                if opcode == "udiv":
+                    value = a // b
+                elif opcode == "urem":
+                    value = a % b
+                else:
+                    sa, sb = ty.to_signed(a), ty.to_signed(b)
+                    q = abs(sa) // abs(sb)
+                    r = abs(sa) % abs(sb)
+                    if opcode == "sdiv":
+                        value = ty.wrap(-q if (sa < 0) != (sb < 0) else q)
+                    else:
+                        value = ty.wrap(-r if sa < 0 else r)
+                write(inst.defs[0], ty.wrap(value))
+                counters.div_ops += 1
+                class_counts["div"] += 1
+                cycles += 11
+            elif opcode == "adds":
+                full = read(inst.uses[0]) + read(inst.uses[1])
+                carry = full >> 32
+                write(inst.defs[0], full & 0xFFFFFFFF)
+                counters.alu32_ops += 1
+                class_counts["alu32"] += 1
+            elif opcode == "adc":
+                full = read(inst.uses[0]) + read(inst.uses[1]) + carry
+                carry = full >> 32
+                write(inst.defs[0], full & 0xFFFFFFFF)
+                counters.alu32_ops += 1
+                class_counts["alu32"] += 1
+            elif opcode == "subs":
+                a = read(inst.uses[0])
+                b = read(inst.uses[1])
+                carry = 1 if a >= b else 0
+                write(inst.defs[0], (a - b) & 0xFFFFFFFF)
+                counters.alu32_ops += 1
+                class_counts["alu32"] += 1
+            elif opcode == "sbc":
+                a = read(inst.uses[0])
+                b = read(inst.uses[1])
+                full = a - b - (1 - carry)
+                carry = 1 if full >= 0 else 0
+                write(inst.defs[0], full & 0xFFFFFFFF)
+                counters.alu32_ops += 1
+                class_counts["alu32"] += 1
+            elif opcode == "addsl":
+                base = read(inst.uses[0])
+                index = read(inst.uses[1])
+                shift = inst.uses[2].value
+                write(inst.defs[0], (base + (index << shift)) & 0xFFFFFFFF)
+                counters.alu32_ops += 1
+                class_counts["alu32"] += 1
+            elif opcode == "orrsl":
+                a = read(inst.uses[0])
+                b = read(inst.uses[1])
+                shift = inst.uses[2].value
+                shifted = (b << shift) & 0xFFFFFFFF if shift >= 0 else b >> (-shift)
+                write(inst.defs[0], a | shifted)
+                counters.alu32_ops += 1
+                class_counts["alu32"] += 1
+            elif opcode == "bl":
+                lr_stack_value = pc + 1
+                regs[14] = lr_stack_value
+                next_pc = inst.target
+                result.branches += 1
+                result.taken_branches += 1
+                cycles += 2
+                class_counts["branch"] += 1
+            elif opcode == "bx":
+                next_pc = regs[14]
+                result.branches += 1
+                result.taken_branches += 1
+                cycles += 2
+                class_counts["branch"] += 1
+            elif opcode == "subspi":
+                regs[13] = (regs[13] - inst.uses[0].value) & 0xFFFFFFFF
+                counters.alu32_ops += 1
+                class_counts["alu32"] += 1
+            elif opcode == "addspi":
+                regs[13] = (regs[13] + inst.uses[0].value) & 0xFFFFFFFF
+                counters.alu32_ops += 1
+                class_counts["alu32"] += 1
+            elif opcode == "out":
+                result.output.append(read(inst.uses[0]))
+                counters.move_ops += 1
+                class_counts["move"] += 1
+            elif opcode == "nop" or opcode == "mode":
+                class_counts["move"] += 1
+            else:
+                raise MachineError(f"unknown opcode {opcode!r} at {pc}")
+            pc = next_pc
+
+        result.instructions = instructions
+        result.cycles = cycles
+        result.misspeculations = misspecs
+        counters.cycles = cycles
+        counters.icache_l1 = ic_l1
+        counters.icache_l2 = ic_l2
+        counters.icache_mem = ic_mem
+        counters.dcache_l1 = out_l1
+        counters.dcache_l2 = out_l2
+        counters.dcache_mem = out_mem
+        result.memory = memory
+        result.return_value = regs[0]
+        return result
+
+    def _exec_bitspec(self, inst, read, write, counters, class_counts):
+        """Execute one non-memory ``bs_*`` op.
+
+        Returns "misspec", a new cmp_state tuple (for ``bs_cmp``), or None.
+        Misspeculation is detected exactly as the segmented ALU does it:
+        any carry/borrow/bit leaving the 8-bit slice (§3.5).
+        """
+        opcode = inst.opcode
+        counters.alu8_ops += 1
+        class_counts["alu8"] += 1
+        if opcode == "bs_cmp":
+            return (read(inst.uses[0]), read(inst.uses[1]), 1)
+        if opcode == "bs_trunc":
+            value = read(inst.uses[0])
+            if value > 0xFF:
+                return "misspec"
+            write(inst.defs[0], value)
+            return None
+        if opcode == "bs_trunc_hi":
+            if read(inst.uses[0]) != 0:
+                return "misspec"
+            return None
+        a = read(inst.uses[0])
+        b = read(inst.uses[1])
+        if opcode == "bs_add":
+            wide = a + b
+        elif opcode == "bs_sub":
+            wide = a - b
+        elif opcode == "bs_and":
+            wide = a & b
+        elif opcode == "bs_orr":
+            wide = a | b
+        elif opcode == "bs_eor":
+            wide = a ^ b
+        elif opcode == "bs_lsl":
+            wide = (a << b) if b < 32 else 0
+        elif opcode == "bs_lsr":
+            wide = a >> b if b < 32 else 0
+        else:
+            raise MachineError(f"unknown speculative opcode {opcode!r}")
+        if wide < 0 or wide > 0xFF:
+            return "misspec"
+        write(inst.defs[0], wide)
+        return None

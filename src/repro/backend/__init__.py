@@ -1,0 +1,43 @@
+"""Back-end: SMIR, instruction selection, slice register allocation, layout."""
+
+from repro.backend.isel import ISelError, select_module
+from repro.backend.layout import LinkedProgram, link_program
+from repro.backend.mir import (
+    ALLOCATABLE,
+    FrameSlot,
+    GlobalRef,
+    Imm,
+    MachineBlock,
+    MachineFunction,
+    MachineInst,
+    MachineProgram,
+    Slice,
+    THUMB_ALLOCATABLE,
+    VReg,
+)
+from repro.backend.regalloc import (
+    AllocationStats,
+    RegAllocError,
+    RegisterAllocator,
+)
+
+__all__ = [
+    "ALLOCATABLE",
+    "AllocationStats",
+    "FrameSlot",
+    "GlobalRef",
+    "ISelError",
+    "Imm",
+    "LinkedProgram",
+    "MachineBlock",
+    "MachineFunction",
+    "MachineInst",
+    "MachineProgram",
+    "RegAllocError",
+    "RegisterAllocator",
+    "Slice",
+    "THUMB_ALLOCATABLE",
+    "VReg",
+    "link_program",
+    "select_module",
+]

@@ -1,0 +1,233 @@
+"""Code layout and linking (§3.3.4).
+
+Linearizes machine functions into one flat instruction array and realizes
+the paper's Δ-based misspeculation redirection: after the code image, a
+*skeleton area* is laid out such that for every speculative instruction at
+index ``i``, index ``i + Δ`` holds an unconditional branch to that
+instruction's region handler.  The hardware's misspeculation action is then
+simply ``PC += Δ`` (a single special register), with the compiler-chosen
+layout guaranteeing control enters the correct handler.
+
+Also hosts the Thumb-like compact-ISA expansion (RQ9): three-address ALU
+ops become move + two-address op when the destination differs from the
+first source, and shifted-operand forms split into shift + op.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.backend.mir import (
+    Imm,
+    MachineBlock,
+    MachineFunction,
+    MachineInst,
+    MachineProgram,
+    SCRATCH0,
+    SCRATCH1,
+    Slice,
+)
+
+_COMMUTATIVE = frozenset({"add", "and", "orr", "eor", "mul", "adds", "adc"})
+_THREE_ADDR = frozenset(
+    {"add", "sub", "and", "orr", "eor", "lsl", "lsr", "asr", "mul",
+     "adds", "adc", "subs", "sbc", "udiv", "sdiv", "urem", "srem"}
+)
+
+
+@dataclass
+class LinkedProgram:
+    """A fully linked executable image for the machine simulator."""
+
+    isa: str
+    insts: list = field(default_factory=list)
+    delta: int = 0
+    entry_index: int = 0
+    function_entries: dict = field(default_factory=dict)
+    global_addresses: dict = field(default_factory=dict)
+    #: bytes per instruction (Thumb: 2, ARM: 4) for I$ addressing
+    inst_bytes: int = 4
+    #: index -> function name (for attribution in diagnostics)
+    owner: list = field(default_factory=list)
+    code_size: int = 0
+
+    def dump(self, start: int = 0, count: int = 80) -> str:
+        lines = []
+        for i in range(start, min(start + count, len(self.insts))):
+            lines.append(f"{i:5d}: {self.insts[i]!r}")
+        return "\n".join(lines)
+
+
+def _expand_thumb(func: MachineFunction) -> None:
+    """Convert to two-address form, splitting shifted-operand instructions."""
+    for block in func.blocks:
+        out: list[MachineInst] = []
+        for inst in block.insts:
+            if inst.opcode in ("addsl", "orrsl"):
+                base, index, shift = inst.uses
+                # SCRATCH1: a spilled base reloads into SCRATCH0 (first use)
+                # and must survive; a spilled index reloads into SCRATCH1,
+                # which the shift may then read-and-overwrite safely.
+                scratch = Slice(SCRATCH1, 0, 4)
+                if inst.opcode == "addsl":
+                    out.append(MachineInst("lsl", [scratch], [index, shift], width=4))
+                else:
+                    amount = shift.value
+                    op = "lsl" if amount >= 0 else "lsr"
+                    out.append(
+                        MachineInst(op, [scratch], [index, Imm(abs(amount))], width=4)
+                    )
+                inst = MachineInst(
+                    inst.opcode[:3], inst.defs, [base, scratch], width=inst.width
+                )
+            if (
+                inst.opcode in _THREE_ADDR
+                and inst.defs
+                and inst.uses
+                and isinstance(inst.defs[0], Slice)
+                and inst.defs[0] != inst.uses[0]
+            ):
+                if (
+                    inst.opcode in _COMMUTATIVE
+                    and len(inst.uses) > 1
+                    and inst.defs[0] == inst.uses[1]
+                ):
+                    inst.uses = [inst.uses[1], inst.uses[0]]
+                else:
+                    if (
+                        len(inst.uses) > 1
+                        and isinstance(inst.uses[1], Slice)
+                        and isinstance(inst.defs[0], Slice)
+                        and inst.uses[1].reg == inst.defs[0].reg
+                    ):
+                        # rd aliases the second source: stage it in scratch
+                        # before the destination move clobbers it.  SCRATCH1
+                        # is free here: defs never allocate it, and a staged
+                        # second source was reloaded into SCRATCH0 at most.
+                        scratch2 = Slice(SCRATCH1, 0, 4)
+                        out.append(
+                            MachineInst(
+                                "mov", [scratch2], [inst.uses[1]], width=4,
+                                kind="copy",
+                            )
+                        )
+                        inst.uses = [inst.uses[0], scratch2] + inst.uses[2:]
+                    out.append(
+                        MachineInst(
+                            "mov", [inst.defs[0]], [inst.uses[0]], width=4, kind="copy"
+                        )
+                    )
+                    inst.uses = [inst.defs[0]] + inst.uses[1:]
+            out.append(inst)
+        block.insts = out
+
+
+def _order_blocks(func: MachineFunction) -> list[MachineBlock]:
+    """Lay spec-world code first, then CFG_orig, then handlers.
+
+    This keeps the hot speculative path dense in the instruction cache; the
+    cold recovery code (CFG_orig + handlers) sits behind it.
+    """
+    spec = [b for b in func.blocks if not b.is_handler and b.world != "orig"]
+    orig = [b for b in func.blocks if not b.is_handler and b.world == "orig"]
+    handlers = [b for b in func.blocks if b.is_handler]
+    return spec + orig + handlers
+
+
+def link_program(program: MachineProgram) -> LinkedProgram:
+    """Linearize, resolve branches, and append the Δ skeleton area."""
+    linked = LinkedProgram(isa=program.isa)
+    linked.global_addresses = dict(program.global_addresses)
+    if program.isa == "THUMB":
+        linked.inst_bytes = 2
+        for func in program.functions.values():
+            _expand_thumb(func)
+
+    # First pass: assign indices with fallthrough branch elimination.
+    block_index: dict[int, int] = {}
+    flat: list[MachineInst] = []
+    owner: list[str] = []
+    ordered_functions = list(program.functions.values())
+    ordered_functions.sort(key=lambda f: (f.name != program.entry, f.name))
+
+    # We must know block addresses before eliminating fallthrough branches;
+    # do it iteratively: first lay out with all branches, then remove
+    # branches to the immediately following block and re-lay.
+    for _round in range(2):
+        flat = []
+        owner = []
+        block_index = {}
+        for func in ordered_functions:
+            blocks = _order_blocks(func)
+            for b_pos, block in enumerate(blocks):
+                block_index[id(block)] = len(flat)
+                for inst in block.insts:
+                    if (
+                        _round == 1
+                        and inst.opcode == "b"
+                        and isinstance(inst.target, MachineBlock)
+                        and b_pos + 1 < len(blocks)
+                        and inst.target is blocks[b_pos + 1]
+                    ):
+                        continue  # fallthrough
+                    flat.append(inst)
+                    owner.append(func.name)
+            linked.function_entries[func.name] = block_index[
+                id(blocks[0])
+            ]
+        if _round == 0:
+            # mark fallthrough candidates by checking adjacency in round 1
+            pass
+
+    # Resolve branch / call targets to absolute indices and global
+    # references to their flat-memory addresses.
+    from repro.backend.mir import GlobalRef
+
+    resolved: list[MachineInst] = []
+    for inst in flat:
+        if isinstance(inst.target, MachineBlock):
+            inst = _with_target(inst, block_index[id(inst.target)])
+        elif inst.opcode == "bl":
+            inst = _with_target(inst, linked.function_entries[inst.target])
+        if any(isinstance(u, GlobalRef) for u in inst.uses):
+            inst.uses = [
+                Imm(program.global_addresses[u.name])
+                if isinstance(u, GlobalRef)
+                else u
+                for u in inst.uses
+            ]
+        resolved.append(inst)
+
+    code_len = len(resolved)
+    linked.code_size = code_len
+
+    # Δ skeleton area: index i + Δ branches to the handler of the
+    # speculative instruction at i.  Δ = code image length.
+    has_spec = any(i.speculative for i in resolved)
+    if has_spec:
+        linked.delta = code_len
+        skeleton = [MachineInst("nop") for _ in range(code_len)]
+        for index, inst in enumerate(resolved):
+            if inst.speculative:
+                handler_block = inst.handler
+                if handler_block is None:
+                    raise ValueError(
+                        f"speculative instruction without handler at {index}: "
+                        f"{inst!r}"
+                    )
+                skeleton[index] = MachineInst(
+                    "b", target=block_index[id(handler_block)]
+                )
+        resolved.extend(skeleton)
+        owner.extend(["__skeleton__"] * code_len)
+
+    linked.insts = resolved
+    linked.owner = owner
+    linked.entry_index = linked.function_entries[program.entry]
+    return linked
+
+
+def _with_target(inst: MachineInst, index: int) -> MachineInst:
+    inst.target = index
+    return inst

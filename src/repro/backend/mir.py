@@ -1,0 +1,243 @@
+"""Speculative Machine IR (SMIR, §3.1.3) — the back-end's program form.
+
+SMIR extends the IR's speculative-region structure down to machine level:
+machine blocks carry their region id and world tag; the register allocator
+applies the SMIR predecessor rule (Eq. 2) so values a handler needs stay
+live across the whole region.
+
+Machine instructions are ARM-flavoured three-address ops over virtual
+registers; physical registers materialize during/after allocation as
+:class:`Slice` locations (register index + byte offset + byte size), the
+register-file view the BITSPEC microarchitecture exposes (§3.5).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+# -- machine configuration -----------------------------------------------------
+
+NUM_REGS = 16
+SP = 13
+LR = 14
+PC = 15
+SCRATCH0 = 12  # ip: spill/reload scratch
+SCRATCH1 = 11  # second scratch (two-operand reloads)
+ARG_REGS = (0, 1, 2, 3)
+RET_REG = 0
+#: registers preserved across calls
+CALLEE_SAVED = frozenset({4, 5, 6, 7, 8, 9, 10})
+#: default allocatable pool (baseline / BITSPEC ISAs)
+ALLOCATABLE = (0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+#: Thumb-like compact ISA: only the low registers allocate
+THUMB_ALLOCATABLE = (0, 1, 2, 3, 4, 5, 6, 7)
+
+
+@dataclass(frozen=True)
+class VReg:
+    """A virtual register: ``size`` bytes wide (1, 2 or 4)."""
+
+    id: int
+    size: int
+    hint: str = ""
+
+    def __repr__(self) -> str:
+        return f"%v{self.id}.{self.size}"
+
+
+@dataclass(frozen=True)
+class Slice:
+    """A physical location: ``size`` bytes at ``offset`` within register ``reg``."""
+
+    reg: int
+    offset: int
+    size: int
+
+    def __repr__(self) -> str:
+        if self.offset == 0 and self.size == 4:
+            return f"r{self.reg}"
+        return f"r{self.reg}.b{self.offset}:{self.size}"
+
+
+@dataclass(frozen=True)
+class Imm:
+    value: int
+
+    def __repr__(self) -> str:
+        return f"#{self.value}"
+
+
+@dataclass(frozen=True)
+class GlobalRef:
+    name: str
+
+    def __repr__(self) -> str:
+        return f"@{self.name}"
+
+
+@dataclass(frozen=True)
+class FrameSlot:
+    """An abstract stack slot (spill or alloca), resolved at frame layout."""
+
+    index: int
+    size: int
+
+    def __repr__(self) -> str:
+        return f"fs{self.index}"
+
+
+Operand = Union[VReg, Slice, Imm, GlobalRef, FrameSlot, str]
+
+
+class MachineInst:
+    """One machine instruction.
+
+    ``defs``/``uses`` hold :class:`VReg` before allocation and
+    :class:`Slice` afterwards; other operand kinds pass through.  ``width``
+    is the operation width in bytes (1 = an 8-bit slice operation of the
+    BITSPEC ISA); ``speculative`` marks Table 1 ops monitored for
+    misspeculation.
+    """
+
+    __slots__ = (
+        "opcode",
+        "defs",
+        "uses",
+        "width",
+        "speculative",
+        "cond",
+        "target",
+        "kind",
+        "handler",
+        "comment",
+    )
+
+    def __init__(
+        self,
+        opcode: str,
+        defs: Optional[list] = None,
+        uses: Optional[list] = None,
+        *,
+        width: int = 4,
+        speculative: bool = False,
+        cond: Optional[str] = None,
+        target: Optional[object] = None,
+        kind: str = "",
+    ) -> None:
+        self.opcode = opcode
+        self.defs = defs or []
+        self.uses = uses or []
+        self.width = width
+        self.speculative = speculative
+        self.cond = cond  # branch/condmov condition code
+        self.target = target  # MachineBlock or function name
+        self.kind = kind  # 'spill' | 'reload' | 'copy' | '' (for Fig 10)
+        self.handler = None  # resolved handler block for speculative insts
+        self.comment = ""
+
+    def vregs(self) -> list[VReg]:
+        return [op for op in self.defs + self.uses if isinstance(op, VReg)]
+
+    def __repr__(self) -> str:
+        parts = [self.opcode]
+        if self.cond:
+            parts[0] += f".{self.cond}"
+        ops = ", ".join(repr(o) for o in self.defs + self.uses)
+        if ops:
+            parts.append(ops)
+        if self.target is not None:
+            name = getattr(self.target, "name", self.target)
+            parts.append(f"-> {name}")
+        text = " ".join(parts)
+        if self.width == 1:
+            text += "  ;8b"
+        if self.speculative:
+            text += " !spec"
+        return text
+
+
+class MachineBlock:
+    """A machine basic block."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.insts: list[MachineInst] = []
+        self.succs: list["MachineBlock"] = []
+        self.region_id: Optional[int] = None
+        self.handler: Optional["MachineBlock"] = None  # for region blocks
+        self.is_handler = False
+        self.world: Optional[str] = None
+        self.address: int = -1  # filled by layout
+
+    def append(self, inst: MachineInst) -> MachineInst:
+        self.insts.append(inst)
+        return inst
+
+    def __repr__(self) -> str:
+        return f"<MBB {self.name} ({len(self.insts)})>"
+
+
+class MachineFunction:
+    """A machine function: blocks + frame bookkeeping."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.blocks: list[MachineBlock] = []
+        self._vreg_ids = itertools.count()
+        self._slot_ids = itertools.count()
+        self.frame_slots: list[FrameSlot] = []
+        self.param_vregs: list = []  # VReg or (lo, hi) pairs
+        self.uses_calls = False
+        #: number of stack-passed argument bytes this function expects
+        self.incoming_stack_bytes = 0
+
+    def new_vreg(self, size: int, hint: str = "") -> VReg:
+        return VReg(next(self._vreg_ids), size, hint)
+
+    def new_slot(self, size: int) -> FrameSlot:
+        slot = FrameSlot(next(self._slot_ids), size)
+        self.frame_slots.append(slot)
+        return slot
+
+    def add_block(self, name: str) -> MachineBlock:
+        block = MachineBlock(name)
+        self.blocks.append(block)
+        return block
+
+    def instruction_count(self) -> int:
+        return sum(len(b.insts) for b in self.blocks)
+
+    def __repr__(self) -> str:
+        return f"<MachineFunction {self.name} ({len(self.blocks)} blocks)>"
+
+
+class MachineProgram:
+    """A lowered module: machine functions + global memory layout."""
+
+    def __init__(self, name: str, isa: str) -> None:
+        self.name = name
+        self.isa = isa
+        self.functions: dict[str, MachineFunction] = {}
+        self.global_addresses: dict[str, int] = {}
+        self.entry = "main"
+
+    def add_function(self, func: MachineFunction) -> MachineFunction:
+        self.functions[func.name] = func
+        return func
+
+    def dump(self) -> str:
+        lines = [f"; machine program {self.name} [{self.isa}]"]
+        for func in self.functions.values():
+            lines.append(f"\n{func.name}:")
+            for block in func.blocks:
+                tag = ""
+                if block.is_handler:
+                    tag = "  ; handler"
+                elif block.region_id is not None:
+                    tag = f"  ; SR#{block.region_id}"
+                lines.append(f" {block.name}:{tag}")
+                for inst in block.insts:
+                    lines.append(f"   {inst!r}")
+        return "\n".join(lines)

@@ -1,0 +1,19 @@
+"""BITSPEC core: the compiler-architecture pipeline and its configurations."""
+
+from repro.core.pipeline import (
+    CompiledBinary,
+    CompilerConfig,
+    ISAS,
+    MIDDLE_ENDS,
+    compile_binary,
+    set_global_inputs,
+)
+
+__all__ = [
+    "CompiledBinary",
+    "CompilerConfig",
+    "ISAS",
+    "MIDDLE_ENDS",
+    "compile_binary",
+    "set_global_inputs",
+]

@@ -1,0 +1,201 @@
+"""The BITSPEC compilation pipeline (Fig. 4) and its configurations.
+
+``CompilerConfig`` mirrors the paper artifact's YAML knobs: architecture/ISA,
+middle-end (heuristic), expander, per-optimization toggles, voltage scaling.
+``compile_binary`` runs front-end → expander → (CFG prep → profile →
+squeezer → speculative opts) → back-end → linked machine image;
+``CompiledBinary.run`` executes it on the architecture model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Union
+
+from repro.arch.dts import DTSModel
+from repro.arch.machine import Machine, SimResult
+from repro.backend.isel import select_module
+from repro.backend.layout import LinkedProgram, link_program
+from repro.backend.regalloc import AllocationStats, RegisterAllocator
+from repro.frontend.ast_nodes import Program
+from repro.interp.interpreter import Interpreter, RunResult
+from repro.ir.cfg import remove_unreachable_blocks
+from repro.ir.function import Module
+from repro.passes.dce import eliminate_dead_code_module
+from repro.passes.expander import ExpanderConfig, build_module
+from repro.passes.cfg_prep import prepare_cfg_module
+from repro.passes.opt import run_speculative_opts
+from repro.passes.simplify import simplify_module
+from repro.passes.squeezer import SqueezeResult, squeeze_module
+from repro.passes.static_narrow import narrow_module
+from repro.profiler.profile import BitwidthProfile
+from repro.profiler.selection import SqueezePlan, compute_squeeze_plan
+
+ISAS = ("ARM", "ARM_BS", "THUMB")
+MIDDLE_ENDS = ("none", "2cfg-max", "2cfg-avg", "2cfg-min", "static")
+
+
+@dataclass(frozen=True)
+class CompilerConfig:
+    """One experiment configuration (the artifact's YAML schema)."""
+
+    name: str = "baseline"
+    isa: str = "ARM"
+    middle_end: str = "none"
+    expander: ExpanderConfig = field(default_factory=ExpanderConfig)
+    compare_elimination: bool = True
+    bitmask_elision: bool = True
+    invert_handler_weights: bool = False
+    voltage_scaling: str = "nominal"  # 'nominal' | 'timesqueezing'
+
+    @property
+    def heuristic(self) -> str:
+        if not self.middle_end.startswith("2cfg-"):
+            raise ValueError(f"{self.middle_end} has no heuristic")
+        return self.middle_end.split("-", 1)[1]
+
+    # -- presets matching the artifact configs -------------------------------
+
+    @classmethod
+    def baseline(cls, **kw) -> "CompilerConfig":
+        kw.setdefault("name", "baseline")
+        return cls(isa="ARM", middle_end="none", **kw)
+
+    @classmethod
+    def bitspec(cls, heuristic: str = "max", **kw) -> "CompilerConfig":
+        kw.setdefault("name", f"bitspec-{heuristic}")
+        return cls(isa="ARM_BS", middle_end=f"2cfg-{heuristic}", **kw)
+
+    @classmethod
+    def nospec(cls, **kw) -> "CompilerConfig":
+        """RQ2: static narrowing + slice packing, no speculation."""
+        kw.setdefault("name", "nospec")
+        return cls(isa="ARM_BS", middle_end="static", **kw)
+
+    @classmethod
+    def thumb(cls, **kw) -> "CompilerConfig":
+        kw.setdefault("name", "thumb")
+        return cls(isa="THUMB", middle_end="none", **kw)
+
+    @classmethod
+    def dts(cls, **kw) -> "CompilerConfig":
+        kw.setdefault("name", "dts")
+        return cls(isa="ARM", middle_end="none", voltage_scaling="timesqueezing", **kw)
+
+    @classmethod
+    def dts_bitspec(cls, heuristic: str = "max", **kw) -> "CompilerConfig":
+        kw.setdefault("name", f"dts-bitspec-{heuristic}")
+        return cls(
+            isa="ARM_BS",
+            middle_end=f"2cfg-{heuristic}",
+            voltage_scaling="timesqueezing",
+            **kw,
+        )
+
+
+def set_global_inputs(module: Module, inputs: dict) -> None:
+    """Inject workload inputs into global initializers.
+
+    ``inputs`` maps global names to a scalar or list of element values;
+    omitted globals keep their source-level initializers.
+    """
+    for name, value in inputs.items():
+        gv = module.globals.get(name)
+        if gv is None:
+            raise KeyError(f"no such global: {name}")
+        values = value if isinstance(value, (list, tuple)) else [value]
+        if len(values) > gv.count:
+            raise ValueError(
+                f"{name}: {len(values)} values exceed capacity {gv.count}"
+            )
+        init = [gv.elem_type.wrap(v) for v in values]
+        init += [0] * (gv.count - len(init))
+        gv.initializer = init
+
+
+@dataclass
+class CompiledBinary:
+    """The output of a pipeline run, ready to simulate."""
+
+    config: CompilerConfig
+    module: Module
+    linked: LinkedProgram
+    profile: Optional[BitwidthProfile] = None
+    squeeze_results: dict = field(default_factory=dict)
+    alloc_stats: dict = field(default_factory=dict)
+    opt_counts: dict = field(default_factory=dict)
+    #: static code size in instructions (excluding the skeleton area)
+    code_size: int = 0
+
+    def run(
+        self, inputs: Optional[dict] = None, entry: str = "main"
+    ) -> SimResult:
+        """Simulate on the architecture model with the given inputs."""
+        if inputs:
+            set_global_inputs(self.module, inputs)
+        if entry != "main":
+            raise ValueError("the machine image always enters at main")
+        machine = Machine(self.linked, self.module)
+        result = machine.run()
+        if self.config.voltage_scaling == "timesqueezing":
+            result.dts_energy = DTSModel().apply(result)
+        return result
+
+    def interpret(
+        self, inputs: Optional[dict] = None, entry: str = "main", trace: bool = False
+    ) -> RunResult:
+        """Run the (post-middle-end) IR on the functional simulator."""
+        if inputs:
+            set_global_inputs(self.module, inputs)
+        return Interpreter(self.module, trace=trace).run(entry)
+
+
+def compile_binary(
+    source: str,
+    config: CompilerConfig,
+    *,
+    profile_inputs: Optional[dict] = None,
+    entry: str = "main",
+    name: str = "program",
+) -> CompiledBinary:
+    """Run the full pipeline of Fig. 4 for one configuration."""
+    module = build_module(source, config.expander, name)
+    binary = CompiledBinary(config=config, module=module, linked=None)
+
+    if config.middle_end.startswith("2cfg-"):
+        prepare_cfg_module(module)
+        if profile_inputs:
+            set_global_inputs(module, profile_inputs)
+        profile = BitwidthProfile.collect(module, entry)
+        binary.profile = profile
+        plans = {
+            fname: compute_squeeze_plan(func, profile, config.heuristic)
+            for fname, func in module.functions.items()
+        }
+        binary.squeeze_results = squeeze_module(module, plans)
+        binary.opt_counts = run_speculative_opts(
+            module,
+            compare_elimination=config.compare_elimination,
+            bitmask_elision=config.bitmask_elision,
+        )
+        for func in module.functions.values():
+            remove_unreachable_blocks(func)
+        eliminate_dead_code_module(module)
+        simplify_module(module)
+    elif config.middle_end == "static":
+        narrow_module(module)
+        simplify_module(module)
+    elif config.middle_end != "none":
+        raise ValueError(f"unknown middle-end: {config.middle_end}")
+
+    program = select_module(module, isa=config.isa, name=name)
+    for mfunc in program.functions.values():
+        allocator = RegisterAllocator(
+            mfunc,
+            isa=config.isa,
+            invert_handler_weights=config.invert_handler_weights,
+        )
+        binary.alloc_stats[mfunc.name] = allocator.run()
+    binary.linked = link_program(program)
+    binary.code_size = binary.linked.code_size
+    return binary

@@ -1,0 +1,21 @@
+"""Evaluation harness reproducing the paper's figures and tables."""
+
+from repro.eval.harness import (
+    BENCHMARKS,
+    RunRecord,
+    clear_caches,
+    geomean,
+    get_binary,
+    run,
+)
+from repro.eval import figures
+
+__all__ = [
+    "BENCHMARKS",
+    "RunRecord",
+    "clear_caches",
+    "figures",
+    "geomean",
+    "get_binary",
+    "run",
+]

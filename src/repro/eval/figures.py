@@ -1,0 +1,568 @@
+"""Per-figure experiment drivers (see DESIGN.md's experiment index).
+
+Every function regenerates one of the paper's tables or figures as
+structured rows, using the memoizing harness.  Benchmark lists default to
+the full roster; pass a subset for quick runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.analysis.bitwidth import static_selection
+from repro.core.pipeline import CompilerConfig, compile_binary, set_global_inputs
+from repro.eval.harness import BENCHMARKS, RunRecord, geomean, run
+from repro.interp.interpreter import Interpreter, bucket
+from repro.ir.types import IntType
+from repro.passes.expander import ExpanderConfig, build_module
+from repro.profiler.profile import BitwidthProfile
+from repro.workloads import get_workload
+
+_WIDTHS = (8, 16, 32, 64)
+
+
+def _hist_percent(hist: dict) -> dict:
+    total = sum(hist.values()) or 1
+    return {w: 100.0 * hist.get(w, 0) / total for w in _WIDTHS}
+
+
+def _traced_interp(workload_name: str):
+    """Expanded IR module + traced run on the test input (cached)."""
+    cache = _traced_interp.__dict__.setdefault("cache", {})
+    if workload_name in cache:
+        return cache[workload_name]
+    workload = get_workload(workload_name)
+    module = build_module(workload.source, name=workload_name)
+    set_global_inputs(module, workload.inputs("test"))
+    interp = Interpreter(module, trace=True)
+    interp.run("main")
+    cache[workload_name] = (module, interp.trace)
+    return cache[workload_name]
+
+
+# ---------------------------------------------------------------------------
+# Figure 1 — bitwidth selection techniques
+# ---------------------------------------------------------------------------
+
+
+def fig01_bitwidth_selection(benchmarks: Sequence[str] = BENCHMARKS) -> dict:
+    """% of dynamic integer instructions per bitwidth under four selections:
+    (a) RequiredBits, (b) programmer-declared, (c) static analysis,
+    (d) basic-block-granularity coercion."""
+    rows = []
+    for name in benchmarks:
+        module, trace = _traced_interp(name)
+        required = _hist_percent(trace.required_hist)
+        declared = _hist_percent(trace.declared_hist)
+
+        static_hist = {w: 0 for w in _WIDTHS}
+        bbmax_hist = {w: 0 for w in _WIDTHS}
+        for func in module.functions.values():
+            selection = static_selection(func)
+            block_max: dict = {}
+            for block in func.blocks:
+                widest = 1
+                for inst in block.instructions:
+                    stats = trace.var_stats.get((func.name, inst.name))
+                    if stats is not None and stats.count:
+                        widest = max(widest, stats.max_bits)
+                block_max[id(block)] = widest
+            for block in func.blocks:
+                for inst in block.instructions:
+                    stats = trace.var_stats.get((func.name, inst.name))
+                    if stats is None or not stats.count:
+                        continue
+                    if not isinstance(inst.type, IntType):
+                        continue
+                    static_bits = min(
+                        selection.get(inst, inst.type.bits), inst.type.bits
+                    )
+                    static_hist[bucket(static_bits)] += stats.count
+                    coerced = min(block_max[id(block)], inst.type.bits)
+                    bbmax_hist[bucket(coerced)] += stats.count
+        rows.append(
+            {
+                "benchmark": name,
+                "required": required,
+                "declared": declared,
+                "static": _hist_percent(static_hist),
+                "bbmax": _hist_percent(bbmax_hist),
+            }
+        )
+    mean8 = {
+        key: sum(r[key][8] for r in rows) / len(rows)
+        for key in ("required", "declared", "static", "bbmax")
+    }
+    return {"rows": rows, "mean_8bit_percent": mean8}
+
+
+# ---------------------------------------------------------------------------
+# Figure 3 — loop unrolling: IR vs assembly instructions
+# ---------------------------------------------------------------------------
+
+
+def fig03_unrolling(
+    benchmarks: Sequence[str] = ("crc32", "sha", "bitcount"),
+    factors: Sequence[int] = (1, 2, 4, 8),
+) -> dict:
+    """Dynamic IR and baseline-assembly instructions vs unroll factor."""
+    rows = []
+    for name in benchmarks:
+        workload = get_workload(name)
+        inputs = workload.inputs("test")
+        series = []
+        for factor in factors:
+            expander = ExpanderConfig(unroll_factor=factor)
+            module = build_module(workload.source, expander, name)
+            set_global_inputs(module, inputs)
+            interp = Interpreter(module, trace=True)
+            interp.run("main")
+            config = CompilerConfig.baseline(expander=expander)
+            record = run(name, config)
+            series.append(
+                {
+                    "factor": factor,
+                    "ir_instructions": interp.trace.instructions,
+                    "asm_instructions": record.instructions,
+                }
+            )
+        base = series[0]
+        for point in series:
+            point["ir_rel"] = point["ir_instructions"] / base["ir_instructions"]
+            point["asm_rel"] = point["asm_instructions"] / base["asm_instructions"]
+        rows.append({"benchmark": name, "series": series})
+    return {"rows": rows, "factors": list(factors)}
+
+
+# ---------------------------------------------------------------------------
+# Figure 5 — profiler heuristics classification
+# ---------------------------------------------------------------------------
+
+
+def fig05_heuristics(benchmarks: Sequence[str] = BENCHMARKS) -> dict:
+    """Dynamic classification (8/16/32) under T = MAX / AVG / MIN."""
+    rows = []
+    for name in benchmarks:
+        _module, trace = _traced_interp(name)
+        profile = BitwidthProfile.from_trace(trace)
+        rows.append(
+            {
+                "benchmark": name,
+                "max": _hist_percent(profile.classify_dynamic("max")),
+                "avg": _hist_percent(profile.classify_dynamic("avg")),
+                "min": _hist_percent(profile.classify_dynamic("min")),
+            }
+        )
+    return {"rows": rows}
+
+
+# ---------------------------------------------------------------------------
+# Figures 8/9/10/11 — the headline energy results
+# ---------------------------------------------------------------------------
+
+
+def fig08_energy(benchmarks: Sequence[str] = BENCHMARKS) -> dict:
+    """Energy, dynamic instructions and EPI of BITSPEC vs BASELINE."""
+    rows = []
+    for name in benchmarks:
+        base = run(name, CompilerConfig.baseline())
+        spec = run(name, CompilerConfig.bitspec("max"))
+        rows.append(
+            {
+                "benchmark": name,
+                "energy_rel": spec.total_energy / base.total_energy,
+                "instructions_rel": spec.instructions / base.instructions,
+                "epi_rel": spec.epi / base.epi,
+                "misspeculations": spec.sim.misspeculations,
+            }
+        )
+    energies = [r["energy_rel"] for r in rows]
+    return {
+        "rows": rows,
+        "mean_energy_reduction_percent": 100.0 * (1.0 - geomean(energies)),
+        "max_energy_reduction_percent": 100.0 * (1.0 - min(energies)),
+        "mean_epi_reduction_percent": 100.0
+        * (1.0 - geomean([r["epi_rel"] for r in rows])),
+    }
+
+
+def fig09_breakdown(benchmarks: Sequence[str] = BENCHMARKS) -> dict:
+    """Per-component energy (ALU, RF, D$, I$, pipeline) vs BASELINE."""
+    rows = []
+    for name in benchmarks:
+        base = run(name, CompilerConfig.baseline())
+        spec = run(name, CompilerConfig.bitspec("max"))
+        b, s = base.energy, spec.energy
+        rows.append(
+            {
+                "benchmark": name,
+                "baseline": b.as_dict(),
+                "bitspec": s.as_dict(),
+                "rel": {
+                    comp: (getattr(s, comp) / getattr(b, comp))
+                    if getattr(b, comp)
+                    else 1.0
+                    for comp in ("alu", "regfile", "dcache", "icache", "pipeline")
+                },
+            }
+        )
+    return {"rows": rows}
+
+
+def fig10_spills(benchmarks: Sequence[str] = BENCHMARKS) -> dict:
+    """Dynamic allocator-injected loads/stores/copies, normalized to the
+    BASELINE sum (the paper's stacked bars)."""
+    rows = []
+    for name in benchmarks:
+        base = run(name, CompilerConfig.baseline())
+        spec = run(name, CompilerConfig.bitspec("max"))
+        total = (
+            base.sim.spill_loads + base.sim.spill_stores + base.sim.copies
+        ) or 1
+        rows.append(
+            {
+                "benchmark": name,
+                "baseline": {
+                    "loads": base.sim.spill_loads / total,
+                    "stores": base.sim.spill_stores / total,
+                    "copies": base.sim.copies / total,
+                },
+                "bitspec": {
+                    "loads": spec.sim.spill_loads / total,
+                    "stores": spec.sim.spill_stores / total,
+                    "copies": spec.sim.copies / total,
+                },
+            }
+        )
+    return {"rows": rows}
+
+
+def fig11_regaccess(benchmarks: Sequence[str] = BENCHMARKS) -> dict:
+    """Dynamic register accesses at 8 vs 32 bits, normalized to BASELINE."""
+    rows = []
+    for name in benchmarks:
+        base = run(name, CompilerConfig.baseline())
+        spec = run(name, CompilerConfig.bitspec("max"))
+
+        def counts(record: RunRecord) -> dict:
+            reads = record.sim.counters.rf_reads_by_width
+            writes = record.sim.counters.rf_writes_by_width
+            return {
+                "8": reads[1] + writes[1],
+                "16": reads[2] + writes[2],
+                "32": reads[4] + writes[4],
+            }
+
+        b, s = counts(base), counts(spec)
+        total = sum(b.values()) or 1
+        rows.append(
+            {
+                "benchmark": name,
+                "baseline": {k: v / total for k, v in b.items()},
+                "bitspec": {k: v / total for k, v in s.items()},
+            }
+        )
+    return {"rows": rows}
+
+
+# ---------------------------------------------------------------------------
+# Figure 12 / RQ2 — register packing without speculation
+# ---------------------------------------------------------------------------
+
+
+def fig12_nospec(benchmarks: Sequence[str] = BENCHMARKS) -> dict:
+    rows = []
+    for name in benchmarks:
+        base = run(name, CompilerConfig.baseline())
+        spec = run(name, CompilerConfig.bitspec("max"))
+        nospec = run(name, CompilerConfig.nospec())
+        rows.append(
+            {
+                "benchmark": name,
+                "bitspec_rel": spec.total_energy / base.total_energy,
+                "nospec_rel": nospec.total_energy / base.total_energy,
+            }
+        )
+    gap = geomean([r["nospec_rel"] for r in rows]) - geomean(
+        [r["bitspec_rel"] for r in rows]
+    )
+    return {"rows": rows, "extra_energy_without_speculation_percent": 100.0 * gap}
+
+
+# ---------------------------------------------------------------------------
+# RQ3 — BITSPEC-specific optimizations
+# ---------------------------------------------------------------------------
+
+
+def rq3_optimizations() -> dict:
+    """Ablations: compare elimination (dijkstra), bitmask elision
+    (blowfish, rijndael)."""
+    results = {}
+    for name in ("dijkstra",):
+        on = run(name, CompilerConfig.bitspec("max"))
+        off = run(
+            name,
+            CompilerConfig.bitspec("max", compare_elimination=False, name="nocmpelim"),
+        )
+        results[f"{name}-compare-elimination"] = {
+            "energy_increase_percent": 100.0
+            * (off.total_energy / on.total_energy - 1.0),
+            "instruction_increase_percent": 100.0
+            * (off.instructions / on.instructions - 1.0),
+        }
+    for name in ("blowfish", "rijndael"):
+        base = run(name, CompilerConfig.baseline())
+        on = run(name, CompilerConfig.bitspec("max"))
+        off = run(
+            name,
+            CompilerConfig.bitspec("max", bitmask_elision=False, name="nobitmask"),
+        )
+        results[f"{name}-bitmask-elision"] = {
+            "energy_increase_vs_baseline_percent": 100.0
+            * (off.total_energy - on.total_energy)
+            / base.total_energy,
+        }
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Figure 13 / RQ4 — expander ablation
+# ---------------------------------------------------------------------------
+
+
+def fig13_expander(benchmarks: Sequence[str] = BENCHMARKS) -> dict:
+    rows = []
+    disabled = ExpanderConfig.disabled()
+    for name in benchmarks:
+        base = run(name, CompilerConfig.baseline())
+        spec = run(name, CompilerConfig.bitspec("max"))
+        base_off = run(name, CompilerConfig.baseline(expander=disabled))
+        spec_off = run(name, CompilerConfig.bitspec("max", expander=disabled))
+        rows.append(
+            {
+                "benchmark": name,
+                "baseline_noexp_energy_rel": base_off.total_energy / base.total_energy,
+                "bitspec_epi_rel": spec.epi / base.epi,
+                "bitspec_noexp_epi_rel": spec_off.epi / base_off.epi,
+            }
+        )
+    return {
+        "rows": rows,
+        "baseline_energy_increase_without_expander_percent": 100.0
+        * (geomean([r["baseline_noexp_energy_rel"] for r in rows]) - 1.0),
+        "bitspec_epi_reduction_with_expander_percent": 100.0
+        * (1.0 - geomean([r["bitspec_epi_rel"] for r in rows])),
+        "bitspec_epi_reduction_without_expander_percent": 100.0
+        * (1.0 - geomean([r["bitspec_noexp_epi_rel"] for r in rows])),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figure 14 + Table 2 / RQ5 — aggressiveness
+# ---------------------------------------------------------------------------
+
+
+def fig14_table2_aggressiveness(benchmarks: Sequence[str] = BENCHMARKS) -> dict:
+    rows = []
+    for name in benchmarks:
+        base = run(name, CompilerConfig.baseline())
+        row = {"benchmark": name}
+        for heuristic in ("max", "avg", "min"):
+            record = run(name, CompilerConfig.bitspec(heuristic))
+            row[f"{heuristic}_energy_rel"] = record.total_energy / base.total_energy
+            row[f"{heuristic}_misspecs"] = record.sim.misspeculations
+            row[f"{heuristic}_instructions_rel"] = (
+                record.instructions / base.instructions
+            )
+        rows.append(row)
+    return {"rows": rows}
+
+
+def rq5_handler_weights(
+    benchmarks: Sequence[str] = ("susan-smoothing", "crc32", "bitcount")
+) -> dict:
+    """RQ5 deep dive: handler branch weights in the register allocator.
+
+    Under MIN, misspeculation sends most execution into CFG_orig, whose
+    allocation quality the default (handlers-presumed-cold) priority
+    sacrifices; inverting the weights recovers it — the paper's 12.5% → 2.6%
+    dynamic-instruction result.
+    """
+    rows = []
+    for name in benchmarks:
+        base = run(name, CompilerConfig.baseline())
+        normal = run(name, CompilerConfig.bitspec("min"))
+        inverted = run(
+            name,
+            CompilerConfig.bitspec(
+                "min", invert_handler_weights=True, name="bitspec-min-inv"
+            ),
+        )
+        rows.append(
+            {
+                "benchmark": name,
+                "min_misspecs": normal.sim.misspeculations,
+                "min_instructions_rel": normal.instructions / base.instructions,
+                "min_inverted_instructions_rel": inverted.instructions
+                / base.instructions,
+                "min_energy_rel": normal.total_energy / base.total_energy,
+                "min_inverted_energy_rel": inverted.total_energy
+                / base.total_energy,
+            }
+        )
+    return {"rows": rows}
+
+
+# ---------------------------------------------------------------------------
+# Figures 15/16 / RQ6 — input sensitivity
+# ---------------------------------------------------------------------------
+
+
+def fig15_sensitivity(benchmarks: Sequence[str] = BENCHMARKS) -> dict:
+    """Profile on the alternate input, run on the provided input."""
+    rows = []
+    for name in benchmarks:
+        base = run(name, CompilerConfig.baseline())
+        spec = run(name, CompilerConfig.bitspec("max"))
+        alt = run(name, CompilerConfig.bitspec("max"), profile_kind="alt")
+        rows.append(
+            {
+                "benchmark": name,
+                "bitspec_rel": spec.total_energy / base.total_energy,
+                "bitspec_altprofile_rel": alt.total_energy / base.total_energy,
+                "altprofile_misspecs": alt.sim.misspeculations,
+            }
+        )
+    increase = geomean([r["bitspec_altprofile_rel"] for r in rows]) / geomean(
+        [r["bitspec_rel"] for r in rows]
+    )
+    return {"rows": rows, "mean_energy_increase_percent": 100.0 * (increase - 1.0)}
+
+
+def fig16_susan_cdf(n_images: int = 6, heuristics=("max", "avg", "min")) -> dict:
+    """Profile-image × run-image cross product on susan-edges.
+
+    For each (i, j): dynamic instructions of p_i run on j, relative to
+    p_j run on j.  Returns the sorted ratio population per heuristic.
+    """
+    results = {}
+    for heuristic in heuristics:
+        self_insts = {}
+        for j in range(n_images):
+            record = run(
+                "susan-edges",
+                CompilerConfig.bitspec(heuristic),
+                profile_kind="test",
+                profile_seed=j,
+                run_kind="test",
+                run_seed=j,
+            )
+            self_insts[j] = record.instructions
+        ratios = []
+        for i in range(n_images):
+            for j in range(n_images):
+                record = run(
+                    "susan-edges",
+                    CompilerConfig.bitspec(heuristic),
+                    profile_kind="test",
+                    profile_seed=i,
+                    run_kind="test",
+                    run_seed=j,
+                )
+                ratios.append(record.instructions / self_insts[j])
+        results[heuristic] = sorted(ratios)
+    return {
+        "cdfs": results,
+        "p95": {h: v[int(0.95 * (len(v) - 1))] for h, v in results.items()},
+    }
+
+
+# ---------------------------------------------------------------------------
+# RQ7 — fully automatic bitwidth selection
+# ---------------------------------------------------------------------------
+
+
+def rq7_auto_bitwidth() -> dict:
+    results = {}
+    for name in ("stringsearch", "dijkstra"):
+        workload = get_workload(name)
+        inputs = workload.inputs("test")
+        expected = workload.expected_output(inputs)
+        cell = {}
+        for label, source in (("orig", workload.source), ("wide", workload.wide_source)):
+            for config in (CompilerConfig.baseline(), CompilerConfig.bitspec("max")):
+                binary = compile_binary(
+                    source, config, profile_inputs=inputs, name=f"{name}-{label}"
+                )
+                sim = binary.run(inputs)
+                assert sim.output == expected, (name, label, config.name)
+                cell[(label, config.name)] = sim.energy().total
+        base = cell[("orig", "baseline")]
+        results[name] = {
+            "bitspec_orig_rel": cell[("orig", "bitspec-max")] / base,
+            "baseline_wide_rel": cell[("wide", "baseline")] / base,
+            "bitspec_wide_rel": cell[("wide", "bitspec-max")] / base,
+        }
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Figure 17 / RQ8 — DTS composition
+# ---------------------------------------------------------------------------
+
+
+def fig17_dts(benchmarks: Optional[Sequence[str]] = None) -> dict:
+    # The paper excludes basicmath from this experiment (DTS artifact bug).
+    if benchmarks is None:
+        benchmarks = tuple(b for b in BENCHMARKS if b != "basicmath")
+    rows = []
+    for name in benchmarks:
+        base = run(name, CompilerConfig.baseline())
+        spec = run(name, CompilerConfig.bitspec("max"))
+        dts = run(name, CompilerConfig.dts())
+        combo = run(name, CompilerConfig.dts_bitspec("max"))
+        bitspec_rel = spec.total_energy / base.total_energy
+        dts_rel = dts.total_energy / base.total_energy
+        combo_rel = combo.total_energy / base.total_energy
+        rows.append(
+            {
+                "benchmark": name,
+                "bitspec_rel": bitspec_rel,
+                "dts_rel": dts_rel,
+                "dts_bitspec_rel": combo_rel,
+                "product_rel": bitspec_rel * dts_rel,
+            }
+        )
+    return {
+        "rows": rows,
+        "dts_mean_reduction_percent": 100.0
+        * (1.0 - geomean([r["dts_rel"] for r in rows])),
+        "combo_mean_reduction_percent": 100.0
+        * (1.0 - geomean([r["dts_bitspec_rel"] for r in rows])),
+        "max_combo_reduction_percent": 100.0
+        * (1.0 - min(r["dts_bitspec_rel"] for r in rows)),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figure 18 / RQ9 — Thumb
+# ---------------------------------------------------------------------------
+
+
+def fig18_thumb(benchmarks: Sequence[str] = BENCHMARKS) -> dict:
+    rows = []
+    for name in benchmarks:
+        base = run(name, CompilerConfig.baseline())
+        thumb = run(name, CompilerConfig.thumb())
+        rows.append(
+            {
+                "benchmark": name,
+                "instructions_rel": thumb.instructions / base.instructions,
+            }
+        )
+    rels = [r["instructions_rel"] for r in rows]
+    return {
+        "rows": rows,
+        "mean_instruction_increase_percent": 100.0 * (geomean(rels) - 1.0),
+        "max_instruction_increase_percent": 100.0 * (max(rels) - 1.0),
+    }

@@ -1,0 +1,177 @@
+"""Experiment harness: compile-and-simulate with memoization.
+
+The unit of work is a :class:`RunRecord` — one (workload, configuration,
+profile input, run input) simulation with its energy breakdown and compiler
+statistics.  Records are cached per-process so the per-figure drivers can
+share runs (each figure touches the same baseline runs, for instance).
+
+Profiling defaults to the *run* input, mirroring the paper's main results
+(§2 footnote: all values use the provided large input); the RQ6 sensitivity
+experiments override ``profile_kind``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.arch.dts import DTSModel
+from repro.arch.energy import EnergyBreakdown
+from repro.arch.machine import SimResult
+from repro.core.pipeline import CompiledBinary, CompilerConfig, compile_binary
+from repro.passes.expander import ExpanderConfig
+from repro.workloads import get_workload
+
+
+@dataclass
+class RunRecord:
+    """One simulated experiment."""
+
+    workload: str
+    config: CompilerConfig
+    sim: SimResult
+    binary: CompiledBinary
+    correct: bool
+    energy: EnergyBreakdown
+    #: energy under time squeezing (populated when voltage_scaling says so)
+    dts_energy: Optional[EnergyBreakdown] = None
+
+    @property
+    def total_energy(self) -> float:
+        if self.config.voltage_scaling == "timesqueezing":
+            return self.dts_energy.total
+        return self.energy.total
+
+    @property
+    def instructions(self) -> int:
+        return self.sim.instructions
+
+    @property
+    def epi(self) -> float:
+        return self.total_energy / max(self.sim.instructions, 1)
+
+
+def _config_key(config: CompilerConfig) -> tuple:
+    return (
+        config.isa,
+        config.middle_end,
+        config.expander,
+        config.compare_elimination,
+        config.bitmask_elision,
+        config.invert_handler_weights,
+        config.voltage_scaling,
+    )
+
+
+_BINARY_CACHE: dict = {}
+_RUN_CACHE: dict = {}
+
+
+def clear_caches() -> None:
+    _BINARY_CACHE.clear()
+    _RUN_CACHE.clear()
+
+
+def get_binary(
+    workload_name: str,
+    config: CompilerConfig,
+    *,
+    profile_kind: str = "test",
+    profile_seed: int = 0,
+) -> CompiledBinary:
+    """Compile (memoized) a workload under a configuration."""
+    key = (workload_name, _config_key(config), profile_kind, profile_seed)
+    cached = _BINARY_CACHE.get(key)
+    if cached is not None:
+        return cached
+    workload = get_workload(workload_name)
+    profile_inputs = workload.inputs(profile_kind, profile_seed)
+    binary = compile_binary(
+        workload.source, config, profile_inputs=profile_inputs, name=workload_name
+    )
+    _BINARY_CACHE[key] = binary
+    return binary
+
+
+def run(
+    workload_name: str,
+    config: CompilerConfig,
+    *,
+    profile_kind: str = "test",
+    profile_seed: int = 0,
+    run_kind: str = "test",
+    run_seed: int = 0,
+) -> RunRecord:
+    """Compile + simulate (memoized); checks output against the oracle."""
+    key = (
+        workload_name,
+        _config_key(config),
+        profile_kind,
+        profile_seed,
+        run_kind,
+        run_seed,
+    )
+    cached = _RUN_CACHE.get(key)
+    if cached is not None:
+        return cached
+    workload = get_workload(workload_name)
+    binary = get_binary(
+        workload_name, config, profile_kind=profile_kind, profile_seed=profile_seed
+    )
+    inputs = workload.inputs(run_kind, run_seed)
+    sim = binary.run(inputs)
+    expected = workload.expected_output(inputs)
+    record = RunRecord(
+        workload=workload_name,
+        config=config,
+        sim=sim,
+        binary=binary,
+        correct=sim.output == expected,
+        energy=sim.energy(),
+    )
+    if config.voltage_scaling == "timesqueezing":
+        record.dts_energy = DTSModel().apply(sim)
+    _RUN_CACHE[key] = record
+    if not record.correct:
+        raise AssertionError(
+            f"{workload_name} [{config.name}]: output {sim.output} != "
+            f"expected {expected}"
+        )
+    return record
+
+
+# -- the benchmark roster, ordered as the paper's figures ---------------------
+
+BENCHMARKS = (
+    "crc32",
+    "fft",
+    "basicmath",
+    "bitcount",
+    "blowfish",
+    "dijkstra",
+    "patricia",
+    "qsort",
+    "rijndael",
+    "sha",
+    "stringsearch",
+    "susan-edges",
+    "susan-corners",
+    "susan-smoothing",
+)
+
+
+def baseline_config(**kw) -> CompilerConfig:
+    return CompilerConfig.baseline(**kw)
+
+
+def bitspec_config(heuristic: str = "max", **kw) -> CompilerConfig:
+    return CompilerConfig.bitspec(heuristic, **kw)
+
+
+def geomean(values) -> float:
+    import math
+
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -1,0 +1,24 @@
+"""MiniC front-end: C-subset source → repro IR (the clang stage of Fig. 4)."""
+
+from repro.frontend.ast_nodes import CType, Program
+from repro.frontend.codegen import (
+    CodegenError,
+    compile_program,
+    compile_source,
+    remove_trivial_phis,
+)
+from repro.frontend.lexer import LexError, tokenize
+from repro.frontend.parser import ParseError, parse
+
+__all__ = [
+    "CType",
+    "CodegenError",
+    "LexError",
+    "ParseError",
+    "Program",
+    "compile_program",
+    "compile_source",
+    "parse",
+    "remove_trivial_phis",
+    "tokenize",
+]

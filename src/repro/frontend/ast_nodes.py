@@ -1,0 +1,226 @@
+"""MiniC abstract syntax tree.
+
+Types are represented as :class:`CType` — a sized integer with signedness,
+optionally a pointer (one level, for array parameters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+
+@dataclass(frozen=True)
+class CType:
+    """A MiniC type: ``bits`` wide, ``signed`` or not, maybe a pointer."""
+
+    bits: int
+    signed: bool = False
+    pointer: bool = False
+
+    def __repr__(self) -> str:
+        base = f"{'s' if self.signed else 'u'}{self.bits}"
+        return base + ("*" if self.pointer else "")
+
+
+U8 = CType(8)
+U16 = CType(16)
+U32 = CType(32)
+U64 = CType(64)
+S8 = CType(8, signed=True)
+S16 = CType(16, signed=True)
+S32 = CType(32, signed=True)
+S64 = CType(64, signed=True)
+
+TYPE_BY_NAME = {
+    "u8": U8,
+    "u16": U16,
+    "u32": U32,
+    "u64": U64,
+    "s8": S8,
+    "s16": S16,
+    "s32": S32,
+    "s64": S64,
+}
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    pass
+
+
+@dataclass
+class NumExpr(Expr):
+    value: int
+    #: literal type when explicitly suffixed; inferred from context otherwise
+    ctype: Optional[CType] = None
+
+
+@dataclass
+class VarExpr(Expr):
+    name: str
+
+
+@dataclass
+class IndexExpr(Expr):
+    base: str
+    index: Expr
+
+
+@dataclass
+class AddrOfExpr(Expr):
+    """``&a[i]`` — address of an array element (for subarray passing)."""
+
+    base: str
+    index: Expr
+
+
+@dataclass
+class UnaryExpr(Expr):
+    op: str  # '-', '!', '~'
+    operand: Expr
+
+
+@dataclass
+class BinaryExpr(Expr):
+    op: str  # arithmetic/logical/relational operator token
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass
+class CastExpr(Expr):
+    ctype: CType
+    operand: Expr
+
+
+@dataclass
+class CallExpr(Expr):
+    callee: str
+    args: list = field(default_factory=list)
+
+
+@dataclass
+class CondExpr(Expr):
+    """Ternary ``c ? a : b``."""
+
+    cond: Expr
+    if_true: Expr
+    if_false: Expr
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    pass
+
+
+@dataclass
+class DeclStmt(Stmt):
+    ctype: CType
+    name: str
+    array_size: Optional[int] = None
+    init: Optional[Expr] = None
+
+
+@dataclass
+class AssignStmt(Stmt):
+    target: Union[VarExpr, IndexExpr]
+    op: str  # '=', '+=', ...
+    value: Expr
+
+
+@dataclass
+class IfStmt(Stmt):
+    cond: Expr
+    then_body: list = field(default_factory=list)
+    else_body: list = field(default_factory=list)
+
+
+@dataclass
+class WhileStmt(Stmt):
+    cond: Expr
+    body: list = field(default_factory=list)
+
+
+@dataclass
+class DoWhileStmt(Stmt):
+    body: list = field(default_factory=list)
+    cond: Expr = None
+
+
+@dataclass
+class ForStmt(Stmt):
+    init: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+    step: Optional[Stmt] = None
+    body: list = field(default_factory=list)
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class BreakStmt(Stmt):
+    pass
+
+
+@dataclass
+class ContinueStmt(Stmt):
+    pass
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+@dataclass
+class OutStmt(Stmt):
+    """``out(e);`` — volatile output intrinsic (models I/O)."""
+
+    value: Expr
+
+
+# --------------------------------------------------------------------------
+# Top level
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class GlobalDecl:
+    ctype: CType
+    name: str
+    array_size: int = 1
+    init: list = field(default_factory=list)
+
+
+@dataclass
+class Param:
+    ctype: CType
+    name: str
+
+
+@dataclass
+class FuncDecl:
+    ret_type: Optional[CType]  # None == void
+    name: str
+    params: list = field(default_factory=list)
+    body: list = field(default_factory=list)
+
+
+@dataclass
+class Program:
+    globals: list = field(default_factory=list)
+    functions: list = field(default_factory=list)

@@ -1,0 +1,858 @@
+"""MiniC → IR code generation with direct SSA construction.
+
+Scalars are kept in SSA form throughout using the structured-control-flow
+construction: variable maps are snapshotted at control splits and merged with
+phis at joins; loops pre-insert phis for every visible scalar and trivial
+phis are cleaned up afterwards.  Local arrays become entry-block allocas;
+globals live in flat memory.
+
+This is the "clang front-end" stage of the BITSPEC pipeline (Fig. 4): it
+deliberately emits *programmer-declared* bitwidths — a `u64` stays 64-bit —
+leaving the gap between declared and required bits for the profiler and
+squeezer to exploit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.frontend.ast_nodes import (
+    AddrOfExpr,
+    AssignStmt,
+    BinaryExpr,
+    BreakStmt,
+    CallExpr,
+    CastExpr,
+    CondExpr,
+    ContinueStmt,
+    CType,
+    DeclStmt,
+    DoWhileStmt,
+    Expr,
+    ExprStmt,
+    ForStmt,
+    FuncDecl,
+    IfStmt,
+    IndexExpr,
+    NumExpr,
+    OutStmt,
+    Program,
+    ReturnStmt,
+    Stmt,
+    U32,
+    UnaryExpr,
+    VarExpr,
+    WhileStmt,
+)
+from repro.ir import (
+    Alloca,
+    BasicBlock,
+    Constant,
+    Function,
+    GlobalVariable,
+    IRBuilder,
+    Module,
+    Phi,
+    PointerType,
+    VOID,
+    int_type,
+)
+from repro.ir.cfg import remove_unreachable_blocks
+from repro.ir.values import Value
+
+BOOL = CType(1)
+
+
+class CodegenError(Exception):
+    """Semantic error in MiniC source."""
+
+
+@dataclass
+class Slot:
+    """Binding of a source name."""
+
+    kind: str  # 'ssa' | 'array' | 'ptr'
+    ctype: CType
+    base: Optional[Value] = None  # array base / pointer argument
+
+
+@dataclass
+class Signature:
+    ret: Optional[CType]
+    params: list
+
+
+ARITH_OP = {
+    "+": "add",
+    "-": "sub",
+    "*": "mul",
+    "&": "and",
+    "|": "or",
+    "^": "xor",
+    "<<": "shl",
+}
+
+CMP_OP = {"==": "eq", "!=": "ne"}
+CMP_UNSIGNED = {"<": "ult", "<=": "ule", ">": "ugt", ">=": "uge"}
+CMP_SIGNED = {"<": "slt", "<=": "sle", ">": "sgt", ">=": "sge"}
+
+
+def _ir_type(ctype: CType):
+    return int_type(ctype.bits)
+
+
+class FunctionCodegen:
+    """Generates IR for one function."""
+
+    def __init__(
+        self,
+        module: Module,
+        signatures: dict,
+        decl: FuncDecl,
+        func: Function,
+    ) -> None:
+        self.module = module
+        self.signatures = signatures
+        self.decl = decl
+        self.func = func
+        self.builder = IRBuilder()
+        self.slots: list[dict[str, Slot]] = [{}]
+        self.values: dict[str, Value] = {}
+        self.loop_stack: list[dict] = []  # {'breaks': [...], 'continues': [...],
+        #                                   'continue_target': ...}
+        self.entry_block: Optional[BasicBlock] = None
+        self.terminated = False
+
+    # -- scope / state helpers ---------------------------------------------------
+
+    def push_scope(self) -> None:
+        self.slots.append({})
+
+    def pop_scope(self) -> None:
+        for name in self.slots.pop():
+            self.values.pop(name, None)
+
+    def declare(self, name: str, slot: Slot) -> None:
+        if name in self.slots[-1]:
+            raise CodegenError(f"{self.func.name}: redeclaration of '{name}'")
+        self.slots[-1][name] = slot
+
+    def lookup(self, name: str) -> Slot:
+        for scope in reversed(self.slots):
+            if name in scope:
+                return scope[name]
+        gv = self.module.globals.get(name)
+        if gv is not None:
+            ctype = CType(gv.elem_type.bits, signed=self._global_signed(name))
+            return Slot("array", ctype, gv)
+        raise CodegenError(f"{self.func.name}: undefined variable '{name}'")
+
+    def _global_signed(self, name: str) -> bool:
+        return name in self._signed_globals
+
+    def snapshot(self) -> dict[str, Value]:
+        return dict(self.values)
+
+    def restore(self, state: dict[str, Value]) -> None:
+        self.values = dict(state)
+
+    # -- block helpers -------------------------------------------------------
+
+    def new_block(self, hint: str) -> BasicBlock:
+        return self.func.add_block(f"{hint}.{self.func.next_name('b')}")
+
+    def switch_to(self, block: BasicBlock) -> None:
+        self.builder.set_block(block)
+        self.terminated = False
+
+    def merge_into(
+        self,
+        edges: list[tuple[BasicBlock, dict[str, Value]]],
+        target: BasicBlock,
+    ) -> dict[str, Value]:
+        """Merge variable states along ``edges`` into ``target`` with phis.
+
+        Every edge's block must already branch (solely) to ``target``.
+        Only names visible in all states are merged.
+        """
+        if not edges:
+            return {}
+        names = set(edges[0][1])
+        for _, state in edges[1:]:
+            names &= set(state)
+        merged: dict[str, Value] = {}
+        builder = IRBuilder(target)
+        for name in sorted(names):
+            incoming = [state[name] for _, state in edges]
+            first = incoming[0]
+            if all(v is first for v in incoming):
+                merged[name] = first
+                continue
+            phi = builder.phi(first.type, self.func.next_name(f"{name}.phi"))
+            for (block, state) in edges:
+                phi.add_incoming(state[name], block)
+            merged[name] = phi
+        return merged
+
+    # -- conversions ------------------------------------------------------------
+
+    def convert(self, value: Value, src: CType, dst: CType) -> Value:
+        if src.pointer or dst.pointer:
+            if src == dst:
+                return value
+            raise CodegenError(f"{self.func.name}: cannot convert pointer types")
+        if src.bits == dst.bits:
+            return value
+        if dst.bits > src.bits:
+            if src.signed:
+                return self.builder.sext(value, dst.bits)
+            return self.builder.zext(value, dst.bits)
+        return self.builder.trunc(value, dst.bits)
+
+    def unify(self, lv: Value, lt: CType, rv: Value, rt: CType):
+        """Usual arithmetic conversions: widen to the larger width."""
+        bits = max(lt.bits, rt.bits, 8)
+        signed = lt.signed and rt.signed
+        target = CType(bits, signed)
+        return (
+            self.convert(lv, lt, target),
+            self.convert(rv, rt, target),
+            target,
+        )
+
+    # -- expressions --------------------------------------------------------------
+
+    def gen_expr(self, expr: Expr, want: Optional[CType] = None):
+        """Generate ``expr``; returns (Value, CType)."""
+        if isinstance(expr, NumExpr):
+            ctype = expr.ctype or want
+            if ctype is None or ctype.pointer or ctype.bits == 1:
+                ctype = U32 if expr.value.bit_length() <= 32 else CType(64)
+            return Constant(_ir_type(ctype), expr.value), ctype
+        if isinstance(expr, VarExpr):
+            slot = self.lookup(expr.name)
+            if slot.kind == "ssa":
+                return self.values[expr.name], slot.ctype
+            if slot.kind in ("array", "ptr"):
+                base = slot.base if slot.kind == "array" else self.values[expr.name]
+                if self._is_global_scalar(slot):
+                    value = self.builder.load(base)
+                    return value, CType(slot.ctype.bits, slot.ctype.signed)
+                return base, CType(slot.ctype.bits, slot.ctype.signed, pointer=True)
+            raise AssertionError("unreachable")
+        if isinstance(expr, IndexExpr):
+            addr, elem = self.gen_element_addr(expr.base, expr.index)
+            value = self.builder.load(addr)
+            return value, elem
+        if isinstance(expr, AddrOfExpr):
+            addr, elem = self.gen_element_addr(expr.base, expr.index)
+            return addr, CType(elem.bits, elem.signed, pointer=True)
+        if isinstance(expr, BinaryExpr):
+            return self.gen_binary(expr)
+        if isinstance(expr, UnaryExpr):
+            return self.gen_unary(expr, want)
+        if isinstance(expr, CastExpr):
+            value, ctype = self.gen_expr(expr.operand, expr.ctype)
+            return self.convert(value, ctype, expr.ctype), expr.ctype
+        if isinstance(expr, CallExpr):
+            return self.gen_call(expr)
+        if isinstance(expr, CondExpr):
+            return self.gen_cond_expr(expr, want)
+        raise CodegenError(f"{self.func.name}: cannot generate {type(expr).__name__}")
+
+    def gen_unary(self, expr, want: Optional[CType]):
+        if expr.op == "-":
+            value, ctype = self.gen_expr(expr.operand, want)
+            if ctype.bits == 1:
+                value, ctype = self._bool_to_int(value)
+            zero = Constant(_ir_type(ctype), 0)
+            return self.builder.sub(zero, value), ctype
+        if expr.op == "~":
+            value, ctype = self.gen_expr(expr.operand, want)
+            if ctype.bits == 1:
+                value, ctype = self._bool_to_int(value)
+            ones = Constant(_ir_type(ctype), _ir_type(ctype).mask)
+            return self.builder.xor(value, ones), ctype
+        if expr.op == "!":
+            cond = self.gen_condition(expr.operand)
+            true = Constant(int_type(1), 1)
+            return self.builder.xor(cond, true), BOOL
+        raise CodegenError(f"unknown unary operator {expr.op}")
+
+    def _bool_to_int(self, value: Value):
+        return self.builder.zext(value, 32), U32
+
+    def gen_binary(self, expr: BinaryExpr):
+        op = expr.op
+        if op in ("&&", "||"):
+            return self.gen_condition(expr), BOOL
+        if op in CMP_OP or op in CMP_UNSIGNED:
+            lv, lt = self.gen_expr(expr.lhs)
+            rv, rt = self.gen_expr(expr.rhs, lt if isinstance(expr.rhs, NumExpr) else None)
+            lv, lt = self._normalize_operand(lv, lt)
+            rv, rt = self._normalize_operand(rv, rt)
+            lv, rv, ty = self.unify(lv, lt, rv, rt)
+            if op in CMP_OP:
+                pred = CMP_OP[op]
+            else:
+                pred = (CMP_SIGNED if ty.signed else CMP_UNSIGNED)[op]
+            return self.builder.icmp(pred, lv, rv), BOOL
+        lv, lt = self.gen_expr(expr.lhs)
+        rv, rt = self.gen_expr(expr.rhs, lt if isinstance(expr.rhs, NumExpr) else None)
+        lv, lt = self._normalize_operand(lv, lt)
+        rv, rt = self._normalize_operand(rv, rt)
+        if op in (">>",):
+            rv = self.convert(rv, rt, lt)
+            opcode = "ashr" if lt.signed else "lshr"
+            return self.builder.binop(opcode, lv, rv), lt
+        if op == "<<":
+            rv = self.convert(rv, rt, lt)
+            return self.builder.shl(lv, rv), lt
+        lv, rv, ty = self.unify(lv, lt, rv, rt)
+        if op in ARITH_OP:
+            return self.builder.binop(ARITH_OP[op], lv, rv), ty
+        if op == "/":
+            return self.builder.binop("sdiv" if ty.signed else "udiv", lv, rv), ty
+        if op == "%":
+            return self.builder.binop("srem" if ty.signed else "urem", lv, rv), ty
+        raise CodegenError(f"unknown binary operator {op}")
+
+    def _normalize_operand(self, value: Value, ctype: CType):
+        """Pointers may not enter arithmetic; bools widen to u32."""
+        if ctype.pointer:
+            raise CodegenError(f"{self.func.name}: pointer used in arithmetic")
+        if ctype.bits == 1:
+            return self.builder.zext(value, 32), U32
+        return value, ctype
+
+    def gen_call(self, expr: CallExpr):
+        sig = self.signatures.get(expr.callee)
+        if sig is None:
+            raise CodegenError(f"{self.func.name}: call to unknown '{expr.callee}'")
+        if len(expr.args) != len(sig.params):
+            raise CodegenError(
+                f"{self.func.name}: '{expr.callee}' expects {len(sig.params)} "
+                f"args, got {len(expr.args)}"
+            )
+        args = []
+        for arg_expr, ptype in zip(expr.args, sig.params):
+            value, ctype = self.gen_expr(arg_expr, ptype if not ptype.pointer else None)
+            if ptype.pointer:
+                if not ctype.pointer or ctype.bits != ptype.bits:
+                    raise CodegenError(
+                        f"{self.func.name}: pointer argument mismatch in call "
+                        f"to '{expr.callee}'"
+                    )
+                args.append(value)
+            else:
+                if ctype.bits == 1:
+                    value, ctype = self._bool_to_int(value)
+                args.append(self.convert(value, ctype, ptype))
+        ret_ir = _ir_type(sig.ret) if sig.ret is not None else VOID
+        call = self.builder.call(expr.callee, args, ret_ir)
+        return call, (sig.ret if sig.ret is not None else U32)
+
+    def gen_cond_expr(self, expr: CondExpr, want: Optional[CType]):
+        cond = self.gen_condition(expr.cond)
+        then_bb = self.new_block("ternt")
+        else_bb = self.new_block("ternf")
+        join_bb = self.new_block("ternj")
+        self.builder.condbr(cond, then_bb, else_bb)
+
+        self.switch_to(then_bb)
+        tv, tt = self.gen_expr(expr.if_true, want)
+        if tt.bits == 1:
+            tv, tt = self._bool_to_int(tv)
+        then_end = self.builder.block
+        then_state = self.snapshot()
+
+        self.switch_to(else_bb)
+        fv, ft = self.gen_expr(expr.if_false, want or tt)
+        if ft.bits == 1:
+            fv, ft = self._bool_to_int(fv)
+        # Unify the arm types.
+        bits = max(tt.bits, ft.bits)
+        signed = tt.signed and ft.signed
+        ty = CType(bits, signed)
+        fv = self.convert(fv, ft, ty)
+        else_end = self.builder.block
+        self.builder.br(join_bb)
+
+        self.builder.set_block(then_end)
+        tv = self.convert(tv, tt, ty)
+        self.builder.br(join_bb)
+
+        self.switch_to(join_bb)
+        phi = self.builder.phi(_ir_type(ty))
+        phi.add_incoming(tv, then_end)
+        phi.add_incoming(fv, else_end)
+        self.restore(then_state)  # arms cannot assign scalars
+        return phi, ty
+
+    def gen_element_addr(self, base_name: str, index_expr: Expr):
+        slot = self.lookup(base_name)
+        if slot.kind == "ssa":
+            raise CodegenError(
+                f"{self.func.name}: '{base_name}' is scalar, cannot index"
+            )
+        base = slot.base if slot.kind == "array" else self.values[base_name]
+        index, itype = self.gen_expr(index_expr, U32)
+        if itype.pointer:
+            raise CodegenError(f"{self.func.name}: pointer used as index")
+        if itype.bits == 1:
+            index, itype = self._bool_to_int(index)
+        index = self.convert(index, itype, CType(32, itype.signed))
+        addr = self.builder.gep(base, index)
+        return addr, CType(slot.ctype.bits, slot.ctype.signed)
+
+    # -- conditions ------------------------------------------------------------
+
+    def gen_condition(self, expr: Expr) -> Value:
+        """Generate ``expr`` as an i1 with short-circuit && / ||."""
+        if isinstance(expr, BinaryExpr) and expr.op in ("&&", "||"):
+            lhs = self.gen_condition(expr.lhs)
+            lhs_end = self.builder.block
+            rhs_bb = self.new_block("sc")
+            join_bb = self.new_block("scj")
+            if expr.op == "&&":
+                self.builder.condbr(lhs, rhs_bb, join_bb)
+            else:
+                self.builder.condbr(lhs, join_bb, rhs_bb)
+            self.switch_to(rhs_bb)
+            rhs = self.gen_condition(expr.rhs)
+            rhs_end = self.builder.block
+            self.builder.br(join_bb)
+            self.switch_to(join_bb)
+            phi = self.builder.phi(int_type(1))
+            short_val = Constant(int_type(1), 0 if expr.op == "&&" else 1)
+            phi.add_incoming(short_val, lhs_end)
+            phi.add_incoming(rhs, rhs_end)
+            return phi
+        if isinstance(expr, UnaryExpr) and expr.op == "!":
+            inner = self.gen_condition(expr.operand)
+            return self.builder.xor(inner, Constant(int_type(1), 1))
+        value, ctype = self.gen_expr(expr)
+        if ctype.pointer:
+            raise CodegenError(f"{self.func.name}: pointer used as condition")
+        if ctype.bits == 1:
+            return value
+        zero = Constant(_ir_type(ctype), 0)
+        return self.builder.icmp("ne", value, zero)
+
+    # -- statements ------------------------------------------------------------
+
+    def gen_body(self, stmts: list[Stmt]) -> None:
+        self.push_scope()
+        for stmt in stmts:
+            if self.terminated:
+                # Unreachable code after return/break: park it in a dead
+                # block that remove_unreachable_blocks deletes.
+                self.switch_to(self.new_block("dead"))
+            self.gen_stmt(stmt)
+        self.pop_scope()
+
+    def gen_stmt(self, stmt: Stmt) -> None:
+        if isinstance(stmt, DeclStmt):
+            self.gen_decl(stmt)
+        elif isinstance(stmt, AssignStmt):
+            self.gen_assign(stmt)
+        elif isinstance(stmt, IfStmt):
+            self.gen_if(stmt)
+        elif isinstance(stmt, WhileStmt):
+            self.gen_loop(cond=stmt.cond, body=stmt.body, step=None, post_cond=False)
+        elif isinstance(stmt, DoWhileStmt):
+            self.gen_loop(cond=stmt.cond, body=stmt.body, step=None, post_cond=True)
+        elif isinstance(stmt, ForStmt):
+            self.push_scope()
+            if stmt.init is not None:
+                self.gen_stmt(stmt.init)
+            self.gen_loop(
+                cond=stmt.cond or NumExpr(1),
+                body=stmt.body,
+                step=stmt.step,
+                post_cond=False,
+            )
+            self.pop_scope()
+        elif isinstance(stmt, ReturnStmt):
+            self.gen_return(stmt)
+        elif isinstance(stmt, BreakStmt):
+            if not self.loop_stack:
+                raise CodegenError(f"{self.func.name}: break outside loop")
+            self.loop_stack[-1]["breaks"].append((self.builder.block, self.snapshot()))
+            self.terminated = True
+        elif isinstance(stmt, ContinueStmt):
+            if not self.loop_stack:
+                raise CodegenError(f"{self.func.name}: continue outside loop")
+            self.loop_stack[-1]["continues"].append(
+                (self.builder.block, self.snapshot())
+            )
+            self.terminated = True
+        elif isinstance(stmt, ExprStmt):
+            self.gen_expr(stmt.expr)
+        elif isinstance(stmt, OutStmt):
+            value, ctype = self.gen_expr(stmt.value, U32)
+            if ctype.bits == 1:
+                value, _ = self._bool_to_int(value)
+            call = self.builder.call("__out", [value], VOID)
+            call.volatile = True
+        else:
+            raise CodegenError(f"cannot generate statement {type(stmt).__name__}")
+
+    def gen_decl(self, stmt: DeclStmt) -> None:
+        if stmt.array_size is not None:
+            if stmt.ctype.pointer:
+                raise CodegenError("array of pointers not supported")
+            # Allocas live in the entry block so frames are fixed-size.
+            alloca = self.entry_block.insert(
+                0,
+                Alloca(
+                    _ir_type(stmt.ctype),
+                    stmt.array_size,
+                    self.func.next_name(stmt.name),
+                ),
+            )
+            self.declare(stmt.name, Slot("array", stmt.ctype, alloca))
+            return
+        if stmt.ctype.pointer:
+            if stmt.init is None:
+                raise CodegenError(f"pointer '{stmt.name}' needs an initializer")
+            value, ctype = self.gen_expr(stmt.init)
+            if not ctype.pointer or ctype.bits != stmt.ctype.bits:
+                raise CodegenError(f"pointer initializer mismatch for '{stmt.name}'")
+            self.declare(stmt.name, Slot("ptr", stmt.ctype))
+            self.values[stmt.name] = value
+            return
+        if stmt.init is not None:
+            value, ctype = self.gen_expr(stmt.init, stmt.ctype)
+            if ctype.bits == 1:
+                value = self.builder.zext(value, stmt.ctype.bits)
+            else:
+                value = self.convert(value, ctype, stmt.ctype)
+        else:
+            value = Constant(_ir_type(stmt.ctype), 0)
+        self.declare(stmt.name, Slot("ssa", stmt.ctype))
+        self.values[stmt.name] = value
+
+    def gen_assign(self, stmt: AssignStmt) -> None:
+        if isinstance(stmt.target, VarExpr):
+            slot = self.lookup(stmt.target.name)
+            if slot.kind != "ssa":
+                if self._is_global_scalar(slot):
+                    self._assign_global_scalar(slot, stmt)
+                    return
+                raise CodegenError(
+                    f"{self.func.name}: cannot assign to array "
+                    f"'{stmt.target.name}' without index"
+                )
+            if stmt.op == "=":
+                value, ctype = self.gen_expr(stmt.value, slot.ctype)
+                if ctype.bits == 1:
+                    value = self.builder.zext(value, slot.ctype.bits)
+                else:
+                    value = self.convert(value, ctype, slot.ctype)
+            else:
+                current = self.values[stmt.target.name]
+                value = self._compound(current, slot.ctype, stmt.op, stmt.value)
+            self.values[stmt.target.name] = value
+            return
+        # Array element assignment.
+        target = stmt.target
+        addr, elem = self.gen_element_addr(target.base, target.index)
+        if stmt.op == "=":
+            value, ctype = self.gen_expr(stmt.value, elem)
+            if ctype.bits == 1:
+                value = self.builder.zext(value, elem.bits)
+            else:
+                value = self.convert(value, ctype, elem)
+        else:
+            current = self.builder.load(addr)
+            value = self._compound(current, elem, stmt.op, stmt.value)
+        self.builder.store(value, addr)
+
+    @staticmethod
+    def _is_global_scalar(slot: Slot) -> bool:
+        return (
+            slot.kind == "array"
+            and isinstance(slot.base, GlobalVariable)
+            and slot.base.count == 1
+        )
+
+    def _assign_global_scalar(self, slot: Slot, stmt: AssignStmt) -> None:
+        elem = CType(slot.ctype.bits, slot.ctype.signed)
+        if stmt.op == "=":
+            value, ctype = self.gen_expr(stmt.value, elem)
+            if ctype.bits == 1:
+                value = self.builder.zext(value, elem.bits)
+            else:
+                value = self.convert(value, ctype, elem)
+        else:
+            current = self.builder.load(slot.base)
+            value = self._compound(current, elem, stmt.op, stmt.value)
+        self.builder.store(value, slot.base)
+
+    def _compound(self, current: Value, ctype: CType, op: str, rhs_expr: Expr) -> Value:
+        rhs, rtype = self.gen_expr(rhs_expr, ctype)
+        if rtype.bits == 1:
+            rhs, rtype = self._bool_to_int(rhs)
+        base_op = op[:-1]  # strip '='
+        if base_op in (">>", "<<"):
+            rhs = self.convert(rhs, rtype, ctype)
+            if base_op == "<<":
+                return self.builder.shl(current, rhs)
+            opcode = "ashr" if ctype.signed else "lshr"
+            return self.builder.binop(opcode, current, rhs)
+        rhs = self.convert(rhs, rtype, ctype)
+        if base_op in ARITH_OP:
+            return self.builder.binop(ARITH_OP[base_op], current, rhs)
+        if base_op == "/":
+            return self.builder.binop("sdiv" if ctype.signed else "udiv", current, rhs)
+        if base_op == "%":
+            return self.builder.binop("srem" if ctype.signed else "urem", current, rhs)
+        raise CodegenError(f"unknown compound operator {op}")
+
+    def gen_if(self, stmt: IfStmt) -> None:
+        cond = self.gen_condition(stmt.cond)
+        then_bb = self.new_block("then")
+        else_bb = self.new_block("else") if stmt.else_body else None
+        join_bb = self.new_block("endif")
+        self.builder.condbr(cond, then_bb, join_bb if else_bb is None else else_bb)
+        entry_state = self.snapshot()
+
+        edges: list[tuple[BasicBlock, dict[str, Value]]] = []
+        if else_bb is None:
+            edges.append((self.builder.block, entry_state))
+
+        self.switch_to(then_bb)
+        self.gen_body(stmt.then_body)
+        if not self.terminated:
+            end = self.builder.block
+            self.builder.br(join_bb)
+            edges.append((end, self.snapshot()))
+
+        if else_bb is not None:
+            self.restore(entry_state)
+            self.switch_to(else_bb)
+            self.gen_body(stmt.else_body)
+            if not self.terminated:
+                end = self.builder.block
+                self.builder.br(join_bb)
+                edges.append((end, self.snapshot()))
+
+        if not edges:
+            # Both arms terminated: the join block is unreachable.
+            self.func.remove_block(join_bb)
+            self.terminated = True
+            return
+        merged = self.merge_into(edges, join_bb)
+        self.switch_to(join_bb)
+        self.restore(merged)
+
+    def gen_loop(self, *, cond, body, step, post_cond: bool) -> None:
+        preheader = self.builder.block
+        header = self.new_block("loop")
+        self.builder.br(header)
+
+        # Pre-insert phis for every visible scalar; trivially-redundant ones
+        # are removed by remove_trivial_phis after codegen.
+        header_builder = IRBuilder(header)
+        phis: dict[str, Phi] = {}
+        entry_state = self.snapshot()
+        for name in sorted(entry_state):
+            value = entry_state[name]
+            phi = header_builder.phi(value.type, self.func.next_name(f"{name}.loop"))
+            phi.add_incoming(value, preheader)
+            phis[name] = phi
+        self.restore({name: phi for name, phi in phis.items()})
+
+        exit_bb = self.new_block("endloop")
+        frame = {"breaks": [], "continues": []}
+        self.loop_stack.append(frame)
+        exit_edges: list[tuple[BasicBlock, dict[str, Value]]] = []
+
+        def close_latch(edges: list[tuple[BasicBlock, dict[str, Value]]]) -> None:
+            """Route ``edges`` back to the header, filling phi incomings."""
+            if not edges:
+                return
+            if len(edges) == 1:
+                latch_block, state = edges[0]
+            else:
+                latch_block = self.new_block("latch")
+                for block, _ in edges:
+                    IRBuilder(block).br(latch_block)
+                state = self.merge_into(edges, latch_block)
+            IRBuilder(latch_block).br(header)
+            for name, phi in phis.items():
+                phi.add_incoming(state[name], latch_block)
+
+        if post_cond:
+            # do-while: header is the body start.
+            self.switch_to(header)
+            self.gen_body(body)
+            body_edges: list[tuple[BasicBlock, dict[str, Value]]] = []
+            if not self.terminated:
+                body_edges.append((self.builder.block, self.snapshot()))
+            body_edges.extend(frame["continues"])
+            if body_edges:
+                if len(body_edges) == 1 and body_edges[0][0] is self.builder.block \
+                        and not self.terminated:
+                    cond_block, state = body_edges[0]
+                    self.restore(state)
+                else:
+                    cond_block = self.new_block("docond")
+                    for block, _ in body_edges:
+                        IRBuilder(block).br(cond_block)
+                    state = self.merge_into(body_edges, cond_block)
+                    self.switch_to(cond_block)
+                    self.restore(state)
+                cond_val = self.gen_condition(cond)
+                cond_end = self.builder.block
+                cond_state = self.snapshot()
+                self.builder.condbr(cond_val, header, exit_bb)
+                for name, phi in phis.items():
+                    phi.add_incoming(cond_state[name], cond_end)
+                exit_edges.append((cond_end, cond_state))
+        else:
+            # while/for: condition evaluated in the header.
+            self.switch_to(header)
+            cond_val = self.gen_condition(cond)
+            cond_end = self.builder.block
+            cond_state = self.snapshot()
+            body_bb = self.new_block("body")
+            self.builder.condbr(cond_val, body_bb, exit_bb)
+            exit_edges.append((cond_end, cond_state))
+
+            self.switch_to(body_bb)
+            self.restore(cond_state)
+            self.gen_body(body)
+            step_edges: list[tuple[BasicBlock, dict[str, Value]]] = []
+            if not self.terminated:
+                step_edges.append((self.builder.block, self.snapshot()))
+            step_edges.extend(frame["continues"])
+            if step_edges:
+                if step is not None:
+                    step_bb = self.new_block("step")
+                    for block, _ in step_edges:
+                        IRBuilder(block).br(step_bb)
+                    state = self.merge_into(step_edges, step_bb)
+                    self.switch_to(step_bb)
+                    self.restore(state)
+                    self.gen_stmt(step)
+                    close_latch([(self.builder.block, self.snapshot())])
+                else:
+                    close_latch(step_edges)
+
+        self.loop_stack.pop()
+        exit_edges.extend(frame["breaks"])
+        if not exit_edges:
+            self.func.remove_block(exit_bb)
+            self.terminated = True
+            return
+        for block, _ in exit_edges:
+            term = block.terminator
+            if term is None:
+                IRBuilder(block).br(exit_bb)
+        merged = self.merge_into(exit_edges, exit_bb)
+        self.switch_to(exit_bb)
+        self.restore(merged)
+
+    def gen_return(self, stmt: ReturnStmt) -> None:
+        if self.decl.ret_type is None:
+            if stmt.value is not None:
+                raise CodegenError(f"{self.func.name}: void function returns value")
+            self.builder.ret()
+        else:
+            if stmt.value is None:
+                raise CodegenError(f"{self.func.name}: missing return value")
+            value, ctype = self.gen_expr(stmt.value, self.decl.ret_type)
+            if ctype.bits == 1:
+                value = self.builder.zext(value, self.decl.ret_type.bits)
+            else:
+                value = self.convert(value, ctype, self.decl.ret_type)
+            self.builder.ret(value)
+        self.terminated = True
+
+    # -- driver ------------------------------------------------------------------
+
+    _signed_globals: set = set()
+
+    def run(self) -> None:
+        self.entry_block = self.func.add_block("entry")
+        self.switch_to(self.entry_block)
+        for param, arg in zip(self.decl.params, self.func.args):
+            if param.ctype.pointer:
+                self.declare(param.name, Slot("ptr", param.ctype))
+                self.values[param.name] = arg
+            else:
+                self.declare(param.name, Slot("ssa", param.ctype))
+                self.values[param.name] = arg
+        self.gen_body(self.decl.body)
+        if not self.terminated:
+            if self.decl.ret_type is None:
+                self.builder.ret()
+            else:
+                self.builder.ret(Constant(_ir_type(self.decl.ret_type), 0))
+
+
+def remove_trivial_phis(func: Function) -> int:
+    """Remove phis whose incoming values are all identical (or self)."""
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        for block in func.blocks:
+            for phi in block.phis():
+                values = {v for v in phi.operands if v is not phi}
+                if len(values) == 1:
+                    (replacement,) = values
+                    phi.replace_all_uses_with(replacement)
+                    phi.erase_from_parent()
+                    removed += 1
+                    changed = True
+    return removed
+
+
+def compile_program(program: Program, name: str = "program") -> Module:
+    """Lower a parsed MiniC :class:`Program` to an IR :class:`Module`."""
+    module = Module(name)
+    signed_globals: set[str] = set()
+    for gdecl in program.globals:
+        module.add_global(
+            GlobalVariable(
+                gdecl.name, _ir_type(gdecl.ctype), gdecl.array_size, gdecl.init
+            )
+        )
+        if gdecl.ctype.signed:
+            signed_globals.add(gdecl.name)
+
+    signatures: dict[str, Signature] = {}
+    ir_funcs: dict[str, Function] = {}
+    for fdecl in program.functions:
+        signatures[fdecl.name] = Signature(
+            fdecl.ret_type, [p.ctype for p in fdecl.params]
+        )
+        arg_specs = []
+        for param in fdecl.params:
+            if param.ctype.pointer:
+                arg_specs.append((param.name, PointerType(_ir_type(param.ctype))))
+            else:
+                arg_specs.append((param.name, _ir_type(param.ctype)))
+        ret_ir = _ir_type(fdecl.ret_type) if fdecl.ret_type is not None else VOID
+        ir_funcs[fdecl.name] = module.add_function(
+            Function(fdecl.name, ret_ir, arg_specs)
+        )
+
+    for fdecl in program.functions:
+        gen = FunctionCodegen(module, signatures, fdecl, ir_funcs[fdecl.name])
+        gen._signed_globals = signed_globals
+        gen.run()
+        remove_trivial_phis(gen.func)
+        remove_unreachable_blocks(gen.func)
+    return module
+
+
+def compile_source(source: str, name: str = "program") -> Module:
+    """Front-end entry point: MiniC source text → IR module."""
+    from repro.frontend.parser import parse
+
+    return compile_program(parse(source), name)

@@ -1,0 +1,175 @@
+"""MiniC lexer.
+
+MiniC is the C subset the workloads are written in: sized integer types,
+global/local arrays, functions, loops.  The lexer produces a flat token list
+with line/column info for diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+KEYWORDS = frozenset(
+    {
+        "u8",
+        "u16",
+        "u32",
+        "u64",
+        "s8",
+        "s16",
+        "s32",
+        "s64",
+        "void",
+        "if",
+        "else",
+        "while",
+        "do",
+        "for",
+        "return",
+        "break",
+        "continue",
+        "out",
+    }
+)
+
+#: Multi-character operators, longest first so maximal munch works.
+MULTI_OPS = (
+    "<<=",
+    ">>=",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "<<",
+    ">>",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+)
+
+SINGLE_OPS = "+-*/%&|^~!<>=(){}[];,?:"
+
+
+@dataclass
+class Token:
+    kind: str  # 'ident' | 'num' | 'kw' | operator/punct literal
+    text: str
+    value: int = 0
+    line: int = 0
+    col: int = 0
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r})"
+
+
+class LexError(Exception):
+    """Invalid character or malformed literal in MiniC source."""
+
+
+def tokenize(source: str) -> list[Token]:
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def error(message: str) -> LexError:
+        return LexError(f"line {line}:{col}: {message}")
+
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise error("unterminated block comment")
+            for c in source[i : end + 2]:
+                if c == "\n":
+                    line += 1
+                    col = 1
+                else:
+                    col += 1
+            i = end + 2
+            continue
+        start_col = col
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = "kw" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line=line, col=start_col))
+            col += j - i
+            i = j
+            continue
+        if ch.isdigit():
+            j = i
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                j = i + 2
+                while j < n and source[j] in "0123456789abcdefABCDEF":
+                    j += 1
+                value = int(source[i:j], 16)
+            else:
+                while j < n and source[j].isdigit():
+                    j += 1
+                value = int(source[i:j])
+            tokens.append(Token("num", source[i:j], value, line, start_col))
+            col += j - i
+            i = j
+            continue
+        if ch == "'":
+            if i + 2 < n and source[i + 2] == "'":
+                value = ord(source[i + 1])
+                tokens.append(Token("num", source[i : i + 3], value, line, start_col))
+                i += 3
+                col += 3
+                continue
+            if source.startswith("'\\", i) and i + 3 < n and source[i + 3] == "'":
+                escapes = {"n": 10, "t": 9, "0": 0, "\\": 92, "'": 39}
+                esc = source[i + 2]
+                if esc not in escapes:
+                    raise error(f"unknown escape '\\{esc}'")
+                tokens.append(
+                    Token("num", source[i : i + 4], escapes[esc], line, start_col)
+                )
+                i += 4
+                col += 4
+                continue
+            raise error("malformed character literal")
+        matched = False
+        for op in MULTI_OPS:
+            if source.startswith(op, i):
+                tokens.append(Token(op, op, line=line, col=start_col))
+                i += len(op)
+                col += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in SINGLE_OPS:
+            tokens.append(Token(ch, ch, line=line, col=start_col))
+            i += 1
+            col += 1
+            continue
+        raise error(f"unexpected character {ch!r}")
+    tokens.append(Token("eof", "", line=line, col=col))
+    return tokens

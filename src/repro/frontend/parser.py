@@ -1,0 +1,390 @@
+"""Recursive-descent parser for MiniC."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.frontend.ast_nodes import (
+    AddrOfExpr,
+    AssignStmt,
+    BinaryExpr,
+    BreakStmt,
+    CallExpr,
+    CastExpr,
+    CondExpr,
+    ContinueStmt,
+    CType,
+    DeclStmt,
+    DoWhileStmt,
+    Expr,
+    ExprStmt,
+    ForStmt,
+    FuncDecl,
+    GlobalDecl,
+    IfStmt,
+    IndexExpr,
+    NumExpr,
+    OutStmt,
+    Param,
+    Program,
+    ReturnStmt,
+    Stmt,
+    TYPE_BY_NAME,
+    UnaryExpr,
+    VarExpr,
+    WhileStmt,
+)
+from repro.frontend.lexer import Token, tokenize
+
+
+class ParseError(Exception):
+    """Syntax error in MiniC source."""
+
+
+#: binary operator precedence (higher binds tighter)
+PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6,
+    "!=": 6,
+    "<": 7,
+    "<=": 7,
+    ">": 7,
+    ">=": 7,
+    "<<": 8,
+    ">>": 8,
+    "+": 9,
+    "-": 9,
+    "*": 10,
+    "/": 10,
+    "%": 10,
+}
+
+ASSIGN_OPS = frozenset({"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="})
+
+
+class Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers -------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def peek(self, offset: int = 1) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.current
+        self.pos += 1
+        return token
+
+    def expect(self, kind: str) -> Token:
+        if self.current.kind != kind:
+            raise ParseError(
+                f"line {self.current.line}: expected {kind!r}, "
+                f"got {self.current.text!r}"
+            )
+        return self.advance()
+
+    def accept(self, kind: str) -> Optional[Token]:
+        if self.current.kind == kind:
+            return self.advance()
+        return None
+
+    def at_type(self) -> bool:
+        return self.current.kind == "kw" and self.current.text in TYPE_BY_NAME
+
+    def parse_type(self) -> CType:
+        token = self.advance()
+        base = TYPE_BY_NAME.get(token.text)
+        if base is None:
+            raise ParseError(f"line {token.line}: expected type, got {token.text!r}")
+        if self.accept("*"):
+            return CType(base.bits, base.signed, pointer=True)
+        return base
+
+    # -- top level -----------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        program = Program()
+        while self.current.kind != "eof":
+            if self.current.kind == "kw" and self.current.text == "void":
+                program.functions.append(self.parse_function(None))
+                continue
+            if not self.at_type():
+                raise ParseError(
+                    f"line {self.current.line}: expected declaration, "
+                    f"got {self.current.text!r}"
+                )
+            # Distinguish `T name(...)` (function) from `T name...;` (global).
+            if self.peek(2).kind == "(":
+                ctype = self.parse_type()
+                program.functions.append(self.parse_function(ctype))
+            else:
+                program.globals.append(self.parse_global())
+        return program
+
+    def parse_global(self) -> GlobalDecl:
+        ctype = self.parse_type()
+        if ctype.pointer:
+            raise ParseError("globals cannot have pointer type")
+        name = self.expect("ident").text
+        size = 1
+        if self.accept("["):
+            size = self.expect("num").value
+            self.expect("]")
+        init: list[int] = []
+        if self.accept("="):
+            if self.accept("{"):
+                while not self.accept("}"):
+                    init.append(self._parse_const_int())
+                    if self.current.kind != "}":
+                        self.expect(",")
+            else:
+                init.append(self._parse_const_int())
+        self.expect(";")
+        return GlobalDecl(ctype, name, size, init)
+
+    def _parse_const_int(self) -> int:
+        negative = bool(self.accept("-"))
+        token = self.expect("num")
+        return -token.value if negative else token.value
+
+    def parse_function(self, ret_type: Optional[CType]) -> FuncDecl:
+        if ret_type is None:
+            self.advance()  # consume 'void'
+        name = self.expect("ident").text
+        self.expect("(")
+        params: list[Param] = []
+        if self.current.kind != ")":
+            while True:
+                ptype = self.parse_type()
+                pname = self.expect("ident").text
+                params.append(Param(ptype, pname))
+                if not self.accept(","):
+                    break
+        self.expect(")")
+        body = self.parse_block()
+        return FuncDecl(ret_type, name, params, body)
+
+    # -- statements ------------------------------------------------------------
+
+    def parse_block(self) -> list[Stmt]:
+        self.expect("{")
+        stmts: list[Stmt] = []
+        while not self.accept("}"):
+            stmts.append(self.parse_statement())
+        return stmts
+
+    def parse_statement(self) -> Stmt:
+        tok = self.current
+        if tok.kind == "{":
+            # Anonymous block: flatten into an if(1) for scoping simplicity.
+            return IfStmt(NumExpr(1), self.parse_block(), [])
+        if tok.kind == "kw":
+            if tok.text in TYPE_BY_NAME:
+                return self.parse_decl()
+            if tok.text == "if":
+                return self.parse_if()
+            if tok.text == "while":
+                return self.parse_while()
+            if tok.text == "do":
+                return self.parse_do_while()
+            if tok.text == "for":
+                return self.parse_for()
+            if tok.text == "return":
+                self.advance()
+                value = None
+                if self.current.kind != ";":
+                    value = self.parse_expr()
+                self.expect(";")
+                return ReturnStmt(value)
+            if tok.text == "break":
+                self.advance()
+                self.expect(";")
+                return BreakStmt()
+            if tok.text == "continue":
+                self.advance()
+                self.expect(";")
+                return ContinueStmt()
+            if tok.text == "out":
+                self.advance()
+                self.expect("(")
+                value = self.parse_expr()
+                self.expect(")")
+                self.expect(";")
+                return OutStmt(value)
+        return self.parse_simple_statement(expect_semi=True)
+
+    def parse_decl(self) -> DeclStmt:
+        ctype = self.parse_type()
+        name = self.expect("ident").text
+        array_size = None
+        if self.accept("["):
+            array_size = self.expect("num").value
+            self.expect("]")
+        init = None
+        if self.accept("="):
+            init = self.parse_expr()
+        self.expect(";")
+        return DeclStmt(ctype, name, array_size, init)
+
+    def parse_simple_statement(self, *, expect_semi: bool) -> Stmt:
+        """Assignment, or a bare call expression."""
+        expr = self.parse_expr()
+        if self.current.kind in ASSIGN_OPS:
+            if not isinstance(expr, (VarExpr, IndexExpr)):
+                raise ParseError(
+                    f"line {self.current.line}: assignment target must be a "
+                    "variable or array element"
+                )
+            op = self.advance().kind
+            value = self.parse_expr()
+            stmt: Stmt = AssignStmt(expr, op, value)
+        else:
+            stmt = ExprStmt(expr)
+        if expect_semi:
+            self.expect(";")
+        return stmt
+
+    def parse_if(self) -> IfStmt:
+        self.advance()
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        then_body = self._statement_or_block()
+        else_body: list[Stmt] = []
+        if self.current.kind == "kw" and self.current.text == "else":
+            self.advance()
+            else_body = self._statement_or_block()
+        return IfStmt(cond, then_body, else_body)
+
+    def _statement_or_block(self) -> list[Stmt]:
+        if self.current.kind == "{":
+            return self.parse_block()
+        return [self.parse_statement()]
+
+    def parse_while(self) -> WhileStmt:
+        self.advance()
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        return WhileStmt(cond, self._statement_or_block())
+
+    def parse_do_while(self) -> DoWhileStmt:
+        self.advance()
+        body = self._statement_or_block()
+        if not (self.current.kind == "kw" and self.current.text == "while"):
+            raise ParseError(f"line {self.current.line}: expected 'while'")
+        self.advance()
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        self.expect(";")
+        return DoWhileStmt(body, cond)
+
+    def parse_for(self) -> ForStmt:
+        self.advance()
+        self.expect("(")
+        init = None
+        if self.current.kind != ";":
+            if self.at_type():
+                init = self.parse_decl()  # consumes the ';'
+            else:
+                init = self.parse_simple_statement(expect_semi=True)
+        else:
+            self.expect(";")
+        cond = None
+        if self.current.kind != ";":
+            cond = self.parse_expr()
+        self.expect(";")
+        step = None
+        if self.current.kind != ")":
+            step = self.parse_simple_statement(expect_semi=False)
+        self.expect(")")
+        return ForStmt(init, cond, step, self._statement_or_block())
+
+    # -- expressions ------------------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        return self.parse_ternary()
+
+    def parse_ternary(self) -> Expr:
+        cond = self.parse_binary(1)
+        if self.accept("?"):
+            if_true = self.parse_expr()
+            self.expect(":")
+            if_false = self.parse_ternary()
+            return CondExpr(cond, if_true, if_false)
+        return cond
+
+    def parse_binary(self, min_prec: int) -> Expr:
+        lhs = self.parse_unary()
+        while True:
+            op = self.current.kind
+            prec = PRECEDENCE.get(op)
+            if prec is None or prec < min_prec:
+                return lhs
+            self.advance()
+            rhs = self.parse_binary(prec + 1)
+            lhs = BinaryExpr(op, lhs, rhs)
+
+    def parse_unary(self) -> Expr:
+        tok = self.current
+        if tok.kind in ("-", "!", "~"):
+            self.advance()
+            return UnaryExpr(tok.kind, self.parse_unary())
+        if tok.kind == "&":
+            self.advance()
+            base = self.expect("ident").text
+            self.expect("[")
+            index = self.parse_expr()
+            self.expect("]")
+            return AddrOfExpr(base, index)
+        if tok.kind == "(" and self.peek().kind == "kw" and self.peek().text in TYPE_BY_NAME:
+            self.advance()
+            ctype = self.parse_type()
+            self.expect(")")
+            return CastExpr(ctype, self.parse_unary())
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> Expr:
+        tok = self.current
+        if tok.kind == "num":
+            self.advance()
+            return NumExpr(tok.value)
+        if tok.kind == "(":
+            self.advance()
+            inner = self.parse_expr()
+            self.expect(")")
+            return inner
+        if tok.kind == "ident":
+            name = self.advance().text
+            if self.accept("("):
+                args: list[Expr] = []
+                if self.current.kind != ")":
+                    while True:
+                        args.append(self.parse_expr())
+                        if not self.accept(","):
+                            break
+                self.expect(")")
+                return CallExpr(name, args)
+            if self.accept("["):
+                index = self.parse_expr()
+                self.expect("]")
+                return IndexExpr(name, index)
+            return VarExpr(name)
+        raise ParseError(f"line {tok.line}: unexpected token {tok.text!r}")
+
+
+def parse(source: str) -> Program:
+    """Parse MiniC source text into a :class:`Program`."""
+    return Parser(tokenize(source)).parse_program()

@@ -1,0 +1,35 @@
+"""Functional simulation: IR interpreter + flat memory model."""
+
+from repro.interp.interpreter import (
+    Interpreter,
+    RunResult,
+    StepLimitExceeded,
+    Trace,
+    TrapError,
+    VarStats,
+    bucket,
+)
+from repro.interp.memory import (
+    FlatMemory,
+    GLOBALS_BASE,
+    STACK_TOP,
+    initialize_globals,
+    layout_globals,
+    read_global,
+)
+
+__all__ = [
+    "FlatMemory",
+    "GLOBALS_BASE",
+    "Interpreter",
+    "RunResult",
+    "STACK_TOP",
+    "StepLimitExceeded",
+    "Trace",
+    "TrapError",
+    "VarStats",
+    "bucket",
+    "initialize_globals",
+    "layout_globals",
+    "read_global",
+]

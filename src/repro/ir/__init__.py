@@ -1,0 +1,98 @@
+"""Typed SSA intermediate representation (the repo's LLVM-IR analog).
+
+Public surface::
+
+    from repro.ir import (
+        Module, Function, BasicBlock, IRBuilder,
+        int_type, I1, I8, I16, I32, I64, VOID,
+        Constant, GlobalVariable, verify_module, print_module,
+    )
+"""
+
+from repro.ir.block import BasicBlock
+from repro.ir.builder import IRBuilder
+from repro.ir.clone import clone_blocks
+from repro.ir.function import Function, Module
+from repro.ir.instructions import (
+    Alloca,
+    BINARY_OPS,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    CondBr,
+    Gep,
+    ICMP_PREDS,
+    Icmp,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    SPECULATIVE_OPS,
+    Select,
+    Store,
+)
+from repro.ir.printer import print_function, print_module
+from repro.ir.types import (
+    I1,
+    I16,
+    I32,
+    I64,
+    I8,
+    IntType,
+    PointerType,
+    VOID,
+    int_type,
+    is_int,
+    is_pointer,
+    required_bits,
+)
+from repro.ir.values import Argument, Constant, GlobalVariable, Value, const
+from repro.ir.verifier import VerificationError, verify_function, verify_module
+
+__all__ = [
+    "Alloca",
+    "Argument",
+    "BINARY_OPS",
+    "BasicBlock",
+    "BinOp",
+    "Br",
+    "Call",
+    "Cast",
+    "CondBr",
+    "Constant",
+    "Function",
+    "Gep",
+    "GlobalVariable",
+    "I1",
+    "I16",
+    "I32",
+    "I64",
+    "I8",
+    "ICMP_PREDS",
+    "IRBuilder",
+    "Icmp",
+    "Instruction",
+    "IntType",
+    "Load",
+    "Module",
+    "Phi",
+    "PointerType",
+    "Ret",
+    "SPECULATIVE_OPS",
+    "Select",
+    "Store",
+    "VOID",
+    "Value",
+    "VerificationError",
+    "clone_blocks",
+    "const",
+    "int_type",
+    "is_int",
+    "is_pointer",
+    "print_function",
+    "print_module",
+    "required_bits",
+    "verify_function",
+    "verify_module",
+]

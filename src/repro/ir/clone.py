@@ -1,0 +1,129 @@
+"""Cloning of basic blocks.
+
+Used by the squeezer to materialize ``CFG_spec`` (clone of the whole function
+body, §3.2.3 step 1).  Cloning returns value and block maps (the paper's
+``Spec``/``Orig`` relations are built from them).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Alloca,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    CondBr,
+    Gep,
+    Icmp,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+)
+from repro.ir.values import Value
+
+
+def _clone_instruction(inst, lookup) -> object:
+    """Clone one instruction, mapping operands through ``lookup``."""
+    if isinstance(inst, BinOp):
+        clone = BinOp(inst.opcode, lookup(inst.lhs), lookup(inst.rhs))
+    elif isinstance(inst, Icmp):
+        clone = Icmp(inst.pred, lookup(inst.lhs), lookup(inst.rhs))
+    elif isinstance(inst, Select):
+        clone = Select(
+            lookup(inst.cond), lookup(inst.true_value), lookup(inst.false_value)
+        )
+    elif isinstance(inst, Cast):
+        clone = Cast(inst.opcode, lookup(inst.value), inst.type)
+    elif isinstance(inst, Phi):
+        clone = Phi(inst.type)
+        # incoming edges filled by the second pass (needs the block map)
+    elif isinstance(inst, Load):
+        clone = Load(
+            lookup(inst.ptr), result_type=inst.type, volatile=inst.volatile
+        )
+    elif isinstance(inst, Store):
+        clone = Store(lookup(inst.value), lookup(inst.ptr), volatile=inst.volatile)
+    elif isinstance(inst, Gep):
+        clone = Gep(lookup(inst.ptr), lookup(inst.index))
+    elif isinstance(inst, Alloca):
+        clone = Alloca(inst.elem_type, inst.count)
+    elif isinstance(inst, Call):
+        clone = Call(inst.callee, [lookup(a) for a in inst.args], inst.type)
+    elif isinstance(inst, Br):
+        clone = Br(inst.target)  # retargeted by the second pass
+    elif isinstance(inst, CondBr):
+        clone = CondBr(lookup(inst.cond), inst.if_true, inst.if_false)
+    elif isinstance(inst, Ret):
+        clone = Ret(lookup(inst.value) if inst.value is not None else None)
+    else:  # pragma: no cover - defensive
+        raise TypeError(f"cannot clone instruction kind {type(inst).__name__}")
+    clone.speculative = inst.speculative
+    clone.volatile = inst.volatile
+    return clone
+
+
+def clone_blocks(
+    func: Function,
+    blocks: Iterable[BasicBlock],
+    suffix: str,
+    value_map: Optional[dict[Value, Value]] = None,
+) -> tuple[dict[Value, Value], dict[BasicBlock, BasicBlock]]:
+    """Clone ``blocks`` into ``func`` with names suffixed by ``suffix``.
+
+    Operand references *within* the cloned set are remapped to the clones;
+    references to values defined outside the set are kept (callers may seed
+    ``value_map`` to override).  Branch targets and phi incoming blocks that
+    point inside the set are remapped; edges leaving the set are preserved.
+
+    Returns ``(value_map, block_map)`` — the Spec relation of the paper when
+    used for CFG_spec construction.
+    """
+    blocks = list(blocks)
+    vmap: dict[Value, Value] = dict(value_map or {})
+    bmap: dict[BasicBlock, BasicBlock] = {}
+
+    def lookup(value: Value) -> Value:
+        return vmap.get(value, value)
+
+    for block in blocks:
+        clone = func.add_block(f"{block.name}{suffix}")
+        clone.world = block.world
+        bmap[block] = clone
+
+    # First pass: clone instructions, build the value map.
+    for block in blocks:
+        clone_block = bmap[block]
+        for inst in block.instructions:
+            cloned = _clone_instruction(inst, lookup)
+            if cloned.has_result:
+                cloned.name = f"{inst.name}{suffix}"
+            clone_block.append(cloned)
+            if inst.has_result:
+                vmap[inst] = cloned
+
+    # Second pass: wire up phi incomings, fix forward-referenced operands
+    # (values defined later in the set) and remap block targets.
+    for block in blocks:
+        clone_block = bmap[block]
+        for orig, cloned in zip(block.instructions, clone_block.instructions):
+            if isinstance(orig, Phi):
+                for value, pred in orig.incoming():
+                    cloned.add_incoming(lookup(value), bmap.get(pred, pred))
+            else:
+                for i, op in enumerate(cloned.operands):
+                    mapped = vmap.get(op)
+                    if mapped is not None and mapped is not op:
+                        cloned.set_operand(i, mapped)
+            term = cloned if cloned.is_terminator else None
+            if term is not None:
+                for succ in list(term.successors()):
+                    if succ in bmap:
+                        term.replace_target(succ, bmap[succ])
+    return vmap, bmap

@@ -1,0 +1,95 @@
+"""Functions and modules."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Sequence
+
+from repro.ir.block import BasicBlock
+from repro.ir.instructions import Instruction
+from repro.ir.values import Argument, GlobalVariable
+
+
+class Function:
+    """A function: argument list, return type and a CFG of basic blocks.
+
+    The first block is the entry block.  Value names are uniqued per function
+    through :meth:`next_name`, which keeps textual IR and profiles stable.
+    """
+
+    def __init__(self, name: str, ret_type, arg_specs: Sequence[tuple] = ()) -> None:
+        self.name = name
+        self.ret_type = ret_type
+        self.args = [
+            Argument(ty, arg_name, i) for i, (arg_name, ty) in enumerate(arg_specs)
+        ]
+        self.blocks: list[BasicBlock] = []
+        self._name_counter = itertools.count()
+        self._block_counter = itertools.count()
+        self.parent: Optional["Module"] = None
+
+    @property
+    def entry(self) -> BasicBlock:
+        if not self.blocks:
+            raise ValueError(f"function {self.name} has no blocks")
+        return self.blocks[0]
+
+    def add_block(self, name: str = "", index: Optional[int] = None) -> BasicBlock:
+        if not name:
+            name = f"bb{next(self._block_counter)}"
+        block = BasicBlock(name)
+        block.parent = self
+        if index is None:
+            self.blocks.append(block)
+        else:
+            self.blocks.insert(index, block)
+        return block
+
+    def remove_block(self, block: BasicBlock) -> None:
+        self.blocks.remove(block)
+        block.parent = None
+
+    def next_name(self, hint: str = "v") -> str:
+        return f"{hint}.{next(self._name_counter)}"
+
+    def instructions(self) -> list[Instruction]:
+        return [inst for block in self.blocks for inst in block.instructions]
+
+    def set_entry(self, block: BasicBlock) -> None:
+        """Make ``block`` the entry block (moves it to the front)."""
+        self.blocks.remove(block)
+        self.blocks.insert(0, block)
+
+    def __repr__(self) -> str:
+        return f"<Function {self.name} ({len(self.blocks)} blocks)>"
+
+
+class Module:
+    """A whole program: functions plus global variables."""
+
+    def __init__(self, name: str = "module") -> None:
+        self.name = name
+        self.functions: dict[str, Function] = {}
+        self.globals: dict[str, GlobalVariable] = {}
+
+    def add_function(self, func: Function) -> Function:
+        if func.name in self.functions:
+            raise ValueError(f"duplicate function name: {func.name}")
+        self.functions[func.name] = func
+        func.parent = self
+        return func
+
+    def add_global(self, gv: GlobalVariable) -> GlobalVariable:
+        if gv.name in self.globals:
+            raise ValueError(f"duplicate global name: {gv.name}")
+        self.globals[gv.name] = gv
+        return gv
+
+    def function(self, name: str) -> Function:
+        return self.functions[name]
+
+    def __repr__(self) -> str:
+        return (
+            f"<Module {self.name}: {len(self.functions)} functions, "
+            f"{len(self.globals)} globals>"
+        )

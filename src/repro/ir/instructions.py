@@ -1,0 +1,528 @@
+"""Instruction set of the repro IR.
+
+The instruction vocabulary mirrors the integer slice of LLVM IR that BITSPEC
+transforms: binary arithmetic/logic, comparisons, casts, phis, memory access,
+address arithmetic, calls and control flow.  Instructions are SSA values
+(each defines at most one result).
+
+Speculation support (the paper's SIR, §3.1) is expressed with two pieces of
+instruction state:
+
+* ``speculative`` — the instruction operates on a squeezed (8-bit) value and
+  may *misspeculate* at run time (Table 1 of the paper); and
+* ``spec_guards`` — values whose successful speculation this instruction's
+  correctness relies on (used by compare elimination, §3.2.4, to keep the
+  guarded definition alive through DCE).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.ir.types import IntType, PointerType, VOID, I1, is_int
+from repro.ir.values import Value
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ir.block import BasicBlock
+
+#: Binary opcodes, with LLVM semantics on the unsigned representation.
+BINARY_OPS = frozenset(
+    {
+        "add",
+        "sub",
+        "mul",
+        "udiv",
+        "urem",
+        "sdiv",
+        "srem",
+        "and",
+        "or",
+        "xor",
+        "shl",
+        "lshr",
+        "ashr",
+    }
+)
+
+#: Comparison predicates (LLVM ``icmp``).
+ICMP_PREDS = frozenset(
+    {"eq", "ne", "ult", "ule", "ugt", "uge", "slt", "sle", "sgt", "sge"}
+)
+
+#: Opcodes with an 8-bit speculative form in the BITSPEC ISA (Table 1).
+#: ``mul`` and divisions are deliberately absent: the ISA provides no
+#: speculative multiplier, so they are never Squeezable.
+SPECULATIVE_OPS = frozenset(
+    {"add", "sub", "and", "or", "xor", "shl", "lshr", "icmp", "load", "trunc", "phi"}
+)
+
+
+class Instruction(Value):
+    """Base class for all instructions.
+
+    Operand storage is uniform: ``operands`` is the ordered list of value
+    operands; block operands of terminators and phis are held separately (in
+    ``targets`` / ``incoming_blocks``) since basic blocks are not values.
+    """
+
+    opcode: str = "?"
+
+    def __init__(self, ty, operands: Sequence[Value], name: str = "") -> None:
+        super().__init__(ty, name)
+        self._operands: list[Value] = []
+        self.parent: Optional["BasicBlock"] = None
+        #: Marks an instruction that executes in squeezed (8-bit) form and is
+        #: monitored by the hardware for misspeculation.
+        self.speculative = False
+        #: True for memory operations with side effects that must not be
+        #: re-executed (models I/O); also blocks idempotency of the block.
+        self.volatile = False
+        #: Values whose speculation outcome this instruction relies on.
+        self.spec_guards: list[Value] = []
+        for op in operands:
+            self._attach(op)
+
+    # -- operand bookkeeping -------------------------------------------------
+
+    def _attach(self, value: Value) -> None:
+        self._operands.append(value)
+        value._add_user(self)
+
+    @property
+    def operands(self) -> list[Value]:
+        return list(self._operands)
+
+    def operand(self, index: int) -> Value:
+        return self._operands[index]
+
+    def set_operand(self, index: int, value: Value) -> None:
+        old = self._operands[index]
+        if old is value:
+            return
+        old._remove_user(self)
+        self._operands[index] = value
+        value._add_user(self)
+
+    def replace_uses_of_value(self, old: Value, new: Value) -> None:
+        """Replace every operand slot holding ``old`` with ``new``."""
+        for i, op in enumerate(self._operands):
+            if op is old:
+                self.set_operand(i, new)
+
+    def drop_all_references(self) -> None:
+        """Detach from all operands (used when erasing instructions)."""
+        for op in self._operands:
+            op._remove_user(self)
+        self._operands.clear()
+
+    def erase_from_parent(self) -> None:
+        """Remove from the containing block and drop operand references."""
+        if self.parent is not None:
+            self.parent.remove(self)
+        self.drop_all_references()
+
+    # -- classification ------------------------------------------------------
+
+    @property
+    def is_terminator(self) -> bool:
+        return isinstance(self, (Br, CondBr, Ret))
+
+    @property
+    def has_result(self) -> bool:
+        return self.type is not VOID
+
+    @property
+    def may_have_side_effects(self) -> bool:
+        return self.volatile or isinstance(self, (Store, Call, Ret, Br, CondBr))
+
+    @property
+    def is_idempotent(self) -> bool:
+        """Idempotent? predicate from §3.2.3 (volatile ops and calls are not)."""
+        return not (self.volatile or isinstance(self, Call))
+
+    def successors(self) -> list["BasicBlock"]:
+        return []
+
+    def replace_target(self, old: "BasicBlock", new: "BasicBlock") -> None:
+        raise TypeError(f"{self.opcode} has no block targets")
+
+    def _fmt_attrs(self) -> str:
+        attrs = ""
+        if self.speculative:
+            attrs += " !speculative"
+        if self.volatile:
+            attrs += " !volatile"
+        if self.spec_guards:
+            guards = ", ".join(g.ref for g in self.spec_guards)
+            attrs += f" !guards({guards})"
+        return attrs
+
+
+class BinOp(Instruction):
+    """Two-operand integer arithmetic/logic; result type = operand type."""
+
+    def __init__(self, op: str, lhs: Value, rhs: Value, name: str = "") -> None:
+        if op not in BINARY_OPS:
+            raise ValueError(f"unknown binary opcode: {op}")
+        if lhs.type != rhs.type:
+            raise TypeError(f"binop operand types differ: {lhs.type} vs {rhs.type}")
+        super().__init__(lhs.type, [lhs, rhs], name)
+        self.opcode = op
+
+    @property
+    def lhs(self) -> Value:
+        return self.operand(0)
+
+    @property
+    def rhs(self) -> Value:
+        return self.operand(1)
+
+    def __repr__(self) -> str:
+        return (
+            f"{self.ref} = {self.opcode} {self.type!r} "
+            f"{self.lhs.ref}, {self.rhs.ref}{self._fmt_attrs()}"
+        )
+
+
+class Icmp(Instruction):
+    """Integer comparison producing an ``i1``."""
+
+    opcode = "icmp"
+
+    def __init__(self, pred: str, lhs: Value, rhs: Value, name: str = "") -> None:
+        if pred not in ICMP_PREDS:
+            raise ValueError(f"unknown icmp predicate: {pred}")
+        if lhs.type != rhs.type:
+            raise TypeError(f"icmp operand types differ: {lhs.type} vs {rhs.type}")
+        super().__init__(I1, [lhs, rhs], name)
+        self.pred = pred
+
+    @property
+    def lhs(self) -> Value:
+        return self.operand(0)
+
+    @property
+    def rhs(self) -> Value:
+        return self.operand(1)
+
+    def __repr__(self) -> str:
+        return (
+            f"{self.ref} = icmp {self.pred} {self.lhs.type!r} "
+            f"{self.lhs.ref}, {self.rhs.ref}{self._fmt_attrs()}"
+        )
+
+
+class Select(Instruction):
+    """``select cond, a, b`` — conditional move."""
+
+    opcode = "select"
+
+    def __init__(self, cond: Value, tval: Value, fval: Value, name: str = "") -> None:
+        if cond.type != I1:
+            raise TypeError("select condition must be i1")
+        if tval.type != fval.type:
+            raise TypeError("select arms must share a type")
+        super().__init__(tval.type, [cond, tval, fval], name)
+
+    @property
+    def cond(self) -> Value:
+        return self.operand(0)
+
+    @property
+    def true_value(self) -> Value:
+        return self.operand(1)
+
+    @property
+    def false_value(self) -> Value:
+        return self.operand(2)
+
+    def __repr__(self) -> str:
+        return (
+            f"{self.ref} = select {self.cond.ref}, {self.type!r} "
+            f"{self.true_value.ref}, {self.false_value.ref}{self._fmt_attrs()}"
+        )
+
+
+CAST_OPS = frozenset({"zext", "sext", "trunc"})
+
+
+class Cast(Instruction):
+    """Width change: ``zext``/``sext`` widen, ``trunc`` narrows.
+
+    A ``trunc`` with ``speculative=True`` is the paper's *speculative
+    truncate* (Table 1): it misspeculates when the source value does not fit
+    the destination width.
+    """
+
+    def __init__(self, op: str, value: Value, to_type: IntType, name: str = "") -> None:
+        if op not in CAST_OPS:
+            raise ValueError(f"unknown cast opcode: {op}")
+        if not is_int(value.type) or not is_int(to_type):
+            raise TypeError("casts operate on integer types")
+        if op == "trunc" and to_type.bits > value.type.bits:
+            raise TypeError("trunc must narrow")
+        if op in ("zext", "sext") and to_type.bits < value.type.bits:
+            raise TypeError(f"{op} must widen")
+        super().__init__(to_type, [value], name)
+        self.opcode = op
+
+    @property
+    def value(self) -> Value:
+        return self.operand(0)
+
+    def __repr__(self) -> str:
+        return (
+            f"{self.ref} = {self.opcode} {self.value.type!r} {self.value.ref} "
+            f"to {self.type!r}{self._fmt_attrs()}"
+        )
+
+
+class Phi(Instruction):
+    """SSA phi; incoming blocks are stored parallel to operands."""
+
+    opcode = "phi"
+
+    def __init__(self, ty, name: str = "") -> None:
+        super().__init__(ty, [], name)
+        self.incoming_blocks: list["BasicBlock"] = []
+
+    def add_incoming(self, value: Value, block: "BasicBlock") -> None:
+        if value.type != self.type:
+            raise TypeError(
+                f"phi incoming type {value.type} != phi type {self.type}"
+            )
+        self._attach(value)
+        self.incoming_blocks.append(block)
+
+    def incoming(self) -> list[tuple[Value, "BasicBlock"]]:
+        return list(zip(self._operands, self.incoming_blocks))
+
+    def incoming_for_block(self, block: "BasicBlock") -> Value:
+        for value, pred in self.incoming():
+            if pred is block:
+                return value
+        raise KeyError(f"phi {self.ref} has no incoming edge from {block.name}")
+
+    def set_incoming_block(self, index: int, block: "BasicBlock") -> None:
+        self.incoming_blocks[index] = block
+
+    def remove_incoming(self, block: "BasicBlock") -> None:
+        for i, pred in enumerate(self.incoming_blocks):
+            if pred is block:
+                if i < len(self._operands):
+                    self._operands[i]._remove_user(self)
+                    del self._operands[i]
+                del self.incoming_blocks[i]
+                return
+        raise KeyError(f"phi {self.ref} has no incoming edge from {block.name}")
+
+    def drop_all_references(self) -> None:
+        super().drop_all_references()
+        self.incoming_blocks.clear()
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(
+            f"[{v.ref}, %{b.name}]" for v, b in self.incoming()
+        )
+        return f"{self.ref} = phi {self.type!r} {pairs}{self._fmt_attrs()}"
+
+
+class Load(Instruction):
+    """Typed load.
+
+    A *speculative load* (``speculative=True``) reads the full element from
+    memory but produces a narrowed result type; it misspeculates when the
+    loaded value needs more bits than the result type provides (Table 1).
+    """
+
+    opcode = "load"
+
+    def __init__(
+        self,
+        ptr: Value,
+        name: str = "",
+        *,
+        result_type: Optional[IntType] = None,
+        volatile: bool = False,
+    ) -> None:
+        if not isinstance(ptr.type, PointerType):
+            raise TypeError("load pointer operand must have pointer type")
+        ty = result_type if result_type is not None else ptr.type.pointee
+        super().__init__(ty, [ptr], name)
+        self.volatile = volatile
+
+    @property
+    def ptr(self) -> Value:
+        return self.operand(0)
+
+    def __repr__(self) -> str:
+        return (
+            f"{self.ref} = load {self.type!r}, {self.ptr.type!r} "
+            f"{self.ptr.ref}{self._fmt_attrs()}"
+        )
+
+
+class Store(Instruction):
+    """Typed store; no result."""
+
+    opcode = "store"
+
+    def __init__(self, value: Value, ptr: Value, *, volatile: bool = False) -> None:
+        if not isinstance(ptr.type, PointerType):
+            raise TypeError("store pointer operand must have pointer type")
+        if value.type != ptr.type.pointee:
+            raise TypeError(
+                f"store value type {value.type} != pointee {ptr.type.pointee}"
+            )
+        super().__init__(VOID, [value, ptr])
+        self.volatile = volatile
+
+    @property
+    def value(self) -> Value:
+        return self.operand(0)
+
+    @property
+    def ptr(self) -> Value:
+        return self.operand(1)
+
+    def __repr__(self) -> str:
+        return (
+            f"store {self.value.type!r} {self.value.ref}, "
+            f"{self.ptr.type!r} {self.ptr.ref}{self._fmt_attrs()}"
+        )
+
+
+class Gep(Instruction):
+    """Element address arithmetic: ``ptr + index * sizeof(pointee)``."""
+
+    opcode = "gep"
+
+    def __init__(self, ptr: Value, index: Value, name: str = "") -> None:
+        if not isinstance(ptr.type, PointerType):
+            raise TypeError("gep base must have pointer type")
+        if not is_int(index.type):
+            raise TypeError("gep index must be an integer")
+        super().__init__(ptr.type, [ptr, index], name)
+
+    @property
+    def ptr(self) -> Value:
+        return self.operand(0)
+
+    @property
+    def index(self) -> Value:
+        return self.operand(1)
+
+    def __repr__(self) -> str:
+        return (
+            f"{self.ref} = gep {self.ptr.type!r} {self.ptr.ref}, "
+            f"{self.index.type!r} {self.index.ref}{self._fmt_attrs()}"
+        )
+
+
+class Alloca(Instruction):
+    """Stack allocation of ``count`` elements of ``elem_type``."""
+
+    opcode = "alloca"
+
+    def __init__(self, elem_type: IntType, count: int = 1, name: str = "") -> None:
+        if count < 1:
+            raise ValueError("alloca count must be positive")
+        super().__init__(PointerType(elem_type), [], name)
+        self.elem_type = elem_type
+        self.count = count
+
+    def __repr__(self) -> str:
+        return f"{self.ref} = alloca {self.elem_type!r} x {self.count}"
+
+
+class Call(Instruction):
+    """Direct call, by callee name (resolved through the module).
+
+    Calls are never idempotent in SIR: they fence speculative regions
+    (Eq. 5 of the paper).
+    """
+
+    opcode = "call"
+
+    def __init__(self, callee: str, args: Sequence[Value], ty, name: str = "") -> None:
+        super().__init__(ty, args, name)
+        self.callee = callee
+
+    @property
+    def args(self) -> list[Value]:
+        return self.operands
+
+    def __repr__(self) -> str:
+        args = ", ".join(a.ref for a in self.args)
+        lhs = f"{self.ref} = " if self.has_result else ""
+        return f"{lhs}call {self.type!r} @{self.callee}({args}){self._fmt_attrs()}"
+
+
+class Br(Instruction):
+    """Unconditional branch."""
+
+    opcode = "br"
+
+    def __init__(self, target: "BasicBlock") -> None:
+        super().__init__(VOID, [])
+        self.target = target
+
+    def successors(self) -> list["BasicBlock"]:
+        return [self.target]
+
+    def replace_target(self, old: "BasicBlock", new: "BasicBlock") -> None:
+        if self.target is old:
+            self.target = new
+
+    def __repr__(self) -> str:
+        return f"br label %{self.target.name}"
+
+
+class CondBr(Instruction):
+    """Two-way conditional branch on an ``i1``."""
+
+    opcode = "condbr"
+
+    def __init__(self, cond: Value, if_true: "BasicBlock", if_false: "BasicBlock") -> None:
+        if cond.type != I1:
+            raise TypeError("condbr condition must be i1")
+        super().__init__(VOID, [cond])
+        self.if_true = if_true
+        self.if_false = if_false
+
+    @property
+    def cond(self) -> Value:
+        return self.operand(0)
+
+    def successors(self) -> list["BasicBlock"]:
+        return [self.if_true, self.if_false]
+
+    def replace_target(self, old: "BasicBlock", new: "BasicBlock") -> None:
+        if self.if_true is old:
+            self.if_true = new
+        if self.if_false is old:
+            self.if_false = new
+
+    def __repr__(self) -> str:
+        return (
+            f"br {self.cond.ref}, label %{self.if_true.name}, "
+            f"label %{self.if_false.name}"
+        )
+
+
+class Ret(Instruction):
+    """Function return, with optional value."""
+
+    opcode = "ret"
+
+    def __init__(self, value: Optional[Value] = None) -> None:
+        super().__init__(VOID, [value] if value is not None else [])
+
+    @property
+    def value(self) -> Optional[Value]:
+        return self.operand(0) if self._operands else None
+
+    def __repr__(self) -> str:
+        if self.value is None:
+            return "ret void"
+        return f"ret {self.value.type!r} {self.value.ref}"

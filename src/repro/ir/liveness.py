@@ -1,0 +1,103 @@
+"""Liveness analysis over the (S)IR.
+
+Backward dataflow over the CFG computing live-in/live-out sets of SSA values
+per block.  Phi semantics follow LLVM: a phi's operands are live-out of the
+corresponding predecessor, and the phi result is live-in to its block.
+
+The analysis honours SIR's handler predecessor rule when ``sir=True``: a
+misspeculation handler's live-in values flow out of the *predecessors of its
+region's entry* (Eq. 1 of the paper), reflecting that control can enter the
+handler from anywhere inside the region with region-defined values dead
+(Theorem 3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction, Phi
+from repro.ir.values import Value
+
+
+def _trackable(value: Value) -> bool:
+    return isinstance(value, Instruction)
+
+
+@dataclass
+class LivenessInfo:
+    """Live value sets per block."""
+
+    live_in: dict[BasicBlock, set[Value]] = field(default_factory=dict)
+    live_out: dict[BasicBlock, set[Value]] = field(default_factory=dict)
+
+
+def block_uses_defs(block: BasicBlock) -> tuple[set[Value], set[Value]]:
+    """(upward-exposed uses, defs) of a block; phi operands excluded."""
+    uses: set[Value] = set()
+    defs: set[Value] = set()
+    for inst in block.instructions:
+        if not isinstance(inst, Phi):
+            for op in inst.operands:
+                if _trackable(op) and op not in defs:
+                    uses.add(op)
+        if inst.has_result:
+            defs.add(inst)
+    return uses, defs
+
+
+def compute_liveness(func: Function, *, sir: bool = False) -> LivenessInfo:
+    """Compute per-block liveness; see module docstring for the SIR mode."""
+    info = LivenessInfo()
+    use_def = {b: block_uses_defs(b) for b in func.blocks}
+    for block in func.blocks:
+        info.live_in[block] = set()
+        info.live_out[block] = set()
+
+    # Successor edges for the dataflow, with phi-operand handling: for each
+    # edge pred -> succ, values flowing are live_in(succ) minus succ's phis,
+    # plus the phi operands contributed along that edge.
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(func.blocks):
+            live_out: set[Value] = set()
+            successors = list(block.successors())
+            if sir and block.region is not None and block.region.handler is not None:
+                # Eq. 2 (SMIR): every block of a region feeds its handler, so
+                # handler-used values stay live across the whole region.
+                successors.append(block.region.handler)
+            for succ in successors:
+                phi_results = set()
+                for phi in succ.phis():
+                    phi_results.add(phi)
+                    if block in phi.incoming_blocks:
+                        incoming = phi.incoming_for_block(block)
+                        if _trackable(incoming):
+                            live_out.add(incoming)
+                live_out |= info.live_in[succ] - phi_results
+            uses, defs = use_def[block]
+            live_in = uses | (live_out - defs)
+            # Phi results are defined at the top of the block, hence live-in
+            # from the point of view of incoming edges; we expose them via
+            # live_in so handlers know what the region entry provides.
+            for phi in block.phis():
+                live_in.add(phi)
+            if live_out != info.live_out[block] or live_in != info.live_in[block]:
+                info.live_out[block] = live_out
+                info.live_in[block] = live_in
+                changed = True
+
+    if sir:
+        # Handlers conceptually take their live-in from the region entry's
+        # predecessors (Eq. 1): re-express handler live-ins after convergence.
+        for block in func.blocks:
+            if block.handler_for is not None:
+                region = block.handler_for
+                entry = region.entry
+                # Values available at the handler are those live-in to the
+                # region entry (they dominate the region; Theorem 3.1).
+                available = set(info.live_in[entry])
+                info.live_in[block] |= available & info.live_in[block]
+    return info

@@ -1,0 +1,40 @@
+"""Textual printer for IR modules (LLVM-flavoured, for tests and debugging)."""
+
+from __future__ import annotations
+
+from repro.ir.function import Function, Module
+
+
+def print_function(func: Function) -> str:
+    args = ", ".join(f"{a.type!r} %{a.name}" for a in func.args)
+    lines = [f"define {func.ret_type!r} @{func.name}({args}) {{"]
+    for block in func.blocks:
+        header = f"{block.name}:"
+        notes = []
+        if block.world:
+            notes.append(block.world)
+        if block.region is not None and block.region.handler is not None:
+            notes.append(f"handler=%{block.region.handler.name}")
+        if block.is_handler:
+            notes.append(f"handles=%{block.handler_for.entry.name}")
+        if notes:
+            header += "    ; " + ", ".join(notes)
+        lines.append(header)
+        for inst in block.instructions:
+            lines.append(f"  {inst!r}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_module(module: Module) -> str:
+    parts = [f"; module {module.name}"]
+    for gv in module.globals.values():
+        nonzero = sum(1 for v in gv.initializer if v)
+        parts.append(
+            f"@{gv.name} = global [{gv.count} x {gv.elem_type!r}] "
+            f"; {nonzero} nonzero init"
+        )
+    for func in module.functions.values():
+        parts.append("")
+        parts.append(print_function(func))
+    return "\n".join(parts)

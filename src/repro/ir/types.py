@@ -1,0 +1,129 @@
+"""Type system for the repro IR.
+
+The IR models the slice of LLVM IR that BITSPEC operates on: arbitrary-width
+unsigned-representation integers (``i1``..``i64``), a void type for functions
+without a return value, and a flat-address-space pointer type used by loads,
+stores and address arithmetic.
+
+Integer values are stored in unsigned two's-complement representation; signed
+operations reinterpret the bit pattern, exactly as LLVM does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class IntType:
+    """An integer type of a fixed bitwidth (``i1``, ``i8``, ... ``i64``)."""
+
+    bits: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.bits <= 64:
+            raise ValueError(f"unsupported integer bitwidth: {self.bits}")
+
+    @property
+    def mask(self) -> int:
+        """Bitmask selecting the value bits of this type."""
+        return (1 << self.bits) - 1
+
+    @property
+    def size_bytes(self) -> int:
+        """Storage footprint in bytes (rounded up to 1/2/4/8)."""
+        for size in (1, 2, 4, 8):
+            if self.bits <= size * 8:
+                return size
+        raise AssertionError("unreachable")
+
+    def wrap(self, value: int) -> int:
+        """Reduce ``value`` into this type's unsigned representation."""
+        return value & self.mask
+
+    def to_signed(self, value: int) -> int:
+        """Reinterpret the unsigned representation ``value`` as signed."""
+        value &= self.mask
+        sign_bit = 1 << (self.bits - 1)
+        return value - (1 << self.bits) if value & sign_bit else value
+
+    def __repr__(self) -> str:
+        return f"i{self.bits}"
+
+
+@dataclass(frozen=True)
+class VoidType:
+    """The type of functions that return no value."""
+
+    def __repr__(self) -> str:
+        return "void"
+
+
+@dataclass(frozen=True)
+class PointerType:
+    """A pointer into the flat byte-addressable address space.
+
+    Pointers are 32 bits wide on the modeled machine; ``pointee`` records the
+    element type for address arithmetic (``gep``) and typed loads/stores.
+    """
+
+    pointee: IntType
+
+    @property
+    def bits(self) -> int:
+        return 32
+
+    @property
+    def size_bytes(self) -> int:
+        return 4
+
+    @property
+    def mask(self) -> int:
+        return 0xFFFFFFFF
+
+    def wrap(self, value: int) -> int:
+        return value & 0xFFFFFFFF
+
+    def __repr__(self) -> str:
+        return f"{self.pointee!r}*"
+
+
+_INT_CACHE: dict[int, IntType] = {}
+
+
+def int_type(bits: int) -> IntType:
+    """Return the canonical :class:`IntType` of width ``bits``."""
+    cached = _INT_CACHE.get(bits)
+    if cached is None:
+        cached = IntType(bits)
+        _INT_CACHE[bits] = cached
+    return cached
+
+
+VOID = VoidType()
+I1 = int_type(1)
+I8 = int_type(8)
+I16 = int_type(16)
+I32 = int_type(32)
+I64 = int_type(64)
+
+
+def is_int(ty: object) -> bool:
+    """True if ``ty`` is an integer type."""
+    return isinstance(ty, IntType)
+
+
+def is_pointer(ty: object) -> bool:
+    """True if ``ty`` is a pointer type."""
+    return isinstance(ty, PointerType)
+
+
+def required_bits(value: int) -> int:
+    """Bits needed to store the unsigned value ``value``.
+
+    This is the paper's ``RequiredBits(a) = floor(lg a) + 1`` with the natural
+    extension ``RequiredBits(0) = 1`` (one bit stores a zero).
+    """
+    if value < 0:
+        raise ValueError("required_bits expects an unsigned representation")
+    return max(1, value.bit_length())

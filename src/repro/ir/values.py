@@ -1,0 +1,122 @@
+"""Value hierarchy for the repro IR.
+
+Everything an instruction can reference is a :class:`Value`: constants,
+function arguments, global variables and other instructions.  Values keep a
+use-list (``users``) so transformation passes can rewrite programs with
+``replace_all_uses_with`` in constant time per use, mirroring LLVM.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.ir.types import IntType, PointerType, int_type
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.ir.instructions import Instruction
+
+
+class Value:
+    """Base class of everything that can appear as an instruction operand."""
+
+    def __init__(self, ty, name: str = "") -> None:
+        self.type = ty
+        self.name = name
+        #: Instructions currently holding this value as an operand.  An
+        #: instruction appears once per *distinct* operand slot; bookkeeping
+        #: is multiset-like via a count map.
+        self._user_counts: dict["Instruction", int] = {}
+
+    @property
+    def users(self) -> list["Instruction"]:
+        """Instructions using this value (each listed once)."""
+        return list(self._user_counts)
+
+    def _add_user(self, inst: "Instruction") -> None:
+        self._user_counts[inst] = self._user_counts.get(inst, 0) + 1
+
+    def _remove_user(self, inst: "Instruction") -> None:
+        count = self._user_counts.get(inst, 0)
+        if count <= 1:
+            self._user_counts.pop(inst, None)
+        else:
+            self._user_counts[inst] = count - 1
+
+    def replace_all_uses_with(self, replacement: "Value") -> None:
+        """Rewrite every use of ``self`` to use ``replacement`` instead."""
+        if replacement is self:
+            return
+        for user in self.users:
+            user.replace_uses_of_value(self, replacement)
+
+    @property
+    def ref(self) -> str:
+        """Printable reference (e.g. ``%x`` or a literal for constants)."""
+        return f"%{self.name}"
+
+    def __repr__(self) -> str:
+        return f"{self.type!r} {self.ref}"
+
+
+class Constant(Value):
+    """An integer constant, stored in unsigned representation."""
+
+    def __init__(self, ty: IntType, value: int) -> None:
+        super().__init__(ty)
+        self.value = ty.wrap(value)
+
+    @property
+    def ref(self) -> str:
+        return str(self.value)
+
+    def __repr__(self) -> str:
+        return f"{self.type!r} {self.value}"
+
+
+def const(value: int, bits: int = 32) -> Constant:
+    """Convenience constructor for an integer constant."""
+    return Constant(int_type(bits), value)
+
+
+class Argument(Value):
+    """A formal parameter of a :class:`~repro.ir.function.Function`."""
+
+    def __init__(self, ty, name: str, index: int) -> None:
+        super().__init__(ty, name)
+        self.index = index
+
+
+class GlobalVariable(Value):
+    """A module-level array (or scalar, ``count == 1``) in flat memory.
+
+    The value of a global *as an operand* is its address, hence its type is a
+    pointer to the element type.  ``initializer`` may be overridden by the
+    evaluation harness to inject workload inputs.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        elem_type: IntType,
+        count: int,
+        initializer: Optional[list[int]] = None,
+    ) -> None:
+        super().__init__(PointerType(elem_type), name)
+        if count < 1:
+            raise ValueError("global variable needs at least one element")
+        self.elem_type = elem_type
+        self.count = count
+        if initializer is None:
+            initializer = [0] * count
+        if len(initializer) > count:
+            raise ValueError(f"initializer too long for global {name!r}")
+        self.initializer = [elem_type.wrap(v) for v in initializer]
+        self.initializer += [0] * (count - len(self.initializer))
+
+    @property
+    def size_bytes(self) -> int:
+        return self.elem_type.size_bytes * self.count
+
+    @property
+    def ref(self) -> str:
+        return f"@{self.name}"

@@ -1,0 +1,48 @@
+"""Middle-end passes: expander, CFG prep, squeezer, speculative opts."""
+
+from repro.passes.cfg_prep import check_prepared, prepare_cfg, prepare_cfg_module
+from repro.passes.dce import eliminate_dead_code, eliminate_dead_code_module
+from repro.passes.expander import (
+    AUTOTUNE_GRID,
+    ExpanderConfig,
+    autotune,
+    build_module,
+)
+from repro.passes.inline import inline_module
+from repro.passes.opt import (
+    eliminate_compares,
+    elide_bitmasks,
+    run_speculative_opts,
+)
+from repro.passes.simplify import fold_constants, simplify_function, simplify_module
+from repro.passes.squeezer import SqueezeResult, squeeze_function, squeeze_module
+from repro.passes.ssa_updater import SSAUpdater, UndefinedValueError
+from repro.passes.static_narrow import narrow_function, narrow_module
+from repro.passes.unroll import unroll_program
+
+__all__ = [
+    "AUTOTUNE_GRID",
+    "ExpanderConfig",
+    "SSAUpdater",
+    "SqueezeResult",
+    "UndefinedValueError",
+    "autotune",
+    "build_module",
+    "check_prepared",
+    "eliminate_compares",
+    "eliminate_dead_code",
+    "eliminate_dead_code_module",
+    "elide_bitmasks",
+    "fold_constants",
+    "inline_module",
+    "narrow_function",
+    "narrow_module",
+    "prepare_cfg",
+    "prepare_cfg_module",
+    "run_speculative_opts",
+    "simplify_function",
+    "simplify_module",
+    "squeeze_function",
+    "squeeze_module",
+    "unroll_program",
+]

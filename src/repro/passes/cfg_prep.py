@@ -1,0 +1,143 @@
+"""CFG preparation — squeezer pass ① (§3.2.3, Eqs. 4–6).
+
+Splits basic blocks so that:
+
+* Eq. 4 — a block contains loads or stores, never both (no WAR memory
+  dependences inside a block, so re-execution is idempotent);
+* Eq. 5 — every volatile instruction or call sits alone in its block
+  (non-idempotent instructions fence speculative regions);
+* Eq. 6 — a block holds either only phis or only non-phis (terminators
+  exempt), so misspeculation handling never needs to reason about phis
+  except the ones pass ③ injects.
+"""
+
+from __future__ import annotations
+
+from repro.ir.block import BasicBlock
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function, Module
+from repro.ir.instructions import Call, Instruction, Load, Phi, Store
+
+
+def split_block(block: BasicBlock, index: int, name_hint: str) -> BasicBlock:
+    """Move ``instructions[index:]`` into a new fall-through block.
+
+    The original block receives an unconditional branch to the new block;
+    successor phis are rewired to the new block (which now owns the
+    terminator).
+    """
+    func = block.parent
+    position = func.blocks.index(block) + 1
+    tail = func.add_block(f"{block.name}.{name_hint}", index=position)
+    tail.world = block.world
+    moved = list(block.instructions[index:])
+    for inst in moved:
+        block.remove(inst)
+        tail.append(inst)
+    for succ in tail.successors():
+        for phi in succ.phis():
+            for i, pred in enumerate(phi.incoming_blocks):
+                if pred is block:
+                    phi.set_incoming_block(i, tail)
+    IRBuilder(block).br(tail)
+    return tail
+
+
+def _split_phis(func: Function) -> None:
+    for block in list(func.blocks):
+        phis = block.phis()
+        if not phis:
+            continue
+        body = [
+            i
+            for i in block.instructions
+            if not isinstance(i, Phi) and not i.is_terminator
+        ]
+        if body:
+            split_block(block, len(phis), "nonphi")
+
+
+def _split_non_idempotent(func: Function) -> None:
+    """Eq. 5: isolate calls and volatile instructions."""
+    progress = True
+    while progress:
+        progress = False
+        for block in list(func.blocks):
+            insts = block.instructions
+            for index, inst in enumerate(insts):
+                if inst.is_terminator:
+                    break
+                fencing = isinstance(inst, Call) or inst.volatile
+                if not fencing:
+                    continue
+                if index > 0:
+                    split_block(block, index, "fence")
+                    progress = True
+                    break
+                # inst is first; split after it if more non-terminators follow
+                rest = insts[1:]
+                if rest and not (len(rest) == 1 and rest[0].is_terminator):
+                    split_block(block, 1, "postfence")
+                    progress = True
+                    break
+            if progress:
+                break
+
+
+def _split_memory_mix(func: Function) -> None:
+    """Eq. 4: a block may contain loads or stores, not both."""
+    progress = True
+    while progress:
+        progress = False
+        for block in list(func.blocks):
+            seen_load = False
+            seen_store = False
+            for index, inst in enumerate(block.instructions):
+                if isinstance(inst, Load):
+                    if seen_store:
+                        split_block(block, index, "mem")
+                        progress = True
+                        break
+                    seen_load = True
+                elif isinstance(inst, Store):
+                    if seen_load:
+                        split_block(block, index, "mem")
+                        progress = True
+                        break
+                    seen_store = True
+            if progress:
+                break
+
+
+def prepare_cfg(func: Function) -> None:
+    """Run all three splitting criteria on ``func``."""
+    _split_phis(func)
+    _split_non_idempotent(func)
+    _split_memory_mix(func)
+
+
+def prepare_cfg_module(module: Module) -> None:
+    for func in module.functions.values():
+        prepare_cfg(func)
+
+
+def check_prepared(func: Function) -> list[str]:
+    """Diagnostics: which blocks violate Eqs. 4–6 (empty when prepared)."""
+    problems: list[str] = []
+    for block in func.blocks:
+        loads = sum(isinstance(i, Load) for i in block.instructions)
+        stores = sum(isinstance(i, Store) for i in block.instructions)
+        if loads and stores:
+            problems.append(f"{block.name}: mixes loads and stores")
+        fencing = [
+            i
+            for i in block.instructions
+            if (isinstance(i, Call) or i.volatile) and not i.is_terminator
+        ]
+        body_size = sum(1 for i in block.instructions if not i.is_terminator)
+        if fencing and body_size != 1:
+            problems.append(f"{block.name}: call/volatile not isolated")
+        phis = len(block.phis())
+        if phis and phis != body_size:
+            problems.append(f"{block.name}: mixes phis and non-phis")
+    return problems

@@ -1,0 +1,48 @@
+"""Dead code elimination.
+
+Removes result-producing instructions with no remaining users and no side
+effects.  Values named in any live instruction's ``spec_guards`` are kept
+alive: after compare elimination (§3.2.4) the program's correctness depends
+on the *speculation outcome* of the guarded definition, so the definition
+must execute even though its result is otherwise unused.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function, Module
+from repro.ir.instructions import Instruction
+
+
+def _removable(inst: Instruction, guarded: set) -> bool:
+    if inst.is_terminator or inst.may_have_side_effects:
+        return False
+    if not inst.has_result:
+        return False
+    if inst.users:
+        return False
+    if inst in guarded:
+        return False
+    return True
+
+
+def eliminate_dead_code(func: Function) -> int:
+    """Iteratively delete dead instructions; returns the number removed."""
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        guarded = set()
+        for block in func.blocks:
+            for inst in block.instructions:
+                guarded.update(inst.spec_guards)
+        for block in func.blocks:
+            for inst in list(block.instructions):
+                if _removable(inst, guarded):
+                    inst.erase_from_parent()
+                    removed += 1
+                    changed = True
+    return removed
+
+
+def eliminate_dead_code_module(module: Module) -> int:
+    return sum(eliminate_dead_code(f) for f in module.functions.values())

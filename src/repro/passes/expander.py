@@ -1,0 +1,97 @@
+"""The expander (§3.2.1): aggressive loop unrolling + function inlining.
+
+Expansion instantiates dynamic code paths as static control flow, enlarging
+the optimization space — at the cost of register pressure, which BITSPEC's
+slice packing then absorbs (RQ4).  Configuration mirrors the paper's
+autotuner search space: *unrolling factor*, *max function size*, *max loop
+size*; :func:`autotune` greedily minimizes baseline dynamic instructions
+over a small grid (the OpenTuner substitution, see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, replace
+from typing import Callable, Optional
+
+from repro.frontend.ast_nodes import Program
+from repro.frontend.codegen import compile_program
+from repro.frontend.parser import parse
+from repro.ir.function import Module
+from repro.passes.inline import inline_module
+from repro.passes.simplify import simplify_module
+from repro.passes.unroll import unroll_program
+
+
+@dataclass(frozen=True)
+class ExpanderConfig:
+    """Tuning knobs of the expander (the autotuner's search space)."""
+
+    enabled: bool = True
+    unroll_factor: int = 4
+    max_loop_size: int = 120
+    max_callee_size: int = 80
+    max_function_size: int = 4000
+
+    @classmethod
+    def disabled(cls) -> "ExpanderConfig":
+        return cls(enabled=False)
+
+
+#: Grid explored by :func:`autotune` (a scaled-down OpenTuner sweep).
+AUTOTUNE_GRID = {
+    "unroll_factor": (1, 2, 4, 8),
+    "max_loop_size": (60, 120, 240),
+    "max_callee_size": (40, 80, 160),
+}
+
+
+def build_module(
+    source: str,
+    config: Optional[ExpanderConfig] = None,
+    name: str = "program",
+) -> Module:
+    """Front-end + expander: MiniC source → expanded, simplified IR module."""
+    config = config or ExpanderConfig()
+    program = parse(source)
+    if config.enabled and config.unroll_factor > 1:
+        unroll_program(
+            program,
+            factor=config.unroll_factor,
+            max_loop_size=config.max_loop_size,
+        )
+    module = compile_program(program, name)
+    if config.enabled:
+        inline_module(
+            module,
+            max_callee_size=config.max_callee_size,
+            max_function_size=config.max_function_size,
+        )
+    simplify_module(module)
+    return module
+
+
+def autotune(
+    source: str,
+    measure: Callable[[Module], int],
+    *,
+    base: Optional[ExpanderConfig] = None,
+) -> ExpanderConfig:
+    """Pick the expander config minimizing ``measure`` (dynamic instructions).
+
+    ``measure`` receives a freshly built module and returns the metric to
+    minimize on the baseline architecture; ties favour less expansion.
+    The search is coordinate descent over :data:`AUTOTUNE_GRID`, mirroring
+    the offline tuning procedure of §3.2.1.
+    """
+    best = base or ExpanderConfig()
+    best_score = measure(build_module(source, best))
+    for knob, choices in AUTOTUNE_GRID.items():
+        for choice in choices:
+            candidate = replace(best, **{knob: choice})
+            if candidate == best:
+                continue
+            score = measure(build_module(source, candidate))
+            if score < best_score:
+                best, best_score = candidate, score
+    return best

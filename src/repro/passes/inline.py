@@ -1,0 +1,145 @@
+"""IR-level function inlining — half of the expander (§3.2.1).
+
+Inlines non-recursive callees up to a size budget.  Returned values are
+merged with a phi at the continuation block; callee allocas are hoisted to
+the caller's entry block so frames stay fixed-size.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.ir.block import BasicBlock
+from repro.ir.builder import IRBuilder
+from repro.ir.clone import clone_blocks
+from repro.ir.function import Function, Module
+from repro.ir.instructions import Alloca, Br, Call, Phi, Ret
+from repro.ir.types import VOID
+
+
+def _functions_in_cycles(module: Module) -> set:
+    """Names of functions involved in call-graph cycles (recursion)."""
+    graph = {
+        name: {
+            inst.callee
+            for block in func.blocks
+            for inst in block.instructions
+            if isinstance(inst, Call) and inst.callee in module.functions
+        }
+        for name, func in module.functions.items()
+    }
+    cyclic: set[str] = set()
+
+    def reaches(start: str, target: str, seen: set) -> bool:
+        if start in seen:
+            return False
+        seen.add(start)
+        for succ in graph.get(start, ()):
+            if succ == target or reaches(succ, target, seen):
+                return True
+        return False
+
+    for name in graph:
+        if name in graph[name] or reaches(name, name, set()):
+            cyclic.add(name)
+    return cyclic
+
+
+def _function_size(func: Function) -> int:
+    return sum(len(block.instructions) for block in func.blocks)
+
+
+def _inline_call(caller: Function, call: Call, callee: Function, tag: str) -> None:
+    block = call.parent
+    index = block.instructions.index(call)
+
+    # Split the caller block at the call site.
+    continuation = caller.add_block(f"{block.name}.cont{tag}")
+    for inst in list(block.instructions[index + 1 :]):
+        block.remove(inst)
+        continuation.append(inst)
+    for succ in continuation.successors():
+        for phi in succ.phis():
+            for i, pred in enumerate(phi.incoming_blocks):
+                if pred is block:
+                    phi.set_incoming_block(i, continuation)
+
+    # Clone the callee body with arguments substituted.
+    arg_map = {formal: actual for formal, actual in zip(callee.args, call.args)}
+    vmap, bmap = clone_blocks(caller, callee.blocks, tag, value_map=arg_map)
+
+    # Rets become branches to the continuation; values merge in a phi.
+    ret_edges = []
+    for callee_block in callee.blocks:
+        cloned = bmap[callee_block]
+        term = cloned.terminator
+        if isinstance(term, Ret):
+            value = term.value
+            term.erase_from_parent()
+            IRBuilder(cloned).br(continuation)
+            ret_edges.append((cloned, value))
+
+    if call.type is not VOID and call.users:
+        if len(ret_edges) == 1:
+            replacement = ret_edges[0][1]
+        else:
+            phi = Phi(call.type, caller.next_name("inl.ret"))
+            continuation.insert(0, phi)
+            for cloned, value in ret_edges:
+                phi.add_incoming(value, cloned)
+            replacement = phi
+        call.replace_all_uses_with(replacement)
+
+    # Replace the call with a branch into the inlined entry.
+    entry_clone = bmap[callee.entry]
+    call.erase_from_parent()
+    IRBuilder(block).br(entry_clone)
+
+    # Hoist cloned allocas into the caller entry (fixed-size frames).
+    for callee_block in callee.blocks:
+        cloned = bmap[callee_block]
+        for inst in list(cloned.instructions):
+            if isinstance(inst, Alloca):
+                cloned.remove(inst)
+                caller.entry.insert(0, inst)
+
+
+def inline_module(
+    module: Module,
+    *,
+    max_callee_size: int = 80,
+    max_function_size: int = 4000,
+    entry: str = "main",
+) -> int:
+    """Inline eligible call sites module-wide; returns the inline count."""
+    cyclic = _functions_in_cycles(module)
+    counter = itertools.count()
+    total = 0
+    progress = True
+    while progress:
+        progress = False
+        for caller in module.functions.values():
+            if _function_size(caller) >= max_function_size:
+                continue
+            for block in list(caller.blocks):
+                call_sites = [
+                    inst
+                    for inst in block.instructions
+                    if isinstance(inst, Call) and inst.callee in module.functions
+                ]
+                for call in call_sites:
+                    callee = module.functions[call.callee]
+                    if (
+                        call.callee in cyclic
+                        or callee is caller
+                        or not callee.blocks
+                        or _function_size(callee) > max_callee_size
+                        or _function_size(caller) + _function_size(callee)
+                        > max_function_size
+                    ):
+                        continue
+                    _inline_call(caller, call, callee, f".i{next(counter)}")
+                    total += 1
+                    progress = True
+                    break  # the block was split; rescan
+    return total

@@ -1,0 +1,140 @@
+"""BITSPEC-specific optimizations: compare elimination and bitmask elision.
+
+*Compare elimination* (§3.2.4): a comparison between a speculative 8-bit
+value and a constant that cannot fit the slice is decided by the speculation
+outcome itself — if the guarded definition did not misspeculate, the value
+is < 2^8, so the compare folds to a constant.  The guarded definition is
+pinned alive via ``spec_guards`` so DCE cannot remove the speculation.
+
+*Bitmask elision* (RQ3): ``and v, 0xFF`` becomes a register-slice move —
+expressed in IR as ``zext(trunc(v, 8))``, which the back-end lowers to an
+8-bit slice access and which lets neighbouring squeezed instructions consume
+the 8-bit value directly (the simplifier folds ``trunc(zext(x8))`` to x8).
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function, Module
+from repro.ir.instructions import BinOp, Cast, Icmp, Instruction
+from repro.ir.types import IntType, int_type
+from repro.ir.values import Constant, Value
+from repro.profiler.selection import SQUEEZE_WIDTH
+
+_LIMIT = 1 << SQUEEZE_WIDTH
+
+#: predicate -> constant result when lhs < 2^8 <= rhs
+_FOLD_WHEN_RHS_TOO_BIG = {
+    "ult": 1,
+    "ule": 1,
+    "ugt": 0,
+    "uge": 0,
+    "eq": 0,
+    "ne": 1,
+}
+
+
+def _speculative_root(value: Value) -> Instruction | None:
+    """The speculative definition guaranteeing ``value`` < 2^8, if any."""
+    if isinstance(value, Cast) and value.opcode == "zext":
+        source = value.value
+        if (
+            isinstance(source, Instruction)
+            and source.speculative
+            and isinstance(source.type, IntType)
+            and source.type.bits == SQUEEZE_WIDTH
+        ):
+            return source
+    if (
+        isinstance(value, Instruction)
+        and value.speculative
+        and isinstance(value.type, IntType)
+        and value.type.bits == SQUEEZE_WIDTH
+    ):
+        return value
+    return None
+
+
+def eliminate_compares(func: Function) -> int:
+    """Fold compares decided by speculation; returns the number removed."""
+    removed = 0
+    for block in list(func.blocks):
+        if block.world == "orig":
+            continue  # CFG_orig executes without speculation guarantees
+        for inst in list(block.instructions):
+            if not isinstance(inst, Icmp):
+                continue
+            lhs, rhs = inst.lhs, inst.rhs
+            if not isinstance(rhs, Constant):
+                continue
+            outcome = _FOLD_WHEN_RHS_TOO_BIG.get(inst.pred)
+            if outcome is None:
+                continue
+            root = _speculative_root(lhs)
+            if root is None:
+                continue
+            folds = False
+            if rhs.value >= _LIMIT:
+                folds = True
+            elif rhs.value == _LIMIT - 1 and inst.pred == "ule":
+                # v <= 255 is tautological for a non-misspeculated slice.
+                outcome = 1
+                folds = True
+            if not folds:
+                continue
+            replacement = Constant(int_type(1), outcome)
+            inst.replace_all_uses_with(replacement)
+            terminator = block.terminator
+            if terminator is not None and root not in terminator.spec_guards:
+                terminator.spec_guards.append(root)
+            inst.erase_from_parent()
+            removed += 1
+    return removed
+
+
+def elide_bitmasks(func: Function) -> int:
+    """Rewrite ``and v, 0xFF`` as a slice move; returns rewrites performed."""
+    rewritten = 0
+    for block in list(func.blocks):
+        if block.world == "orig":
+            continue
+        for inst in list(block.instructions):
+            if not (isinstance(inst, BinOp) and inst.opcode == "and"):
+                continue
+            if not isinstance(inst.type, IntType) or inst.type.bits <= SQUEEZE_WIDTH:
+                continue
+            lhs, rhs = inst.lhs, inst.rhs
+            mask = None
+            source = None
+            if isinstance(rhs, Constant) and rhs.value == _LIMIT - 1:
+                source = lhs
+            elif isinstance(lhs, Constant) and lhs.value == _LIMIT - 1:
+                source = rhs
+            if source is None:
+                continue
+            index = block.instructions.index(inst)
+            trunc = Cast(
+                "trunc", source, int_type(SQUEEZE_WIDTH), func.next_name("slice")
+            )
+            block.insert(index, trunc)
+            ext = Cast("zext", trunc, inst.type, func.next_name("slice.x"))
+            block.insert(index + 1, ext)
+            inst.replace_all_uses_with(ext)
+            inst.erase_from_parent()
+            rewritten += 1
+    return rewritten
+
+
+def run_speculative_opts(
+    module: Module,
+    *,
+    compare_elimination: bool = True,
+    bitmask_elision: bool = True,
+) -> dict[str, int]:
+    """Run the enabled optimizations module-wide; returns counts."""
+    counts = {"compares_eliminated": 0, "bitmasks_elided": 0}
+    for func in module.functions.values():
+        if compare_elimination:
+            counts["compares_eliminated"] += eliminate_compares(func)
+        if bitmask_elision:
+            counts["bitmasks_elided"] += elide_bitmasks(func)
+    return counts

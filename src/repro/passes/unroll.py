@@ -1,0 +1,255 @@
+"""AST-level loop unrolling — the other half of the expander (§3.2.1).
+
+Unrolls canonical counted ``for`` loops::
+
+    for (T i = e0; i < bound; i += c) body
+
+into a main loop executing ``factor`` bodies per iteration plus a remainder
+loop, guarded against unsigned wrap-around::
+
+    T i = e0;
+    T limit = bound >= (factor-1)*c ? bound - (factor-1)*c : 0;
+    while (i < limit) { body; i += c;  ... (factor times) }
+    while (i < bound) { body; i += c; }
+
+Eligibility is conservative (this is the NOELLE-expander substitution — see
+DESIGN.md): the induction variable must be declared in the init clause and
+not assigned in the body; the bound must be a literal, or a scalar name
+neither assigned in the body nor potentially aliased by a call; the body
+must not break/continue/return; the step must add a positive constant.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Optional
+
+from repro.frontend.ast_nodes import (
+    AssignStmt,
+    BinaryExpr,
+    BreakStmt,
+    CallExpr,
+    CondExpr,
+    ContinueStmt,
+    DeclStmt,
+    Expr,
+    ExprStmt,
+    ForStmt,
+    FuncDecl,
+    IfStmt,
+    IndexExpr,
+    NumExpr,
+    Program,
+    ReturnStmt,
+    Stmt,
+    VarExpr,
+    WhileStmt,
+    DoWhileStmt,
+)
+
+
+def _stmt_count(stmts: list) -> int:
+    total = 0
+    for stmt in stmts:
+        total += 1
+        for attr in ("body", "then_body", "else_body"):
+            inner = getattr(stmt, attr, None)
+            if inner:
+                total += _stmt_count(inner)
+    return total
+
+
+def _contains_control_escape(stmts: list) -> bool:
+    """break/continue/return anywhere below (without crossing a nested loop
+    for break/continue, but we stay conservative and reject all)."""
+    for stmt in stmts:
+        if isinstance(stmt, (BreakStmt, ContinueStmt, ReturnStmt)):
+            return True
+        for attr in ("body", "then_body", "else_body"):
+            inner = getattr(stmt, attr, None)
+            if inner and _contains_control_escape(inner):
+                return True
+    return False
+
+
+def _assigned_names(stmts: list) -> set:
+    names: set[str] = set()
+    for stmt in stmts:
+        if isinstance(stmt, AssignStmt):
+            if isinstance(stmt.target, VarExpr):
+                names.add(stmt.target.name)
+            elif isinstance(stmt.target, IndexExpr):
+                names.add(stmt.target.base)
+        if isinstance(stmt, DeclStmt):
+            names.add(stmt.name)
+        for attr in ("body", "then_body", "else_body"):
+            inner = getattr(stmt, attr, None)
+            if inner:
+                names |= _assigned_names(inner)
+    return names
+
+
+def _contains_call(node) -> bool:
+    if isinstance(node, CallExpr):
+        return True
+    if isinstance(node, list):
+        return any(_contains_call(item) for item in node)
+    if isinstance(node, (Stmt, Expr)):
+        return any(
+            _contains_call(value)
+            for value in vars(node).values()
+            if isinstance(value, (Stmt, Expr, list))
+        )
+    return False
+
+
+def _match_canonical_for(stmt: ForStmt):
+    """Return (ivar DeclStmt, bound Expr, step constant) or None."""
+    init = stmt.init
+    if not isinstance(init, DeclStmt) or init.array_size is not None:
+        return None
+    if init.ctype.signed or init.ctype.pointer:
+        return None
+    ivar = init.name
+    cond = stmt.cond
+    if not (
+        isinstance(cond, BinaryExpr)
+        and cond.op == "<"
+        and isinstance(cond.lhs, VarExpr)
+        and cond.lhs.name == ivar
+    ):
+        return None
+    bound = cond.rhs
+    step = stmt.step
+    if not (
+        isinstance(step, AssignStmt)
+        and isinstance(step.target, VarExpr)
+        and step.target.name == ivar
+        and step.op == "+="
+        and isinstance(step.value, NumExpr)
+        and step.value.value >= 1
+    ):
+        return None
+    assigned = _assigned_names(stmt.body)
+    if ivar in assigned:
+        return None
+    if _contains_control_escape(stmt.body):
+        return None
+    if isinstance(bound, NumExpr):
+        pass
+    elif isinstance(bound, VarExpr):
+        if bound.name in assigned or _contains_call(stmt.body):
+            return None
+    else:
+        return None
+    return init, bound, step.value.value
+
+
+def _literal_trip_count(init: DeclStmt, bound, step: int) -> Optional[int]:
+    """Exact trip count when init and bound are literals."""
+    if not isinstance(bound, NumExpr):
+        return None
+    if init.init is None:
+        start = 0
+    elif isinstance(init.init, NumExpr):
+        start = init.init.value
+    else:
+        return None
+    if bound.value <= start:
+        return 0
+    return (bound.value - start + step - 1) // step
+
+
+def _full_unroll(stmt: ForStmt, init: DeclStmt, trips: int) -> Stmt:
+    """Replace a small constant-trip loop with straight-line copies."""
+    body: list[Stmt] = [init]
+    step_stmt = stmt.step
+    for _ in range(trips):
+        body.append(IfStmt(NumExpr(1), copy.deepcopy(stmt.body), []))
+        body.append(copy.deepcopy(step_stmt))
+    return IfStmt(NumExpr(1), body, [])
+
+
+def _unroll_for(
+    stmt: ForStmt, factor: int, counter: list, max_loop_size: int = 120
+) -> Optional[Stmt]:
+    match = _match_canonical_for(stmt)
+    if match is None:
+        return None
+    init, bound, step_const = match
+    trips = _literal_trip_count(init, bound, step_const)
+    if (
+        trips is not None
+        and trips <= 2 * factor
+        and trips * _stmt_count(stmt.body) <= max_loop_size
+    ):
+        # Small constant-trip loops (e.g. 3x3/5x5 image masks): eliminate
+        # the loop entirely rather than pay guard/remainder overhead.
+        counter[0] += 1
+        return _full_unroll(stmt, init, trips)
+    if trips is not None and trips < 2 * factor:
+        # Partial unrolling would spend most iterations in the remainder.
+        return None
+    ivar = init.name
+    ctype = init.ctype
+    slack = (factor - 1) * step_const
+    limit_name = f"__ur_limit{counter[0]}"
+    counter[0] += 1
+    limit_decl = DeclStmt(
+        ctype,
+        limit_name,
+        None,
+        CondExpr(
+            BinaryExpr(">=", copy.deepcopy(bound), NumExpr(slack)),
+            BinaryExpr("-", copy.deepcopy(bound), NumExpr(slack)),
+            NumExpr(0),
+        ),
+    )
+    step_stmt = AssignStmt(VarExpr(ivar), "+=", NumExpr(step_const))
+    main_body: list[Stmt] = []
+    for _ in range(factor):
+        # Each body copy gets its own scope so locals may redeclare.
+        main_body.append(IfStmt(NumExpr(1), copy.deepcopy(stmt.body), []))
+        main_body.append(copy.deepcopy(step_stmt))
+    main_loop = WhileStmt(
+        BinaryExpr("<", VarExpr(ivar), VarExpr(limit_name)), main_body
+    )
+    remainder_body = [IfStmt(NumExpr(1), copy.deepcopy(stmt.body), []),
+                      copy.deepcopy(step_stmt)]
+    remainder = WhileStmt(
+        BinaryExpr("<", VarExpr(ivar), copy.deepcopy(bound)), remainder_body
+    )
+    # Wrap in an anonymous scope so ivar/limit don't leak.
+    return IfStmt(NumExpr(1), [init, limit_decl, main_loop, remainder], [])
+
+
+def _unroll_stmts(stmts: list, factor: int, max_loop_size: int, counter: list) -> list:
+    out: list[Stmt] = []
+    for stmt in stmts:
+        for attr in ("body", "then_body", "else_body"):
+            inner = getattr(stmt, attr, None)
+            if inner:
+                setattr(stmt, attr, _unroll_stmts(inner, factor, max_loop_size, counter))
+        if (
+            isinstance(stmt, ForStmt)
+            and factor > 1
+            and _stmt_count(stmt.body) * factor <= max_loop_size
+        ):
+            replacement = _unroll_for(stmt, factor, counter, max_loop_size)
+            if replacement is not None:
+                out.append(replacement)
+                continue
+        out.append(stmt)
+    return out
+
+
+def unroll_program(
+    program: Program, *, factor: int = 4, max_loop_size: int = 120
+) -> int:
+    """Unroll eligible loops in place; returns the number of loops unrolled."""
+    if factor <= 1:
+        return 0
+    counter = [0]
+    for func in program.functions:
+        func.body = _unroll_stmts(func.body, factor, max_loop_size, counter)
+    return counter[0]

@@ -1,0 +1,16 @@
+"""Profile-guided bitwidth selection (§3.2.2)."""
+
+from repro.profiler.profile import BitwidthProfile, HEURISTICS
+from repro.profiler.selection import (
+    SQUEEZE_WIDTH,
+    SqueezePlan,
+    compute_squeeze_plan,
+)
+
+__all__ = [
+    "BitwidthProfile",
+    "HEURISTICS",
+    "SQUEEZE_WIDTH",
+    "SqueezePlan",
+    "compute_squeeze_plan",
+]

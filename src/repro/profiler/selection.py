@@ -1,0 +1,211 @@
+"""Speculative bitwidth selection (§3.2.2).
+
+Takes the profile's target bitwidths ``T`` and applies the Squeezable?
+constraints (Eq. 3) to produce the final selection ``BW : V -> N``:
+
+* the defining opcode must have a speculative 8-bit form in the ISA
+  (Table 1 — no multiplier/divider, unsigned semantics only);
+* the defining instruction's block must be idempotent (re-executable);
+* zero-extending the 8-bit result must reproduce the original value given
+  that all operands fit — true of the unsigned ops selected;
+* the 8-bit value of a phi must come from 8-bit producers, so phis are only
+  squeezed when every incoming value is itself squeezed or a small constant.
+
+The output is a :class:`SqueezePlan` consumed by the squeezer pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    BinOp,
+    Cast,
+    Icmp,
+    Instruction,
+    Load,
+    Phi,
+)
+from repro.ir.types import IntType, required_bits
+from repro.ir.values import Argument, Constant, Value
+from repro.profiler.profile import BitwidthProfile
+
+#: Width of a register slice — the only speculative width in the ISA.
+SQUEEZE_WIDTH = 8
+
+#: Opcodes with an 8-bit speculative form (Table 1 + slice shifts, which the
+#: segmented ALU supports through the same carry-boundary detection).
+_SQUEEZABLE_BINOPS = frozenset({"add", "sub", "and", "or", "xor", "shl", "lshr"})
+
+_UNSIGNED_PREDS = frozenset({"eq", "ne", "ult", "ule", "ugt", "uge"})
+
+
+@dataclass
+class SqueezePlan:
+    """Which values get squeezed to 8 bits, and the BW selection behind it."""
+
+    #: instructions whose definitions are reduced to 8 bits
+    narrow: set = field(default_factory=set)
+    #: comparisons to execute at 8 bits (result stays i1)
+    narrow_cmps: set = field(default_factory=set)
+    #: arguments whose slice form is materialized once at function entry
+    narrow_args: set = field(default_factory=set)
+    #: the full BW(v) selection, for reporting
+    bw: dict = field(default_factory=dict)
+    heuristic: str = "max"
+
+    def __len__(self) -> int:
+        return len(self.narrow) + len(self.narrow_cmps)
+
+
+def _speculative_opcode(inst: Instruction) -> bool:
+    """Speculative? — does the ISA provide an 8-bit form of this op?"""
+    if isinstance(inst, BinOp):
+        return inst.opcode in _SQUEEZABLE_BINOPS
+    if isinstance(inst, Load):
+        # The speculative load of Table 1 reads at most Mem32.
+        return not inst.volatile and inst.ptr.type.pointee.bits <= 32
+    if isinstance(inst, Phi):
+        return True
+    if isinstance(inst, Cast):
+        return inst.opcode in ("zext", "trunc")
+    return False
+
+
+def _operand_target(
+    profile: BitwidthProfile, func: Function, value: Value, heuristic: str
+) -> int:
+    if isinstance(value, Constant):
+        return required_bits(value.value)
+    if isinstance(value, Instruction):
+        return profile.target_bits(func.name, value.name, heuristic)
+    if isinstance(value, Argument):
+        return profile.target_bits(func.name, value.name, heuristic)
+    return 64  # globals etc.: never squeezed through operands
+
+
+def compute_squeeze_plan(
+    func: Function,
+    profile: BitwidthProfile,
+    heuristic: str = "max",
+) -> SqueezePlan:
+    """Compute BW (Eq. 3 constraints applied to T) and the squeeze sets."""
+    plan = SqueezePlan(heuristic=heuristic)
+
+    candidates: set[Instruction] = set()
+    for block in func.blocks:
+        idempotent = block.is_idempotent()
+        for inst in block.instructions:
+            if not isinstance(inst.type, IntType):
+                continue
+            original_bits = inst.type.bits
+            if isinstance(inst, Icmp):
+                if (
+                    idempotent
+                    and inst.pred in _UNSIGNED_PREDS
+                    and isinstance(inst.lhs.type, IntType)
+                ):
+                    plan.narrow_cmps.add(inst)  # refined below
+                continue
+            if original_bits <= 1:
+                plan.bw[inst] = original_bits
+                continue
+            if not (idempotent and _speculative_opcode(inst)):
+                plan.bw[inst] = original_bits
+                continue
+            target = profile.target_bits(func.name, inst.name, heuristic)
+            operand_targets = [
+                _operand_target(profile, func, op, heuristic)
+                for op in inst.operands
+                if isinstance(op.type, IntType)
+            ]
+            if isinstance(inst, Load):
+                operand_targets = []  # the pointer is not a data operand
+            if isinstance(inst, (BinOp,)) and inst.opcode in ("shl", "lshr"):
+                # The shift amount is consumed mod the slice width; only the
+                # shifted operand's magnitude matters for the selection.
+                operand_targets = operand_targets[:1]
+            bw = max([target] + operand_targets)
+            plan.bw[inst] = bw if bw <= SQUEEZE_WIDTH else original_bits
+            if bw <= SQUEEZE_WIDTH and original_bits > SQUEEZE_WIDTH:
+                candidates.add(inst)
+
+    # Arguments that will carry a hoisted slice form (final set computed
+    # below once the fixpoint settles which consumers survive).
+    small_args = {
+        arg
+        for arg in func.args
+        if isinstance(arg.type, IntType)
+        and arg.type.bits > SQUEEZE_WIDTH
+        and profile.target_bits(func.name, arg.name, heuristic) <= SQUEEZE_WIDTH
+    }
+
+    # Fixpoint: drop phis whose incoming values will not be 8-bit producers.
+    def phi_ok(phi: Phi) -> bool:
+        for value in phi.operands:
+            if isinstance(value, Constant):
+                if required_bits(value.value) > SQUEEZE_WIDTH:
+                    return False
+            elif isinstance(value, Argument):
+                if value not in small_args:
+                    return False
+            elif isinstance(value, Instruction):
+                if value not in candidates and (
+                    not isinstance(value.type, IntType)
+                    or value.type.bits > SQUEEZE_WIDTH
+                ):
+                    return False
+            else:
+                return False
+        return True
+
+    changed = True
+    while changed:
+        changed = False
+        for inst in list(candidates):
+            if isinstance(inst, Phi) and not phi_ok(inst):
+                candidates.discard(inst)
+                plan.bw[inst] = inst.type.bits
+                changed = True
+
+    plan.narrow = candidates
+
+    # A comparison runs at 8 bits when both sides are 8-bit producers or
+    # profile-small values (a speculative truncate bridges the latter).
+    kept_cmps = set()
+    for cmp in plan.narrow_cmps:
+        ok = True
+        for value in (cmp.lhs, cmp.rhs):
+            if isinstance(value, Constant):
+                if required_bits(value.value) > SQUEEZE_WIDTH:
+                    ok = False
+            elif isinstance(value, (Instruction, Argument)):
+                already_narrow = (
+                    isinstance(value.type, IntType)
+                    and value.type.bits <= SQUEEZE_WIDTH
+                )
+                profiled_small = (
+                    _operand_target(profile, func, value, heuristic)
+                    <= SQUEEZE_WIDTH
+                )
+                if (
+                    value not in candidates
+                    and not already_narrow
+                    and not profiled_small
+                ):
+                    ok = False
+            else:
+                ok = False
+        if ok and isinstance(cmp.lhs.type, IntType) and cmp.lhs.type.bits > SQUEEZE_WIDTH:
+            kept_cmps.add(cmp)
+    plan.narrow_cmps = kept_cmps
+
+    # Profile-narrow arguments consumed by squeezed instructions get a
+    # single speculative truncate in a dedicated entry block instead of one
+    # per use site.
+    narrow_consumers = plan.narrow | plan.narrow_cmps
+    for arg in small_args:
+        if any(arg in inst.operands for inst in narrow_consumers):
+            plan.narrow_args.add(arg)
+    return plan

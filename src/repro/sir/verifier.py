@@ -1,0 +1,96 @@
+"""SIR verifier: the structural invariants of §3.1 and Theorems 3.1/3.2.
+
+Checks, on top of the base IR verifier:
+
+* handlers are not branch targets and lie outside every region;
+* each handler handles exactly one region and every region with speculative
+  instructions has a handler;
+* speculative instructions only appear inside regions, in idempotent blocks;
+* Theorem 3.1: values defined inside a region are not used by its handler;
+* handlers branch only into ``CFG_orig`` (Eq. 7).
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function, Module
+from repro.ir.instructions import Instruction
+from repro.ir.verifier import VerificationError, verify_function
+from repro.sir.regions import regions_of
+
+
+def _check(cond: bool, message: str) -> None:
+    if not cond:
+        raise VerificationError(message)
+
+
+def verify_sir_function(func: Function, module: Module = None) -> None:
+    verify_function(func, module)
+
+    branch_targets = {
+        id(succ) for block in func.blocks for succ in block.successors()
+    }
+    regions = regions_of(func)
+    handlers = [b for b in func.blocks if b.handler_for is not None]
+
+    for handler in handlers:
+        _check(
+            id(handler) not in branch_targets,
+            f"{func.name}: handler {handler.name} is a branch target",
+        )
+        _check(
+            handler.region is None,
+            f"{func.name}: handler {handler.name} inside a region",
+        )
+
+    handled = {id(r.handler) for r in regions if r.handler is not None}
+    _check(
+        len(handled) == len([r for r in regions if r.handler is not None]),
+        f"{func.name}: a block handles more than one region",
+    )
+
+    for block in func.blocks:
+        spec_insts = [i for i in block.instructions if i.speculative]
+        if spec_insts:
+            _check(
+                block.region is not None,
+                f"{func.name}: speculative instruction in {block.name} "
+                "outside any region",
+            )
+            _check(
+                block.is_idempotent(),
+                f"{func.name}: speculative region block {block.name} "
+                "is not idempotent",
+            )
+            _check(
+                block.region.handler is not None,
+                f"{func.name}: region of {block.name} has no handler",
+            )
+
+    for region in regions:
+        if region.handler is None:
+            continue
+        region_defs: set[Instruction] = set()
+        for block in region.blocks:
+            for inst in block.instructions:
+                if inst.has_result:
+                    region_defs.add(inst)
+        # Theorem 3.1: region-defined values are dead at the handler.
+        for inst in region.handler.instructions:
+            for op in inst.operands:
+                _check(
+                    op not in region_defs,
+                    f"{func.name}: handler {region.handler.name} uses "
+                    f"%{getattr(op, 'name', '?')} defined inside its region",
+                )
+        # Eq. 7: handler successors lie in CFG_orig.
+        for succ in region.handler.successors():
+            _check(
+                succ.world != "spec",
+                f"{func.name}: handler {region.handler.name} branches into "
+                f"CFG_spec block {succ.name}",
+            )
+
+
+def verify_sir_module(module: Module) -> None:
+    for func in module.functions.values():
+        verify_sir_function(func, module)

@@ -1,0 +1,21 @@
+"""MiBench-like workloads (see DESIGN.md for fidelity notes)."""
+
+from repro.workloads.base import (
+    Workload,
+    XorShift,
+    all_workloads,
+    get_workload,
+    mix_seed,
+    register,
+    workload_names,
+)
+
+__all__ = [
+    "Workload",
+    "XorShift",
+    "all_workloads",
+    "get_workload",
+    "mix_seed",
+    "register",
+    "workload_names",
+]

@@ -1,0 +1,131 @@
+"""basicmath — integer math kernels.
+
+MiBench's basicmath is floating-point (cubic roots, deg↔rad); the machine
+has no FPU, so this is the integer-fixed-point substitution documented in
+DESIGN.md: Newton integer square roots, binary GCDs, fixed-point angle
+conversion and cube-root bracketing — the same mix of short loops around
+modest-magnitude arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.workloads.base import Workload, XorShift, mix_seed, register
+
+N_VALUES = 64
+
+SOURCE = """
+u32 values[64];
+u32 nvalues;
+u32 results[4];
+
+u32 isqrt(u32 x) {
+    if (x < 2) { return x; }
+    u32 r = x;
+    u32 y = (r + 1) / 2;
+    while (y < r) {
+        r = y;
+        y = (r + x / r) / 2;
+    }
+    return r;
+}
+
+u32 gcd(u32 a, u32 b) {
+    while (b != 0) {
+        u32 t = a % b;
+        a = b;
+        b = t;
+    }
+    return a;
+}
+
+u32 icbrt(u32 x) {
+    u32 lo = 0;
+    u32 hi = 255;
+    while (lo < hi) {
+        u32 mid = (lo + hi + 1) / 2;
+        if (mid * mid * mid <= x) { lo = mid; }
+        else { hi = mid - 1; }
+    }
+    return lo;
+}
+
+u32 deg_to_rad_q10(u32 deg) {
+    // rad = deg * pi/180; q10 fixed point, pi/180*1024 = 17.87 -> 18/1024+err
+    // use (deg * 18317) >> 10 approximating pi/180 * 2^20 / 2^10
+    return (deg * 18) - (deg >> 3);
+}
+
+void main() {
+    u32 s0 = 0; u32 s1 = 0; u32 s2 = 0; u32 s3 = 0;
+    for (u32 i = 0; i < nvalues; i += 1) {
+        u32 v = values[i];
+        s0 += isqrt(v);
+        s2 += icbrt(v);
+    }
+    for (u32 i = 0; i + 1 < nvalues; i += 2) {
+        s1 += gcd(values[i] | 1, values[i + 1] | 1);
+    }
+    for (u32 d = 0; d < 360; d += 7) {
+        s3 += deg_to_rad_q10(d);
+    }
+    results[0] = s0; results[1] = s1; results[2] = s2; results[3] = s3;
+    out(s0); out(s1); out(s2); out(s3);
+}
+"""
+
+
+def make_inputs(kind: str, seed: int = 0) -> dict:
+    rng = XorShift(mix_seed(0xBA51C, kind, seed))
+    count = {"test": 64, "train": 40, "alt": 64}[kind]
+    if kind == "alt":
+        values = [rng.below(4000) for _ in range(count)]
+    else:
+        values = [rng.next() & 0xFFFFFF for _ in range(count)]
+    return {"values": values, "nvalues": count}
+
+
+def _isqrt(x: int) -> int:
+    if x < 2:
+        return x
+    r = x
+    y = (r + 1) // 2
+    while y < r:
+        r = y
+        y = (r + x // r) // 2
+    return r
+
+
+def _icbrt(x: int) -> int:
+    lo, hi = 0, 255
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if mid * mid * mid <= x:
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo
+
+
+def reference(inputs: dict) -> list:
+    values = inputs["values"][: inputs["nvalues"]]
+    s0 = sum(_isqrt(v) for v in values) & 0xFFFFFFFF
+    s1 = 0
+    for i in range(0, len(values) - 1, 2):
+        s1 += math.gcd(values[i] | 1, values[i + 1] | 1)
+    s1 &= 0xFFFFFFFF
+    s2 = sum(_icbrt(v) for v in values) & 0xFFFFFFFF
+    s3 = sum((d * 18 - (d >> 3)) & 0xFFFFFFFF for d in range(0, 360, 7)) & 0xFFFFFFFF
+    return [s0, s1, s2, s3]
+
+
+WORKLOAD = register(
+    Workload(
+        name="basicmath",
+        source=SOURCE,
+        make_inputs=make_inputs,
+        reference=reference,
+        description="integer sqrt/cbrt/gcd/angle kernels (FP substitution)",
+    )
+)

@@ -1,0 +1,105 @@
+"""bitcount — MiBench's bit-counting kernel: several counting strategies
+over a pseudo-random word stream (shift loop, Kernighan, nibble table,
+byte table, SWAR reduction).  Counts are tiny (≤ 32) — prime BITSPEC fodder.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, XorShift, mix_seed, register
+
+N_WORDS = 192
+
+SOURCE = """
+u32 words[192];
+u32 nwords;
+u8 nibble_table[16] = {0,1,1,2,1,2,2,3,1,2,2,3,2,3,3,4};
+u32 totals[5];
+
+u32 count_shift(u32 x) {
+    u32 c = 0;
+    while (x != 0) {
+        c += x & 1;
+        x >>= 1;
+    }
+    return c;
+}
+
+u32 count_kernighan(u32 x) {
+    u32 c = 0;
+    while (x != 0) {
+        x = x & (x - 1);
+        c += 1;
+    }
+    return c;
+}
+
+u32 count_nibbles(u32 x) {
+    u32 c = 0;
+    for (u32 i = 0; i < 8; i += 1) {
+        c += nibble_table[x & 0xF];
+        x >>= 4;
+    }
+    return c;
+}
+
+u32 count_bytes(u32 x) {
+    u32 c = 0;
+    for (u32 i = 0; i < 4; i += 1) {
+        u8 b = (u8)(x & 0xFF);
+        c += nibble_table[b & 0xF] + nibble_table[(b >> 4) & 0xF];
+        x >>= 8;
+    }
+    return c;
+}
+
+u32 count_swar(u32 x) {
+    x = x - ((x >> 1) & 0x55555555);
+    x = (x & 0x33333333) + ((x >> 2) & 0x33333333);
+    x = (x + (x >> 4)) & 0x0F0F0F0F;
+    return (x * 0x01010101) >> 24;
+}
+
+void main() {
+    u32 t0 = 0; u32 t1 = 0; u32 t2 = 0; u32 t3 = 0; u32 t4 = 0;
+    for (u32 i = 0; i < nwords; i += 1) {
+        u32 w = words[i];
+        t0 += count_shift(w);
+        t1 += count_kernighan(w);
+        t2 += count_nibbles(w);
+        t3 += count_bytes(w);
+        t4 += count_swar(w);
+    }
+    totals[0] = t0; totals[1] = t1; totals[2] = t2;
+    totals[3] = t3; totals[4] = t4;
+    out(t0); out(t1); out(t2); out(t3); out(t4);
+}
+"""
+
+
+def make_inputs(kind: str, seed: int = 0) -> dict:
+    rng = XorShift(mix_seed(0xB17C047, kind, seed))
+    if kind == "test":
+        words = [rng.next() for _ in range(N_WORDS)]
+    elif kind == "train":
+        words = [rng.next() for _ in range(128)]
+    else:
+        # alt input: sparse words (low pop counts)
+        words = [rng.next() & rng.next() & rng.next() for _ in range(N_WORDS)]
+    return {"words": words, "nwords": len(words)}
+
+
+def reference(inputs: dict) -> list:
+    words = inputs["words"][: inputs["nwords"]]
+    total = sum(bin(w).count("1") for w in words)
+    return [total] * 5
+
+
+WORKLOAD = register(
+    Workload(
+        name="bitcount",
+        source=SOURCE,
+        make_inputs=make_inputs,
+        reference=reference,
+        description="five bit-counting strategies over a word stream",
+    )
+)

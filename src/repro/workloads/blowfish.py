@@ -1,0 +1,131 @@
+"""blowfish — 16-round Feistel cipher with Blowfish's F-function shape.
+
+The F-function's byte extracts (``>> 24``, ``(>> 16) & 0xFF``, ...) are the
+bitmask-elision pattern RQ3 highlights.  S-boxes and the P-array are derived
+from a seeded xorshift stream (identically in MiniC and the oracle) instead
+of Blowfish's PI-digit key schedule — same operator mix, fraction of the
+setup cost (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, XorShift, mix_seed, register
+
+MAX_WORDS = 128  # 64 blocks of two u32
+
+SOURCE = """
+u32 sbox[1024];
+u32 parr[18];
+u32 seed;
+u32 data[128];
+u32 nwords;
+u32 check;
+
+u32 rngstate;
+
+u32 xorshift() {
+    u32 x = rngstate;
+    x ^= x << 13;
+    x ^= x >> 17;
+    x ^= x << 5;
+    rngstate = x;
+    return x;
+}
+
+void init_tables() {
+    rngstate = seed;
+    for (u32 i = 0; i < 1024; i += 1) { sbox[i] = xorshift(); }
+    for (u32 i = 0; i < 18; i += 1) { parr[i] = xorshift(); }
+}
+
+u32 feistel(u32 x) {
+    u32 a = x >> 24;
+    u32 b = (x >> 16) & 0xFF;
+    u32 c = (x >> 8) & 0xFF;
+    u32 d = x & 0xFF;
+    return ((sbox[a] + sbox[256 + b]) ^ sbox[512 + c]) + sbox[768 + d];
+}
+
+void encrypt_block(u32 idx) {
+    u32 left = data[idx];
+    u32 right = data[idx + 1];
+    for (u32 r = 0; r < 16; r += 1) {
+        left ^= parr[r];
+        right ^= feistel(left);
+        u32 t = left;
+        left = right;
+        right = t;
+    }
+    u32 t2 = left;
+    left = right;
+    right = t2;
+    right ^= parr[16];
+    left ^= parr[17];
+    data[idx] = left;
+    data[idx + 1] = right;
+}
+
+void main() {
+    init_tables();
+    for (u32 i = 0; i + 1 < nwords; i += 2) { encrypt_block(i); }
+    u32 c = 0;
+    for (u32 i = 0; i < nwords; i += 1) { c ^= data[i]; }
+    check = c;
+    out(c);
+    out(data[0]);
+    out(data[1]);
+}
+"""
+
+
+def _feistel_tables(seed: int):
+    rng = XorShift(seed)
+    sbox = [rng.next() for _ in range(1024)]
+    parr = [rng.next() for _ in range(18)]
+    return sbox, parr
+
+
+def _encrypt(sbox, parr, left, right):
+    def f(x):
+        a, b = x >> 24, (x >> 16) & 0xFF
+        c, d = (x >> 8) & 0xFF, x & 0xFF
+        return (((sbox[a] + sbox[256 + b]) & 0xFFFFFFFF) ^ sbox[512 + c]) + sbox[768 + d] & 0xFFFFFFFF
+
+    for r in range(16):
+        left ^= parr[r]
+        right ^= f(left) & 0xFFFFFFFF
+        right &= 0xFFFFFFFF
+        left, right = right, left
+    left, right = right, left
+    right ^= parr[16]
+    left ^= parr[17]
+    return left & 0xFFFFFFFF, right & 0xFFFFFFFF
+
+
+def make_inputs(kind: str, seed: int = 0) -> dict:
+    rng = XorShift(mix_seed(0xB70F, kind, seed))
+    words = {"test": 96, "train": 48, "alt": 128}[kind]
+    data = [rng.next() for _ in range(words)]
+    return {"data": data, "nwords": words, "seed": 0x3243F6A8 ^ seed}
+
+
+def reference(inputs: dict) -> list:
+    sbox, parr = _feistel_tables(inputs["seed"])
+    data = list(inputs["data"][: inputs["nwords"]])
+    for i in range(0, len(data) - 1, 2):
+        data[i], data[i + 1] = _encrypt(sbox, parr, data[i], data[i + 1])
+    check = 0
+    for w in data:
+        check ^= w
+    return [check, data[0], data[1]]
+
+
+WORKLOAD = register(
+    Workload(
+        name="blowfish",
+        source=SOURCE,
+        make_inputs=make_inputs,
+        reference=reference,
+        description="Feistel cipher with Blowfish's byte-extract F-function",
+    )
+)

@@ -1,0 +1,103 @@
+"""CRC32 — table-driven CRC over variable-length lines.
+
+Mirrors the paper's characterization (§3): the per-line length variable is
+``size_t``-typed (u64 here) but almost always fits 8 bits — speculation
+handles the occasional long line.  The CRC state itself is genuinely 32-bit.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, XorShift, mix_seed, register
+
+MAX_DATA = 4096
+MAX_LINES = 48
+
+SOURCE = """
+u32 crc_table[256];
+u8  data[4096];
+u64 line_len[48];
+u32 nlines;
+u32 checksum;
+
+void build_table() {
+    for (u32 n = 0; n < 256; n += 1) {
+        u32 c = n;
+        for (u32 k = 0; k < 8; k += 1) {
+            if (c & 1) { c = 0xEDB88320 ^ (c >> 1); }
+            else { c = c >> 1; }
+        }
+        crc_table[n] = c;
+    }
+}
+
+u32 crc_of_line(u32 start, u64 len) {
+    u32 crc = 0xFFFFFFFF;
+    for (u64 i = 0; i < len; i += 1) {
+        crc = crc_table[(crc ^ data[start + (u32)i]) & 0xFF] ^ (crc >> 8);
+    }
+    return ~crc;
+}
+
+void main() {
+    build_table();
+    u32 agg = 0;
+    u32 start = 0;
+    for (u32 l = 0; l < nlines; l += 1) {
+        u64 len = line_len[l];
+        agg = agg ^ crc_of_line(start, len);
+        start = start + (u32)len;
+    }
+    checksum = agg;
+    out(agg);
+}
+"""
+
+
+def _crc32_py(data: list) -> int:
+    crc = 0xFFFFFFFF
+    for byte in data:
+        crc ^= byte
+        for _ in range(8):
+            crc = (0xEDB88320 ^ (crc >> 1)) if crc & 1 else crc >> 1
+    return crc ^ 0xFFFFFFFF
+
+
+def make_inputs(kind: str, seed: int = 0) -> dict:
+    rng = XorShift(mix_seed(0xC0FFEE, kind, seed))
+    if kind == "test":
+        # mostly short lines, one outlier past 255 bytes (the paper's CRC32
+        # story: average length small, occasional long line misspeculates)
+        lengths = [20 + rng.below(120) for _ in range(20)] + [300]
+    elif kind == "train":
+        lengths = [15 + rng.below(140) for _ in range(16)]
+    else:  # alt
+        lengths = [5 + rng.below(60) for _ in range(30)]
+    total = sum(lengths)
+    assert total <= MAX_DATA
+    data = rng.bytes(total)
+    return {
+        "data": data,
+        "line_len": lengths,
+        "nlines": len(lengths),
+    }
+
+
+def reference(inputs: dict) -> list:
+    data = inputs["data"]
+    agg = 0
+    start = 0
+    for length in inputs["line_len"][: inputs["nlines"]]:
+        agg ^= _crc32_py(data[start : start + length])
+        start += length
+    return [agg]
+
+
+WORKLOAD = register(
+    Workload(
+        name="crc32",
+        source=SOURCE,
+        make_inputs=make_inputs,
+        reference=reference,
+        description="table-driven CRC32 over variable-length lines",
+    )
+)

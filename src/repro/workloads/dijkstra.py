@@ -1,0 +1,142 @@
+"""dijkstra — single-source shortest paths over a dense adjacency matrix.
+
+Distances stay small on the provided graphs while the sentinel INF is a
+full-width constant — the pattern compare elimination (§3.2.4) thrives on:
+``dist[v] < INF`` folds to the speculation outcome of the squeezed distance.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, XorShift, mix_seed, register
+
+MAX_NODES = 24
+INF = 0xFFFFFF
+
+SOURCE = """
+u32 adj[576];
+u32 nnodes;
+u32 dist[24];
+u32 visited[24];
+u32 result;
+
+void dijkstra(u32 src) {
+    for (u32 i = 0; i < nnodes; i += 1) {
+        dist[i] = 0xFFFFFF;
+        visited[i] = 0;
+    }
+    dist[src] = 0;
+    for (u32 round = 0; round < nnodes; round += 1) {
+        u32 best = 0xFFFFFF;
+        u32 u = nnodes;
+        for (u32 i = 0; i < nnodes; i += 1) {
+            if (!visited[i] && dist[i] < best) {
+                best = dist[i];
+                u = i;
+            }
+        }
+        if (u == nnodes) { return; }
+        visited[u] = 1;
+        for (u32 v = 0; v < nnodes; v += 1) {
+            u32 w = adj[u * 24 + v];
+            if (w != 0 && !visited[v]) {
+                u32 cand = dist[u] + w;
+                if (cand < dist[v]) { dist[v] = cand; }
+            }
+        }
+    }
+}
+
+void main() {
+    u32 agg = 0;
+    for (u32 s = 0; s < 4; s += 1) {
+        dijkstra(s);
+        for (u32 i = 0; i < nnodes; i += 1) {
+            if (dist[i] != 0xFFFFFF) { agg += dist[i]; }
+        }
+    }
+    result = agg;
+    out(agg);
+}
+"""
+
+
+def _gen_graph(rng: XorShift, nodes: int, max_weight: int) -> list:
+    adj = [0] * (MAX_NODES * MAX_NODES)
+    for u in range(nodes):
+        for v in range(nodes):
+            if u != v and rng.below(100) < 35:
+                adj[u * MAX_NODES + v] = 1 + rng.below(max_weight)
+    return adj
+
+
+def make_inputs(kind: str, seed: int = 0) -> dict:
+    rng = XorShift(mix_seed(0xD1285, kind, seed))
+    if kind == "test":
+        nodes, weight = 20, 20
+    elif kind == "train":
+        nodes, weight = 16, 20
+    else:
+        nodes, weight = 22, 60
+    return {"adj": _gen_graph(rng, nodes, weight), "nnodes": nodes}
+
+
+def reference(inputs: dict) -> list:
+    adj = inputs["adj"]
+    nodes = inputs["nnodes"]
+    agg = 0
+    for src in range(4):
+        dist = [INF] * nodes
+        visited = [False] * nodes
+        dist[src] = 0
+        for _ in range(nodes):
+            best, u = INF, nodes
+            for i in range(nodes):
+                if not visited[i] and dist[i] < best:
+                    best, u = dist[i], i
+            if u == nodes:
+                break
+            visited[u] = True
+            for v in range(nodes):
+                w = adj[u * MAX_NODES + v]
+                if w and not visited[v] and dist[u] + w < dist[v]:
+                    dist[v] = dist[u] + w
+        agg += sum(d for d in dist if d != INF)
+    return [agg & 0xFFFFFFFF]
+
+
+WORKLOAD = register(
+    Workload(
+        name="dijkstra",
+        source=SOURCE,
+        make_inputs=make_inputs,
+        reference=reference,
+        description="all-pairs-lite shortest paths on a dense graph",
+    )
+)
+
+
+#: RQ7 variant: all integer variables at 64 bits.
+WIDE_SOURCE = (
+    SOURCE.replace("u32 adj", "u64 adj")
+    .replace("u32 nnodes", "u64 nnodes")
+    .replace("u32 dist", "u64 dist")
+    .replace("u32 visited", "u64 visited")
+    .replace("u32 result", "u64 result")
+    .replace("void dijkstra(u32 src)", "void dijkstra(u64 src)")
+    .replace("for (u32 ", "for (u64 ")
+    .replace("u32 best", "u64 best")
+    .replace("u32 u =", "u64 u =")
+    .replace("u32 w =", "u64 w =")
+    .replace("u32 cand", "u64 cand")
+    .replace("u32 agg", "u64 agg")
+    .replace("adj[u * 24 + v]", "adj[(u32)(u * 24 + v)]")
+    .replace("dist[i]", "dist[(u32)i]")
+    .replace("visited[i]", "visited[(u32)i]")
+    .replace("dist[src]", "dist[(u32)src]")
+    .replace("dist[u]", "dist[(u32)u]")
+    .replace("dist[v]", "dist[(u32)v]")
+    .replace("visited[u]", "visited[(u32)u]")
+    .replace("visited[v]", "visited[(u32)v]")
+    .replace("out(agg)", "out((u32)agg)")
+)
+WORKLOAD.wide_source = WIDE_SOURCE

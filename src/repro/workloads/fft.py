@@ -1,0 +1,163 @@
+"""fft — radix-2 decimation-in-time FFT in Q14 fixed point (N = 64).
+
+MiBench's FFT is floating point; this is the fixed-point substitution
+(DESIGN.md): identical butterfly structure, twiddle factors injected as
+Q14 integer tables, products scaled with arithmetic shifts.  Signed 32-bit
+throughout — mostly unsqueezable, like the paper's FFT column.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.workloads.base import Workload, XorShift, mix_seed, register
+
+N = 64
+Q = 14
+SCALE = 1 << Q
+
+SOURCE = """
+s32 re[64];
+s32 im[64];
+s32 tw_cos[32];
+s32 tw_sin[32];
+u32 npoints;
+u32 outcheck;
+
+void fft() {
+    u32 n = npoints;
+    // bit-reversal permutation
+    u32 j = 0;
+    for (u32 i = 0; i < n - 1; i += 1) {
+        if (i < j) {
+            s32 tr = re[i]; re[i] = re[j]; re[j] = tr;
+            s32 ti = im[i]; im[i] = im[j]; im[j] = ti;
+        }
+        u32 m = n >> 1;
+        while (m >= 1 && j >= m) {
+            j -= m;
+            m >>= 1;
+        }
+        j += m;
+    }
+    // butterflies
+    u32 len = 2;
+    while (len <= n) {
+        u32 half = len >> 1;
+        u32 step = n / len;
+        for (u32 base = 0; base < n; base += len) {
+            u32 k = 0;
+            for (u32 off = 0; off < half; off += 1) {
+                s32 wr = tw_cos[k];
+                s32 wi = tw_sin[k];
+                u32 a = base + off;
+                u32 b = a + half;
+                s32 xr = (s32)((re[b] * wr - im[b] * wi) >> 14);
+                s32 xi = (s32)((re[b] * wi + im[b] * wr) >> 14);
+                re[b] = re[a] - xr;
+                im[b] = im[a] - xi;
+                re[a] = re[a] + xr;
+                im[a] = im[a] + xi;
+                k += step;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+void main() {
+    fft();
+    u32 c = 0;
+    for (u32 i = 0; i < npoints; i += 1) {
+        c = (c * 31 + (u32)re[i] + (u32)im[i]) & 0xFFFFFF;
+    }
+    outcheck = c;
+    out(c);
+    out((u32)re[0]);
+    out((u32)im[1]);
+}
+"""
+
+
+def _twiddles() -> tuple:
+    cos_t, sin_t = [], []
+    for k in range(N // 2):
+        angle = -2.0 * math.pi * k / N
+        cos_t.append(int(round(math.cos(angle) * SCALE)))
+        sin_t.append(int(round(math.sin(angle) * SCALE)))
+    return cos_t, sin_t
+
+
+def _fft_fixed(re: list, im: list, n: int) -> tuple:
+    cos_t, sin_t = _twiddles()
+
+    def wrap(x):
+        return ((x + 0x80000000) & 0xFFFFFFFF) - 0x80000000
+
+    # bit reversal (same index walk as the kernel)
+    j = 0
+    for i in range(n - 1):
+        if i < j:
+            re[i], re[j] = re[j], re[i]
+            im[i], im[j] = im[j], im[i]
+        m = n >> 1
+        while m >= 1 and j >= m:
+            j -= m
+            m >>= 1
+        j += m
+    length = 2
+    while length <= n:
+        half = length >> 1
+        step = n // length
+        for base in range(0, n, length):
+            k = 0
+            for off in range(half):
+                wr, wi = cos_t[k], sin_t[k]
+                a, b = base + off, base + off + half
+                xr = wrap(wrap(re[b] * wr - im[b] * wi) >> 14)
+                xi = wrap(wrap(re[b] * wi + im[b] * wr) >> 14)
+                re[b] = wrap(re[a] - xr)
+                im[b] = wrap(im[a] - xi)
+                re[a] = wrap(re[a] + xr)
+                im[a] = wrap(im[a] + xi)
+                k += step
+        length <<= 1
+    return re, im
+
+
+def make_inputs(kind: str, seed: int = 0) -> dict:
+    rng = XorShift(mix_seed(0xFF7, kind, seed))
+    n = {"test": 64, "train": 32, "alt": 64}[kind]
+    # ±2^10 inputs keep |X_k| ≤ 2^16 after the 64-point gain, so Q14
+    # products stay inside 32 bits.
+    amplitude = 1 << 10 if kind != "alt" else 1 << 7
+    re = [(rng.below(2 * amplitude) - amplitude) for _ in range(n)]
+    im = [0] * n
+    cos_t, sin_t = _twiddles()
+    return {
+        "re": re,
+        "im": im,
+        "tw_cos": cos_t,
+        "tw_sin": sin_t,
+        "npoints": n,
+    }
+
+
+def reference(inputs: dict) -> list:
+    n = inputs["npoints"]
+    re, im = _fft_fixed(list(inputs["re"][:n]), list(inputs["im"][:n]), n)
+    check = 0
+    for i in range(n):
+        check = (check * 31 + (re[i] & 0xFFFFFFFF) + (im[i] & 0xFFFFFFFF)) & 0xFFFFFF
+    return [check, re[0] & 0xFFFFFFFF, im[1] & 0xFFFFFFFF]
+
+
+WORKLOAD = register(
+    Workload(
+        name="fft",
+        source=SOURCE,
+        make_inputs=make_inputs,
+        reference=reference,
+        description="Q14 fixed-point radix-2 FFT (FP substitution)",
+    )
+)

@@ -1,0 +1,189 @@
+"""patricia — PATRICIA trie insert/lookup over 32-bit keys (IP addresses).
+
+Pointer-free formulation: node fields live in parallel index arrays, as an
+embedded system without malloc would lay them out.  Node indices and bit
+positions are tiny; the keys themselves are full 32-bit words.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, XorShift, mix_seed, register
+
+MAX_NODES = 128
+N_KEYS = 80
+
+SOURCE = """
+u32 keys[96];
+u32 nkeys;
+u32 node_key[128];
+u32 node_bit[128];
+u32 node_left[128];
+u32 node_right[128];
+u32 node_count;
+u32 found_count;
+
+u32 bit_of(u32 key, u32 bit) {
+    // 1-based bit index; bit 1 is the MSB (the header keeps sentinel 0)
+    return (key >> (32 - bit)) & 1;
+}
+
+u32 lookup(u32 key) {
+    // walk until a back edge (upward link)
+    u32 parent = 0;
+    u32 current = node_left[0];
+    while (node_bit[current] > node_bit[parent]) {
+        parent = current;
+        if (bit_of(key, node_bit[current])) {
+            current = node_right[current];
+        } else {
+            current = node_left[current];
+        }
+    }
+    return current;
+}
+
+void insert(u32 key) {
+    u32 best = lookup(key);
+    if (node_key[best] == key) { return; }
+    // first differing bit (1-based from the MSB)
+    u32 diff = node_key[best] ^ key;
+    u32 bit = 1;
+    while (bit <= 32 && !((diff >> (32 - bit)) & 1)) { bit += 1; }
+    // find insertion point
+    u32 parent = 0;
+    u32 current = node_left[0];
+    while (node_bit[current] > node_bit[parent] && node_bit[current] < bit) {
+        parent = current;
+        if (bit_of(key, node_bit[current])) {
+            current = node_right[current];
+        } else {
+            current = node_left[current];
+        }
+    }
+    u32 fresh = node_count;
+    node_count += 1;
+    node_key[fresh] = key;
+    node_bit[fresh] = bit;
+    if (bit_of(key, bit)) {
+        node_left[fresh] = current;
+        node_right[fresh] = fresh;
+    } else {
+        node_left[fresh] = fresh;
+        node_right[fresh] = current;
+    }
+    if (parent == 0) {
+        node_left[0] = fresh;
+    } else if (bit_of(key, node_bit[parent])) {
+        node_right[parent] = fresh;
+    } else {
+        node_left[parent] = fresh;
+    }
+}
+
+void main() {
+    // header node 0: bit 0 sentinel pointing to itself
+    node_key[0] = 0;
+    node_bit[0] = 0;
+    node_left[0] = 0;
+    node_right[0] = 0;
+    node_count = 1;
+    for (u32 i = 0; i < nkeys; i += 1) { insert(keys[i]); }
+    u32 hits = 0;
+    for (u32 i = 0; i < nkeys; i += 1) {
+        u32 node = lookup(keys[i]);
+        if (node_key[node] == keys[i]) { hits += 1; }
+    }
+    found_count = hits;
+    out(hits);
+    out(node_count);
+}
+"""
+
+
+class _PyPatricia:
+    """Python mirror of the index-based PATRICIA trie above."""
+
+    def __init__(self) -> None:
+        self.key = [0]
+        self.bit = [0]
+        self.left = [0]
+        self.right = [0]
+
+    def _bit_of(self, key: int, bit: int) -> int:
+        return (key >> (32 - bit)) & 1
+
+    def lookup(self, key: int) -> int:
+        parent = 0
+        current = self.left[0]
+        while self.bit[current] > self.bit[parent]:
+            parent = current
+            current = (
+                self.right[current]
+                if self._bit_of(key, self.bit[current])
+                else self.left[current]
+            )
+        return current
+
+    def insert(self, key: int) -> None:
+        best = self.lookup(key)
+        if self.key[best] == key:
+            return
+        diff = self.key[best] ^ key
+        bit = 1
+        while bit <= 32 and not ((diff >> (32 - bit)) & 1):
+            bit += 1
+        parent = 0
+        current = self.left[0]
+        while self.bit[current] > self.bit[parent] and self.bit[current] < bit:
+            parent = current
+            current = (
+                self.right[current]
+                if self._bit_of(key, self.bit[current])
+                else self.left[current]
+            )
+        fresh = len(self.key)
+        self.key.append(key)
+        self.bit.append(bit)
+        if self._bit_of(key, bit):
+            self.left.append(current)
+            self.right.append(fresh)
+        else:
+            self.left.append(fresh)
+            self.right.append(current)
+        if parent == 0:
+            self.left[0] = fresh
+        elif self._bit_of(key, self.bit[parent]):
+            self.right[parent] = fresh
+        else:
+            self.left[parent] = fresh
+
+
+def make_inputs(kind: str, seed: int = 0) -> dict:
+    rng = XorShift(mix_seed(0x9A7, kind, seed))
+    count = {"test": 80, "train": 48, "alt": 72}[kind]
+    # IP-like keys with clustered prefixes (duplicates included)
+    prefixes = [rng.next() & 0xFFFF0000 for _ in range(8)]
+    keys = [
+        prefixes[rng.below(len(prefixes))] | rng.below(512) for _ in range(count)
+    ]
+    return {"keys": keys, "nkeys": count}
+
+
+def reference(inputs: dict) -> list:
+    trie = _PyPatricia()
+    keys = inputs["keys"][: inputs["nkeys"]]
+    for key in keys:
+        trie.insert(key)
+    hits = sum(1 for key in keys if trie.key[trie.lookup(key)] == key)
+    return [hits, len(trie.key)]
+
+
+WORKLOAD = register(
+    Workload(
+        name="patricia",
+        source=SOURCE,
+        make_inputs=make_inputs,
+        reference=reference,
+        description="PATRICIA trie insert/lookup over IP-like keys",
+    )
+)

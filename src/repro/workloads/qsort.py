@@ -1,0 +1,81 @@
+"""qsort — recursive quicksort (Hoare partition) over a word array.
+
+Indices fit 8 bits while element values are full 32-bit words; recursion
+makes this the paper's worst case for misspeculation cost (RQ2's qsort
+anomaly: the partition loop re-executes after a misspeculation).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, XorShift, mix_seed, register
+
+MAX_ELEMS = 192
+
+SOURCE = """
+u32 arr[192];
+u32 nelems;
+u32 check;
+
+void sort(u32 lo, u32 hi) {
+    if (lo >= hi) { return; }
+    u32 pivot = arr[(lo + hi) / 2];
+    u32 i = lo;
+    u32 j = hi;
+    while (i <= j) {
+        while (arr[i] < pivot) { i += 1; }
+        while (arr[j] > pivot) { j -= 1; }
+        if (i <= j) {
+            u32 t = arr[i];
+            arr[i] = arr[j];
+            arr[j] = t;
+            i += 1;
+            if (j == 0) { break; }
+            j -= 1;
+        }
+    }
+    if (j > lo) { sort(lo, j); }
+    if (i < hi) { sort(i, hi); }
+}
+
+void main() {
+    if (nelems > 1) { sort(0, nelems - 1); }
+    u32 c = 0;
+    for (u32 k = 0; k < nelems; k += 1) {
+        c = (c * 31 + arr[k]) & 0xFFFFFF;
+    }
+    check = c;
+    out(c);
+    out(arr[0]);
+    out(arr[nelems - 1]);
+}
+"""
+
+
+def make_inputs(kind: str, seed: int = 0) -> dict:
+    rng = XorShift(mix_seed(0x9504, kind, seed))
+    sizes = {"test": 180, "train": 96, "alt": 150}
+    count = sizes[kind]
+    if kind == "alt":
+        values = [rng.below(256) for _ in range(count)]  # narrow values
+    else:
+        values = [rng.next() & 0xFFFFF for _ in range(count)]
+    return {"arr": values, "nelems": count}
+
+
+def reference(inputs: dict) -> list:
+    values = sorted(inputs["arr"][: inputs["nelems"]])
+    check = 0
+    for v in values:
+        check = (check * 31 + v) & 0xFFFFFF
+    return [check, values[0], values[-1]]
+
+
+WORKLOAD = register(
+    Workload(
+        name="qsort",
+        source=SOURCE,
+        make_inputs=make_inputs,
+        reference=reference,
+        description="recursive quicksort over 32-bit words",
+    )
+)

@@ -1,0 +1,147 @@
+"""stringsearch — Boyer–Moore–Horspool over short strings (paper Listing 1).
+
+Faithful to the paper's case study: lengths and positions are ``size_t``
+(u64 here) although patterns are ≤ 12 bytes and haystacks ≤ 56 — so the hot
+loop runs entirely at 8 bits once BITSPEC squeezes it, with 64-bit pair
+arithmetic on the baseline.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, XorShift, mix_seed, register
+
+MAX_TEXT = 1536
+MAX_PATS = 12
+PAT_AREA = 16  # bytes reserved per pattern
+
+SOURCE = """
+u8 text[1536];
+u64 text_len;
+u8 pats[192];
+u64 pat_len[12];
+u32 npats;
+u32 shift_table[256];
+u32 hits;
+
+u64 search(u32 pat_base, u64 patlen) {
+    u64 found = 0;
+    for (u32 i = 0; i < 256; i += 1) { shift_table[i] = patlen; }
+    for (u64 j = 0; j + 1 < patlen; j += 1) {
+        shift_table[pats[pat_base + (u32)j]] = patlen - 1 - j;
+    }
+    u64 pos = patlen - 1;
+    while (pos < text_len) {
+        u64 k = 0;
+        while (k < patlen &&
+               pats[pat_base + (u32)(patlen - 1 - k)] == text[(u32)(pos - k)]) {
+            k += 1;
+        }
+        if (k == patlen) {
+            found += 1;
+            pos += patlen;
+        } else {
+            pos += shift_table[text[(u32)pos]];
+        }
+    }
+    return found;
+}
+
+void main() {
+    u32 total = 0;
+    for (u32 p = 0; p < npats; p += 1) {
+        total += (u32)search(p * 16, pat_len[p]);
+    }
+    hits = total;
+    out(total);
+}
+"""
+
+_WORDS = [b"the", b"and", b"search", b"bitwidth", b"energy", b"tiny",
+          b"register", b"spec", b"width", b"pack", b"slice", b"loop"]
+
+
+def make_inputs(kind: str, seed: int = 0) -> dict:
+    rng = XorShift(mix_seed(0x57161, kind, seed))
+    sizes = {"test": 1400, "train": 800, "alt": 1200}
+    text_len = sizes[kind]
+    # text: lowercase letters and spaces with planted words
+    text = bytearray()
+    while len(text) < text_len:
+        if rng.below(100) < 30:
+            text.extend(_WORDS[rng.below(len(_WORDS))])
+        else:
+            text.append(97 + rng.below(26))
+        if rng.below(100) < 18:
+            text.append(32)
+    text = text[:text_len]
+    if kind == "alt":
+        patterns = [b"zjq", b"energy", b"loop", b"xx"]
+    else:
+        patterns = [b"the", b"search", b"bitwidth", b"energy", b"slice", b"qzk"]
+    pats = [0] * (MAX_PATS * PAT_AREA)
+    pat_len = [0] * MAX_PATS
+    for i, pattern in enumerate(patterns):
+        for j, byte in enumerate(pattern):
+            pats[i * PAT_AREA + j] = byte
+        pat_len[i] = len(pattern)
+    return {
+        "text": list(text),
+        "text_len": len(text),
+        "pats": pats,
+        "pat_len": pat_len,
+        "npats": len(patterns),
+    }
+
+
+def reference(inputs: dict) -> list:
+    text = bytes(inputs["text"][: inputs["text_len"]])
+    total = 0
+    for p in range(inputs["npats"]):
+        patlen = inputs["pat_len"][p]
+        pattern = bytes(
+            inputs["pats"][p * PAT_AREA : p * PAT_AREA + patlen]
+        )
+        # Horspool with the same skip-on-match behaviour as the kernel.
+        shift = {b: patlen for b in range(256)}
+        for j in range(patlen - 1):
+            shift[pattern[j]] = patlen - 1 - j
+        pos = patlen - 1
+        found = 0
+        while pos < len(text):
+            k = 0
+            while k < patlen and pattern[patlen - 1 - k] == text[pos - k]:
+                k += 1
+            if k == patlen:
+                found += 1
+                pos += patlen
+            else:
+                pos += shift[text[pos]]
+        total += found
+    return [total & 0xFFFFFFFF]
+
+
+WORKLOAD = register(
+    Workload(
+        name="stringsearch",
+        source=SOURCE,
+        make_inputs=make_inputs,
+        reference=reference,
+        description="Boyer-Moore-Horspool multi-pattern search (Listing 1)",
+    )
+)
+
+
+#: RQ7 variant: every integer variable forced to 64 bits (the paper's
+#: "modify the original C code to use 64 bits for all integer variables").
+WIDE_SOURCE = SOURCE.replace("u32 shift_table", "u64 shift_table").replace(
+    "u32 npats", "u64 npats"
+).replace("u32 hits", "u64 hits").replace(
+    "u64 search(u32 pat_base", "u64 search(u64 pat_base"
+).replace("u32 total = 0", "u64 total = 0").replace(
+    "for (u32 p = 0", "for (u64 p = 0"
+).replace("for (u32 i = 0", "for (u64 i = 0").replace(
+    "total += (u32)search(p * 16, pat_len[p])", "total += search(p * 16, pat_len[p])"
+).replace("pats[pat_base + (u32)j]", "pats[(u32)(pat_base + j)]").replace(
+    "out(total)", "out((u32)total)"
+)
+WORKLOAD.wide_source = WIDE_SOURCE

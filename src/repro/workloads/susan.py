@@ -1,0 +1,268 @@
+"""susan — smallest-univalue-segment image kernels: smoothing, edges,
+corners (scaled-down masks over a 24×24 8-bit image; DESIGN.md).
+
+Pixels and brightness-LUT entries are bytes; the accumulators stay small.
+susan-corners keeps a couple of genuinely wide accumulators around, the
+paper's example of a few wide variables poisoning basic-block-granularity
+coercion (Fig 1d) while per-variable speculation is unaffected.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.workloads.base import Workload, XorShift, mix_seed, register
+
+DIM = 24
+LUT_SIZE = 511
+
+
+def _brightness_lut(threshold: int) -> list:
+    lut = []
+    for delta in range(-255, 256):
+        value = int(round(100.0 * math.exp(-((delta / threshold) ** 6))))
+        lut.append(min(value, 255))
+    return lut
+
+
+def make_image(rng: XorShift, *, amplitude: int = 255) -> list:
+    """A synthetic scene: gradient + rectangles + blobs + mild noise."""
+    img = [0] * (DIM * DIM)
+    gx = rng.below(5) + 1
+    gy = rng.below(5) + 1
+    for y in range(DIM):
+        for x in range(DIM):
+            img[y * DIM + x] = (x * gx + y * gy) % (amplitude + 1)
+    for _ in range(3):
+        x0, y0 = rng.below(DIM - 6), rng.below(DIM - 6)
+        w, h = 3 + rng.below(6), 3 + rng.below(6)
+        shade = rng.below(amplitude + 1)
+        for y in range(y0, min(DIM, y0 + h)):
+            for x in range(x0, min(DIM, x0 + w)):
+                img[y * DIM + x] = shade
+    for _ in range(DIM * 2):
+        pos = rng.below(DIM * DIM)
+        img[pos] = (img[pos] + rng.below(16)) % (amplitude + 1)
+    return img
+
+
+_COMMON = """
+u8 image[576];
+u8 lut[511];
+u32 dim;
+u32 result;
+"""
+
+SMOOTHING_SOURCE = _COMMON + """
+u8 smoothed[576];
+
+void main() {
+    u32 d = dim;
+    for (u32 y = 1; y < d - 1; y += 1) {
+        for (u32 x = 1; x < d - 1; x += 1) {
+            u32 center = image[y * 24 + x];
+            u32 total = 0;
+            u32 weight = 0;
+            for (u32 dy = 0; dy < 3; dy += 1) {
+                for (u32 dx = 0; dx < 3; dx += 1) {
+                    u32 pix = image[(y + dy - 1) * 24 + (x + dx - 1)];
+                    u32 w = lut[pix - center + 255];
+                    total += w * pix;
+                    weight += w;
+                }
+            }
+            if (weight != 0) { smoothed[y * 24 + x] = total / weight; }
+            else { smoothed[y * 24 + x] = (u8)center; }
+        }
+    }
+    u32 c = 0;
+    for (u32 i = 0; i < d * 24; i += 1) {
+        c = (c * 31 + smoothed[i]) & 0xFFFFFF;
+    }
+    result = c;
+    out(c);
+}
+"""
+
+EDGES_SOURCE = _COMMON + """
+u8 response[576];
+
+void main() {
+    u32 d = dim;
+    u32 max_n = 900;
+    u32 edge_count = 0;
+    for (u32 y = 2; y < d - 2; y += 1) {
+        for (u32 x = 2; x < d - 2; x += 1) {
+            u32 center = image[y * 24 + x];
+            u32 n = 0;
+            for (u32 dy = 0; dy < 5; dy += 1) {
+                for (u32 dx = 0; dx < 5; dx += 1) {
+                    u32 pix = image[(y + dy - 2) * 24 + (x + dx - 2)];
+                    n += lut[pix - center + 255];
+                }
+            }
+            u8 r = 0;
+            if (n < max_n) { r = (u8)((max_n - n) / 4); }
+            response[y * 24 + x] = r;
+            if (r > 0) { edge_count += 1; }
+        }
+    }
+    u32 c = 0;
+    for (u32 i = 0; i < d * 24; i += 1) {
+        c = (c * 31 + response[i]) & 0xFFFFFF;
+    }
+    result = c;
+    out(c);
+    out(edge_count);
+}
+"""
+
+CORNERS_SOURCE = _COMMON + """
+u8 corners[576];
+
+void main() {
+    u32 d = dim;
+    u32 max_n = 900;
+    u32 corner_thresh = 450;
+    u32 corner_count = 0;
+    u32 total_response = 0;   // wide accumulator (Fig 1d narrative)
+    u32 weighted_pos = 0;     // wide accumulator
+    for (u32 y = 2; y < d - 2; y += 1) {
+        for (u32 x = 2; x < d - 2; x += 1) {
+            u32 center = image[y * 24 + x];
+            u32 n = 0;
+            for (u32 dy = 0; dy < 5; dy += 1) {
+                for (u32 dx = 0; dx < 5; dx += 1) {
+                    u32 pix = image[(y + dy - 2) * 24 + (x + dx - 2)];
+                    n += lut[pix - center + 255];
+                }
+            }
+            u8 r = 0;
+            if (n < corner_thresh) {
+                r = (u8)((corner_thresh - n) / 2);
+                corner_count += 1;
+                total_response += (corner_thresh - n) * (corner_thresh - n);
+                weighted_pos += (y * 24 + x) * (corner_thresh - n);
+            }
+            corners[y * 24 + x] = r;
+        }
+    }
+    u32 c = 0;
+    for (u32 i = 0; i < d * 24; i += 1) {
+        c = (c * 31 + corners[i]) & 0xFFFFFF;
+    }
+    result = c ^ (total_response & 0xFFFF) ^ (weighted_pos & 0xFF);
+    out(result);
+    out(corner_count);
+}
+"""
+
+
+def _make_inputs(kind: str, seed: int, threshold: int) -> dict:
+    rng = XorShift(mix_seed(0x505A, kind, seed))
+    amplitude = {"test": 255, "train": 255, "alt": 90}[kind]
+    image = make_image(rng, amplitude=amplitude)
+    return {
+        "image": image,
+        "lut": _brightness_lut(threshold),
+        "dim": DIM,
+    }
+
+
+def _usan(image: list, lut: list, x: int, y: int, radius: int) -> int:
+    center = image[y * DIM + x]
+    n = 0
+    for dy in range(-radius, radius + 1):
+        for dx in range(-radius, radius + 1):
+            pix = image[(y + dy) * DIM + (x + dx)]
+            n += lut[pix - center + 255]
+    return n
+
+
+def _ref_smoothing(inputs: dict) -> list:
+    image, lut = inputs["image"], inputs["lut"]
+    smoothed = [0] * (DIM * DIM)
+    for y in range(1, DIM - 1):
+        for x in range(1, DIM - 1):
+            center = image[y * DIM + x]
+            total = weight = 0
+            for dy in (-1, 0, 1):
+                for dx in (-1, 0, 1):
+                    pix = image[(y + dy) * DIM + (x + dx)]
+                    w = lut[pix - center + 255]
+                    total += w * pix
+                    weight += w
+            smoothed[y * DIM + x] = (total // weight if weight else center) & 0xFF
+    check = 0
+    for v in smoothed:
+        check = (check * 31 + v) & 0xFFFFFF
+    return [check]
+
+
+def _ref_edges(inputs: dict) -> list:
+    image, lut = inputs["image"], inputs["lut"]
+    response = [0] * (DIM * DIM)
+    count = 0
+    for y in range(2, DIM - 2):
+        for x in range(2, DIM - 2):
+            n = _usan(image, lut, x, y, 2)
+            r = ((900 - n) // 4) & 0xFF if n < 900 else 0
+            response[y * DIM + x] = r
+            if r > 0:
+                count += 1
+    check = 0
+    for v in response:
+        check = (check * 31 + v) & 0xFFFFFF
+    return [check, count]
+
+
+def _ref_corners(inputs: dict) -> list:
+    image, lut = inputs["image"], inputs["lut"]
+    corners = [0] * (DIM * DIM)
+    count = 0
+    total_response = 0
+    weighted_pos = 0
+    for y in range(2, DIM - 2):
+        for x in range(2, DIM - 2):
+            n = _usan(image, lut, x, y, 2)
+            if n < 450:
+                corners[y * DIM + x] = ((450 - n) // 2) & 0xFF
+                count += 1
+                total_response = (total_response + (450 - n) * (450 - n)) & 0xFFFFFFFF
+                weighted_pos = (weighted_pos + (y * DIM + x) * (450 - n)) & 0xFFFFFFFF
+    check = 0
+    for v in corners:
+        check = (check * 31 + v) & 0xFFFFFF
+    result = check ^ (total_response & 0xFFFF) ^ (weighted_pos & 0xFF)
+    return [result, count]
+
+
+WORKLOAD_SMOOTHING = register(
+    Workload(
+        name="susan-smoothing",
+        source=SMOOTHING_SOURCE,
+        make_inputs=lambda kind, seed=0: _make_inputs(kind, seed, 30),
+        reference=_ref_smoothing,
+        description="brightness-weighted 3x3 smoothing",
+    )
+)
+
+WORKLOAD_EDGES = register(
+    Workload(
+        name="susan-edges",
+        source=EDGES_SOURCE,
+        make_inputs=lambda kind, seed=0: _make_inputs(kind, seed, 20),
+        reference=_ref_edges,
+        description="USAN edge response over a 5x5 mask",
+    )
+)
+
+WORKLOAD_CORNERS = register(
+    Workload(
+        name="susan-corners",
+        source=CORNERS_SOURCE,
+        make_inputs=lambda kind, seed=0: _make_inputs(kind, seed, 20),
+        reference=_ref_corners,
+        description="USAN corner response with wide accumulators",
+    )
+)

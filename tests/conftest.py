@@ -1,0 +1,58 @@
+"""Shared test helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CompilerConfig, compile_binary, set_global_inputs
+from repro.frontend import compile_source
+from repro.interp import Interpreter
+from repro.ir import verify_module
+
+
+def run_source(source: str, inputs: dict = None, entry: str = "main"):
+    """Front-end + interpreter; returns the output list."""
+    module = compile_source(source)
+    verify_module(module)
+    if inputs:
+        set_global_inputs(module, inputs)
+    return Interpreter(module).run(entry).output
+
+
+def run_machine(source: str, inputs: dict = None, config: CompilerConfig = None):
+    """Full pipeline + machine simulation; returns the SimResult."""
+    config = config or CompilerConfig.baseline()
+    profile = inputs if config.middle_end.startswith("2cfg") else None
+    binary = compile_binary(source, config, profile_inputs=profile)
+    return binary.run(inputs or {})
+
+
+ALL_CONFIGS = [
+    CompilerConfig.baseline(),
+    CompilerConfig.bitspec("max"),
+    CompilerConfig.bitspec("avg"),
+    CompilerConfig.nospec(),
+    CompilerConfig.thumb(),
+]
+
+
+@pytest.fixture(scope="session")
+def tiny_sum_workload():
+    """A small program exercised by many integration tests."""
+    source = """
+    u32 acc;
+    u8 table[32];
+    u32 n;
+    u32 sum(u8 *t, u32 count) {
+        u32 s = 0;
+        for (u32 i = 0; i < count; i += 1) { s += t[i]; }
+        return s;
+    }
+    void main() {
+        acc = sum(table, n);
+        out(acc);
+    }
+    """
+    inputs = {"table": [(7 * i + 3) % 256 for i in range(32)], "n": 32}
+    expected = [sum((7 * i + 3) % 256 for i in range(32)) & 0xFFFFFFFF]
+    return source, inputs, expected

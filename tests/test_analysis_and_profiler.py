@@ -1,0 +1,225 @@
+"""Static bitwidth analyses and the profile-guided selection."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import demanded_bits, known_bits, static_selection
+from repro.core import set_global_inputs
+from repro.frontend import compile_source
+from repro.interp import Interpreter
+from repro.ir import Instruction, IntType, required_bits
+from repro.passes import prepare_cfg_module
+from repro.profiler import (
+    BitwidthProfile,
+    SQUEEZE_WIDTH,
+    compute_squeeze_plan,
+)
+
+
+def analyze(source: str, func: str = "main"):
+    module = compile_source(source)
+    f = module.function(func)
+    return module, f
+
+
+class TestKnownBits:
+    def test_masking_bounds(self):
+        _, f = analyze("u32 g; void main() { u32 x = g & 0xFF; out(x); }")
+        bounds = known_bits(f)
+        masked = [
+            b
+            for inst, b in bounds.items()
+            if getattr(inst, "opcode", "") == "and"
+        ]
+        assert masked and all(b <= 8 for b in masked)
+
+    def test_add_grows_by_one(self):
+        _, f = analyze(
+            "u32 g; void main() { u32 a = g & 0x7F; u32 b = a + a; out(b); }"
+        )
+        bounds = known_bits(f)
+        adds = [b for i, b in bounds.items() if getattr(i, "opcode", "") == "add"]
+        assert adds and max(adds) <= 8
+
+    def test_loads_are_opaque(self):
+        _, f = analyze("u32 g[4]; void main() { out(g[0]); }")
+        bounds = known_bits(f)
+        loads = [b for i, b in bounds.items() if i.opcode == "load"]
+        assert loads and all(b == 32 for b in loads)
+
+    def test_loop_phi_converges_to_width(self):
+        _, f = analyze(
+            "u32 n; void main() { u32 s = 0; for (u32 i = 0; i < n; i += 1) { s += i; } out(s); }"
+        )
+        bounds = known_bits(f)  # must terminate and stay within widths
+        for inst, b in bounds.items():
+            assert 1 <= b <= inst.type.bits
+
+    def test_soundness_against_execution(self):
+        """Property: the static bound is an upper bound on RequiredBits."""
+        source = """
+        u32 n;
+        void main() {
+            u32 s = 0;
+            for (u32 i = 0; i < n; i += 1) {
+                u32 t = (i & 0x3F) + 1;
+                s += t * 3;
+                out(s);
+            }
+        }
+        """
+        module, f = analyze(source)
+        bounds = known_bits(f)
+        set_global_inputs(module, {"n": 40})
+        interp = Interpreter(module, trace=True)
+        interp.run("main")
+        for (fname, vname), stats in interp.trace.var_stats.items():
+            if fname != "main":
+                continue
+            for inst, bound in bounds.items():
+                if inst.name == vname:
+                    assert stats.max_bits <= bound, (vname, stats.max_bits, bound)
+
+
+class TestDemandedBits:
+    def test_mask_limits_demand(self):
+        _, f = analyze(
+            "u32 g; u8 o; void main() { u32 x = g * 12345; o = (u8)(x & 0xFF); }"
+        )
+        demand = demanded_bits(f)
+        muls = [d for i, d in demand.items() if getattr(i, "opcode", "") == "mul"]
+        assert muls and all(d <= 8 for d in muls)
+
+    def test_store_demands_full(self):
+        _, f = analyze("u32 g; void main() { g = g + 1; }")
+        demand = demanded_bits(f)
+        adds = [d for i, d in demand.items() if getattr(i, "opcode", "") == "add"]
+        assert adds and all(d == 32 for d in adds)
+
+    def test_combined_selection_bounded(self):
+        _, f = analyze("u32 g; void main() { out((g & 0xF) + 1); }")
+        selection = static_selection(f)
+        for inst, bits in selection.items():
+            assert 1 <= bits <= inst.type.bits
+
+
+class TestProfile:
+    def _profile(self, source, inputs=None, entry="main"):
+        module = compile_source(source)
+        prepare_cfg_module(module)
+        if inputs:
+            set_global_inputs(module, inputs)
+        return module, BitwidthProfile.collect(module, entry)
+
+    def test_heuristics_ordering(self):
+        module, profile = self._profile(
+            "void main() { u32 x = 0; do { x += 37; } while (x < 1000); out(x); }"
+        )
+        keys = [k for k in profile.stats if k[1].startswith("add")]
+        assert keys
+        func, name = keys[0]
+        low = profile.target_bits(func, name, "min")
+        mid = profile.target_bits(func, name, "avg")
+        high = profile.target_bits(func, name, "max")
+        assert low <= mid <= high
+
+    def test_unknown_heuristic_rejected(self):
+        _, profile = self._profile("void main() { out(1); }")
+        with pytest.raises(ValueError):
+            profile.target_bits("main", "x", "median")
+
+    def test_unprofiled_defaults_optimistic(self):
+        _, profile = self._profile("void main() { out(1); }")
+        assert profile.target_bits("main", "never.seen", "max") == 1
+
+    def test_json_roundtrip(self):
+        _, profile = self._profile(
+            "void main() { u32 s = 0; for (u32 i = 0; i < 9; i += 1) { s += i; } out(s); }"
+        )
+        restored = BitwidthProfile.from_json(profile.to_json())
+        assert restored.stats.keys() == profile.stats.keys()
+        for key in profile.stats:
+            a, b = profile.stats[key], restored.stats[key]
+            assert (a.count, a.total_bits, a.min_bits, a.max_bits) == (
+                b.count,
+                b.total_bits,
+                b.min_bits,
+                b.max_bits,
+            )
+
+    def test_classify_dynamic_percentages(self):
+        _, profile = self._profile(
+            "void main() { u32 s = 0; for (u32 i = 0; i < 50; i += 1) { s += 1; } out(s); }"
+        )
+        hist = profile.classify_dynamic("max")
+        assert sum(hist.values()) > 0
+        assert hist[8] > 0  # everything here fits 8 bits
+
+
+class TestSqueezePlan:
+    def _plan(self, source, heuristic="max", inputs=None):
+        module = compile_source(source)
+        prepare_cfg_module(module)
+        if inputs:
+            set_global_inputs(module, inputs)
+        profile = BitwidthProfile.collect(module, "main")
+        func = module.function("main")
+        return module, compute_squeeze_plan(func, profile, heuristic)
+
+    def test_small_loop_squeezed(self):
+        _, plan = self._plan(
+            "void main() { u32 x = 0; do { x += 1; } while (x < 100); out(x); }"
+        )
+        assert len(plan.narrow) >= 1
+        for inst in plan.narrow:
+            assert plan.bw[inst] <= SQUEEZE_WIDTH
+
+    def test_wide_values_not_squeezed(self):
+        _, plan = self._plan(
+            "void main() { u32 x = 0; do { x += 1000; } while (x < 100000); out(x); }"
+        )
+        assert not plan.narrow
+
+    def test_mul_never_squeezed(self):
+        _, plan = self._plan(
+            "void main() { u32 x = 1; do { x *= 2; } while (x < 100); out(x); }"
+        )
+        for inst in plan.narrow:
+            assert inst.opcode != "mul"
+
+    def test_non_idempotent_blocks_excluded(self):
+        # the value is tiny, but its defining block contains a call
+        _, plan = self._plan(
+            """
+            u32 id(u32 v) { return v; }
+            void main() {
+                u32 x = 0;
+                do { x = id(x) + 1; } while (x < 50);
+                out(x);
+            }
+            """
+        )
+        for inst in plan.narrow:
+            assert inst.parent.is_idempotent()
+
+    def test_min_more_aggressive_than_max(self):
+        source = """
+        u32 limit;
+        void main() {
+            u32 x = 0;
+            do { x += 1; out(x); } while (x < limit);
+        }
+        """
+        _, plan_max = self._plan(source, "max", {"limit": 1000})
+        _, plan_min = self._plan(source, "min", {"limit": 1000})
+        assert len(plan_min.narrow) >= len(plan_max.narrow)
+
+    def test_bw_respects_operand_targets(self):
+        # x stays small but is added to a large constant: not squeezable
+        _, plan = self._plan(
+            "void main() { u32 x = 0; do { x = (x + 1) & 0xF; out(x + 5000); } while (x != 0); }"
+        )
+        for inst in plan.narrow:
+            for op in inst.operands:
+                if hasattr(op, "value"):
+                    assert required_bits(op.value) <= SQUEEZE_WIDTH

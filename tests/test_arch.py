@@ -1,0 +1,222 @@
+"""Microarchitecture substrate: caches, machine, energy, DTS."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from conftest import run_machine
+from repro.arch import (
+    BITWIDTH_AWARE_SLACK,
+    Cache,
+    DTSModel,
+    EnergyCounters,
+    MemoryHierarchy,
+    compute_energy,
+)
+from repro.arch.machine import Machine, MachineError
+from repro.core import CompilerConfig, compile_binary
+
+
+class TestCache:
+    def test_cold_miss_then_hit(self):
+        cache = Cache(8 * 1024, 4)
+        assert not cache.lookup(0)
+        assert cache.lookup(0)
+        assert cache.lookup(31)  # same 32B line
+        assert not cache.lookup(32)  # next line
+
+    def test_lru_eviction(self):
+        cache = Cache(4 * 32, 1, "tiny")  # 4 sets, direct mapped
+        set_stride = 4 * 32  # same set every stride
+        assert not cache.lookup(0)
+        cache.reset_fastpath()
+        assert not cache.lookup(set_stride)  # evicts line 0
+        cache.reset_fastpath()
+        assert not cache.lookup(0)  # line 0 gone
+
+    def test_associativity_keeps_ways(self):
+        cache = Cache(2 * 32 * 2, 2, "2way")  # 2 sets, 2 ways
+        stride = 2 * 32
+        cache.lookup(0)
+        cache.reset_fastpath()
+        cache.lookup(stride)
+        cache.reset_fastpath()
+        assert cache.lookup(0)  # both ways resident
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            Cache(100, 3)
+
+    def test_hierarchy_levels(self):
+        mh = MemoryHierarchy()
+        assert mh.fetch(0) == "mem"  # cold: L1 miss, L2 miss
+        mh.icache.reset_fastpath()
+        assert mh.fetch(0) == "l1"
+        assert mh.data_access(4096) == "mem"
+        mh.dcache.reset_fastpath()
+        assert mh.data_access(4096) == "l1"
+        assert mh.dram_accesses == 2
+
+    def test_stats(self):
+        cache = Cache(8 * 1024, 4)
+        cache.lookup(0)
+        cache.lookup(0)
+        assert cache.stats.accesses == 2
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert 0 < cache.stats.miss_rate < 1
+
+
+class TestEnergyModel:
+    def test_zero_counters_zero_energy(self):
+        assert compute_energy(EnergyCounters()).total == 0.0
+
+    def test_slice_access_quarter_cost(self):
+        narrow = EnergyCounters()
+        narrow.rf_reads_by_width[1] = 100
+        wide = EnergyCounters()
+        wide.rf_reads_by_width[4] = 100
+        ratio = compute_energy(narrow).regfile / compute_energy(wide).regfile
+        assert ratio == pytest.approx(0.25)
+
+    def test_component_scaling(self):
+        counters = EnergyCounters()
+        counters.alu32_ops = 10
+        counters.cycles = 10
+        scaled = compute_energy(counters, scale={"alu": 0.5, "pipeline": 1.0})
+        unscaled = compute_energy(counters)
+        assert scaled.alu == pytest.approx(unscaled.alu * 0.5)
+        assert scaled.pipeline == pytest.approx(unscaled.pipeline)
+
+    def test_miss_costs_ordered(self):
+        l1 = EnergyCounters(); l1.dcache_l1 = 1
+        l2 = EnergyCounters(); l2.dcache_l2 = 1
+        mem = EnergyCounters(); mem.dcache_mem = 1
+        assert (
+            compute_energy(l1).dcache
+            < compute_energy(l2).dcache
+            < compute_energy(mem).dcache
+        )
+
+
+class TestMachine:
+    def test_step_limit(self):
+        binary = compile_binary(
+            "void main() { while (1) { } }", CompilerConfig.baseline()
+        )
+        machine = Machine(binary.linked, binary.module, step_limit=500)
+        with pytest.raises(MachineError):
+            machine.run()
+
+    def test_trace_hook(self):
+        binary = compile_binary("void main() { out(1); }", CompilerConfig.baseline())
+        pcs = []
+        machine = Machine(
+            binary.linked, binary.module, trace_hook=lambda pc, regs: pcs.append(pc)
+        )
+        machine.run()
+        assert pcs and pcs[0] == binary.linked.entry_index
+
+    def test_misspec_redirects_through_skeleton(self):
+        source = "void main() { u32 x = 0; do { x += 1; } while (x <= 255); out(x); }"
+        binary = compile_binary(
+            source, CompilerConfig.bitspec("avg"), profile_inputs=None
+        )
+        result = binary.run()
+        assert result.output == [256]
+        assert result.misspeculations == 1
+
+    def test_event_counters_consistent(self, tiny_sum_workload):
+        source, inputs, expected = tiny_sum_workload
+        result = run_machine(source, inputs)
+        assert result.output == expected
+        c = result.counters
+        # every executed instruction was fetched exactly once
+        fetches = c.icache_l1 + c.icache_l2 + c.icache_mem
+        assert fetches == result.instructions
+        # loads+stores equal D$ accesses
+        assert (
+            c.dcache_l1 + c.dcache_l2 + c.dcache_mem
+            == result.loads + result.stores
+        )
+        assert result.cycles >= result.instructions
+        assert sum(result.class_counts.values()) >= result.instructions * 0.9
+
+    def test_rf_widths_by_isa(self, tiny_sum_workload):
+        source, inputs, expected = tiny_sum_workload
+        base = run_machine(source, inputs, CompilerConfig.baseline())
+        spec = run_machine(source, inputs, CompilerConfig.bitspec("max"))
+        assert base.counters.rf_reads_by_width[1] == 0
+        assert spec.counters.rf_reads_by_width[1] > 0
+
+    def test_output_equivalence_machine_vs_interp(self, tiny_sum_workload):
+        source, inputs, expected = tiny_sum_workload
+        for config in (
+            CompilerConfig.baseline(),
+            CompilerConfig.bitspec("max"),
+            CompilerConfig.bitspec("min"),
+            CompilerConfig.nospec(),
+            CompilerConfig.thumb(),
+        ):
+            result = run_machine(source, inputs, config)
+            assert result.output == expected, config.name
+
+
+class TestDTS:
+    def test_voltage_monotone_in_slack(self):
+        model = DTSModel()
+        v_tight = model.voltage_for_delay_scale(1.05)
+        v_loose = model.voltage_for_delay_scale(1.5)
+        assert v_loose < v_tight <= model.vdd_nominal
+
+    def test_energy_factor_bounds(self):
+        model = DTSModel()
+        for cls in ("alu32", "alu8", "mul", "div", "move", "mem", "branch"):
+            factor = model.energy_factor(cls)
+            assert 0.1 < factor <= 1.0
+        assert model.energy_factor("mul") == 1.0  # no slack on the multiplier
+
+    def test_mix_weighting(self):
+        model = DTSModel()
+        slack_heavy = {"move": 100}
+        tight = {"mul": 100}
+        assert model.scale_for_mix(slack_heavy) < model.scale_for_mix(tight)
+        assert model.scale_for_mix({}) == 1.0
+
+    def test_bitwidth_aware_saves_more_on_slices(self):
+        blind = DTSModel()
+        aware = DTSModel.bitwidth_aware()
+        mix = {"alu8": 100}
+        assert aware.scale_for_mix(mix) < blind.scale_for_mix(mix)
+
+    def test_apply_scales_all_components(self, tiny_sum_workload):
+        source, inputs, _ = tiny_sum_workload
+        result = run_machine(source, inputs)
+        scaled = DTSModel().apply(result)
+        nominal = result.energy()
+        assert 0 < scaled.total < nominal.total
+        for comp in ("alu", "regfile", "dcache", "icache", "pipeline"):
+            assert getattr(scaled, comp) <= getattr(nominal, comp)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    values=st.lists(st.integers(0, 2**32 - 1), min_size=1, max_size=12),
+    mask=st.sampled_from([0xFF, 0xFFFF, 0xFFFFFFFF]),
+)
+def test_property_machine_matches_python(values, mask):
+    """Random reduction over inputs: machine result equals Python's."""
+    source = f"""
+    u32 data[12]; u32 n;
+    void main() {{
+        u32 acc = 0;
+        for (u32 i = 0; i < n; i += 1) {{
+            acc = (acc ^ data[i]) + (data[i] & {mask});
+        }}
+        out(acc);
+    }}
+    """
+    result = run_machine(source, {"data": values, "n": len(values)})
+    acc = 0
+    for v in values:
+        acc = ((acc ^ v) + (v & mask)) & 0xFFFFFFFF
+    assert result.output == [acc]

@@ -1,0 +1,299 @@
+"""Back-end: instruction selection, register allocation, layout, ISAs."""
+
+import pytest
+
+from conftest import run_machine
+from repro.backend.isel import ISelError, select_module
+from repro.backend.layout import link_program
+from repro.backend.mir import (
+    ALLOCATABLE,
+    CALLEE_SAVED,
+    FrameSlot,
+    Imm,
+    SCRATCH0,
+    SCRATCH1,
+    Slice,
+    THUMB_ALLOCATABLE,
+    VReg,
+)
+from repro.backend.regalloc import RegisterAllocator, _sequence_moves
+from repro.core import CompilerConfig, compile_binary
+from repro.frontend import compile_source
+from repro.passes import ExpanderConfig
+
+
+def machine_outputs(source, inputs=None, isa="ARM"):
+    configs = {
+        "ARM": CompilerConfig.baseline(),
+        "ARM_BS": CompilerConfig.nospec(),
+        "THUMB": CompilerConfig.thumb(),
+    }
+    return run_machine(source, inputs, configs[isa]).output
+
+
+class TestISelLowering:
+    """Semantics checked end-to-end through the machine simulator."""
+
+    @pytest.mark.parametrize("isa", ["ARM", "ARM_BS", "THUMB"])
+    def test_arithmetic(self, isa):
+        out = machine_outputs(
+            """
+            void main() {
+                u32 a = 1000;
+                u32 b = 37;
+                out(a + b); out(a - b); out(a * b); out(a / b); out(a % b);
+                out(a & b); out(a | b); out(a ^ b);
+                out(a << 3); out(a >> 3);
+                s32 c = -64;
+                out((u32)(c >> 2));
+            }
+            """,
+            isa=isa,
+        )
+        assert out == [
+            1037, 963, 37000, 27, 1, 1000 & 37, 1000 | 37, 1000 ^ 37,
+            8000, 125, (-16) & 0xFFFFFFFF,
+        ]
+
+    @pytest.mark.parametrize("isa", ["ARM", "ARM_BS"])
+    def test_u64_pairs(self, isa):
+        out = machine_outputs(
+            """
+            void main() {
+                u64 a = 0xFFFFFFFF;
+                u64 b = a + a;           // carry into the high word
+                out((u32)b); out((u32)(b >> 32));
+                u64 c = b - a;           // borrow back
+                out((u32)c); out((u32)(c >> 32));
+                out(a < b); out(b == a + a);
+                u64 d = a * 5;           // umull path
+                out((u32)d); out((u32)(d >> 32));
+                u64 e = a << 4;
+                out((u32)e); out((u32)(e >> 32));
+                out((u32)(e >> 36));
+            }
+            """,
+            isa=isa,
+        )
+        a = 0xFFFFFFFF
+        b = 2 * a
+        d = 5 * a
+        e = (a << 4) & 0xFFFFFFFFFFFFFFFF
+        assert out == [
+            b & 0xFFFFFFFF, b >> 32, a, 0, 1, 1,
+            d & 0xFFFFFFFF, d >> 32, e & 0xFFFFFFFF, e >> 32, e >> 36,
+        ]
+
+    def test_u64_division_rejected(self):
+        module = compile_source(
+            "void main() { u64 a = 10; u64 b = 3; out((u32)(a / b)); }"
+        )
+        with pytest.raises(ISelError, match="64-bit"):
+            select_module(module)
+
+    @pytest.mark.parametrize("isa", ["ARM", "ARM_BS", "THUMB"])
+    def test_memory_sizes(self, isa):
+        out = machine_outputs(
+            """
+            u8 b8[4]; u16 b16[4]; u32 b32[4]; u64 b64[2];
+            void main() {
+                b8[1] = 0xAB; b16[1] = 0xABCD; b32[1] = 0xDEADBEEF;
+                b64[1] = 0x1122334455667788;
+                out(b8[1]); out(b16[1]); out(b32[1]);
+                out((u32)b64[1]); out((u32)(b64[1] >> 32));
+            }
+            """,
+            isa=isa,
+        )
+        assert out == [0xAB, 0xABCD, 0xDEADBEEF, 0x55667788, 0x11223344]
+
+    @pytest.mark.parametrize("isa", ["ARM", "THUMB"])
+    def test_calls_and_stack_args(self, isa):
+        out = machine_outputs(
+            """
+            u32 six(u32 a, u32 b, u32 c, u32 d, u32 e, u32 f) {
+                return a + 2*b + 3*c + 4*d + 5*e + 6*f;
+            }
+            void main() { out(six(1, 2, 3, 4, 5, 6)); }
+            """,
+            isa=isa,
+        )
+        assert out == [1 + 4 + 9 + 16 + 25 + 36]
+
+    def test_deep_recursion_stack_discipline(self):
+        out = machine_outputs(
+            """
+            u32 s(u32 n) { if (n == 0) { return 0; } return n + s(n - 1); }
+            void main() { out(s(100)); }
+            """
+        )
+        assert out == [5050]
+
+    def test_select_and_ternary(self):
+        out = machine_outputs(
+            """
+            u32 g;
+            void main() {
+                u32 m = g > 10 ? g * 2 : g + 100;
+                out(m);
+            }
+            """,
+            {"g": 7},
+        )
+        assert out == [107]
+
+
+class TestRegisterAllocation:
+    def _alloc(self, source, isa="ARM_BS", func="main"):
+        module = compile_source(source)
+        program = select_module(module, isa=isa)
+        allocator = RegisterAllocator(program.functions[func], isa=isa)
+        allocator.allocate()
+        return allocator
+
+    def test_slice_packing_density(self):
+        """Several simultaneously-live u8 values pack into few registers."""
+        source = """
+        u8 t[8]; u32 sink;
+        void main() {
+            u8 a = t[0]; u8 b = t[1]; u8 c = t[2]; u8 d = t[3];
+            u8 e = t[4]; u8 f = t[5]; u8 g = t[6]; u8 h = t[7];
+            sink = (u32)(a+b) + (u32)(c+d) + (u32)(e+f) + (u32)(g+h);
+            out(sink);
+        }
+        """
+        allocator = self._alloc(source, isa="ARM_BS")
+        slices = [
+            loc for loc in allocator.location.values() if isinstance(loc, Slice)
+        ]
+        byte_slices = [s for s in slices if s.size == 1]
+        assert byte_slices
+        regs_used = {s.reg for s in byte_slices}
+        # 8 single-byte values cannot need 8 registers under packing
+        assert len(regs_used) < len(byte_slices)
+
+    def test_baseline_never_packs(self):
+        allocator = self._alloc(
+            "u8 t[4]; void main() { out(t[0] + t[1]); }", isa="ARM"
+        )
+        for loc in allocator.location.values():
+            if isinstance(loc, Slice):
+                assert loc.offset == 0
+
+    def test_call_crossing_uses_callee_saved(self):
+        source = """
+        u32 f(u32 x) { return x + 1; }
+        void main() {
+            u32 keep = 12345;
+            u32 r = f(7);
+            out(keep + r);
+        }
+        """
+        module = compile_source(source)
+        program = select_module(module, isa="ARM")
+        allocator = RegisterAllocator(program.functions["main"], isa="ARM")
+        intervals = allocator._build_intervals()
+        crossing = [iv for iv in intervals if iv.crosses_call]
+        assert crossing
+        allocator = RegisterAllocator(program.functions["main"], isa="ARM")
+        allocator.allocate()
+        for iv in allocator._build_intervals():
+            if iv.crosses_call:
+                loc = allocator.location.get(iv.vreg)
+                if isinstance(loc, Slice):
+                    assert loc.reg in CALLEE_SAVED
+
+    def test_thumb_pool_is_restricted(self):
+        assert set(THUMB_ALLOCATABLE) < set(ALLOCATABLE)
+        allocator = self._alloc(
+            "void main() { u32 a = 1; u32 b = 2; out(a + b); }", isa="THUMB"
+        )
+        for loc in allocator.location.values():
+            if isinstance(loc, Slice):
+                assert loc.reg in THUMB_ALLOCATABLE or loc.reg in (SCRATCH0, SCRATCH1)
+
+    def test_spilling_under_pressure_stays_correct(self):
+        # 16 simultaneously-live u32 values exceed the 11-register pool
+        decls = "".join(f"u32 v{i} = g + {i};" for i in range(16))
+        uses = " + ".join(f"v{i}" for i in range(16))
+        source = f"u32 g; void main() {{ {decls} out({uses}); }}"
+        out = machine_outputs(source, {"g": 1000})
+        assert out == [sum(1000 + i for i in range(16))]
+
+    def test_sequence_moves_breaks_cycles(self):
+        a, b = Slice(0, 0, 4), Slice(1, 0, 4)
+        moves = [(a, b), (b, a)]  # swap
+        insts = _sequence_moves(moves)
+        opcodes = [i.opcode for i in insts]
+        assert opcodes.count("mov") == 3  # via scratch
+        used_scratch = any(
+            isinstance(op, Slice) and op.reg == SCRATCH0
+            for i in insts
+            for op in i.defs + i.uses
+        )
+        assert used_scratch
+
+    def test_sequence_moves_drops_identity(self):
+        a = Slice(0, 0, 4)
+        assert _sequence_moves([(a, a)]) == []
+
+
+class TestLayout:
+    def _linked(self, source, config):
+        binary = compile_binary(source, config, profile_inputs={})
+        return binary.linked
+
+    def test_skeleton_area_delta(self):
+        source = "void main() { u32 x = 0; do { x += 1; } while (x <= 255); out(x); }"
+        binary = compile_binary(
+            source,
+            CompilerConfig.bitspec("avg"),
+            profile_inputs=None,
+        )
+        linked = binary.linked
+        assert linked.delta == linked.code_size
+        spec_indices = [
+            i for i, inst in enumerate(linked.insts[: linked.code_size])
+            if inst.speculative
+        ]
+        assert spec_indices
+        for index in spec_indices:
+            skeleton = linked.insts[index + linked.delta]
+            assert skeleton.opcode == "b"
+        # non-speculative slots in the skeleton area are nops
+        for index in range(linked.code_size):
+            if index not in spec_indices:
+                assert linked.insts[index + linked.delta].opcode in ("nop",)
+
+    def test_no_skeleton_without_speculation(self):
+        linked = self._linked("void main() { out(1); }", CompilerConfig.baseline())
+        assert linked.delta == 0
+        assert len(linked.insts) == linked.code_size
+
+    def test_fallthrough_branches_removed(self):
+        linked = self._linked(
+            "void main() { u32 s = 0; for (u32 i = 0; i < 3; i += 1) { s += i; } out(s); }",
+            CompilerConfig.baseline(),
+        )
+        for i, inst in enumerate(linked.insts):
+            if inst.opcode == "b":
+                assert inst.target != i + 1  # would be a fallthrough
+
+    def test_thumb_instruction_bytes(self):
+        linked = self._linked("void main() { out(1); }", CompilerConfig.thumb())
+        assert linked.inst_bytes == 2
+        arm = self._linked("void main() { out(1); }", CompilerConfig.baseline())
+        assert arm.inst_bytes == 4
+
+    def test_thumb_two_address_expansion_increases_count(self):
+        source = "u32 g; void main() { out(g * 3 + g / 2 - 1); }"
+        arm = self._linked(source, CompilerConfig.baseline())
+        thumb = self._linked(source, CompilerConfig.thumb())
+        assert len(thumb.insts) >= len(arm.insts)
+
+    def test_entry_is_main(self):
+        linked = self._linked(
+            "u32 f() { return 1; } void main() { out(f()); }",
+            CompilerConfig.baseline(),
+        )
+        assert linked.entry_index == linked.function_entries["main"]

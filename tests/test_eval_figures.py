@@ -1,0 +1,114 @@
+"""Structural tests of the per-figure experiment drivers (small subsets)."""
+
+import pytest
+
+from repro.eval import figures
+from repro.eval.harness import run
+from repro.core import CompilerConfig
+
+SUBSET = ("crc32", "bitcount")
+
+
+def test_fig01_structure():
+    data = figures.fig01_bitwidth_selection(SUBSET)
+    assert len(data["rows"]) == 2
+    for row in data["rows"]:
+        for key in ("required", "declared", "static", "bbmax"):
+            hist = row[key]
+            assert sum(hist.values()) == pytest.approx(100.0)
+        # the paper's core premise: required ≤8-bit share exceeds declared
+        assert row["required"][8] > row["declared"][8]
+    # static analysis helps but does not reach the required distribution
+    means = data["mean_8bit_percent"]
+    assert means["declared"] <= means["static"] <= means["required"]
+
+
+def test_fig03_series_shape():
+    data = figures.fig03_unrolling(("bitcount",), factors=(1, 2, 4))
+    series = data["rows"][0]["series"]
+    assert [p["factor"] for p in series] == [1, 2, 4]
+    assert series[0]["ir_rel"] == 1.0
+    # unrolling monotonically reduces dynamic IR instructions (Fig 3)
+    assert series[-1]["ir_instructions"] <= series[0]["ir_instructions"]
+
+
+def test_fig05_aggressiveness_ordering():
+    data = figures.fig05_heuristics(SUBSET)
+    for row in data["rows"]:
+        assert row["min"][8] >= row["avg"][8] >= row["max"][8]
+
+
+def test_fig08_and_components():
+    f8 = figures.fig08_energy(SUBSET)
+    assert all(r["energy_rel"] > 0 for r in f8["rows"])
+    f9 = figures.fig09_breakdown(SUBSET)
+    for row in f9["rows"]:
+        assert set(row["rel"]) == {"alu", "regfile", "dcache", "icache", "pipeline"}
+        assert row["baseline"]["regfile"] > 0
+
+
+def test_fig10_fig11_normalization():
+    f10 = figures.fig10_spills(SUBSET)
+    for row in f10["rows"]:
+        total = sum(row["baseline"].values())
+        assert total == pytest.approx(1.0) or total == 0.0
+    f11 = figures.fig11_regaccess(SUBSET)
+    for row in f11["rows"]:
+        assert row["baseline"]["8"] == 0.0  # baseline accesses are 32-bit
+        assert sum(row["baseline"].values()) == pytest.approx(1.0)
+        assert row["bitspec"]["8"] > 0  # slices in use
+
+
+def test_fig12_speculation_gap():
+    data = figures.fig12_nospec(SUBSET)
+    for row in data["rows"]:
+        assert row["bitspec_rel"] <= row["nospec_rel"] + 0.05
+
+
+def test_table2_monotone_misspeculation():
+    data = figures.fig14_table2_aggressiveness(("crc32",))
+    row = data["rows"][0]
+    assert row["max_misspecs"] <= row["avg_misspecs"] <= row["min_misspecs"]
+
+
+def test_fig15_alt_profile_still_correct():
+    data = figures.fig15_sensitivity(("bitcount",))
+    row = data["rows"][0]
+    assert row["bitspec_altprofile_rel"] > 0
+
+
+def test_fig17_composition():
+    data = figures.fig17_dts(("bitcount",))
+    row = data["rows"][0]
+    assert row["dts_rel"] < 1.0
+    assert row["dts_bitspec_rel"] < row["dts_rel"]
+    assert row["dts_bitspec_rel"] == pytest.approx(row["product_rel"], rel=0.2)
+
+
+def test_fig18_thumb_overhead():
+    data = figures.fig18_thumb(("bitcount",))
+    assert data["rows"][0]["instructions_rel"] > 1.0
+
+
+def test_rq3_reports_all_ablations():
+    data = figures.rq3_optimizations()
+    assert "dijkstra-compare-elimination" in data
+    assert "rijndael-bitmask-elision" in data
+    assert "blowfish-bitmask-elision" in data
+
+
+def test_rq7_wide_shape():
+    data = figures.rq7_auto_bitwidth()
+    for name, cell in data.items():
+        # widening every variable costs the baseline dearly; BITSPEC recovers
+        assert cell["baseline_wide_rel"] > 1.05
+        assert cell["bitspec_wide_rel"] < cell["baseline_wide_rel"]
+
+
+def test_fig16_cdf_population():
+    data = figures.fig16_susan_cdf(n_images=2, heuristics=("max",))
+    cdf = data["cdfs"]["max"]
+    assert len(cdf) == 4  # 2x2 cross product
+    assert cdf == sorted(cdf)
+    # self-profile runs sit at ratio 1.0
+    assert any(abs(r - 1.0) < 1e-9 for r in cdf)

@@ -1,0 +1,72 @@
+"""Harness internals and the report generator."""
+
+import pytest
+
+from repro.core import CompilerConfig
+from repro.eval.harness import (
+    BENCHMARKS,
+    _config_key,
+    clear_caches,
+    get_binary,
+    run,
+)
+
+
+def test_benchmark_roster_matches_registry():
+    from repro.workloads import workload_names
+
+    assert sorted(BENCHMARKS) == workload_names()
+
+
+def test_config_key_distinguishes_settings():
+    a = _config_key(CompilerConfig.bitspec("max"))
+    b = _config_key(CompilerConfig.bitspec("min"))
+    c = _config_key(CompilerConfig.bitspec("max", bitmask_elision=False))
+    assert a != b and a != c
+
+
+def test_config_key_ignores_name():
+    a = _config_key(CompilerConfig.baseline())
+    b = _config_key(CompilerConfig.baseline(name="renamed"))
+    assert a == b
+
+
+def test_binary_cache_shared_across_run_inputs():
+    clear_caches()
+    binary = get_binary("bitcount", CompilerConfig.baseline())
+    first = run("bitcount", CompilerConfig.baseline(), run_kind="train")
+    second = run("bitcount", CompilerConfig.baseline(), run_kind="alt")
+    assert first.binary is binary and second.binary is binary
+    assert first.sim.output != second.sim.output  # different inputs
+
+
+def test_dts_records_carry_scaled_energy():
+    record = run("bitcount", CompilerConfig.dts(), run_kind="train")
+    assert record.dts_energy is not None
+    assert record.total_energy == record.dts_energy.total
+    assert record.total_energy < record.energy.total
+
+
+def test_report_generator_smoke(monkeypatch):
+    """The report pipeline produces markdown with the key sections.
+
+    Figure functions are monkeypatched onto tiny subsets to keep this fast.
+    """
+    from repro.eval import figures, report
+
+    small = ("bitcount",)
+    for name in (
+        "fig01_bitwidth_selection",
+        "fig08_energy",
+        "fig12_nospec",
+        "fig14_table2_aggressiveness",
+        "fig15_sensitivity",
+        "fig17_dts",
+        "fig18_thumb",
+    ):
+        fn = getattr(figures, name)
+        monkeypatch.setattr(figures, name, (lambda f: lambda *a, **k: f(small))(fn))
+    text = report.generate_report()
+    for heading in ("Figure 1", "Figure 8", "Table 2", "Figure 17", "Figure 18"):
+        assert heading in text
+    assert "bitcount" in text

@@ -1,0 +1,306 @@
+"""MiniC front-end: lexer, parser, codegen semantics."""
+
+import pytest
+
+from conftest import run_source
+from repro.frontend import CodegenError, LexError, ParseError, compile_source, parse, tokenize
+from repro.ir import verify_module
+
+
+class TestLexer:
+    def test_tokens(self):
+        toks = tokenize("u32 x = 0x1F + 'a'; // comment\n y <<= 2;")
+        kinds = [t.kind for t in toks]
+        assert kinds[0] == "kw"
+        assert "<<=" in kinds
+        values = [t.value for t in toks if t.kind == "num"]
+        assert values == [0x1F, ord("a"), 2]
+
+    def test_block_comments(self):
+        toks = tokenize("a /* multi\nline */ b")
+        assert [t.text for t in toks[:-1]] == ["a", "b"]
+
+    def test_char_escapes(self):
+        toks = tokenize(r"'\n' '\0' '\\'")
+        assert [t.value for t in toks[:-1]] == [10, 0, 92]
+
+    def test_errors(self):
+        with pytest.raises(LexError):
+            tokenize("a $ b")
+        with pytest.raises(LexError):
+            tokenize("/* unterminated")
+        with pytest.raises(LexError):
+            tokenize("'ab'")
+
+
+class TestParser:
+    def test_precedence(self):
+        prog = parse("void main() { u32 x = 1 + 2 * 3; out(x); }")
+        assert prog.functions[0].name == "main"
+
+    def test_global_forms(self):
+        prog = parse("u32 a; u8 b[4] = {1,2,3,4}; u32 c = 7;")
+        assert [g.name for g in prog.globals] == ["a", "b", "c"]
+        assert prog.globals[1].init == [1, 2, 3, 4]
+        assert prog.globals[2].init == [7]
+
+    def test_syntax_errors(self):
+        for bad in (
+            "void main() { u32 x = ; }",
+            "void main() { if x { } }",
+            "u32 f(u32) { return 0; }",
+            "void main() { 1 = 2; }",
+        ):
+            with pytest.raises(ParseError):
+                parse(bad)
+
+
+class TestCodegenSemantics:
+    """Each snippet's out() stream checked against a Python-computed value."""
+
+    def test_arithmetic_and_wrapping(self):
+        # MiniC has no C-style integer promotion: u8 op u8 wraps at 8 bits.
+        out = run_source(
+            """
+            void main() {
+                u8 a = 200;
+                u8 b = 100;
+                out(a + b);            // 8-bit arithmetic wraps
+                u8 c = a + b;
+                out(c);
+                out((u32)a * (u32)b);  // widen explicitly for full product
+                u32 big = 0xFFFFFFFF;
+                out(big + 2);
+            }
+            """
+        )
+        assert out == [(200 + 100) & 0xFF, (200 + 100) & 0xFF, 20000, 1]
+
+    def test_division_and_modulo(self):
+        out = run_source(
+            """
+            void main() {
+                out(17 / 5);
+                out(17 % 5);
+                s32 a = -17;
+                out((u32)(a / 5));
+                out((u32)(a % 5));
+            }
+            """
+        )
+        # C semantics: trunc toward zero
+        assert out == [3, 2, (-3) & 0xFFFFFFFF, (-2) & 0xFFFFFFFF]
+
+    def test_shifts_signed_unsigned(self):
+        out = run_source(
+            """
+            void main() {
+                u32 x = 0x80000000;
+                out(x >> 4);
+                s32 y = (s32)0x80000000;
+                out((u32)(y >> 4));
+                out(1 << 31);
+            }
+            """
+        )
+        assert out == [0x08000000, 0xF8000000, 0x80000000]
+
+    def test_comparisons_and_bool(self):
+        out = run_source(
+            """
+            void main() {
+                u32 a = 5;
+                s32 b = -1;
+                out(a > 3);
+                out(b < 0);
+                u32 t = (a == 5) + (a != 5);
+                out(t);
+                out(!a);
+                out(!(a - 5));
+            }
+            """
+        )
+        assert out == [1, 1, 1, 0, 1]
+
+    def test_short_circuit(self):
+        out = run_source(
+            """
+            u32 calls;
+            u32 bump() { calls += 1; return 1; }
+            void main() {
+                u32 a = 0;
+                if (a && bump()) { out(99); }
+                out(calls);
+                if (a || bump()) { out(42); }
+                out(calls);
+            }
+            """
+        )
+        assert out == [0, 42, 1]
+
+    def test_ternary_lazy(self):
+        out = run_source(
+            """
+            void main() {
+                u32 d = 0;
+                out(d == 0 ? 7 : 100 / d);  // must not trap
+            }
+            """
+        )
+        assert out == [7]
+
+    def test_loops_break_continue(self):
+        out = run_source(
+            """
+            void main() {
+                u32 s = 0;
+                for (u32 i = 0; i < 10; i += 1) {
+                    if (i == 3) { continue; }
+                    if (i == 7) { break; }
+                    s += i;
+                }
+                out(s);
+                u32 j = 0;
+                while (1) { j += 1; if (j >= 4) { break; } }
+                out(j);
+                u32 k = 10;
+                do { k -= 2; } while (k > 3);
+                out(k);
+            }
+            """
+        )
+        assert out == [0 + 1 + 2 + 4 + 5 + 6, 4, 2]
+
+    def test_arrays_and_pointers(self):
+        out = run_source(
+            """
+            u16 data[8];
+            u32 sum_from(u16 *p, u32 n) {
+                u32 s = 0;
+                for (u32 i = 0; i < n; i += 1) { s += p[i]; }
+                return s;
+            }
+            void main() {
+                for (u32 i = 0; i < 8; i += 1) { data[i] = i * 1000; }
+                out(sum_from(data, 8));
+                out(sum_from(&data[4], 4));
+                u32 local[4];
+                local[0] = 5; local[1] = 6; local[2] = 7; local[3] = 8;
+                u32 t = 0;
+                for (u32 i = 0; i < 4; i += 1) { t += local[i]; }
+                out(t);
+            }
+            """
+        )
+        expected_all = sum((i * 1000) & 0xFFFF for i in range(8))
+        expected_tail = sum((i * 1000) & 0xFFFF for i in range(4, 8))
+        assert out == [expected_all, expected_tail, 26]
+
+    def test_u64_arithmetic(self):
+        out = run_source(
+            """
+            void main() {
+                u64 a = 0xFFFFFFFF;
+                u64 b = a + a;
+                out((u32)b);
+                out((u32)(b >> 32));
+                u64 c = a * 3;
+                out((u32)(c >> 32));
+                out(a < b);
+                u64 d = b - a - a;
+                out((u32)d);
+            }
+            """
+        )
+        assert out == [0xFFFFFFFE, 1, 2, 1, 0]
+
+    def test_recursion(self):
+        out = run_source(
+            """
+            u32 ack(u32 m, u32 n) {
+                if (m == 0) { return n + 1; }
+                if (n == 0) { return ack(m - 1, 1); }
+                return ack(m - 1, ack(m, n - 1));
+            }
+            void main() { out(ack(2, 3)); }
+            """
+        )
+        assert out == [9]
+
+    def test_global_scalars(self):
+        out = run_source(
+            """
+            u32 counter = 5;
+            void bump() { counter += 3; }
+            void main() { bump(); bump(); out(counter); }
+            """
+        )
+        assert out == [11]
+
+    def test_compound_assignment_ops(self):
+        out = run_source(
+            """
+            void main() {
+                u32 x = 100;
+                x += 5; x -= 3; x *= 2; x /= 4; x %= 13;
+                x <<= 2; x >>= 1; x |= 0x10; x &= 0x1E; x ^= 0x3;
+                out(x);
+            }
+            """
+        )
+        x = 100
+        x += 5; x -= 3; x *= 2; x //= 4; x %= 13
+        x <<= 2; x >>= 1; x |= 0x10; x &= 0x1E; x ^= 0x3
+        assert out == [x]
+
+    def test_unary_ops(self):
+        out = run_source(
+            """
+            void main() {
+                u32 x = 5;
+                out(-x);
+                out(~x);
+                s32 y = -8;
+                out((u32)-y);
+            }
+            """
+        )
+        assert out == [(-5) & 0xFFFFFFFF, (~5) & 0xFFFFFFFF, 8]
+
+    def test_scoping_shadows(self):
+        out = run_source(
+            """
+            void main() {
+                u32 x = 1;
+                if (x) { u32 y = 10; out(y); }
+                if (x) { u32 y = 20; out(y); }
+                out(x);
+            }
+            """
+        )
+        assert out == [10, 20, 1]
+
+
+class TestCodegenErrors:
+    @pytest.mark.parametrize(
+        "source, message",
+        [
+            ("void main() { out(nope); }", "undefined"),
+            ("void main() { u32 x; u32 x; }", "redeclaration"),
+            ("void main() { break; }", "break outside"),
+            ("void main() { continue; }", "continue outside"),
+            ("u32 f() { return 1; } void main() { f(1); }", "expects"),
+            ("void main() { unknown(); }", "unknown"),
+            ("u32 a[4]; void main() { a = 3; }", "without index"),
+            ("void main() { u32 x = 0; out(x[0]); }", "cannot index"),
+        ],
+    )
+    def test_rejects(self, source, message):
+        with pytest.raises(CodegenError, match=message):
+            compile_source(source)
+
+    def test_all_outputs_verified(self):
+        module = compile_source(
+            "u32 g; void main() { g = 3; out(g); }"
+        )
+        verify_module(module)

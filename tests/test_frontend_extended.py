@@ -1,0 +1,219 @@
+"""Additional MiniC semantic coverage: signed types, u16, corner control flow."""
+
+import pytest
+
+from conftest import run_source
+from repro.core import CompilerConfig
+from conftest import run_machine
+
+
+class TestSignedSemantics:
+    def test_signed_comparisons(self):
+        out = run_source(
+            """
+            void main() {
+                s32 a = -5;
+                s32 b = 3;
+                out(a < b); out(a > b); out(a <= -5); out(a >= b);
+                s8 c = -1;
+                s8 d = 1;
+                out(c < d);
+            }
+            """
+        )
+        assert out == [1, 0, 1, 0, 1]
+
+    def test_sign_extension_on_widening(self):
+        out = run_source(
+            """
+            void main() {
+                s8 a = -2;
+                s32 wide = a;       // sext
+                out((u32)wide);
+                u8 b = 0xFE;
+                u32 zwide = b;      // zext
+                out(zwide);
+            }
+            """
+        )
+        assert out == [(-2) & 0xFFFFFFFF, 0xFE]
+
+    def test_signed_global_arrays(self):
+        out = run_source(
+            """
+            s16 vals[4];
+            void main() {
+                vals[0] = -100;
+                vals[1] = 100;
+                s32 d = vals[0] + vals[1];
+                out((u32)d);
+                out(vals[0] < 0);
+            }
+            """
+        )
+        assert out == [0, 1]
+
+    def test_signed_shift_right(self):
+        out = run_source(
+            """
+            void main() {
+                s16 x = -256;
+                out((u32)(s32)(x >> 4));
+            }
+            """
+        )
+        assert out == [(-16) & 0xFFFFFFFF]
+
+
+class TestU16:
+    def test_u16_wrapping(self):
+        out = run_source(
+            """
+            void main() {
+                u16 a = 60000;
+                u16 b = 10000;
+                u16 c = a + b;     // wraps at 16 bits
+                out(c);
+                out(a + b);        // 16-bit arithmetic, also wraps
+            }
+            """
+        )
+        assert out == [(70000) & 0xFFFF, (70000) & 0xFFFF]
+
+    def test_u16_memory_machine(self):
+        result = run_machine(
+            """
+            u16 h[3];
+            void main() {
+                h[0] = 0xFFFF;
+                h[1] = h[0] + 1;
+                h[2] = h[0] >> 8;
+                out(h[0]); out(h[1]); out(h[2]);
+            }
+            """
+        )
+        assert result.output == [0xFFFF, 0, 0xFF]
+
+
+class TestControlFlowCorners:
+    def test_nested_ternary(self):
+        out = run_source(
+            "u32 g; void main() { out(g < 5 ? 1 : g < 10 ? 2 : 3); }",
+            {"g": 7},
+        )
+        assert out == [2]
+
+    def test_do_while_with_continue(self):
+        out = run_source(
+            """
+            void main() {
+                u32 i = 0;
+                u32 s = 0;
+                do {
+                    i += 1;
+                    if (i & 1) { continue; }
+                    s += i;
+                } while (i < 10);
+                out(s);
+            }
+            """
+        )
+        assert out == [2 + 4 + 6 + 8 + 10]
+
+    def test_nested_breaks_bind_to_inner_loop(self):
+        out = run_source(
+            """
+            void main() {
+                u32 total = 0;
+                for (u32 i = 0; i < 4; i += 1) {
+                    for (u32 j = 0; j < 10; j += 1) {
+                        if (j == 2) { break; }
+                        total += 1;
+                    }
+                }
+                out(total);
+            }
+            """
+        )
+        assert out == [8]
+
+    def test_return_from_loop(self):
+        out = run_source(
+            """
+            u32 find(u32 needle) {
+                for (u32 i = 0; i < 100; i += 1) {
+                    if (i * i >= needle) { return i; }
+                }
+                return 100;
+            }
+            void main() { out(find(17)); out(find(0)); }
+            """
+        )
+        assert out == [5, 0]
+
+    def test_while_condition_side_effect_free_reeval(self):
+        out = run_source(
+            """
+            u32 g;
+            void main() {
+                u32 n = 0;
+                while (g > n && n < 5) { n += 1; }
+                out(n);
+            }
+            """,
+            {"g": 3},
+        )
+        assert out == [3]
+
+    def test_empty_loop_bodies(self):
+        out = run_source(
+            """
+            void main() {
+                u32 i = 0;
+                for (; i < 5; i += 1) { }
+                out(i);
+                while (i < 5) { i += 1; }
+                out(i);
+            }
+            """
+        )
+        assert out == [5, 5]
+
+
+class TestMachineBitspecExtended:
+    @pytest.mark.parametrize("heuristic", ["max", "avg", "min"])
+    def test_signed_code_not_squeezed_incorrectly(self, heuristic):
+        """Signed ops are never Squeezable; mixed signed/unsigned programs
+        must stay exact under every heuristic."""
+        source = """
+        s32 data[8]; u32 sink;
+        void main() {
+            s32 mn = data[0];
+            s32 mx = data[0];
+            for (u32 i = 1; i < 8; i += 1) {
+                if (data[i] < mn) { mn = data[i]; }
+                if (data[i] > mx) { mx = data[i]; }
+            }
+            sink = (u32)(mx - mn);
+            out((u32)(mx - mn));
+        }
+        """
+        values = [5, -3, 100, -77, 0, 44, -2, 13]
+        config = CompilerConfig.bitspec(heuristic)
+        result = run_machine(source, {"data": values}, config)
+        assert result.output == [(100 - (-77)) & 0xFFFFFFFF]
+
+    def test_u64_in_speculative_function(self):
+        source = """
+        u64 total; u32 n;
+        void main() {
+            u64 acc = 0;
+            for (u32 i = 0; i < n; i += 1) { acc += i; }
+            total = acc;
+            out((u32)acc);
+            out((u32)(acc >> 32));
+        }
+        """
+        for config in (CompilerConfig.baseline(), CompilerConfig.bitspec("max")):
+            result = run_machine(source, {"n": 100}, config)
+            assert result.output == [4950, 0], config.name

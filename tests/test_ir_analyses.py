@@ -1,0 +1,200 @@
+"""CFG analyses, liveness, verifier, cloning."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.ir import (
+    BinOp,
+    Br,
+    Function,
+    I32,
+    IRBuilder,
+    Module,
+    VOID,
+    VerificationError,
+    clone_blocks,
+    const,
+    verify_function,
+    verify_module,
+)
+from repro.ir.cfg import (
+    compute_dominators,
+    dominates,
+    find_natural_loops,
+    remove_unreachable_blocks,
+    reverse_postorder,
+)
+from repro.ir.liveness import compute_liveness
+from repro.interp import Interpreter
+
+
+def diamond_function():
+    """entry -> (left|right) -> join -> ret, with a phi at the join."""
+    func = Function("f", I32, [("x", I32)])
+    entry = func.add_block("entry")
+    left = func.add_block("left")
+    right = func.add_block("right")
+    join = func.add_block("join")
+    b = IRBuilder(entry)
+    cond = b.icmp("ult", func.args[0], b.const(10))
+    b.condbr(cond, left, right)
+    b.set_block(left)
+    lv = b.add(func.args[0], b.const(1))
+    b.br(join)
+    b.set_block(right)
+    rv = b.add(func.args[0], b.const(2))
+    b.br(join)
+    b.set_block(join)
+    phi = b.phi(I32)
+    phi.add_incoming(lv, left)
+    phi.add_incoming(rv, right)
+    b.ret(phi)
+    return func, (entry, left, right, join)
+
+
+class TestCFG:
+    def test_reverse_postorder(self):
+        func, (entry, left, right, join) = diamond_function()
+        order = reverse_postorder(func)
+        assert order[0] is entry
+        assert order.index(join) > order.index(left)
+        assert order.index(join) > order.index(right)
+
+    def test_dominators(self):
+        func, (entry, left, right, join) = diamond_function()
+        dom = compute_dominators(func)
+        assert dominates(dom, entry, join)
+        assert not dominates(dom, left, join)
+        assert dominates(dom, join, join)
+
+    def test_natural_loops(self):
+        src = """
+        void main() {
+            u32 s = 0;
+            for (u32 i = 0; i < 10; i += 1) {
+                for (u32 j = 0; j < 3; j += 1) { s += j; }
+            }
+            out(s);
+        }
+        """
+        module = compile_source(src)
+        loops = find_natural_loops(module.function("main"))
+        assert len(loops) == 2
+        sizes = sorted(len(l.blocks) for l in loops)
+        assert sizes[0] < sizes[1]  # inner loop nests inside outer
+
+    def test_remove_unreachable(self):
+        func, blocks = diamond_function()
+        dead = func.add_block("dead")
+        IRBuilder(dead).ret(const(0))
+        assert remove_unreachable_blocks(func) == 1
+        assert dead not in func.blocks
+        verify_function(func)
+
+
+class TestLiveness:
+    def test_diamond_liveness(self):
+        func, (entry, left, right, join) = diamond_function()
+        info = compute_liveness(func)
+        lv = left.instructions[0]
+        rv = right.instructions[0]
+        assert lv in info.live_out[left]
+        assert rv in info.live_out[right]
+        assert lv not in info.live_out[right]
+        phi = join.phis()[0]
+        assert phi in info.live_in[join]
+
+    def test_loop_liveness(self):
+        src = """
+        void main() {
+            u32 s = 0;
+            for (u32 i = 0; i < 5; i += 1) { s += i; }
+            out(s);
+        }
+        """
+        func = compile_source(src).function("main")
+        info = compute_liveness(func)
+        # the accumulator phi must be live around the loop
+        for block in func.blocks:
+            for phi in block.phis():
+                assert phi in info.live_in[block]
+
+
+class TestVerifier:
+    def test_accepts_valid(self):
+        func, _ = diamond_function()
+        verify_function(func)
+
+    def test_rejects_missing_terminator(self):
+        func = Function("f", VOID)
+        block = func.add_block("entry")
+        IRBuilder(block).add(const(1), const(2))
+        with pytest.raises(VerificationError, match="terminator"):
+            verify_function(func)
+
+    def test_rejects_phi_pred_mismatch(self):
+        func, (entry, left, right, join) = diamond_function()
+        phi = join.phis()[0]
+        phi.remove_incoming(left)
+        with pytest.raises(VerificationError, match="incoming"):
+            verify_function(func)
+
+    def test_rejects_dominance_violation(self):
+        func, (entry, left, right, join) = diamond_function()
+        lv = left.instructions[0]
+        # use left's value in right: not dominated
+        right.insert(1, BinOp("add", lv, const(1), "bad"))
+        with pytest.raises(VerificationError, match="dominate"):
+            verify_function(func)
+
+    def test_rejects_duplicate_names(self):
+        func = Function("f", VOID)
+        b = IRBuilder(func.add_block("entry"))
+        b.add(const(1), const(2), "same")
+        b.add(const(3), const(4), "same")
+        b.ret()
+        with pytest.raises(VerificationError, match="duplicate"):
+            verify_function(func)
+
+    def test_rejects_unknown_callee(self):
+        module = Module("m")
+        func = module.add_function(Function("f", VOID))
+        b = IRBuilder(func.add_block("entry"))
+        b.call("missing", [], VOID)
+        b.ret()
+        with pytest.raises(VerificationError, match="unknown function"):
+            verify_module(module)
+
+
+class TestClone:
+    def test_clone_preserves_semantics(self):
+        src = """
+        u32 result;
+        void main() {
+            u32 s = 0;
+            for (u32 i = 0; i < 8; i += 1) {
+                if (i & 1) { s += i * 3; } else { s += 1; }
+            }
+            result = s;
+            out(s);
+        }
+        """
+        module = compile_source(src)
+        func = module.function("main")
+        original = list(func.blocks)
+        vmap, bmap = clone_blocks(func, original, ".c")
+        # redirect entry into the clone: same behaviour expected
+        func.set_entry(bmap[original[0]])
+        verify_module(module)
+        out = Interpreter(module).run("main").output
+        expected = sum(i * 3 if i & 1 else 1 for i in range(8))
+        assert out == [expected]
+
+    def test_clone_maps_are_consistent(self):
+        func, blocks = diamond_function()
+        vmap, bmap = clone_blocks(func, blocks, ".x")
+        for orig, clone in bmap.items():
+            assert len(orig.instructions) == len(clone.instructions)
+        for orig, clone in vmap.items():
+            assert orig.type == clone.type
+            assert clone.name.endswith(".x")

@@ -1,0 +1,215 @@
+"""Unit tests for IR values, instructions, blocks, functions, builder."""
+
+import pytest
+
+from repro.ir import (
+    BasicBlock,
+    BinOp,
+    Br,
+    Cast,
+    CondBr,
+    Constant,
+    Function,
+    Gep,
+    GlobalVariable,
+    I1,
+    I32,
+    I8,
+    IRBuilder,
+    Icmp,
+    Load,
+    Module,
+    Phi,
+    PointerType,
+    Ret,
+    Select,
+    Store,
+    VOID,
+    const,
+    int_type,
+)
+
+
+def make_func(ret=I32, args=()):
+    return Function("f", ret, args)
+
+
+class TestValues:
+    def test_constant_wraps(self):
+        assert Constant(I8, 300).value == 44
+        assert const(5).value == 5
+        assert const(5, 8).type is I8
+
+    def test_use_lists(self):
+        a = const(1)
+        b = const(2)
+        add = BinOp("add", a, b)
+        assert add in a.users and add in b.users
+        add.drop_all_references()
+        assert add not in a.users
+
+    def test_rauw(self):
+        a, b, c = const(1), const(2), const(3)
+        add = BinOp("add", a, a)
+        a.replace_all_uses_with(c)
+        assert add.lhs is c and add.rhs is c
+        assert add not in a.users and add in c.users
+        b.replace_all_uses_with(b)  # no-op, no error
+
+    def test_global_variable(self):
+        gv = GlobalVariable("tab", I32, 4, [1, 2])
+        assert gv.initializer == [1, 2, 0, 0]
+        assert gv.size_bytes == 16
+        assert gv.type == PointerType(I32)
+        with pytest.raises(ValueError):
+            GlobalVariable("bad", I32, 1, [1, 2])
+        with pytest.raises(ValueError):
+            GlobalVariable("empty", I32, 0)
+
+
+class TestInstructions:
+    def test_binop_type_check(self):
+        with pytest.raises(TypeError):
+            BinOp("add", const(1, 32), const(1, 8))
+        with pytest.raises(ValueError):
+            BinOp("bogus", const(1), const(2))
+
+    def test_icmp(self):
+        cmp = Icmp("ult", const(1), const(2))
+        assert cmp.type is I1
+        with pytest.raises(ValueError):
+            Icmp("weird", const(1), const(2))
+
+    def test_cast_constraints(self):
+        with pytest.raises(TypeError):
+            Cast("trunc", const(1, 8), I32)
+        with pytest.raises(TypeError):
+            Cast("zext", const(1, 32), I8)
+        zext = Cast("zext", const(1, 8), I32)
+        assert zext.type is I32
+
+    def test_select_checks(self):
+        cond = Icmp("eq", const(0), const(0))
+        sel = Select(cond, const(1), const(2))
+        assert sel.type is I32
+        with pytest.raises(TypeError):
+            Select(const(1, 32), const(1), const(2))
+
+    def test_store_type_check(self):
+        gv = GlobalVariable("g", I32, 1)
+        Store(const(1, 32), gv)
+        with pytest.raises(TypeError):
+            Store(const(1, 8), gv)
+
+    def test_load_result_type_override(self):
+        gv = GlobalVariable("g", I32, 1)
+        narrow = Load(gv, result_type=I8)
+        assert narrow.type is I8
+
+    def test_phi_incoming(self):
+        b1, b2 = BasicBlock("a"), BasicBlock("b")
+        phi = Phi(I32, "p")
+        phi.add_incoming(const(1), b1)
+        phi.add_incoming(const(2), b2)
+        assert phi.incoming_for_block(b2).value == 2
+        with pytest.raises(TypeError):
+            phi.add_incoming(const(1, 8), b1)
+        phi.remove_incoming(b1)
+        assert len(phi.incoming()) == 1
+        with pytest.raises(KeyError):
+            phi.incoming_for_block(b1)
+
+    def test_terminators(self):
+        b1, b2 = BasicBlock("a"), BasicBlock("b")
+        br = Br(b1)
+        assert br.is_terminator and br.successors() == [b1]
+        br.replace_target(b1, b2)
+        assert br.target is b2
+        cond = Icmp("eq", const(0), const(0))
+        cbr = CondBr(cond, b1, b2)
+        assert set(map(id, cbr.successors())) == {id(b1), id(b2)}
+        assert Ret(const(1)).value.value == 1
+        assert Ret().value is None
+
+    def test_idempotency_flags(self):
+        load = Load(GlobalVariable("g", I32, 1))
+        assert load.is_idempotent
+        load.volatile = True
+        assert not load.is_idempotent
+        from repro.ir import Call
+
+        call = Call("f", [], VOID)
+        assert not call.is_idempotent
+
+
+class TestBlocksAndFunctions:
+    def test_block_truthiness(self):
+        assert BasicBlock("empty")  # even when len() == 0
+
+    def test_insert_before_terminator(self):
+        func = make_func()
+        block = func.add_block("entry")
+        builder = IRBuilder(block)
+        builder.ret(const(0))
+        inst = BinOp("add", const(1), const(2), "x")
+        block.insert_before_terminator(inst)
+        assert block.instructions[0] is inst
+        assert block.terminator.opcode == "ret"
+
+    def test_block_idempotency(self):
+        func = make_func()
+        block = func.add_block("b")
+        builder = IRBuilder(block)
+        builder.add(const(1), const(2))
+        assert block.is_idempotent()
+        builder.call("g", [], VOID)
+        assert not block.is_idempotent()
+
+    def test_function_entry_and_names(self):
+        func = make_func()
+        with pytest.raises(ValueError):
+            func.entry
+        a = func.add_block("a")
+        b = func.add_block("b")
+        assert func.entry is a
+        func.set_entry(b)
+        assert func.entry is b
+        assert func.next_name("x") != func.next_name("x")
+
+    def test_module_registry(self):
+        mod = Module("m")
+        f = mod.add_function(make_func())
+        assert mod.function("f") is f
+        with pytest.raises(ValueError):
+            mod.add_function(make_func())
+        mod.add_global(GlobalVariable("g", I32, 1))
+        with pytest.raises(ValueError):
+            mod.add_global(GlobalVariable("g", I32, 1))
+
+
+class TestBuilder:
+    def test_builds_and_autonames(self):
+        func = make_func()
+        block = func.add_block("entry")
+        b = IRBuilder(block)
+        x = b.add(b.const(1), b.const(2))
+        y = b.mul(x, b.const(3))
+        b.ret(y)
+        assert x.name and y.name and x.name != y.name
+        assert block.terminator.opcode == "ret"
+
+    def test_width_noop_casts_fold(self):
+        func = make_func()
+        b = IRBuilder(func.add_block("entry"))
+        v = b.add(b.const(1), b.const(2))
+        assert b.zext(v, 32) is v
+        assert b.trunc(v, 32) is v
+        assert b.zext(v, 64).type.bits == 64
+
+    def test_phi_inserted_in_group(self):
+        func = make_func()
+        block = func.add_block("entry")
+        b = IRBuilder(block)
+        b.add(b.const(1), b.const(1))
+        phi = b.phi(I32)
+        assert block.instructions[0] is phi

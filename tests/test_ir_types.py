@@ -1,0 +1,108 @@
+"""Unit tests for the IR type system."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir.types import (
+    I1,
+    I16,
+    I32,
+    I64,
+    I8,
+    IntType,
+    PointerType,
+    VOID,
+    int_type,
+    is_int,
+    is_pointer,
+    required_bits,
+)
+
+
+class TestIntType:
+    def test_singletons(self):
+        assert int_type(8) is I8
+        assert int_type(32) is I32
+        assert int_type(13) is int_type(13)
+
+    def test_invalid_widths(self):
+        with pytest.raises(ValueError):
+            IntType(0)
+        with pytest.raises(ValueError):
+            IntType(65)
+
+    def test_mask(self):
+        assert I8.mask == 0xFF
+        assert I32.mask == 0xFFFFFFFF
+        assert I1.mask == 1
+
+    def test_size_bytes(self):
+        assert I1.size_bytes == 1
+        assert I8.size_bytes == 1
+        assert I16.size_bytes == 2
+        assert int_type(17).size_bytes == 4
+        assert I64.size_bytes == 8
+
+    def test_wrap(self):
+        assert I8.wrap(256) == 0
+        assert I8.wrap(257) == 1
+        assert I8.wrap(-1) == 255
+        assert I32.wrap(2**32 + 5) == 5
+
+    def test_to_signed(self):
+        assert I8.to_signed(255) == -1
+        assert I8.to_signed(127) == 127
+        assert I8.to_signed(128) == -128
+        assert I32.to_signed(0xFFFFFFFF) == -1
+
+    def test_repr(self):
+        assert repr(I32) == "i32"
+        assert repr(VOID) == "void"
+        assert repr(PointerType(I8)) == "i8*"
+
+
+class TestPointerType:
+    def test_is_32_bit(self):
+        ptr = PointerType(I64)
+        assert ptr.bits == 32
+        assert ptr.size_bytes == 4
+        assert ptr.wrap(2**32 + 7) == 7
+
+    def test_predicates(self):
+        assert is_int(I8)
+        assert not is_int(PointerType(I8))
+        assert is_pointer(PointerType(I32))
+        assert not is_pointer(I32)
+
+
+class TestRequiredBits:
+    def test_zero_needs_one_bit(self):
+        assert required_bits(0) == 1
+
+    def test_powers_of_two(self):
+        assert required_bits(1) == 1
+        assert required_bits(2) == 2
+        assert required_bits(255) == 8
+        assert required_bits(256) == 9
+        assert required_bits(2**32 - 1) == 32
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            required_bits(-1)
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_value_fits_in_required_bits(self, value):
+        bits = required_bits(value)
+        assert value < (1 << bits)
+        if value > 0:
+            assert value >= (1 << (bits - 1))
+
+    @given(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+    def test_signed_roundtrip(self, value):
+        assert I64.to_signed(I64.wrap(value)) == value
+
+    @given(st.integers(), st.sampled_from([1, 8, 16, 32, 64]))
+    def test_wrap_idempotent(self, value, bits):
+        ty = int_type(bits)
+        assert ty.wrap(ty.wrap(value)) == ty.wrap(value)
+        assert 0 <= ty.wrap(value) <= ty.mask

@@ -1,0 +1,146 @@
+"""Smaller units: printers/dumps, MIR containers, move sequencing, caches."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.cache import Cache
+from repro.backend.mir import (
+    FrameSlot,
+    GlobalRef,
+    Imm,
+    MachineBlock,
+    MachineFunction,
+    MachineInst,
+    MachineProgram,
+    Slice,
+    VReg,
+)
+from repro.backend.regalloc import Interval, _sequence_moves
+from repro.core import CompilerConfig, compile_binary
+from repro.frontend import compile_source
+from repro.ir import print_function, print_module
+
+
+class TestPrinters:
+    def test_ir_printer_covers_instructions(self):
+        module = compile_source(
+            """
+            u32 g[4];
+            u32 f(u32 x) { return x > 2 ? g[x] : x * 2; }
+            void main() {
+                for (u32 i = 0; i < 4; i += 1) { g[i] = f(i); }
+                out(g[3]);
+            }
+            """
+        )
+        text = print_module(module)
+        for needle in ("define", "phi", "br", "ret", "call", "gep", "load", "store"):
+            assert needle in text
+
+    def test_machine_dump(self):
+        binary = compile_binary(
+            "void main() { u32 x = 0; do { x += 1; } while (x < 300); out(x); }",
+            CompilerConfig.bitspec("min"),
+        )
+        text = binary.linked.dump(0, 200)
+        assert "!spec" in text or "bs_" in text
+
+    def test_mir_repr(self):
+        inst = MachineInst(
+            "bs_add",
+            [Slice(3, 1, 1)],
+            [Slice(4, 0, 1), Imm(5)],
+            width=1,
+            speculative=True,
+        )
+        text = repr(inst)
+        assert "bs_add" in text and "r3.b1:1" in text and "#5" in text
+        assert "!spec" in text and ";8b" in text
+
+    def test_mir_factories(self):
+        func = MachineFunction("f")
+        v1 = func.new_vreg(4, "x")
+        v2 = func.new_vreg(1)
+        assert v1.id != v2.id and v2.size == 1
+        slot = func.new_slot(8)
+        assert isinstance(slot, FrameSlot) and slot.size == 8
+        block = func.add_block("b")
+        block.append(MachineInst("nop"))
+        assert func.instruction_count() == 1
+        program = MachineProgram("p", "ARM")
+        program.add_function(func)
+        assert "nop" in program.dump()
+
+
+class TestIntervalSegments:
+    def test_overlap_detection(self):
+        a = Interval(VReg(0, 4))
+        a.add_segment(0, 5)
+        a.add_segment(10, 15)
+        b = Interval(VReg(1, 4))
+        b.add_segment(6, 9)
+        assert not a.overlaps(b)
+        c = Interval(VReg(2, 4))
+        c.add_segment(4, 7)
+        assert a.overlaps(c)
+
+    def test_adjacent_segments_merge(self):
+        iv = Interval(VReg(0, 4))
+        iv.add_segment(0, 4)
+        iv.add_segment(5, 9)  # adjacent: coalesces
+        assert iv.segments == [(0, 9)]
+        iv.add_segment(20, 22)
+        assert len(iv.segments) == 2
+        assert iv.start == 0 and iv.end == 22
+        assert iv.weight == 13
+
+    def test_covers(self):
+        iv = Interval(VReg(0, 1))
+        iv.add_segment(3, 6)
+        assert iv.covers(3) and iv.covers(6)
+        assert not iv.covers(7)
+
+
+class TestSequenceMoves:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        perm=st.permutations(list(range(5))),
+        values=st.lists(
+            st.integers(0, 2**32 - 1), min_size=5, max_size=5
+        ),
+    )
+    def test_permutation_moves_correct(self, perm, values):
+        """Property: sequencing a register permutation preserves values."""
+        moves = [(Slice(dst, 0, 4), Slice(src, 0, 4)) for dst, src in enumerate(perm)]
+        insts = _sequence_moves(moves)
+        regs = {i: values[i] for i in range(5)}
+        regs[12] = 0xDEAD  # scratch starts undefined; use a sentinel
+
+        for inst in insts:
+            assert inst.opcode == "mov"
+            src = inst.uses[0]
+            dst = inst.defs[0]
+            regs[dst.reg] = regs[src.reg]
+        for dst, src in enumerate(perm):
+            assert regs[dst] == values[src], (perm, insts)
+
+
+class TestCacheProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(addresses=st.lists(st.integers(0, 2**16), min_size=1, max_size=200))
+    def test_second_access_always_hits(self, addresses):
+        cache = Cache(8 * 1024, 4)
+        for addr in addresses:
+            cache.lookup(addr)
+            cache.reset_fastpath()
+            assert cache.lookup(addr)  # immediately re-accessed: resident
+            cache.reset_fastpath()
+
+    @settings(max_examples=20, deadline=None)
+    @given(addresses=st.lists(st.integers(0, 2**20), min_size=1, max_size=300))
+    def test_stats_are_consistent(self, addresses):
+        cache = Cache(8 * 1024, 4)
+        for addr in addresses:
+            cache.lookup(addr)
+        assert cache.stats.accesses == len(addresses)
+        assert 0 <= cache.stats.misses <= cache.stats.accesses

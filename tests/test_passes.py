@@ -1,0 +1,318 @@
+"""Middle-end passes: simplify, DCE, inline, unroll, CFG prep."""
+
+import pytest
+
+from conftest import run_source
+from repro.core import set_global_inputs
+from repro.frontend import compile_source, parse
+from repro.frontend.codegen import compile_program
+from repro.interp import Interpreter
+from repro.ir import Constant, verify_module
+from repro.ir.instructions import BinOp, Call, Load, Phi, Store
+from repro.passes import (
+    ExpanderConfig,
+    autotune,
+    build_module,
+    check_prepared,
+    eliminate_dead_code_module,
+    fold_constants,
+    inline_module,
+    prepare_cfg_module,
+    simplify_module,
+    unroll_program,
+)
+
+
+def run_module(module, inputs=None, entry="main"):
+    if inputs:
+        set_global_inputs(module, inputs)
+    return Interpreter(module).run(entry).output
+
+
+LOOPY = """
+u32 data[40];
+u32 n;
+u32 total;
+u32 weigh(u32 v) { return v * 3 + 1; }
+void main() {
+    u32 s = 0;
+    for (u32 i = 0; i < n; i += 1) { s += weigh(data[i]); }
+    total = s;
+    out(s);
+}
+"""
+LOOPY_INPUTS = {"data": [(i * 13) % 97 for i in range(40)], "n": 40}
+LOOPY_EXPECTED = [sum((i * 13) % 97 * 3 + 1 for i in range(40))]
+
+
+class TestSimplify:
+    def test_constant_folding(self):
+        module = compile_source(
+            "void main() { u32 a = 3; u32 b = 4; out(a * b + 2); }"
+        )
+        simplify_module(module)
+        main = module.function("main")
+        binops = [i for i in main.instructions() if isinstance(i, BinOp)]
+        assert not binops  # everything folded to the constant 14
+        assert run_module(module) == [14]
+
+    def test_identity_folds(self):
+        module = compile_source(
+            "u32 g; void main() { u32 x = g; out(x + 0); out(x * 1); out(x & 0xFFFFFFFF); out(x ^ x); }"
+        )
+        simplify_module(module)
+        main = module.function("main")
+        assert not [i for i in main.instructions() if isinstance(i, BinOp)]
+        set_global_inputs(module, {"g": 123})
+        assert run_module(module) == [123, 123, 123, 0]
+
+    def test_reassociation_of_add_chains(self):
+        module = compile_source("u32 g; void main() { out(g + 1 + 2 + 3); }")
+        simplify_module(module)
+        adds = [
+            i for i in module.function("main").instructions()
+            if isinstance(i, BinOp) and i.opcode == "add"
+        ]
+        assert len(adds) == 1
+        assert isinstance(adds[0].rhs, Constant) and adds[0].rhs.value == 6
+
+    def test_constant_branch_folding(self):
+        module = compile_source(
+            "void main() { if (1) { out(10); } else { out(20); } }"
+        )
+        simplify_module(module)
+        verify_module(module)
+        assert len(module.function("main").blocks) == 1
+        assert run_module(module) == [10]
+
+    def test_speculative_not_folded(self):
+        module = compile_source("void main() { u32 x = 200; out(x + 0); }")
+        main = module.function("main")
+        for inst in main.instructions():
+            if isinstance(inst, BinOp):
+                inst.speculative = True
+        before = len(main.instructions())
+        fold_constants(main)
+        assert len(main.instructions()) == before
+
+    def test_semantics_preserved(self):
+        module = compile_source(LOOPY)
+        simplify_module(module)
+        verify_module(module)
+        assert run_module(module, LOOPY_INPUTS) == LOOPY_EXPECTED
+
+
+class TestDCE:
+    def test_removes_dead_chains(self):
+        module = compile_source(
+            "u32 g; void main() { u32 dead = g * 17 + 4; out(g); }"
+        )
+        removed = eliminate_dead_code_module(module)
+        assert removed >= 2
+        verify_module(module)
+
+    def test_keeps_side_effects(self):
+        module = compile_source("u32 g; void main() { g = 5; out(g); }")
+        eliminate_dead_code_module(module)
+        main = module.function("main")
+        assert [i for i in main.instructions() if isinstance(i, Store)]
+
+    def test_spec_guards_pin_values(self):
+        module = compile_source("u32 g; void main() { u32 x = g + 1; out(0); }")
+        main = module.function("main")
+        add = next(i for i in main.instructions() if isinstance(i, BinOp))
+        term = add.parent.terminator or main.blocks[-1].instructions[-1]
+        main.blocks[-1].instructions[-1].spec_guards.append(add)
+        eliminate_dead_code_module(module)
+        assert add.parent is not None  # still in the function
+
+
+class TestInline:
+    def test_inlines_and_preserves_semantics(self):
+        module = compile_source(LOOPY)
+        count = inline_module(module)
+        assert count >= 1
+        assert "weigh" not in [
+            i.callee
+            for f in module.functions.values()
+            for i in f.instructions()
+            if isinstance(i, Call)
+        ]
+        verify_module(module)
+        assert run_module(module, LOOPY_INPUTS) == LOOPY_EXPECTED
+
+    def test_respects_size_budget(self):
+        module = compile_source(LOOPY)
+        assert inline_module(module, max_callee_size=1) == 0
+
+    def test_skips_recursion(self):
+        module = compile_source(
+            """
+            u32 fib(u32 n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+            void main() { out(fib(10)); }
+            """
+        )
+        inline_module(module)
+        verify_module(module)
+        assert run_module(module) == [55]
+
+    def test_inlined_allocas_hoisted(self):
+        module = compile_source(
+            """
+            u32 scratchsum(u32 x) {
+                u32 buf[4];
+                for (u32 i = 0; i < 4; i += 1) { buf[i] = x + i; }
+                u32 s = 0;
+                for (u32 i = 0; i < 4; i += 1) { s += buf[i]; }
+                return s;
+            }
+            void main() {
+                u32 t = 0;
+                for (u32 r = 0; r < 50; r += 1) { t += scratchsum(r) & 0xFF; }
+                out(t);
+            }
+            """
+        )
+        inline_module(module, max_callee_size=200)
+        verify_module(module)
+        from repro.ir.instructions import Alloca
+
+        main = module.function("main")
+        for block in main.blocks:
+            for inst in block.instructions:
+                if isinstance(inst, Alloca):
+                    assert block is main.entry
+        expected = sum((4 * r + 6) & 0xFF for r in range(50))
+        assert run_module(module) == [expected]
+
+
+class TestUnroll:
+    # literal bound: a global bound could be aliased by the call inside the
+    # body, so the unroller conservatively skips it (see test below)
+    UNROLLABLE = LOOPY.replace("i < n", "i < 40")
+
+    def _unrolled_output(self, factor):
+        program = parse(self.UNROLLABLE)
+        count = unroll_program(program, factor=factor, max_loop_size=200)
+        module = compile_program(program)
+        verify_module(module)
+        return count, run_module(module, LOOPY_INPUTS)
+
+    @pytest.mark.parametrize("factor", [2, 3, 4, 8])
+    def test_semantics_preserved(self, factor):
+        count, out = self._unrolled_output(factor)
+        assert count >= 1
+        assert out == LOOPY_EXPECTED
+
+    def test_non_divisible_trip_counts(self):
+        src = """
+        u32 n; u32 acc;
+        void main() {
+            u32 s = 0;
+            for (u32 i = 0; i < n; i += 3) { s += i; }
+            acc = s; out(s);
+        }
+        """
+        for n in (0, 1, 2, 3, 7, 100):
+            program = parse(src)
+            unroll_program(program, factor=4, max_loop_size=100)
+            module = compile_program(program)
+            out = run_module(module, {"n": n})
+            assert out == [sum(range(0, n, 3))], n
+
+    def test_skips_loops_with_break(self):
+        src = """
+        void main() {
+            u32 s = 0;
+            for (u32 i = 0; i < 10; i += 1) { if (i == 5) { break; } s += i; }
+            out(s);
+        }
+        """
+        program = parse(src)
+        assert unroll_program(program, factor=4) == 0
+
+    def test_skips_when_bound_assigned(self):
+        src = """
+        void main() {
+            u32 n = 10;
+            u32 s = 0;
+            for (u32 i = 0; i < n; i += 1) { s += 1; n -= 1; }
+            out(s);
+        }
+        """
+        program = parse(src)
+        assert unroll_program(program, factor=4) == 0
+        module = compile_program(program)
+        assert run_module(module) == [5]
+
+    def test_factor_one_is_noop(self):
+        program = parse(self.UNROLLABLE)
+        assert unroll_program(program, factor=1) == 0
+
+    def test_global_bound_with_call_rejected(self):
+        # `n` is a global scalar: the call in the body might change it
+        program = parse(LOOPY)
+        assert unroll_program(program, factor=4, max_loop_size=200) == 0
+
+
+class TestCFGPrep:
+    PREP_SRC = """
+    u32 a[8]; u32 b[8]; u32 n;
+    void main() {
+        for (u32 i = 0; i < n; i += 1) {
+            u32 x = a[i];
+            b[i] = x * 2;
+            out(x);
+        }
+    }
+    """
+
+    def test_prepared_invariants(self):
+        module = compile_source(self.PREP_SRC)
+        prepare_cfg_module(module)
+        verify_module(module)
+        for func in module.functions.values():
+            assert check_prepared(func) == []
+
+    def test_semantics_preserved(self):
+        inputs = {"a": list(range(8)), "n": 8}
+        module = compile_source(self.PREP_SRC)
+        prepare_cfg_module(module)
+        out = run_module(module, inputs)
+        assert out == list(range(8))
+
+    def test_detects_violations(self):
+        module = compile_source(self.PREP_SRC)
+        problems = []
+        for func in module.functions.values():
+            problems += check_prepared(func)
+        assert problems  # pre-prep code mixes loads/stores/calls
+
+
+class TestExpanderDriver:
+    def test_build_module_runs_whole_pipeline(self):
+        module = build_module(LOOPY, ExpanderConfig())
+        verify_module(module)
+        assert run_module(module, LOOPY_INPUTS) == LOOPY_EXPECTED
+
+    def test_disabled_expander_keeps_calls(self):
+        module = build_module(LOOPY, ExpanderConfig.disabled())
+        calls = [
+            i
+            for f in module.functions.values()
+            for i in f.instructions()
+            if isinstance(i, Call) and i.callee == "weigh"
+        ]
+        assert calls
+
+    def test_autotune_picks_lower_dynamic_count(self):
+        def measure(module):
+            set_global_inputs(module, LOOPY_INPUTS)
+            interp = Interpreter(module, trace=True)
+            interp.run("main")
+            return interp.trace.instructions
+
+        best = autotune(LOOPY, measure)
+        baseline = measure(build_module(LOOPY, ExpanderConfig(unroll_factor=1)))
+        tuned = measure(build_module(LOOPY, best))
+        assert tuned <= baseline

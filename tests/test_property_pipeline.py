@@ -1,0 +1,170 @@
+"""Property-based differential testing of the whole compiler.
+
+Hypothesis generates small random MiniC programs (expression trees over a
+few variables inside a loop); every compiler configuration must produce the
+same output as the interpreter, which must match a Python evaluation of the
+same expression.  This cross-checks front-end, middle-end (including the
+squeezer's speculation machinery), back-end and machine model against each
+other on inputs no human wrote.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import CompilerConfig, compile_binary, set_global_inputs
+from repro.frontend import compile_source
+from repro.interp import Interpreter
+
+MASK = 0xFFFFFFFF
+
+
+class Expr:
+    """A tiny expression AST rendered both to MiniC and to Python."""
+
+    def __init__(self, kind, a=None, b=None, value=None):
+        self.kind = kind
+        self.a = a
+        self.b = b
+        self.value = value
+
+    def to_c(self) -> str:
+        if self.kind == "const":
+            return str(self.value)
+        if self.kind == "var":
+            return self.value
+        op = self.kind
+        return f"({self.a.to_c()} {op} {self.b.to_c()})"
+
+    def eval(self, env) -> int:
+        if self.kind == "const":
+            return self.value
+        if self.kind == "var":
+            return env[self.value]
+        a = self.a.eval(env)
+        b = self.b.eval(env)
+        if self.kind == "+":
+            return (a + b) & MASK
+        if self.kind == "-":
+            return (a - b) & MASK
+        if self.kind == "*":
+            return (a * b) & MASK
+        if self.kind == "&":
+            return a & b
+        if self.kind == "|":
+            return a | b
+        if self.kind == "^":
+            return a ^ b
+        if self.kind == ">>":
+            return a >> (b & 31)
+        raise AssertionError(self.kind)
+
+
+_VARS = ("x", "y", "z")
+
+
+def exprs(depth):
+    if depth == 0:
+        return st.one_of(
+            st.integers(0, 255).map(lambda v: Expr("const", value=v)),
+            st.sampled_from(_VARS).map(lambda n: Expr("var", value=n)),
+        )
+    sub = exprs(depth - 1)
+    shift = st.integers(0, 31).map(lambda v: Expr("const", value=v))
+    return st.one_of(
+        exprs(0),
+        st.tuples(st.sampled_from("+-*&|^"), sub, sub).map(
+            lambda t: Expr(t[0], t[1], t[2])
+        ),
+        st.tuples(sub, shift).map(lambda t: Expr(">>", t[0], t[1])),
+    )
+
+
+def build_program(expr: Expr) -> str:
+    return f"""
+    u32 x0; u32 y0; u32 z0; u32 iters; u32 sink;
+    void main() {{
+        u32 x = x0; u32 y = y0; u32 z = z0;
+        u32 acc = 0;
+        for (u32 i = 0; i < iters; i += 1) {{
+            u32 t = {expr.to_c()};
+            acc = (acc ^ t) + 1;
+            x = y; y = z; z = t;
+        }}
+        sink = acc;
+        out(acc);
+    }}
+    """
+
+
+def python_reference(expr: Expr, x, y, z, iters) -> int:
+    acc = 0
+    for _ in range(iters):
+        t = expr.eval({"x": x, "y": y, "z": z})
+        acc = ((acc ^ t) + 1) & MASK
+        x, y, z = y, z, t
+    return acc
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    expr=exprs(3),
+    x=st.integers(0, 2**32 - 1),
+    y=st.integers(0, 255),
+    z=st.integers(0, 2**16 - 1),
+    iters=st.integers(1, 12),
+)
+def test_interpreter_matches_python(expr, x, y, z, iters):
+    source = build_program(expr)
+    module = compile_source(source)
+    set_global_inputs(module, {"x0": x, "y0": y, "z0": z, "iters": iters})
+    output = Interpreter(module).run("main").output
+    assert output == [python_reference(expr, x, y, z, iters)]
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    expr=exprs(2),
+    x=st.integers(0, 255),
+    y=st.integers(0, 2**32 - 1),
+    iters=st.integers(1, 8),
+)
+def test_all_configs_match_python(expr, x, y, iters):
+    """Baseline, BITSPEC (max+min) and Thumb all agree with Python."""
+    source = build_program(expr)
+    inputs = {"x0": x, "y0": y, "z0": 3, "iters": iters}
+    expected = [python_reference(expr, x, y, 3, iters)]
+    for config in (
+        CompilerConfig.baseline(),
+        CompilerConfig.bitspec("max"),
+        CompilerConfig.bitspec("min"),
+        CompilerConfig.thumb(),
+    ):
+        binary = compile_binary(source, config, profile_inputs=inputs)
+        assert binary.run(inputs).output == expected, config.name
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    profile_x=st.integers(0, 64),
+    run_x=st.integers(0, 2**32 - 1),
+    iters=st.integers(1, 10),
+)
+def test_squeezer_correct_under_profile_mismatch(profile_x, run_x, iters):
+    """Profile on one input, run on a wildly different one: misspeculation
+    recovery must always restore exact semantics."""
+    source = build_program(
+        Expr("+", Expr("var", value="x"), Expr("const", value=1))
+    )
+    profile_inputs = {"x0": profile_x, "y0": 1, "z0": 2, "iters": iters}
+    run_inputs = {"x0": run_x, "y0": 1, "z0": 2, "iters": iters}
+    binary = compile_binary(
+        source, CompilerConfig.bitspec("min"), profile_inputs=profile_inputs
+    )
+    expected = [python_reference(binary_expr(), run_x, 1, 2, iters)]
+    assert binary.run(run_inputs).output == expected
+
+
+def binary_expr():
+    return Expr("+", Expr("var", value="x"), Expr("const", value=1))

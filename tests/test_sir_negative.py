@@ -1,0 +1,117 @@
+"""Negative tests: the SIR verifier must catch each §3.1 violation."""
+
+import pytest
+
+from repro.core import set_global_inputs
+from repro.frontend import compile_source
+from repro.ir import IRBuilder, VerificationError, const
+from repro.ir.instructions import BinOp, Br
+from repro.passes import prepare_cfg_module, squeeze_module
+from repro.profiler import BitwidthProfile, compute_squeeze_plan
+from repro.sir import regions_of
+from repro.sir.verifier import verify_sir_function
+
+COUNTER = """
+u32 result;
+void main() {
+    u32 x = 0;
+    do { x += 1; } while (x <= 200);
+    result = x;
+    out(x);
+}
+"""
+
+
+def squeezed_main():
+    module = compile_source(COUNTER)
+    prepare_cfg_module(module)
+    profile = BitwidthProfile.collect(module, "main")
+    plans = {
+        name: compute_squeeze_plan(func, profile, "avg")
+        for name, func in module.functions.items()
+    }
+    squeeze_module(module, plans)
+    func = module.function("main")
+    verify_sir_function(func, module)  # sanity: valid as produced
+    return module, func
+
+
+def test_handler_as_branch_target_rejected():
+    module, func = squeezed_main()
+    region = regions_of(func)[0]
+    handler = region.handler
+    # add a fresh block branching into the handler (keeps phis intact)
+    intruder = func.add_block("intruder")
+    intruder.append(Br(handler))
+    # route control into the intruder so it is structurally reachable
+    entry_term = func.entry.terminator
+    old_target = entry_term.successors()[0]
+    with pytest.raises(VerificationError):
+        entry_term.replace_target(old_target, intruder)
+        try:
+            verify_sir_function(func, module)
+        finally:
+            entry_term.replace_target(intruder, old_target)
+
+
+def test_speculative_outside_region_rejected():
+    module, func = squeezed_main()
+    for block in func.blocks:
+        if block.region is None and block.world == "orig":
+            for inst in block.instructions:
+                if isinstance(inst, BinOp):
+                    inst.speculative = True
+                    with pytest.raises(VerificationError, match="outside any region"):
+                        verify_sir_function(func, module)
+                    return
+    pytest.skip("no orig-world binop found")
+
+
+def test_handler_using_region_value_rejected():
+    module, func = squeezed_main()
+    region = regions_of(func)[0]
+    region_def = next(
+        i
+        for b in region.blocks
+        for i in b.instructions
+        if i.has_result and i.speculative
+    )
+    handler = region.handler
+    bad = BinOp("add", region_def, const(1, region_def.type.bits),
+                func.next_name("bad"))
+    handler.insert(0, bad)
+    # Rejected either by the Theorem 3.1 check or, earlier, by SIR (Eq. 1)
+    # dominance: the region value cannot dominate the handler.
+    with pytest.raises(VerificationError):
+        verify_sir_function(func, module)
+
+
+def test_non_idempotent_region_rejected():
+    module, func = squeezed_main()
+    region = regions_of(func)[0]
+    builder = IRBuilder(region.entry)
+    from repro.ir import VOID
+
+    call = builder.block.insert(0, __import_call())
+    with pytest.raises(VerificationError, match="not idempotent"):
+        verify_sir_function(func, module)
+
+
+def __import_call():
+    from repro.ir.instructions import Call
+    from repro.ir.types import VOID
+
+    call = Call("__out", [const(1)], VOID)
+    call.volatile = True
+    return call
+
+
+def test_handler_into_spec_world_rejected():
+    module, func = squeezed_main()
+    region = regions_of(func)[0]
+    handler = region.handler
+    # retarget the handler branch back into the speculative world
+    spec_block = region.entry
+    handler.terminator.replace_target(handler.terminator.target, spec_block)
+    with pytest.raises(VerificationError):
+        verify_sir_function(func, module)

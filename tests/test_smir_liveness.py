@@ -1,0 +1,92 @@
+"""SIR/SMIR liveness rules (Eqs. 1–2) at both IR and machine level."""
+
+from repro.core import CompilerConfig, compile_binary, set_global_inputs
+from repro.frontend import compile_source
+from repro.ir.liveness import compute_liveness
+from repro.passes import prepare_cfg_module, squeeze_module
+from repro.profiler import BitwidthProfile, compute_squeeze_plan
+from repro.sir import regions_of
+
+SOURCE = """
+u32 keep; u32 sink;
+void main() {
+    u32 anchor = keep;          // live across the speculative region
+    u32 x = 0;
+    do { x += 1; } while (x < 200);
+    sink = anchor + x;
+    out(anchor + x);
+}
+"""
+
+
+def _squeezed():
+    module = compile_source(SOURCE)
+    prepare_cfg_module(module)
+    set_global_inputs(module, {"keep": 7})
+    profile = BitwidthProfile.collect(module, "main")
+    plans = {
+        n: compute_squeeze_plan(f, profile, "avg")
+        for n, f in module.functions.items()
+    }
+    squeeze_module(module, plans)
+    return module
+
+
+def test_handler_inputs_live_through_region_eq2():
+    """Values a handler extends must be live across the whole region under
+    the SIR liveness mode (Eq. 2), even if the region body never reads
+    them."""
+    module = _squeezed()
+    func = module.function("main")
+    info = compute_liveness(func, sir=True)
+    for region in regions_of(func):
+        if region.handler is None:
+            continue
+        handler_uses = {
+            op
+            for inst in region.handler.instructions
+            for op in inst.operands
+            if hasattr(op, "parent")
+        }
+        for block in region.blocks:
+            for value in handler_uses:
+                if value.parent in region.blocks:
+                    continue  # region-internal (none, per Theorem 3.1)
+                assert value in info.live_out[block] or value in info.live_in[
+                    block
+                ], (value.name, block.name)
+
+
+def test_machine_preserves_cross_region_value():
+    """End-to-end: `anchor` survives the speculative loop and the
+    misspeculation path at machine level (the Eq. 2 allocation rule)."""
+    for config in (CompilerConfig.bitspec("avg"), CompilerConfig.bitspec("min")):
+        binary = compile_binary(SOURCE, config, profile_inputs={"keep": 7})
+        for keep in (7, 123456):
+            result = binary.run({"keep": keep})
+            assert result.output == [(keep + 200) & 0xFFFFFFFF], config.name
+
+
+def test_misspec_with_memory_state():
+    """Stores before a misspeculation re-execute idempotently (Eq. 4)."""
+    source = """
+    u32 buf[8]; u32 bound; u32 sink;
+    void main() {
+        u32 x = 0;
+        for (u32 i = 0; i < 8; i += 1) {
+            x += bound;          // misspeculates when bound is large
+            buf[i] = x;          // store in a speculative function body
+        }
+        u32 s = 0;
+        for (u32 i = 0; i < 8; i += 1) { s += buf[i]; }
+        sink = s;
+        out(s);
+    }
+    """
+    binary = compile_binary(
+        source, CompilerConfig.bitspec("max"), profile_inputs={"bound": 3}
+    )
+    for bound in (3, 1000):
+        result = binary.run({"bound": bound})
+        expected = sum(bound * (i + 1) for i in range(8)) & 0xFFFFFFFF
+        assert result.output == [expected], bound

@@ -1,0 +1,135 @@
+"""Unit tests of workload oracles and generators (the substrate's substrate)."""
+
+import math
+
+import pytest
+
+from repro.workloads.base import XorShift
+from repro.workloads.basicmath import _icbrt, _isqrt
+from repro.workloads.blowfish import _encrypt, _feistel_tables
+from repro.workloads.crc32 import _crc32_py
+from repro.workloads.fft import _fft_fixed, _twiddles
+from repro.workloads.patricia import _PyPatricia
+from repro.workloads.rijndael import _expand_key, encrypt_block_words
+from repro.workloads.susan import DIM, _brightness_lut, make_image
+
+
+class TestBasicmathOracles:
+    @pytest.mark.parametrize("x", [0, 1, 2, 3, 4, 15, 16, 17, 10**6, 2**24 - 1])
+    def test_isqrt_exact(self, x):
+        assert _isqrt(x) == math.isqrt(x)
+
+    @pytest.mark.parametrize("x", [0, 1, 7, 8, 9, 26, 27, 28, 2**24 - 1])
+    def test_icbrt_floor(self, x):
+        r = _icbrt(x)
+        assert r**3 <= x < (r + 1) ** 3
+
+
+class TestCryptoOracles:
+    def test_blowfish_tables_deterministic(self):
+        s1, p1 = _feistel_tables(7)
+        s2, p2 = _feistel_tables(7)
+        assert s1 == s2 and p1 == p2
+        s3, _ = _feistel_tables(8)
+        assert s1 != s3
+
+    def test_blowfish_diffusion(self):
+        sbox, parr = _feistel_tables(1)
+        a = _encrypt(sbox, parr, 0, 0)
+        b = _encrypt(sbox, parr, 1, 0)
+        assert a != b
+        assert all(0 <= w <= 0xFFFFFFFF for w in a + b)
+
+    def test_aes_key_expansion_length(self):
+        rk = _expand_key(list(range(16)))
+        assert len(rk) == 44
+        assert all(0 <= w <= 0xFFFFFFFF for w in rk)
+
+    def test_aes_block_is_permutation_like(self):
+        rk = _expand_key(list(range(16)))
+        a = encrypt_block_words([0, 0, 0, 0], rk)
+        b = encrypt_block_words([1, 0, 0, 0], rk)
+        assert a != b
+
+    def test_crc32_incrementality_sanity(self):
+        assert _crc32_py([]) == 0
+        assert _crc32_py([0]) != _crc32_py([1])
+
+
+class TestFFT:
+    def test_twiddles_q14(self):
+        cos_t, sin_t = _twiddles()
+        assert cos_t[0] == 1 << 14 and sin_t[0] == 0
+        assert all(abs(v) <= (1 << 14) for v in cos_t + sin_t)
+
+    def test_impulse_response_flat(self):
+        """FFT of an impulse is a flat spectrum (constant real part)."""
+        n = 64
+        re = [1 << 10] + [0] * (n - 1)
+        im = [0] * n
+        re, im = _fft_fixed(re, im, n)
+        assert all(r == 1 << 10 for r in re)
+        assert all(i == 0 for i in im)
+
+    def test_dc_signal_concentrates(self):
+        n = 64
+        re = [100] * n
+        im = [0] * n
+        re, im = _fft_fixed(re, im, n)
+        assert re[0] == 100 * n
+        assert all(abs(r) <= 2 for r in re[1:])  # rounding dust only
+
+
+class TestPatricia:
+    def test_insert_then_lookup(self):
+        trie = _PyPatricia()
+        keys = [0xC0A80001, 0xC0A80002, 0x0A000001, 0xFFFFFFFF]
+        for key in keys:
+            trie.insert(key)
+        for key in keys:
+            assert trie.key[trie.lookup(key)] == key
+
+    def test_duplicates_not_reinserted(self):
+        trie = _PyPatricia()
+        trie.insert(42)
+        size = len(trie.key)
+        trie.insert(42)
+        assert len(trie.key) == size
+
+    def test_missing_key_not_found(self):
+        trie = _PyPatricia()
+        trie.insert(0xAAAAAAAA)
+        assert trie.key[trie.lookup(0x55555555)] != 0x55555555
+
+
+class TestSusanHelpers:
+    def test_brightness_lut_shape(self):
+        lut = _brightness_lut(20)
+        assert len(lut) == 511
+        assert lut[255] == 100  # identical brightness: full weight
+        assert lut[0] == 0 and lut[510] == 0  # extreme contrast: none
+        assert lut == lut[::-1]  # symmetric in |delta|
+
+    def test_make_image_bounds(self):
+        image = make_image(XorShift(3), amplitude=90)
+        assert len(image) == DIM * DIM
+        assert all(0 <= p <= 90 for p in image)
+
+    def test_images_vary_by_seed(self):
+        assert make_image(XorShift(1)) != make_image(XorShift(2))
+
+
+class TestXorShift:
+    def test_never_zero_state(self):
+        rng = XorShift(0)  # zero seed coerced to nonzero
+        assert any(rng.next() for _ in range(8))
+
+    def test_below_in_range(self):
+        rng = XorShift(9)
+        for _ in range(100):
+            assert 0 <= rng.below(7) < 7
+
+    def test_bytes_bound(self):
+        rng = XorShift(5)
+        data = rng.bytes(64, bound=16)
+        assert len(data) == 64 and all(0 <= b < 16 for b in data)

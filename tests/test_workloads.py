@@ -1,0 +1,137 @@
+"""Workload validation: every kernel against its Python oracle."""
+
+import pytest
+
+from repro.core import CompilerConfig, compile_binary, set_global_inputs
+from repro.frontend import compile_source
+from repro.interp import Interpreter
+from repro.ir import verify_module
+from repro.workloads import all_workloads, get_workload, workload_names
+from repro.workloads.base import XorShift, mix_seed
+
+NAMES = workload_names()
+
+
+def test_registry_complete():
+    assert len(NAMES) == 14
+    for expected in (
+        "crc32", "fft", "basicmath", "bitcount", "blowfish", "dijkstra",
+        "patricia", "qsort", "rijndael", "sha", "stringsearch",
+        "susan-edges", "susan-corners", "susan-smoothing",
+    ):
+        assert expected in NAMES
+
+
+def test_unknown_workload_raises():
+    with pytest.raises(KeyError):
+        get_workload("mp3")
+
+
+def test_xorshift_determinism():
+    assert XorShift(42).next() == XorShift(42).next()
+    assert mix_seed(1, "test", 0) != mix_seed(1, "train", 0)
+    with pytest.raises(KeyError):
+        mix_seed(1, "bogus", 0)
+
+
+def test_input_kinds_validated():
+    wl = get_workload("crc32")
+    with pytest.raises(ValueError):
+        wl.inputs("huge")
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_sources_compile_and_verify(name):
+    module = compile_source(get_workload(name).source, name)
+    verify_module(module)
+    assert "main" in module.functions
+
+
+@pytest.mark.parametrize("name", NAMES)
+@pytest.mark.parametrize("kind", ["test", "train", "alt"])
+def test_interpreter_matches_oracle(name, kind):
+    workload = get_workload(name)
+    module = compile_source(workload.source, name)
+    inputs = workload.inputs(kind)
+    set_global_inputs(module, inputs)
+    output = Interpreter(module).run("main").output
+    assert output == workload.expected_output(inputs), (name, kind)
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_seeded_inputs_differ(name):
+    workload = get_workload(name)
+    a = workload.inputs("test", seed=0)
+    b = workload.inputs("test", seed=1)
+    assert a != b
+
+
+def test_rijndael_oracle_matches_fips_197():
+    """The AES reference must be real AES (FIPS-197 appendix C.1... with
+    the 128-bit example vector)."""
+    from repro.workloads.rijndael import aes128_encrypt
+
+    key = bytes(range(16))  # 000102...0f
+    plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+    expected = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+    assert aes128_encrypt(plaintext, key) == expected
+
+
+def test_crc32_oracle_matches_zlib():
+    import zlib
+
+    from repro.workloads.crc32 import _crc32_py
+
+    data = bytes(range(200))
+    assert _crc32_py(list(data)) == zlib.crc32(data)
+
+
+def test_sha_oracle_matches_hashlib():
+    import hashlib
+
+    from repro.workloads.sha import _sha1_blocks
+
+    # hand-pad one block: "abc" + 0x80 + zeros + bit length 24
+    block = bytearray(64)
+    block[0:3] = b"abc"
+    block[3] = 0x80
+    block[62:64] = (24).to_bytes(2, "big")
+    digest_words = _sha1_blocks(bytes(block))
+    digest = b"".join(w.to_bytes(4, "big") for w in digest_words)
+    assert digest == hashlib.sha1(b"abc").digest()
+
+
+def test_wide_variants_available():
+    for name in ("stringsearch", "dijkstra"):
+        workload = get_workload(name)
+        assert workload.wide_source
+        module = compile_source(workload.wide_source, name + "-wide")
+        verify_module(module)
+        inputs = workload.inputs("test")
+        set_global_inputs(module, inputs)
+        output = Interpreter(module).run("main").output
+        assert output == workload.expected_output(inputs)
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_machine_baseline_matches_oracle(name):
+    workload = get_workload(name)
+    inputs = workload.inputs("train")  # smaller, keeps this suite quick
+    binary = compile_binary(workload.source, CompilerConfig.baseline(), name=name)
+    result = binary.run(inputs)
+    assert result.output == workload.expected_output(inputs), name
+    assert result.instructions > 100
+
+
+@pytest.mark.parametrize("name", ["crc32", "stringsearch", "rijndael", "qsort"])
+def test_machine_bitspec_matches_oracle(name):
+    workload = get_workload(name)
+    inputs = workload.inputs("train")
+    binary = compile_binary(
+        workload.source,
+        CompilerConfig.bitspec("max"),
+        profile_inputs=inputs,
+        name=name,
+    )
+    result = binary.run(inputs)
+    assert result.output == workload.expected_output(inputs), name

@@ -1,0 +1,67 @@
+"""Speculative-IR equivalence for every workload under every heuristic.
+
+Uses the interpreter (fast) on the squeezed IR: whatever the profiler and
+squeezer decided, outputs must match the oracle — including when the MIN
+heuristic misspeculates heavily.
+"""
+
+import pytest
+
+from repro.core import set_global_inputs
+from repro.frontend import compile_source
+from repro.interp import Interpreter
+from repro.ir import verify_module
+from repro.ir.cfg import remove_unreachable_blocks
+from repro.passes import (
+    eliminate_dead_code_module,
+    prepare_cfg_module,
+    run_speculative_opts,
+    simplify_module,
+    squeeze_module,
+)
+from repro.profiler import BitwidthProfile, compute_squeeze_plan
+from repro.sir import verify_sir_module
+from repro.workloads import get_workload, workload_names
+
+NAMES = workload_names()
+
+
+def _squeeze_for(workload, heuristic, profile_kind, run_kind):
+    module = compile_source(workload.source, workload.name)
+    prepare_cfg_module(module)
+    set_global_inputs(module, workload.inputs(profile_kind))
+    profile = BitwidthProfile.collect(module, "main")
+    plans = {
+        name: compute_squeeze_plan(func, profile, heuristic)
+        for name, func in module.functions.items()
+    }
+    squeeze_module(module, plans)
+    run_speculative_opts(module)
+    for func in module.functions.values():
+        remove_unreachable_blocks(func)
+    eliminate_dead_code_module(module)
+    simplify_module(module)
+    verify_module(module)
+    verify_sir_module(module)
+    inputs = workload.inputs(run_kind)
+    set_global_inputs(module, inputs)
+    interp = Interpreter(module, trace=True)
+    result = interp.run("main")
+    return result, workload.expected_output(inputs)
+
+
+@pytest.mark.parametrize("name", NAMES)
+@pytest.mark.parametrize("heuristic", ["avg", "min"])
+def test_squeezed_ir_matches_oracle(name, heuristic):
+    workload = get_workload(name)
+    result, expected = _squeeze_for(workload, heuristic, "train", "train")
+    assert result.output == expected, (name, heuristic)
+
+
+@pytest.mark.parametrize("name", ["crc32", "qsort", "stringsearch", "patricia"])
+def test_profile_mismatch_recovers(name):
+    """Profile on the alternate input, run on test: misspeculation recovery
+    must restore exact semantics even under MIN."""
+    workload = get_workload(name)
+    result, expected = _squeeze_for(workload, "min", "alt", "test")
+    assert result.output == expected, name
