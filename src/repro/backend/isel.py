@@ -136,8 +136,14 @@ class FunctionISel:
         self.vmap[value] = mapped
         return mapped
 
-    def materialize(self, value: Value) -> VReg:
-        """A single VReg holding a ≤32-bit value (constants materialized)."""
+    def materialize(self, value: Value, *, fold_zext: bool = True) -> VReg:
+        """A single VReg holding a ≤32-bit value (constants materialized).
+
+        ``fold_zext=False`` forces a width-faithful vreg: ``sxt`` reads its
+        extension width off the operand's allocated slice, so a folded 8-bit
+        slice standing in for a wider zext result would sign-extend from the
+        wrong bit.
+        """
         if isinstance(value, Constant):
             vd = self.mfunc.new_vreg(_value_size(value), "const")
             self.emit(MachineInst("movi", [vd], [Imm(value.value)]))
@@ -146,7 +152,7 @@ class FunctionISel:
             vd = self.mfunc.new_vreg(4, f"&{value.name}")
             self.emit(MachineInst("movi", [vd], [GlobalRef(value.name)]))
             return vd
-        if self.bitspec:
+        if self.bitspec and fold_zext:
             # Zero-extension folds into operand routing on the BITSPEC ISA:
             # reading an 8-bit register slice already delivers the
             # zero-extended value (Table 1's mixed-width addressing), so a
@@ -520,7 +526,7 @@ class FunctionISel:
                 self.emit(MachineInst("uxt", [lo_d], [src], width=4))
                 self.emit(MachineInst("movi", [hi_d], [Imm(0)]))
             elif inst.opcode == "sext":
-                src = self.materialize(source)
+                src = self.materialize(source, fold_zext=False)
                 self.emit(MachineInst("sxt", [lo_d], [src], width=4))
                 self.emit(MachineInst("asr", [hi_d], [lo_d, Imm(31)]))
             else:
@@ -531,7 +537,7 @@ class FunctionISel:
             lo, _hi = self.materialize_pair(source)
             self.emit(MachineInst("trunc", [vd], [lo], width=vd.size))
             return
-        src = self.materialize(source)
+        src = self.materialize(source, fold_zext=(inst.opcode != "sext"))
         if inst.opcode == "zext":
             self.emit(MachineInst("uxt", [vd], [src], width=vd.size))
         elif inst.opcode == "sext":

@@ -10,7 +10,7 @@ squeezer → speculative opts) → back-end → linked machine image;
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional, Union
+from typing import Callable, Optional, Union
 
 from repro.arch.dts import DTSModel
 from repro.arch.machine import Machine, SimResult
@@ -157,13 +157,22 @@ def compile_binary(
     profile_inputs: Optional[dict] = None,
     entry: str = "main",
     name: str = "program",
+    stage_hook: Optional[Callable[[str, Module], None]] = None,
 ) -> CompiledBinary:
-    """Run the full pipeline of Fig. 4 for one configuration."""
+    """Run the full pipeline of Fig. 4 for one configuration.
+
+    ``stage_hook(stage_name, module)`` is called after every middle-end
+    stage; the fuzzer's differential oracles use it to run the IR/SIR
+    verifiers between passes.
+    """
+    hook = stage_hook or (lambda stage, mod: None)
     module = build_module(source, config.expander, name)
+    hook("frontend+expander", module)
     binary = CompiledBinary(config=config, module=module, linked=None)
 
     if config.middle_end.startswith("2cfg-"):
         prepare_cfg_module(module)
+        hook("cfg-prep", module)
         if profile_inputs:
             set_global_inputs(module, profile_inputs)
         profile = BitwidthProfile.collect(module, entry)
@@ -173,18 +182,22 @@ def compile_binary(
             for fname, func in module.functions.items()
         }
         binary.squeeze_results = squeeze_module(module, plans)
+        hook("squeeze", module)
         binary.opt_counts = run_speculative_opts(
             module,
             compare_elimination=config.compare_elimination,
             bitmask_elision=config.bitmask_elision,
         )
+        hook("speculative-opts", module)
         for func in module.functions.values():
             remove_unreachable_blocks(func)
         eliminate_dead_code_module(module)
         simplify_module(module)
+        hook("cleanup", module)
     elif config.middle_end == "static":
         narrow_module(module)
         simplify_module(module)
+        hook("static-narrow", module)
     elif config.middle_end != "none":
         raise ValueError(f"unknown middle-end: {config.middle_end}")
 

@@ -9,6 +9,7 @@ from repro.frontend.codegen import (
 )
 from repro.frontend.lexer import LexError, tokenize
 from repro.frontend.parser import ParseError, parse
+from repro.frontend.printer import print_expr, print_program, print_stmt
 
 __all__ = [
     "CType",
@@ -19,6 +20,9 @@ __all__ = [
     "compile_program",
     "compile_source",
     "parse",
+    "print_expr",
+    "print_program",
+    "print_stmt",
     "remove_trivial_phis",
     "tokenize",
 ]

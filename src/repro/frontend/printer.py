@@ -1,0 +1,164 @@
+"""MiniC AST → source text.
+
+The inverse of :mod:`repro.frontend.parser`: renders a :class:`Program` back
+into parseable MiniC.  Used by the fuzzer (``repro.fuzz``) to turn generated
+and shrunk ASTs into replayable source artifacts; round-tripping through
+``parse(print_program(ast))`` is covered by tests.
+
+Expressions are printed fully parenthesized, so the printer never has to
+reason about precedence and the round-trip is exact by construction.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.ast_nodes import (
+    AddrOfExpr,
+    AssignStmt,
+    BinaryExpr,
+    BreakStmt,
+    CallExpr,
+    CastExpr,
+    CondExpr,
+    ContinueStmt,
+    DeclStmt,
+    DoWhileStmt,
+    Expr,
+    ExprStmt,
+    ForStmt,
+    FuncDecl,
+    GlobalDecl,
+    IfStmt,
+    IndexExpr,
+    NumExpr,
+    OutStmt,
+    Program,
+    ReturnStmt,
+    Stmt,
+    UnaryExpr,
+    VarExpr,
+    WhileStmt,
+)
+
+
+def print_expr(expr: Expr) -> str:
+    if isinstance(expr, NumExpr):
+        return str(expr.value)
+    if isinstance(expr, VarExpr):
+        return expr.name
+    if isinstance(expr, IndexExpr):
+        return f"{expr.base}[{print_expr(expr.index)}]"
+    if isinstance(expr, AddrOfExpr):
+        return f"&{expr.base}[{print_expr(expr.index)}]"
+    if isinstance(expr, UnaryExpr):
+        return f"({expr.op}{print_expr(expr.operand)})"
+    if isinstance(expr, BinaryExpr):
+        return f"({print_expr(expr.lhs)} {expr.op} {print_expr(expr.rhs)})"
+    if isinstance(expr, CastExpr):
+        return f"(({expr.ctype!r}){print_expr(expr.operand)})"
+    if isinstance(expr, CallExpr):
+        args = ", ".join(print_expr(a) for a in expr.args)
+        return f"{expr.callee}({args})"
+    if isinstance(expr, CondExpr):
+        return (
+            f"({print_expr(expr.cond)} ? {print_expr(expr.if_true)}"
+            f" : {print_expr(expr.if_false)})"
+        )
+    raise TypeError(f"cannot print expression {type(expr).__name__}")
+
+
+def _print_simple(stmt: Stmt) -> str:
+    """A statement as it appears in a ``for`` header (no trailing ';')."""
+    if isinstance(stmt, AssignStmt):
+        return f"{print_expr(stmt.target)} {stmt.op} {print_expr(stmt.value)}"
+    if isinstance(stmt, ExprStmt):
+        return print_expr(stmt.expr)
+    if isinstance(stmt, DeclStmt):
+        decl = f"{stmt.ctype!r} {stmt.name}"
+        if stmt.array_size is not None:
+            decl += f"[{stmt.array_size}]"
+        if stmt.init is not None:
+            decl += f" = {print_expr(stmt.init)}"
+        return decl
+    raise TypeError(f"cannot print simple statement {type(stmt).__name__}")
+
+
+def _print_block(body: list, indent: int) -> list:
+    pad = "    " * indent
+    lines = [pad + "{"]
+    for stmt in body:
+        lines.extend(print_stmt(stmt, indent + 1))
+    lines.append(pad + "}")
+    return lines
+
+
+def print_stmt(stmt: Stmt, indent: int = 0) -> list:
+    """Render one statement as a list of source lines."""
+    pad = "    " * indent
+    if isinstance(stmt, (AssignStmt, ExprStmt, DeclStmt)):
+        return [pad + _print_simple(stmt) + ";"]
+    if isinstance(stmt, IfStmt):
+        lines = [pad + f"if ({print_expr(stmt.cond)})"]
+        lines.extend(_print_block(stmt.then_body, indent))
+        if stmt.else_body:
+            lines.append(pad + "else")
+            lines.extend(_print_block(stmt.else_body, indent))
+        return lines
+    if isinstance(stmt, WhileStmt):
+        lines = [pad + f"while ({print_expr(stmt.cond)})"]
+        lines.extend(_print_block(stmt.body, indent))
+        return lines
+    if isinstance(stmt, DoWhileStmt):
+        lines = [pad + "do"]
+        lines.extend(_print_block(stmt.body, indent))
+        lines.append(pad + f"while ({print_expr(stmt.cond)});")
+        return lines
+    if isinstance(stmt, ForStmt):
+        init = _print_simple(stmt.init) if stmt.init is not None else ""
+        cond = print_expr(stmt.cond) if stmt.cond is not None else ""
+        step = _print_simple(stmt.step) if stmt.step is not None else ""
+        lines = [pad + f"for ({init}; {cond}; {step})"]
+        lines.extend(_print_block(stmt.body, indent))
+        return lines
+    if isinstance(stmt, ReturnStmt):
+        if stmt.value is None:
+            return [pad + "return;"]
+        return [pad + f"return {print_expr(stmt.value)};"]
+    if isinstance(stmt, BreakStmt):
+        return [pad + "break;"]
+    if isinstance(stmt, ContinueStmt):
+        return [pad + "continue;"]
+    if isinstance(stmt, OutStmt):
+        return [pad + f"out({print_expr(stmt.value)});"]
+    raise TypeError(f"cannot print statement {type(stmt).__name__}")
+
+
+def print_global(decl: GlobalDecl) -> str:
+    text = f"{decl.ctype!r} {decl.name}"
+    if decl.array_size != 1:
+        text += f"[{decl.array_size}]"
+    if decl.init:
+        if decl.array_size != 1:
+            text += " = {" + ", ".join(str(v) for v in decl.init) + "}"
+        else:
+            text += f" = {decl.init[0]}"
+    return text + ";"
+
+
+def print_function(decl: FuncDecl) -> list:
+    ret = "void" if decl.ret_type is None else repr(decl.ret_type)
+    params = ", ".join(f"{p.ctype!r} {p.name}" for p in decl.params)
+    lines = [f"{ret} {decl.name}({params})"]
+    lines.extend(_print_block(decl.body, 0))
+    return lines
+
+
+def print_program(program: Program) -> str:
+    """Render a whole :class:`Program` as MiniC source text."""
+    lines: list = []
+    for gdecl in program.globals:
+        lines.append(print_global(gdecl))
+    for fdecl in program.functions:
+        if lines:
+            lines.append("")
+        lines.extend(print_function(fdecl))
+    return "\n".join(lines) + "\n"

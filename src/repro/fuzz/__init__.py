@@ -1,0 +1,47 @@
+"""Differential fuzzing for the BITSPEC pipeline.
+
+Generates random-but-safe MiniC programs and checks that every semantic
+level of the system — AST reference evaluation, IR interpretation, squeezed
+SIR interpretation, and the machine simulator under BASELINE / BITSPEC /
+THUMB configurations — produces the same ``out()`` stream, while verifying
+IR/SIR well-formedness between passes and energy-model invariants.
+
+Entry points: ``python -m repro.fuzz`` (CLI), :func:`run_oracles` (one
+program), :func:`generate_program` (just the generator).
+"""
+
+from repro.fuzz.corpus import (
+    iter_corpus,
+    load_program,
+    program_from_dict,
+    program_to_dict,
+    save_program,
+)
+from repro.fuzz.driver import fuzz, iteration_seed, main
+from repro.fuzz.generator import FuzzProgram, GenConfig, ProgramGenerator, generate_program
+from repro.fuzz.oracles import ALL_LEVELS, HEURISTICS, OracleReport, run_oracles
+from repro.fuzz.reference import Reference, reference_output
+from repro.fuzz.shrink import Shrinker, shrink_program
+
+__all__ = [
+    "ALL_LEVELS",
+    "FuzzProgram",
+    "GenConfig",
+    "HEURISTICS",
+    "OracleReport",
+    "ProgramGenerator",
+    "Reference",
+    "Shrinker",
+    "fuzz",
+    "generate_program",
+    "iter_corpus",
+    "iteration_seed",
+    "load_program",
+    "main",
+    "program_from_dict",
+    "program_to_dict",
+    "reference_output",
+    "run_oracles",
+    "save_program",
+    "shrink_program",
+]

@@ -1,0 +1,5 @@
+import sys
+
+from repro.fuzz.driver import main
+
+sys.exit(main())

@@ -1,0 +1,65 @@
+"""Replayable fuzz artifacts.
+
+A corpus entry is one JSON file fully describing a fuzz case: the MiniC
+source, both input vectors, and the generator metadata needed to regenerate
+or attribute it.  ``tests/corpus/`` holds the checked-in seed corpus that
+tier-1 replays through the full oracle stack; the CLI driver writes newly
+shrunk failures next to them as ``failure-*.json``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+from repro.fuzz.generator import FuzzProgram
+
+_FORMAT_VERSION = 1
+
+
+def program_to_dict(program: FuzzProgram, name: str = "") -> dict:
+    return {
+        "format": _FORMAT_VERSION,
+        "name": name,
+        "seed": program.seed,
+        "note": program.note,
+        "expander_enabled": program.expander_enabled,
+        "inputs_profile": program.inputs_profile,
+        "inputs_run": program.inputs_run,
+        "source": program.source,
+    }
+
+
+def program_from_dict(data: dict) -> FuzzProgram:
+    return FuzzProgram(
+        source=data["source"],
+        inputs_profile=data.get("inputs_profile") or {},
+        inputs_run=data.get("inputs_run") or {},
+        seed=data.get("seed", -1),
+        expander_enabled=data.get("expander_enabled", True),
+        note=data.get("note", ""),
+    )
+
+
+def save_program(
+    program: FuzzProgram, path: Union[str, Path], name: Optional[str] = None
+) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = program_to_dict(program, name=name or path.stem)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_program(path: Union[str, Path]) -> FuzzProgram:
+    return program_from_dict(json.loads(Path(path).read_text()))
+
+
+def iter_corpus(directory: Union[str, Path]) -> Iterator[tuple]:
+    """Yield (path, FuzzProgram) for every entry, sorted by file name."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return
+    for path in sorted(directory.glob("*.json")):
+        yield path, load_program(path)

@@ -1,0 +1,219 @@
+"""Parallel differential-fuzzing driver and CLI.
+
+``python -m repro.fuzz --seed N --iters K --jobs J`` generates K programs
+from deterministic per-iteration seeds, pushes each through the full oracle
+stack (:func:`repro.fuzz.oracles.run_oracles`) in a worker pool, shrinks
+any failure, and writes a replayable artifact to the corpus directory.
+
+Per-iteration seeds are derived purely from ``(base_seed, index)``, so the
+parent process can regenerate any worker's failing program without shipping
+ASTs across the process boundary — workers return small picklable
+summaries only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import multiprocessing
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.fuzz.corpus import save_program
+from repro.fuzz.generator import generate_program
+from repro.fuzz.oracles import run_oracles
+from repro.fuzz.shrink import Shrinker
+
+#: default artifact directory, relative to the repo root
+DEFAULT_CORPUS_DIR = Path(__file__).resolve().parents[3] / "tests" / "corpus"
+
+
+def iteration_seed(base_seed: int, index: int) -> int:
+    """Deterministic, well-mixed per-iteration seed (splitmix64 step)."""
+    x = (base_seed * 0x9E3779B97F4A7C15 + index * 0xBF58476D1CE4E5B9) & (2**64 - 1)
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & (2**64 - 1)
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & (2**64 - 1)
+    return x ^ (x >> 31)
+
+
+@dataclass
+class IterationResult:
+    """Picklable per-iteration outcome returned by workers."""
+
+    index: int
+    seed: int
+    ok: bool
+    misspeculations: int = 0
+    levels: int = 0
+    summary: str = ""
+
+
+def _run_one(task: tuple) -> IterationResult:
+    index, seed = task
+    program = generate_program(seed)
+    report = run_oracles(program)
+    return IterationResult(
+        index=index,
+        seed=seed,
+        ok=report.ok,
+        misspeculations=sum(report.misspeculations.values()),
+        levels=len(report.outputs),
+        summary=report.summary(),
+    )
+
+
+def _same_failure(signature: tuple):
+    """Predicate: candidate reproduces the *same class* of failure.
+
+    Bare ``not report.ok`` lets the shrinker wander onto unrelated failures —
+    e.g. a loop condition simplified to ``1`` turns the bug under
+    investigation into a step-limit timeout that also "fails".
+    """
+
+    def predicate(candidate) -> bool:
+        return run_oracles(candidate).signature() == signature
+
+    return predicate
+
+
+def _handle_failure(
+    result: IterationResult, corpus_dir: Path, shrink: bool
+) -> Path:
+    """Regenerate the failing program in-process, shrink it, save artifact."""
+    program = generate_program(result.seed)
+    if shrink:
+        shrinker = Shrinker(_same_failure(run_oracles(program).signature()))
+        program = shrinker.shrink(program)
+        print(
+            f"  shrunk {shrinker.stats.initial_lines} -> "
+            f"{shrinker.stats.final_lines} lines "
+            f"({shrinker.stats.predicate_calls} oracle runs)",
+            flush=True,
+        )
+    name = f"failure-seed{result.seed}"
+    return save_program(program, corpus_dir / f"{name}.json", name=name)
+
+
+def fuzz(
+    base_seed: int,
+    iters: int,
+    jobs: int = 1,
+    *,
+    corpus_dir: Optional[Path] = None,
+    shrink: bool = True,
+    verbose: bool = True,
+) -> int:
+    """Run the campaign; returns the number of failing iterations."""
+    corpus_dir = Path(corpus_dir) if corpus_dir else DEFAULT_CORPUS_DIR
+    tasks = [(i, iteration_seed(base_seed, i)) for i in range(iters)]
+    started = time.monotonic()
+    failures: list = []
+    total_misspecs = 0
+
+    if jobs > 1:
+        with multiprocessing.Pool(processes=jobs) as pool:
+            results = pool.imap_unordered(_run_one, tasks, chunksize=1)
+            for done, result in enumerate(results, start=1):
+                total_misspecs += result.misspeculations
+                if not result.ok:
+                    failures.append(result)
+                    print(
+                        f"[{done}/{iters}] FAIL seed={result.seed}: "
+                        f"{result.summary}",
+                        flush=True,
+                    )
+                elif verbose and done % 10 == 0:
+                    print(f"[{done}/{iters}] ok", flush=True)
+    else:
+        for done, task in enumerate(tasks, start=1):
+            result = _run_one(task)
+            total_misspecs += result.misspeculations
+            if not result.ok:
+                failures.append(result)
+                print(
+                    f"[{done}/{iters}] FAIL seed={result.seed}: {result.summary}",
+                    flush=True,
+                )
+            elif verbose and done % 10 == 0:
+                print(f"[{done}/{iters}] ok", flush=True)
+
+    elapsed = time.monotonic() - started
+    rate = iters / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"{iters} programs, {len(failures)} failures, "
+        f"{total_misspecs} misspeculations observed, "
+        f"{elapsed:.1f}s ({rate:.2f} prog/s)",
+        flush=True,
+    )
+
+    for failure in failures:
+        path = _handle_failure(failure, corpus_dir, shrink)
+        print(f"  artifact: {path}", flush=True)
+    return len(failures)
+
+
+def replay(path: Path) -> int:
+    """Re-run one saved artifact through the oracle stack."""
+    from repro.fuzz.corpus import load_program
+
+    try:
+        program = load_program(path)
+    except (OSError, ValueError) as exc:
+        print(f"cannot load artifact {path}: {exc}", file=sys.stderr)
+        return 2
+    report = run_oracles(program)
+    print(f"{path}: {report.summary()}")
+    if report.error:
+        print(report.error)
+    return 0 if report.ok else 1
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fuzz",
+        description="Differential fuzzer: random MiniC programs vs. the "
+        "reference evaluator, IR interpreter, and machine simulator across "
+        "BASELINE/BITSPEC/THUMB configurations.",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="campaign base seed")
+    parser.add_argument("--iters", type=int, default=100, help="programs to run")
+    parser.add_argument("--jobs", type=int, default=1, help="worker processes")
+    parser.add_argument(
+        "--corpus-dir",
+        type=Path,
+        default=None,
+        help=f"artifact directory (default: {DEFAULT_CORPUS_DIR})",
+    )
+    parser.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="save failing programs unshrunk",
+    )
+    parser.add_argument(
+        "--replay",
+        type=Path,
+        default=None,
+        metavar="ARTIFACT",
+        help="re-run one saved corpus artifact instead of fuzzing",
+    )
+    args = parser.parse_args(argv)
+
+    if args.replay is not None:
+        return replay(args.replay)
+
+    failures = fuzz(
+        args.seed,
+        args.iters,
+        jobs=max(args.jobs, 1),
+        corpus_dir=args.corpus_dir,
+        shrink=not args.no_shrink,
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

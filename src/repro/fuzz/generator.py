@@ -1,0 +1,604 @@
+"""Seeded random MiniC program generator.
+
+Produces closed, terminating, trap-free programs (plus profile/run input
+pairs for their input globals) that stress exactly the shapes BITSPEC's
+squeezer/handler machinery speculates on:
+
+* constants and input values biased toward the 8-bit slice boundary
+  (254/255/256/257) and the 16-bit boundary, so squeezed variables sit right
+  where carry-out misspeculation triggers;
+* mixed-width arithmetic (u8..s64 with casts) so the usual-arithmetic
+  conversions and the squeezer's truncate/extend insertion get exercised;
+* loop-carried scalars, global/local arrays, helper calls (inlining fodder
+  for the expander) and value-dependent control flow;
+* *profile ≠ run* input pairs, making compiled speculation actually
+  misspeculate and take the Δ-handler path at run time.
+
+Safety-by-construction rules (the oracles treat any trap as a finding, so
+generated programs must never trap):
+
+* every divisor is wrapped as ``(e | 1)``;
+* every shift amount is a small constant or masked with ``& 7/15/31``;
+* every array index is masked with ``& (size-1)`` (sizes are powers of two);
+* loops have constant trip counts (or a bounding counter), nesting is
+  capped, and the estimated dynamic cost is budgeted;
+* local arrays are fully initialized before any read (stack reuse makes
+  uninitialized reads implementation-defined across oracle levels);
+* calls appear only at statement level, never nested inside expressions,
+  so ternary arms stay pure (the AST reference evaluates both arms).
+
+Determinism: all randomness flows from one ``random.Random(seed)``; the same
+seed yields byte-identical source and inputs on any platform.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.frontend.ast_nodes import (
+    AssignStmt,
+    BinaryExpr,
+    BreakStmt,
+    CallExpr,
+    CastExpr,
+    CondExpr,
+    ContinueStmt,
+    CType,
+    DeclStmt,
+    DoWhileStmt,
+    Expr,
+    ForStmt,
+    FuncDecl,
+    GlobalDecl,
+    IfStmt,
+    IndexExpr,
+    NumExpr,
+    OutStmt,
+    Param,
+    Program,
+    ReturnStmt,
+    Stmt,
+    U32,
+    UnaryExpr,
+    VarExpr,
+    WhileStmt,
+)
+from repro.frontend.printer import print_program
+
+#: scalar types the generator draws from (pointers are never generated)
+SCALAR_TYPES = (
+    CType(8),
+    CType(16),
+    CType(32),
+    CType(64),
+    CType(8, signed=True),
+    CType(16, signed=True),
+    CType(32, signed=True),
+    CType(64, signed=True),
+)
+
+#: array element types (64-bit elements included, at lower weight, via choice)
+ARRAY_ELEM_TYPES = (
+    CType(8),
+    CType(16),
+    CType(32),
+    CType(8, signed=True),
+    CType(16, signed=True),
+    CType(32, signed=True),
+)
+
+#: slice-boundary-biased constant pool (§3.5: misspeculation fires on
+#: carry-out at the 8-bit boundary, and on wide loaded values)
+BOUNDARY_VALUES = (
+    0, 1, 2, 3, 7, 8, 15, 16, 31, 63, 100,
+    126, 127, 128, 129, 200, 253, 254, 255, 256, 257, 300,
+    1000, 32767, 32768, 65535, 65536, 65537,
+    (1 << 31) - 1, 1 << 31, (1 << 32) - 1,
+)
+
+#: extra values for 64-bit contexts
+WIDE_VALUES = ((1 << 32), (1 << 32) + 1, (1 << 48) - 1, (1 << 63), (1 << 64) - 1)
+
+COMPARE_OPS = ("==", "!=", "<", "<=", ">", ">=")
+ARITH_OPS = ("+", "-", "*", "&", "|", "^", "<<", ">>", "/", "%")
+ASSIGN_OPS = ("=", "+=", "-=", "*=", "&=", "|=", "^=", "<<=", ">>=", "/=", "%=")
+#: the 32-bit machine has no 64-bit divide or variable-amount 64-bit shift,
+#: so compound ops that would execute at a 64-bit target type are restricted
+ASSIGN_OPS_64 = ("=", "+=", "-=", "*=", "&=", "|=", "^=")
+
+#: ≤32-bit types used to clamp div/rem/shift operands below pair width
+CLAMP_TYPES = (
+    CType(32),
+    CType(32, signed=True),
+    CType(16),
+    CType(16, signed=True),
+    CType(8),
+    CType(8, signed=True),
+)
+
+
+def _mask(ctype: CType) -> int:
+    return (1 << ctype.bits) - 1
+
+
+@dataclass
+class FuzzProgram:
+    """One fuzz case: source text plus its profile/run input assignments."""
+
+    source: str
+    inputs_profile: dict = field(default_factory=dict)
+    inputs_run: dict = field(default_factory=dict)
+    seed: Optional[int] = None
+    expander_enabled: bool = True
+    note: str = ""
+
+
+@dataclass
+class GenConfig:
+    """Size/shape knobs of the generator."""
+
+    max_top_stmts: int = 9
+    max_body_stmts: int = 5
+    max_expr_depth: int = 3
+    max_block_depth: int = 3
+    max_loop_depth: int = 2
+    max_helpers: int = 2
+    #: cap on the product of enclosing trip counts (dynamic-cost budget)
+    max_dynamic_cost: int = 6000
+
+
+@dataclass
+class _Var:
+    name: str
+    ctype: CType
+    protected: bool = False  # loop counters may not be reassigned
+
+
+@dataclass
+class _Array:
+    name: str
+    elem: CType
+    size: int  # power of two
+
+
+class ProgramGenerator:
+    """Generates one :class:`FuzzProgram` per (seed, config)."""
+
+    def __init__(self, seed: int, config: Optional[GenConfig] = None) -> None:
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.config = config or GenConfig()
+        self._name_counter = 0
+        # visible state while generating a function body
+        self.scopes: list[list[_Var]] = []
+        self.arrays: list[_Array] = []
+        self.global_scalars: list[_Var] = []
+        self.callable_helpers: list[FuncDecl] = []
+        self.loop_depth = 0
+        self.block_depth = 0
+        self.cost_factor = 1
+        self.total_cost = 0
+
+    # -- small helpers -------------------------------------------------------
+
+    def fresh(self, hint: str) -> str:
+        self._name_counter += 1
+        return f"{hint}{self._name_counter}"
+
+    def pick_type(self) -> CType:
+        return self.rng.choice(SCALAR_TYPES)
+
+    def visible_vars(self) -> list:
+        return [v for scope in self.scopes for v in scope]
+
+    def constant(self, wide_ok: bool = False) -> NumExpr:
+        r = self.rng.random()
+        if r < 0.55:
+            pool = BOUNDARY_VALUES + (WIDE_VALUES if wide_ok else ())
+            return NumExpr(self.rng.choice(pool))
+        if r < 0.85:
+            return NumExpr(self.rng.randrange(0, 512))
+        bits = self.rng.choice((8, 16, 32))
+        return NumExpr(self.rng.randrange(0, 1 << bits))
+
+    # -- expressions ---------------------------------------------------------
+
+    def gen_expr(self, depth: int) -> Expr:
+        """A trap-free expression tree (never contains calls)."""
+        variables = self.visible_vars() + self.global_scalars
+        if depth <= 0 or self.rng.random() < 0.22:
+            # leaf: constant / scalar / array element
+            r = self.rng.random()
+            if r < 0.40 or not variables:
+                if r < 0.10 and self.arrays and depth > 0:
+                    return self.gen_index()
+                return self.constant(wide_ok=self.rng.random() < 0.1)
+            if r < 0.75 or not self.arrays:
+                return VarExpr(self.rng.choice(variables).name)
+            return self.gen_index()
+        r = self.rng.random()
+        if r < 0.55:
+            op = self.rng.choice(ARITH_OPS)
+            lhs = self.gen_expr(depth - 1)
+            rhs = self.gen_expr(depth - 1)
+            if op in ("/", "%"):
+                # Clamp both sides below pair width (no 64-bit divider) and
+                # force the divisor odd (trunc keeps the low bit, so the
+                # guard survives any later conversion).
+                lhs = self.clamp_narrow(lhs)
+                rhs = BinaryExpr("|", self.clamp_narrow(rhs), NumExpr(1))
+            elif op in ("<<", ">>"):
+                # Shift result/width follow the lhs type; clamp it so the
+                # machine never sees a variable-amount or arithmetic 64-bit
+                # shift.
+                lhs = self.clamp_narrow(lhs)
+                rhs = self.gen_shift_amount(rhs)
+            return BinaryExpr(op, lhs, rhs)
+        if r < 0.68:
+            return BinaryExpr(
+                self.rng.choice(COMPARE_OPS),
+                self.gen_expr(depth - 1),
+                self.gen_expr(depth - 1),
+            )
+        if r < 0.80:
+            return CastExpr(self.pick_type(), self.gen_expr(depth - 1))
+        if r < 0.90:
+            return UnaryExpr(self.rng.choice(("-", "~", "!")), self.gen_expr(depth - 1))
+        return CondExpr(
+            self.gen_condition(depth - 1),
+            self.gen_expr(depth - 1),
+            self.gen_expr(depth - 1),
+        )
+
+    def clamp_narrow(self, expr: Expr) -> Expr:
+        return CastExpr(self.rng.choice(CLAMP_TYPES), expr)
+
+    def gen_shift_amount(self, expr: Expr) -> Expr:
+        if self.rng.random() < 0.5:
+            return NumExpr(self.rng.randrange(0, 8))
+        mask = self.rng.choice((7, 15, 31))
+        return BinaryExpr("&", expr, NumExpr(mask))
+
+    def gen_index(self) -> IndexExpr:
+        array = self.rng.choice(self.arrays)
+        return IndexExpr(array.name, self.gen_masked_index(array))
+
+    def gen_masked_index(self, array: _Array) -> Expr:
+        if self.rng.random() < 0.35:
+            return NumExpr(self.rng.randrange(0, array.size))
+        return BinaryExpr("&", self.gen_expr(1), NumExpr(array.size - 1))
+
+    def gen_condition(self, depth: int) -> Expr:
+        r = self.rng.random()
+        if depth > 0 and r < 0.20:
+            return BinaryExpr(
+                self.rng.choice(("&&", "||")),
+                self.gen_condition(depth - 1),
+                self.gen_condition(depth - 1),
+            )
+        if depth > 0 and r < 0.28:
+            return UnaryExpr("!", self.gen_condition(depth - 1))
+        return BinaryExpr(
+            self.rng.choice(COMPARE_OPS),
+            self.gen_expr(max(depth - 1, 0)),
+            self.gen_expr(max(depth - 1, 0)),
+        )
+
+    # -- statements ----------------------------------------------------------
+
+    def gen_body(self, budget: int, *, allow_break: bool, allow_continue: bool) -> list:
+        self.scopes.append([])
+        self.block_depth += 1
+        stmts: list[Stmt] = []
+        count = self.rng.randrange(1, budget + 1)
+        for _ in range(count):
+            stmts.append(
+                self.gen_stmt(allow_break=allow_break, allow_continue=allow_continue)
+            )
+        self.block_depth -= 1
+        self.scopes.pop()
+        return stmts
+
+    def gen_stmt(self, *, allow_break: bool, allow_continue: bool) -> Stmt:
+        roll = self.rng.random()
+        nested_ok = self.block_depth < self.config.max_block_depth
+        loop_ok = (
+            nested_ok
+            and self.loop_depth < self.config.max_loop_depth
+            and self.total_cost < self.config.max_dynamic_cost
+        )
+        if roll < 0.22:
+            return self.gen_decl()
+        if roll < 0.46:
+            return self.gen_scalar_assign()
+        if roll < 0.58 and self.arrays:
+            return self.gen_array_assign()
+        if roll < 0.68 and nested_ok:
+            return self.gen_if(allow_break=allow_break, allow_continue=allow_continue)
+        if roll < 0.82 and loop_ok:
+            return self.gen_loop()
+        if roll < 0.88 and allow_break and self.rng.random() < 0.5:
+            return IfStmt(self.gen_condition(1), [BreakStmt()], [])
+        if roll < 0.90 and allow_continue:
+            return IfStmt(self.gen_condition(1), [ContinueStmt()], [])
+        return OutStmt(CastExpr(U32, self.gen_expr(self.config.max_expr_depth)))
+
+    def gen_decl(self) -> Stmt:
+        ctype = self.pick_type()
+        name = self.fresh("v")
+        init = self.gen_expr(self.rng.randrange(0, self.config.max_expr_depth + 1))
+        self.scopes[-1].append(_Var(name, ctype))
+        return DeclStmt(ctype, name, None, init)
+
+    def _assignable(self) -> list:
+        return [v for v in self.visible_vars() + self.global_scalars if not v.protected]
+
+    def gen_scalar_assign(self) -> Stmt:
+        targets = self._assignable()
+        if not targets:
+            return self.gen_decl()
+        var = self.rng.choice(targets)
+        op = self.rng.choice(ASSIGN_OPS if var.ctype.bits < 64 else ASSIGN_OPS_64)
+        if op == "=" and self.callable_helpers and self.rng.random() < 0.45:
+            value: Expr = self.gen_call()
+        else:
+            value = self.gen_expr(self.config.max_expr_depth)
+            if op in ("/=", "%="):
+                value = BinaryExpr("|", value, NumExpr(1))
+            elif op in ("<<=", ">>="):
+                value = self.gen_shift_amount(value)
+        return AssignStmt(VarExpr(var.name), op, value)
+
+    def gen_array_assign(self) -> Stmt:
+        array = self.rng.choice(self.arrays)
+        index = self.gen_masked_index(array)
+        op = self.rng.choice(("=", "=", "+=", "-=", "^=", "|=", "&="))
+        return AssignStmt(
+            IndexExpr(array.name, index), op, self.gen_expr(self.config.max_expr_depth)
+        )
+
+    def gen_call(self) -> CallExpr:
+        helper = self.rng.choice(self.callable_helpers)
+        args = [self.gen_expr(2) for _ in helper.params]
+        return CallExpr(helper.name, args)
+
+    def gen_if(self, *, allow_break: bool, allow_continue: bool) -> IfStmt:
+        cond = self.gen_condition(2)
+        then_body = self.gen_body(
+            3, allow_break=allow_break, allow_continue=allow_continue
+        )
+        else_body = []
+        if self.rng.random() < 0.45:
+            else_body = self.gen_body(
+                2, allow_break=allow_break, allow_continue=allow_continue
+            )
+        return IfStmt(cond, then_body, else_body)
+
+    def gen_loop(self) -> Stmt:
+        trips = self.rng.randrange(1, 13)
+        saved_factor = self.cost_factor
+        self.cost_factor *= trips
+        self.total_cost += self.cost_factor
+        self.loop_depth += 1
+        kind = self.rng.random()
+        if kind < 0.62:
+            stmt = self._gen_for(trips)
+        elif kind < 0.84:
+            stmt = self._gen_while(trips)
+        else:
+            stmt = self._gen_do_while(trips)
+        self.loop_depth -= 1
+        self.cost_factor = saved_factor
+        return stmt
+
+    def _gen_for(self, trips: int) -> ForStmt:
+        ctype = self.rng.choice((CType(8), CType(16), CType(32), CType(32, True)))
+        name = self.fresh("i")
+        counter = _Var(name, ctype, protected=True)
+        self.scopes.append([counter])
+        body = self.gen_body(
+            self.config.max_body_stmts, allow_break=True, allow_continue=True
+        )
+        self.scopes.pop()
+        step = self.rng.choice((1, 1, 1, 2, 3))
+        return ForStmt(
+            init=DeclStmt(ctype, name, None, NumExpr(0)),
+            cond=BinaryExpr("<", VarExpr(name), NumExpr(trips * step)),
+            step=AssignStmt(VarExpr(name), "+=", NumExpr(step)),
+            body=body,
+        )
+
+    def _gen_while(self, trips: int) -> Stmt:
+        # Bounded by a guard counter; `continue` is banned inside (it would
+        # skip the counter increment and diverge).
+        name = self.fresh("w")
+        counter = _Var(name, U32, protected=True)
+        self.scopes.append([counter])
+        body = self.gen_body(
+            self.config.max_body_stmts, allow_break=True, allow_continue=False
+        )
+        self.scopes.pop()
+        cond: Expr = BinaryExpr("<", VarExpr(name), NumExpr(trips))
+        if self.rng.random() < 0.4:
+            cond = BinaryExpr("&&", cond, self.gen_condition(1))
+        body.append(AssignStmt(VarExpr(name), "+=", NumExpr(1)))
+        decl = DeclStmt(U32, name, None, NumExpr(0))
+        return IfStmt(NumExpr(1), [decl, WhileStmt(cond, body)], [])
+
+    def _gen_do_while(self, trips: int) -> Stmt:
+        name = self.fresh("w")
+        counter = _Var(name, U32, protected=True)
+        self.scopes.append([counter])
+        body = self.gen_body(
+            self.config.max_body_stmts, allow_break=True, allow_continue=False
+        )
+        self.scopes.pop()
+        body.append(AssignStmt(VarExpr(name), "+=", NumExpr(1)))
+        cond: Expr = BinaryExpr("<", VarExpr(name), NumExpr(trips))
+        decl = DeclStmt(U32, name, None, NumExpr(0))
+        return IfStmt(NumExpr(1), [decl, DoWhileStmt(body, cond)], [])
+
+    # -- top level -----------------------------------------------------------
+
+    def gen_helper(self) -> FuncDecl:
+        name = self.fresh("f")
+        params = [
+            Param(self.pick_type(), self.fresh("p"))
+            for _ in range(self.rng.randrange(1, 4))
+        ]
+        ret_type = self.pick_type()
+        self.scopes = [[_Var(p.name, p.ctype) for p in params]]
+        self.loop_depth = self.config.max_loop_depth - 1  # at most one loop
+        self.block_depth = 1
+        body = self.gen_body(3, allow_break=False, allow_continue=False)
+        body.append(ReturnStmt(self.gen_expr(self.config.max_expr_depth)))
+        self.scopes = []
+        self.loop_depth = 0
+        self.block_depth = 0
+        return FuncDecl(ret_type, name, params, body)
+
+    def _input_values(self, elem: CType, count: int, *, wide: bool) -> list:
+        """Input vector biased narrow (profile) or boundary-crossing (run)."""
+        values = []
+        for _ in range(count):
+            if wide and self.rng.random() < 0.55:
+                values.append(self.rng.choice(BOUNDARY_VALUES) & _mask(elem))
+            elif wide and self.rng.random() < 0.4:
+                values.append(self.rng.randrange(0, 1 << min(elem.bits, 32)))
+            else:
+                values.append(self.rng.randrange(0, min(200, (1 << elem.bits) - 1)))
+        return values
+
+    def generate(self) -> FuzzProgram:
+        program = Program()
+        inputs_profile: dict = {}
+        inputs_run: dict = {}
+
+        # Input globals: values come from the profile/run input dicts.
+        # `run` inputs agree with `profile` ones ~40% of the time; otherwise
+        # they cross slice boundaries, forcing compiled speculation to
+        # actually misspeculate.
+        inputs_agree = self.rng.random() < 0.4
+        for _ in range(self.rng.randrange(1, 3)):
+            name = self.fresh("in")
+            elem = self.rng.choice(ARRAY_ELEM_TYPES)
+            size = self.rng.choice((8, 16, 32))
+            program.globals.append(GlobalDecl(elem, name, size, []))
+            self.arrays.append(_Array(name, elem, size))
+            inputs_profile[name] = self._input_values(elem, size, wide=False)
+            inputs_run[name] = (
+                list(inputs_profile[name])
+                if inputs_agree
+                else self._input_values(elem, size, wide=True)
+            )
+        for _ in range(self.rng.randrange(1, 3)):
+            name = self.fresh("k")
+            ctype = self.rng.choice(ARRAY_ELEM_TYPES)
+            program.globals.append(GlobalDecl(ctype, name, 1, []))
+            self.global_scalars.append(_Var(name, ctype))
+            (profile_value,) = self._input_values(ctype, 1, wide=False)
+            inputs_profile[name] = profile_value
+            inputs_run[name] = (
+                profile_value
+                if inputs_agree
+                else self._input_values(ctype, 1, wide=True)[0]
+            )
+
+        # State globals with source-level initializers.
+        for _ in range(self.rng.randrange(1, 3)):
+            name = self.fresh("g")
+            if self.rng.random() < 0.5:
+                ctype = self.rng.choice(SCALAR_TYPES)
+                init = [self.constant().value & _mask(ctype)]
+                program.globals.append(GlobalDecl(ctype, name, 1, init))
+                self.global_scalars.append(_Var(name, ctype))
+            else:
+                elem = self.rng.choice(ARRAY_ELEM_TYPES)
+                size = self.rng.choice((8, 16))
+                init = [self.constant().value & _mask(elem) for _ in range(size)]
+                program.globals.append(GlobalDecl(elem, name, size, init))
+                self.arrays.append(_Array(name, elem, size))
+
+        for _ in range(self.rng.randrange(0, self.config.max_helpers + 1)):
+            helper = self.gen_helper()
+            program.functions.append(helper)
+            self.callable_helpers.append(helper)
+
+        # main: local arrays (filled before use), then a statement soup,
+        # then out() every piece of observable state.
+        self.scopes = [[]]
+        main_body: list[Stmt] = []
+        local_arrays: list[_Array] = []
+        for _ in range(self.rng.randrange(0, 2)):
+            name = self.fresh("a")
+            elem = self.rng.choice(ARRAY_ELEM_TYPES)
+            size = self.rng.choice((8, 16))
+            idx = self.fresh("i")
+            main_body.append(DeclStmt(elem, name, size, None))
+            main_body.append(
+                ForStmt(
+                    init=DeclStmt(U32, idx, None, NumExpr(0)),
+                    cond=BinaryExpr("<", VarExpr(idx), NumExpr(size)),
+                    step=AssignStmt(VarExpr(idx), "+=", NumExpr(1)),
+                    body=[
+                        AssignStmt(
+                            IndexExpr(name, VarExpr(idx)),
+                            "=",
+                            self.gen_expr(2),
+                        )
+                    ],
+                )
+            )
+            self.arrays.append(_Array(name, elem, size))
+            local_arrays.append(self.arrays[-1])
+
+        self.block_depth = 1
+        min_top = min(4, self.config.max_top_stmts)
+        for _ in range(self.rng.randrange(min_top, self.config.max_top_stmts + 1)):
+            main_body.append(self.gen_stmt(allow_break=False, allow_continue=False))
+
+        # Observability epilogue: fold all mutable state into out() calls.
+        for var in self.visible_vars() + self.global_scalars:
+            main_body.append(OutStmt(CastExpr(U32, VarExpr(var.name))))
+        for array in self.arrays:
+            idx = self.fresh("o")
+            acc = self.fresh("h")
+            main_body.append(DeclStmt(U32, acc, None, NumExpr(0)))
+            main_body.append(
+                ForStmt(
+                    init=DeclStmt(U32, idx, None, NumExpr(0)),
+                    cond=BinaryExpr("<", VarExpr(idx), NumExpr(array.size)),
+                    step=AssignStmt(VarExpr(idx), "+=", NumExpr(1)),
+                    body=[
+                        AssignStmt(
+                            VarExpr(acc),
+                            "=",
+                            BinaryExpr(
+                                "+",
+                                BinaryExpr(
+                                    "*", VarExpr(acc), NumExpr(31)
+                                ),
+                                CastExpr(U32, IndexExpr(array.name, VarExpr(idx))),
+                            ),
+                        )
+                    ],
+                )
+            )
+            main_body.append(OutStmt(VarExpr(acc)))
+
+        program.functions.append(FuncDecl(None, "main", [], main_body))
+        return FuzzProgram(
+            source=print_program(program),
+            inputs_profile=inputs_profile,
+            inputs_run=inputs_run,
+            seed=self.seed,
+            expander_enabled=self.rng.random() < 0.8,
+            note="generated" + ("" if inputs_agree else " (profile != run inputs)"),
+        )
+
+
+def generate_program(seed: int, config: Optional[GenConfig] = None) -> FuzzProgram:
+    """Generate the deterministic fuzz case for ``seed``."""
+    return ProgramGenerator(seed, config).generate()

@@ -1,0 +1,266 @@
+"""The differential oracle stack.
+
+Runs one :class:`FuzzProgram` through every semantic level of the system and
+checks that all observable outputs (the ``out()`` stream) agree:
+
+======================  =====================================================
+level                   what executes
+======================  =====================================================
+``ref``                 Python evaluation of the parsed AST (no IR at all)
+``interp-ir``           ``repro.interp`` on the front-end IR (no passes)
+``interp-squeezed-T``   ``repro.interp`` on the squeezed SIR, T ∈ {max,avg,min}
+``machine-baseline``    compiled ARM binary on ``repro.arch.machine``
+``machine-bitspec-T``   compiled ARM_BS binary, T ∈ {max,avg,min}
+``machine-thumb``       compiled THUMB binary
+======================  =====================================================
+
+BITSPEC levels profile on ``inputs_profile`` and run on ``inputs_run`` —
+when those differ, compiled speculation genuinely misspeculates and the
+Δ-handler machinery is on the semantic path being checked.
+
+On top of output agreement, per-run invariants are asserted:
+
+* IR verifier after every non-speculative pipeline stage, SIR verifier after
+  every speculative one (via ``compile_binary``'s ``stage_hook``);
+* energy-breakdown components are non-negative and sum to the total, and
+  DTS (time-squeezed) energy never exceeds nominal energy;
+* the baseline interpreter run never misspeculates;
+* under T=MAX with profile == run inputs, misspeculation count is exactly 0
+  (Theorem 3.2's "speculation holds on the profiled path").
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.arch.dts import DTSModel
+from repro.core.pipeline import CompilerConfig, compile_binary, set_global_inputs
+from repro.frontend.codegen import compile_program
+from repro.frontend.parser import parse
+from repro.fuzz.generator import FuzzProgram
+from repro.fuzz.reference import Reference
+from repro.interp.interpreter import Interpreter
+from repro.ir.function import Module
+from repro.ir.verifier import verify_module
+from repro.passes.expander import ExpanderConfig
+from repro.sir.verifier import verify_sir_module
+
+HEURISTICS = ("max", "avg", "min")
+
+#: stages after which speculative instructions may exist (SIR verifier)
+_SIR_STAGES = frozenset({"squeeze", "speculative-opts", "cleanup"})
+
+#: every level an :class:`OracleReport` for a passing program contains
+ALL_LEVELS = (
+    "ref",
+    "interp-ir",
+    "interp-squeezed-max",
+    "interp-squeezed-avg",
+    "interp-squeezed-min",
+    "machine-baseline",
+    "machine-bitspec-max",
+    "machine-bitspec-avg",
+    "machine-bitspec-min",
+    "machine-thumb",
+)
+
+#: step budget for interpreter-level runs (generated programs are tiny)
+STEP_LIMIT = 20_000_000
+
+#: the AST reference runs first and gates the compiled levels, so its budget
+#: is kept small — a shrink candidate mutated into an unbounded loop must
+#: fail fast instead of stalling the whole campaign
+REF_STEP_LIMIT = 2_000_000
+
+
+@dataclass
+class OracleReport:
+    """Outcome of running the full oracle stack over one program."""
+
+    program: FuzzProgram
+    outputs: dict = field(default_factory=dict)  # level -> out() stream
+    misspeculations: dict = field(default_factory=dict)  # level -> count
+    disagreements: list = field(default_factory=list)
+    invariant_failures: list = field(default_factory=list)
+    error: Optional[str] = None  # crash anywhere in the stack
+
+    @property
+    def ok(self) -> bool:
+        return not self.disagreements and not self.invariant_failures and not self.error
+
+    def summary(self) -> str:
+        if self.ok:
+            misspecs = sum(self.misspeculations.values())
+            return f"ok ({len(self.outputs)} levels, {misspecs} misspecs)"
+        parts = []
+        if self.error:
+            parts.append(f"error: {self.error.splitlines()[-1]}")
+        parts.extend(self.disagreements[:3])
+        parts.extend(self.invariant_failures[:3])
+        return "; ".join(parts)
+
+    def signature(self) -> tuple:
+        """Coarse failure class, stable under shrinking.
+
+        The shrinker requires candidates to reproduce the *same kind* of
+        failure — otherwise replacing a loop bound with a constant trades the
+        bug under investigation for an unrelated step-limit blowup.
+        """
+        if self.ok:
+            return ()
+        if self.error:
+            # exception class name only: messages carry value/name noise
+            last = self.error.splitlines()[-1]
+            return ("error", last.split(":", 1)[0])
+
+        def kind(text: str) -> str:
+            # prefix before the first colon, with counts/values stripped so
+            # e.g. "... misspeculated 3 times" == "... misspeculated 1 times"
+            return "".join(c for c in text.split(":", 1)[0] if not c.isdigit())
+
+        kinds = []
+        for text in self.disagreements:
+            kinds.append(("disagreement", kind(text)))
+        for text in self.invariant_failures:
+            kinds.append(("invariant", kind(text)))
+        return tuple(sorted(set(kinds)))
+
+
+def _verifying_stage_hook(stage: str, module: Module) -> None:
+    if stage in _SIR_STAGES:
+        verify_sir_module(module)
+    else:
+        verify_module(module)
+
+
+def _check_energy(report: OracleReport, level: str, sim) -> None:
+    breakdown = sim.energy()
+    components = breakdown.as_dict()
+    for name, value in components.items():
+        if value < 0:
+            report.invariant_failures.append(
+                f"{level}: negative {name} energy {value}"
+            )
+    if abs(sum(components.values()) - breakdown.total) > 1e-6 * max(
+        breakdown.total, 1.0
+    ):
+        report.invariant_failures.append(
+            f"{level}: component energies do not sum to total"
+        )
+    dts_total = DTSModel().apply(sim).total
+    if dts_total > breakdown.total + 1e-9:
+        report.invariant_failures.append(
+            f"{level}: DTS energy {dts_total} exceeds nominal {breakdown.total}"
+        )
+
+
+def _expander(program: FuzzProgram) -> ExpanderConfig:
+    if program.expander_enabled:
+        return ExpanderConfig()
+    return ExpanderConfig.disabled()
+
+
+def run_oracles(
+    program: FuzzProgram,
+    *,
+    check_profile_eq_run: bool = True,
+) -> OracleReport:
+    """Run every oracle level over ``program``; see module docstring."""
+    report = OracleReport(program=program)
+    try:
+        _run_oracles(report, program, check_profile_eq_run)
+    except Exception:  # a crash at any level is itself a finding
+        report.error = traceback.format_exc()
+    return report
+
+
+def _run_oracles(
+    report: OracleReport, program: FuzzProgram, check_profile_eq_run: bool
+) -> None:
+    ast = parse(program.source)
+
+    # Level 0: AST reference evaluation.
+    report.outputs["ref"] = Reference(
+        ast, program.inputs_run, step_limit=REF_STEP_LIMIT
+    ).run()
+
+    # Level 1: the interpreter on plain front-end IR (no passes at all).
+    module = compile_program(parse(program.source))
+    verify_module(module)
+    if program.inputs_run:
+        set_global_inputs(module, program.inputs_run)
+    interp = Interpreter(module, trace=True, step_limit=STEP_LIMIT)
+    result = interp.run()
+    report.outputs["interp-ir"] = result.output
+    report.misspeculations["interp-ir"] = result.trace.misspeculations
+    if result.trace.misspeculations:
+        report.invariant_failures.append(
+            "interp-ir: unsqueezed IR misspeculated "
+            f"{result.trace.misspeculations} times"
+        )
+
+    expander = _expander(program)
+
+    # Levels 2+3: squeezed SIR (interp) and BITSPEC binaries (machine).
+    for heuristic in HEURISTICS:
+        config = CompilerConfig.bitspec(heuristic, expander=expander)
+        binary = compile_binary(
+            program.source,
+            config,
+            profile_inputs=program.inputs_profile,
+            stage_hook=_verifying_stage_hook,
+        )
+        interp_result = binary.interpret(program.inputs_run)
+        report.outputs[f"interp-squeezed-{heuristic}"] = interp_result.output
+        report.misspeculations[f"interp-squeezed-{heuristic}"] = (
+            interp_result.trace.misspeculations
+        )
+        sim = binary.run(program.inputs_run)
+        report.outputs[f"machine-bitspec-{heuristic}"] = sim.output
+        report.misspeculations[f"machine-bitspec-{heuristic}"] = sim.misspeculations
+        _check_energy(report, f"machine-bitspec-{heuristic}", sim)
+
+    # Machine baseline + Thumb.
+    for level, config in (
+        ("machine-baseline", CompilerConfig.baseline(expander=expander)),
+        ("machine-thumb", CompilerConfig.thumb(expander=expander)),
+    ):
+        binary = compile_binary(program.source, config, stage_hook=_verifying_stage_hook)
+        sim = binary.run(program.inputs_run)
+        report.outputs[level] = sim.output
+        _check_energy(report, level, sim)
+
+    # Invariant: T=MAX speculation profiled on the run input never misses.
+    if check_profile_eq_run:
+        config = CompilerConfig.bitspec("max", expander=expander)
+        binary = compile_binary(
+            program.source,
+            config,
+            profile_inputs=program.inputs_run,
+            stage_hook=_verifying_stage_hook,
+        )
+        sim = binary.run(program.inputs_run)
+        if sim.misspeculations:
+            report.invariant_failures.append(
+                f"profile==run under T=MAX misspeculated {sim.misspeculations} times"
+            )
+        if sim.output != report.outputs["ref"]:
+            report.disagreements.append(
+                "machine-bitspec-max(profile==run) output disagrees with ref"
+            )
+
+    # Output agreement across every level.
+    expected = report.outputs["ref"]
+    for level, output in report.outputs.items():
+        if output != expected:
+            report.disagreements.append(
+                f"{level}: output {_clip(output)} != ref {_clip(expected)}"
+            )
+
+
+def _clip(values: list, limit: int = 8) -> str:
+    if len(values) <= limit:
+        return repr(values)
+    return repr(values[:limit])[:-1] + f", … {len(values)} total]"

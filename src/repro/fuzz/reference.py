@@ -1,0 +1,539 @@
+"""Pure-Python reference evaluation of MiniC ASTs.
+
+The bottom oracle level of the differential stack: executes a parsed
+:class:`~repro.frontend.ast_nodes.Program` directly, with no IR, passes or
+machine model in the loop.  Semantics deliberately mirror the front-end's
+typing rules (``repro.frontend.codegen``) — usual arithmetic conversions
+widen to the larger width with ``signed = both signed``, literals default to
+u32/u64, compound assignments evaluate at the target's type — but the
+arithmetic itself is implemented independently of ``repro.interp`` so that a
+bug in the interpreter's wrapping semantics is observable as a level
+disagreement rather than silently shared.
+
+Supported MiniC subset = what ``repro.fuzz.generator`` emits (no pointer
+parameters, no address-of); anything else raises :class:`RefUnsupported`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.frontend.ast_nodes import (
+    AssignStmt,
+    BinaryExpr,
+    BreakStmt,
+    CallExpr,
+    CastExpr,
+    CondExpr,
+    ContinueStmt,
+    CType,
+    DeclStmt,
+    DoWhileStmt,
+    Expr,
+    ExprStmt,
+    ForStmt,
+    FuncDecl,
+    IfStmt,
+    IndexExpr,
+    NumExpr,
+    OutStmt,
+    Program,
+    ReturnStmt,
+    Stmt,
+    U32,
+    VarExpr,
+    UnaryExpr,
+    WhileStmt,
+)
+
+BOOL = CType(1)
+U64 = CType(64)
+
+
+class RefUnsupported(Exception):
+    """The AST uses a construct outside the generator's subset."""
+
+
+class RefTrap(Exception):
+    """Undefined behavior (division by zero, out-of-bounds index)."""
+
+
+class RefStepLimit(Exception):
+    """The reference evaluation exceeded its step budget."""
+
+
+class _Break(Exception):
+    pass
+
+
+class _Continue(Exception):
+    pass
+
+
+class _Return(Exception):
+    def __init__(self, value: Optional[int]) -> None:
+        self.value = value
+
+
+def _mask(bits: int) -> int:
+    return (1 << bits) - 1
+
+
+def _wrap(value: int, ctype: CType) -> int:
+    return value & _mask(ctype.bits)
+
+
+def _to_signed(value: int, ctype: CType) -> int:
+    value &= _mask(ctype.bits)
+    if value >= 1 << (ctype.bits - 1):
+        value -= 1 << ctype.bits
+    return value
+
+
+def _convert(value: int, src: CType, dst: CType) -> int:
+    """Mirror of codegen ``convert``: trunc / zext / sext."""
+    if src.bits == dst.bits:
+        return value
+    if dst.bits > src.bits:
+        if src.signed:
+            return _wrap(_to_signed(value, src), dst)
+        return value
+    return _wrap(value, dst)
+
+
+def _unify(lv: int, lt: CType, rv: int, rt: CType):
+    bits = max(lt.bits, rt.bits, 8)
+    signed = lt.signed and rt.signed
+    target = CType(bits, signed)
+    return _convert(lv, lt, target), _convert(rv, rt, target), target
+
+
+def _arith(op: str, a: int, b: int, ty: CType) -> int:
+    """C-style wrapping arithmetic at ``ty`` (operands pre-wrapped)."""
+    bits = ty.bits
+    if op == "+":
+        return (a + b) & _mask(bits)
+    if op == "-":
+        return (a - b) & _mask(bits)
+    if op == "*":
+        return (a * b) & _mask(bits)
+    if op == "&":
+        return a & b
+    if op == "|":
+        return a | b
+    if op == "^":
+        return a ^ b
+    if op == "<<":
+        return (a << b) & _mask(bits) if b < 64 else 0
+    if op == ">>":
+        if not ty.signed:
+            return a >> b if b < 64 else 0
+        shift = min(b, bits - 1) if b >= bits else b
+        return _wrap(_to_signed(a, ty) >> shift, ty)
+    if op == "/":
+        if b == 0:
+            raise RefTrap("division by zero")
+        if not ty.signed:
+            return a // b
+        sa, sb = _to_signed(a, ty), _to_signed(b, ty)
+        q = abs(sa) // abs(sb)
+        return _wrap(-q if (sa < 0) != (sb < 0) else q, ty)
+    if op == "%":
+        if b == 0:
+            raise RefTrap("remainder by zero")
+        if not ty.signed:
+            return a % b
+        sa, sb = _to_signed(a, ty), _to_signed(b, ty)
+        r = abs(sa) % abs(sb)
+        return _wrap(-r if sa < 0 else r, ty)
+    raise RefUnsupported(f"operator {op}")
+
+
+def _compare(op: str, a: int, b: int, ty: CType) -> int:
+    if ty.signed:
+        a, b = _to_signed(a, ty), _to_signed(b, ty)
+    if op == "==":
+        return int(a == b)
+    if op == "!=":
+        return int(a != b)
+    if op == "<":
+        return int(a < b)
+    if op == "<=":
+        return int(a <= b)
+    if op == ">":
+        return int(a > b)
+    if op == ">=":
+        return int(a >= b)
+    raise RefUnsupported(f"comparison {op}")
+
+
+class _Frame:
+    """One function activation: scalar values and local arrays."""
+
+    def __init__(self) -> None:
+        self.scalars: dict = {}  # name -> (unsigned value, CType)
+        self.arrays: dict = {}  # name -> (list of unsigned values, elem CType)
+
+
+class Reference:
+    """Evaluates a MiniC program against the generator's subset."""
+
+    def __init__(
+        self,
+        program: Program,
+        inputs: Optional[dict] = None,
+        *,
+        step_limit: int = 5_000_000,
+    ) -> None:
+        self.program = program
+        self.functions = {f.name: f for f in program.functions}
+        self.step_limit = step_limit
+        self.steps = 0
+        self.output: list = []
+        # Globals: name -> (values list, elem CType, is_scalar)
+        self.globals: dict = {}
+        for gdecl in program.globals:
+            values = [_wrap(v, gdecl.ctype) for v in gdecl.init]
+            values += [0] * (gdecl.array_size - len(values))
+            self.globals[gdecl.name] = (values, gdecl.ctype)
+        if inputs:
+            for name, value in inputs.items():
+                if name not in self.globals:
+                    raise RefUnsupported(f"input for unknown global {name}")
+                values, ctype = self.globals[name]
+                supplied = value if isinstance(value, (list, tuple)) else [value]
+                if len(supplied) > len(values):
+                    raise RefUnsupported(f"input {name} exceeds capacity")
+                new = [_wrap(v, ctype) for v in supplied]
+                new += [0] * (len(values) - len(new))
+                self.globals[name] = (new, ctype)
+
+    # -- public API ----------------------------------------------------------
+
+    def run(self, entry: str = "main") -> list:
+        """Execute ``entry``; returns the ``out()`` stream."""
+        self.call(entry, [])
+        return self.output
+
+    # -- helpers -------------------------------------------------------------
+
+    def _tick(self) -> None:
+        self.steps += 1
+        if self.steps > self.step_limit:
+            raise RefStepLimit("reference step limit exceeded")
+
+    def call(self, name: str, arg_values: list) -> Optional[int]:
+        decl = self.functions.get(name)
+        if decl is None:
+            raise RefUnsupported(f"call to unknown function {name}")
+        frame = _Frame()
+        for param, value in zip(decl.params, arg_values):
+            if param.ctype.pointer:
+                raise RefUnsupported("pointer parameters")
+            frame.scalars[param.name] = (_wrap(value, param.ctype), param.ctype)
+        saved_ret = self._current_ret
+        self._current_ret = decl.ret_type
+        try:
+            self.exec_body(decl.body, frame)
+        except _Return as ret:
+            return ret.value
+        finally:
+            self._current_ret = saved_ret
+        return None
+
+    def _global_scalar(self, name: str):
+        entry = self.globals.get(name)
+        if entry is not None and len(entry[0]) == 1:
+            return entry
+        return None
+
+    def _array_for(self, name: str, frame: _Frame):
+        if name in frame.arrays:
+            return frame.arrays[name]
+        entry = self.globals.get(name)
+        if entry is not None:
+            return entry
+        raise RefUnsupported(f"unknown array {name}")
+
+    def _element(self, expr: IndexExpr, frame: _Frame):
+        values, elem = self._array_for(expr.base, frame)
+        index, itype = self.eval(expr.index, frame, U32)
+        if itype.bits == 1:
+            index, itype = index, U32
+        # codegen converts the index to 32 bits preserving signedness; the
+        # gep then interprets the 32-bit index as signed (like the interp).
+        index = _convert(index, itype, CType(32, itype.signed))
+        index = _to_signed(index, CType(32, True))
+        if not 0 <= index < len(values):
+            raise RefTrap(f"{expr.base}[{index}] out of bounds")
+        return values, index, elem
+
+    # -- expressions ---------------------------------------------------------
+
+    def eval(self, expr: Expr, frame: _Frame, want: Optional[CType] = None):
+        """Evaluate ``expr``; returns (unsigned value, CType)."""
+        self._tick()
+        if isinstance(expr, NumExpr):
+            ctype = expr.ctype or want
+            if ctype is None or ctype.pointer or ctype.bits == 1:
+                ctype = U32 if expr.value.bit_length() <= 32 else U64
+            return _wrap(expr.value, ctype), ctype
+        if isinstance(expr, VarExpr):
+            if expr.name in frame.scalars:
+                return frame.scalars[expr.name]
+            entry = self._global_scalar(expr.name)
+            if entry is not None:
+                values, ctype = entry
+                return values[0], CType(ctype.bits, ctype.signed)
+            raise RefUnsupported(f"variable {expr.name} (array-valued or unknown)")
+        if isinstance(expr, IndexExpr):
+            values, index, elem = self._element(expr, frame)
+            return values[index], CType(elem.bits, elem.signed)
+        if isinstance(expr, BinaryExpr):
+            return self.eval_binary(expr, frame)
+        if isinstance(expr, UnaryExpr):
+            return self.eval_unary(expr, frame, want)
+        if isinstance(expr, CastExpr):
+            value, ctype = self.eval(expr.operand, frame, expr.ctype)
+            if ctype.bits == 1:
+                return _wrap(value, expr.ctype), expr.ctype
+            return _convert(value, ctype, expr.ctype), expr.ctype
+        if isinstance(expr, CallExpr):
+            return self.eval_call(expr, frame)
+        if isinstance(expr, CondExpr):
+            return self.eval_ternary(expr, frame, want)
+        raise RefUnsupported(f"expression {type(expr).__name__}")
+
+    def _normalize(self, value: int, ctype: CType):
+        if ctype.pointer:
+            raise RefUnsupported("pointer arithmetic")
+        if ctype.bits == 1:
+            return value, U32
+        return value, ctype
+
+    def eval_binary(self, expr: BinaryExpr, frame: _Frame):
+        op = expr.op
+        if op in ("&&", "||"):
+            return self.truth(expr, frame), BOOL
+        lv, lt = self.eval(expr.lhs, frame)
+        want_rhs = lt if isinstance(expr.rhs, NumExpr) else None
+        rv, rt = self.eval(expr.rhs, frame, want_rhs)
+        lv, lt = self._normalize(lv, lt)
+        rv, rt = self._normalize(rv, rt)
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            lv, rv, ty = _unify(lv, lt, rv, rt)
+            return _compare(op, lv, rv, ty), BOOL
+        if op in ("<<", ">>"):
+            rv = _convert(rv, rt, lt)
+            return _arith(op, lv, rv, lt), lt
+        lv, rv, ty = _unify(lv, lt, rv, rt)
+        return _arith(op, lv, rv, ty), ty
+
+    def eval_unary(self, expr: UnaryExpr, frame: _Frame, want: Optional[CType]):
+        if expr.op == "!":
+            return 1 - self.truth(expr.operand, frame), BOOL
+        value, ctype = self.eval(expr.operand, frame, want)
+        if ctype.bits == 1:
+            value, ctype = value, U32
+        if expr.op == "-":
+            return _wrap(-value, ctype), ctype
+        if expr.op == "~":
+            return value ^ _mask(ctype.bits), ctype
+        raise RefUnsupported(f"unary {expr.op}")
+
+    def eval_call(self, expr: CallExpr, frame: _Frame):
+        decl = self.functions.get(expr.callee)
+        if decl is None:
+            raise RefUnsupported(f"call to unknown function {expr.callee}")
+        if len(expr.args) != len(decl.params):
+            raise RefUnsupported(f"arity mismatch calling {expr.callee}")
+        args = []
+        for arg_expr, param in zip(expr.args, decl.params):
+            if param.ctype.pointer:
+                raise RefUnsupported("pointer arguments")
+            value, ctype = self.eval(arg_expr, frame, param.ctype)
+            if ctype.bits == 1:
+                value, ctype = value, U32
+            args.append(_convert(value, ctype, param.ctype))
+        result = self.call(expr.callee, args)
+        ret_type = decl.ret_type if decl.ret_type is not None else U32
+        return _wrap(result or 0, ret_type), ret_type
+
+    def eval_ternary(self, expr: CondExpr, frame: _Frame, want: Optional[CType]):
+        # codegen evaluates arm *types* statically and unifies; arms are pure
+        # in the generated subset, so evaluating both is observationally
+        # equivalent — keeps this evaluator free of a separate type-inference
+        # pass.
+        cond = self.truth(expr.cond, frame)
+        tv, tt = self.eval(expr.if_true, frame, want)
+        if tt.bits == 1:
+            tv, tt = tv, U32
+        fv, ft = self.eval(expr.if_false, frame, want or tt)
+        if ft.bits == 1:
+            fv, ft = fv, U32
+        ty = CType(max(tt.bits, ft.bits), tt.signed and ft.signed)
+        tv = _convert(tv, tt, ty)
+        fv = _convert(fv, ft, ty)
+        return (tv if cond else fv), ty
+
+    def truth(self, expr: Expr, frame: _Frame) -> int:
+        """Mirror of codegen ``gen_condition`` (short-circuit, i1 result)."""
+        self._tick()
+        if isinstance(expr, BinaryExpr) and expr.op in ("&&", "||"):
+            lhs = self.truth(expr.lhs, frame)
+            if expr.op == "&&":
+                return self.truth(expr.rhs, frame) if lhs else 0
+            return 1 if lhs else self.truth(expr.rhs, frame)
+        if isinstance(expr, UnaryExpr) and expr.op == "!":
+            return 1 - self.truth(expr.operand, frame)
+        value, ctype = self.eval(expr, frame)
+        if ctype.pointer:
+            raise RefUnsupported("pointer condition")
+        if ctype.bits == 1:
+            return value
+        return int(value != 0)
+
+    # -- statements ----------------------------------------------------------
+
+    def exec_body(self, stmts: list, frame: _Frame) -> None:
+        # Unique generated names make block scoping equivalent to a flat
+        # frame; shrinking only removes code, so clashes cannot appear.
+        for stmt in stmts:
+            self.exec_stmt(stmt, frame)
+
+    def exec_stmt(self, stmt: Stmt, frame: _Frame) -> None:
+        self._tick()
+        if isinstance(stmt, DeclStmt):
+            if stmt.ctype.pointer:
+                raise RefUnsupported("pointer declarations")
+            if stmt.array_size is not None:
+                frame.arrays[stmt.name] = ([0] * stmt.array_size, stmt.ctype)
+                return
+            if stmt.init is not None:
+                value, ctype = self.eval(stmt.init, frame, stmt.ctype)
+                if ctype.bits == 1:
+                    value = _wrap(value, stmt.ctype)
+                else:
+                    value = _convert(value, ctype, stmt.ctype)
+            else:
+                value = 0
+            frame.scalars[stmt.name] = (value, stmt.ctype)
+        elif isinstance(stmt, AssignStmt):
+            self.exec_assign(stmt, frame)
+        elif isinstance(stmt, IfStmt):
+            if self.truth(stmt.cond, frame):
+                self.exec_body(stmt.then_body, frame)
+            else:
+                self.exec_body(stmt.else_body, frame)
+        elif isinstance(stmt, WhileStmt):
+            while self.truth(stmt.cond, frame):
+                try:
+                    self.exec_body(stmt.body, frame)
+                except _Break:
+                    break
+                except _Continue:
+                    continue
+        elif isinstance(stmt, DoWhileStmt):
+            while True:
+                try:
+                    self.exec_body(stmt.body, frame)
+                except _Break:
+                    break
+                except _Continue:
+                    pass
+                if not self.truth(stmt.cond, frame):
+                    break
+        elif isinstance(stmt, ForStmt):
+            if stmt.init is not None:
+                self.exec_stmt(stmt.init, frame)
+            while stmt.cond is None or self.truth(stmt.cond, frame):
+                try:
+                    self.exec_body(stmt.body, frame)
+                except _Break:
+                    break
+                except _Continue:
+                    pass
+                if stmt.step is not None:
+                    self.exec_stmt(stmt.step, frame)
+        elif isinstance(stmt, ReturnStmt):
+            if stmt.value is None:
+                raise _Return(None)
+            decl_ret = self._current_ret
+            value, ctype = self.eval(stmt.value, frame, decl_ret)
+            if decl_ret is not None:
+                if ctype.bits == 1:
+                    value = _wrap(value, decl_ret)
+                else:
+                    value = _convert(value, ctype, decl_ret)
+            raise _Return(value)
+        elif isinstance(stmt, BreakStmt):
+            raise _Break()
+        elif isinstance(stmt, ContinueStmt):
+            raise _Continue()
+        elif isinstance(stmt, ExprStmt):
+            self.eval(stmt.expr, frame)
+        elif isinstance(stmt, OutStmt):
+            value, ctype = self.eval(stmt.value, frame, U32)
+            # codegen passes the value at its natural width (bool → u32)
+            self.output.append(value)
+        else:
+            raise RefUnsupported(f"statement {type(stmt).__name__}")
+
+    def exec_assign(self, stmt: AssignStmt, frame: _Frame) -> None:
+        if isinstance(stmt.target, VarExpr):
+            name = stmt.target.name
+            if name in frame.scalars:
+                _, ctype = frame.scalars[name]
+                frame.scalars[name] = (
+                    self._assigned_value(stmt, ctype, frame),
+                    ctype,
+                )
+                return
+            entry = self._global_scalar(name)
+            if entry is not None:
+                values, gtype = entry
+                elem = CType(gtype.bits, gtype.signed)
+                values[0] = self._assigned_value(stmt, elem, frame, current=values[0])
+                return
+            raise RefUnsupported(f"assignment to {name}")
+        values, index, elem = self._element(stmt.target, frame)
+        elem_ct = CType(elem.bits, elem.signed)
+        values[index] = self._assigned_value(
+            stmt, elem_ct, frame, current=values[index]
+        )
+
+    def _assigned_value(
+        self,
+        stmt: AssignStmt,
+        ctype: CType,
+        frame: _Frame,
+        current: Optional[int] = None,
+    ) -> int:
+        if stmt.op == "=":
+            value, vtype = self.eval(stmt.value, frame, ctype)
+            if vtype.bits == 1:
+                return _wrap(value, ctype)
+            return _convert(value, vtype, ctype)
+        if current is None:
+            if isinstance(stmt.target, VarExpr):
+                current = frame.scalars[stmt.target.name][0]
+            else:  # pragma: no cover - callers pass current for elements
+                raise RefUnsupported("compound assignment without current value")
+        # Mirror of codegen ``_compound``: evaluate rhs at the target type.
+        rhs, rtype = self.eval(stmt.value, frame, ctype)
+        if rtype.bits == 1:
+            rhs, rtype = rhs, U32
+        op = stmt.op[:-1]
+        rhs = _convert(rhs, rtype, ctype)
+        return _arith(op, current, rhs, ctype)
+
+    # The return type of the function currently executing (for ReturnStmt);
+    # maintained by ``call``.
+    _current_ret: Optional[CType] = None
+
+
+def reference_output(
+    program: Program, inputs: Optional[dict] = None, *, step_limit: int = 5_000_000
+) -> list:
+    """Convenience wrapper: evaluate ``main`` and return the out() stream."""
+    return Reference(program, inputs, step_limit=step_limit).run()

@@ -1,0 +1,372 @@
+"""Delta-debugging shrinker for failing fuzz programs.
+
+Given a :class:`FuzzProgram` and a predicate ("does this candidate still
+exhibit the failure?"), greedily minimizes the program while keeping the
+predicate true.  Reduction passes, applied to a fixed point:
+
+* ddmin over every statement list (remove halves, then single statements);
+* structural collapses — an ``if``/loop replaced by its body, a ternary by
+  one arm, a cast/binary by an operand, any expression by ``0``/``1``;
+* removal of uncalled functions and unreferenced globals (pruning the
+  corresponding entries from the input dicts).
+
+Candidates must still be *valid* (parse + typecheck through the front-end)
+before the predicate is consulted; the predicate itself is treated as
+opaque and usually wraps :func:`repro.fuzz.oracles.run_oracles`.
+
+Budget: predicate evaluations are capped (each one typically recompiles the
+program across several configurations), so shrinking degrades gracefully on
+pathological inputs instead of running unbounded.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, replace
+from typing import Callable, Optional
+
+from repro.frontend.ast_nodes import (
+    AssignStmt,
+    BinaryExpr,
+    CallExpr,
+    CastExpr,
+    CondExpr,
+    DeclStmt,
+    DoWhileStmt,
+    Expr,
+    ExprStmt,
+    ForStmt,
+    FuncDecl,
+    IfStmt,
+    IndexExpr,
+    NumExpr,
+    OutStmt,
+    Program,
+    ReturnStmt,
+    UnaryExpr,
+    VarExpr,
+    WhileStmt,
+)
+from repro.frontend.codegen import compile_program
+from repro.frontend.parser import parse
+from repro.frontend.printer import print_program
+from repro.fuzz.generator import FuzzProgram
+
+
+@dataclass
+class ShrinkStats:
+    predicate_calls: int = 0
+    accepted: int = 0
+    initial_lines: int = 0
+    final_lines: int = 0
+
+
+class _Budget:
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        self.used = 0
+
+    def spent(self) -> bool:
+        return self.used >= self.limit
+
+    def tick(self) -> None:
+        self.used += 1
+
+
+def _bodies_of(program: Program):
+    """Yield every statement list in the program (functions + nested)."""
+    stack = [f.body for f in program.functions]
+    while stack:
+        body = stack.pop()
+        yield body
+        for stmt in body:
+            if isinstance(stmt, IfStmt):
+                stack.append(stmt.then_body)
+                if stmt.else_body:
+                    stack.append(stmt.else_body)
+            elif isinstance(stmt, (WhileStmt, DoWhileStmt, ForStmt)):
+                stack.append(stmt.body)
+
+
+def _exprs_of(stmt) -> list:
+    """(container, attribute) slots holding an expression of a statement."""
+    slots = []
+    for attr in ("cond", "value", "init", "expr"):
+        child = getattr(stmt, attr, None)
+        if isinstance(child, Expr):
+            slots.append((stmt, attr))
+    return slots
+
+
+def _subexpr_slots(expr: Expr) -> list:
+    """(container, attribute) slots of an expression's direct children."""
+    if isinstance(expr, BinaryExpr):
+        return [(expr, "lhs"), (expr, "rhs")]
+    if isinstance(expr, UnaryExpr):
+        return [(expr, "operand")]
+    if isinstance(expr, CastExpr):
+        return [(expr, "operand")]
+    if isinstance(expr, CondExpr):
+        return [(expr, "cond"), (expr, "if_true"), (expr, "if_false")]
+    if isinstance(expr, IndexExpr):
+        return [(expr, "index")]
+    if isinstance(expr, CallExpr):
+        return [(expr, "args", i) for i in range(len(expr.args))]
+    return []
+
+
+def _replacements_for(expr: Expr) -> list:
+    """Smaller expressions that could stand in for ``expr``."""
+    candidates: list = []
+    if isinstance(expr, BinaryExpr):
+        candidates += [expr.lhs, expr.rhs]
+    elif isinstance(expr, (UnaryExpr, CastExpr)):
+        candidates.append(expr.operand)
+    elif isinstance(expr, CondExpr):
+        candidates += [expr.if_true, expr.if_false]
+    if not isinstance(expr, NumExpr):
+        candidates += [NumExpr(0), NumExpr(1)]
+    elif expr.value not in (0, 1):
+        candidates.append(NumExpr(expr.value and 1))
+    return candidates
+
+
+def _called_names(program: Program) -> set:
+    names = set()
+
+    def visit_expr(expr) -> None:
+        if isinstance(expr, CallExpr):
+            names.add(expr.callee)
+            for arg in expr.args:
+                visit_expr(arg)
+        else:
+            for container, attr, *idx in _subexpr_slots(expr):
+                child = getattr(container, attr)
+                visit_expr(child[idx[0]] if idx else child)
+
+    for body in _bodies_of(program):
+        for stmt in body:
+            for container, attr in _exprs_of(stmt):
+                visit_expr(getattr(container, attr))
+            if isinstance(stmt, ForStmt):
+                for sub in (stmt.init, stmt.step):
+                    if sub is not None:
+                        for container, attr in _exprs_of(sub):
+                            visit_expr(getattr(container, attr))
+    return names
+
+
+def _referenced_globals(program: Program) -> set:
+    """Names of globals mentioned anywhere (conservative: any name match)."""
+    names = set()
+
+    def visit_expr(expr) -> None:
+        if isinstance(expr, (VarExpr,)):
+            names.add(expr.name)
+        elif isinstance(expr, IndexExpr):
+            names.add(expr.base)
+            visit_expr(expr.index)
+        else:
+            for container, attr, *idx in _subexpr_slots(expr):
+                child = getattr(container, attr)
+                visit_expr(child[idx[0]] if idx else child)
+
+    def visit_stmt(stmt) -> None:
+        for container, attr in _exprs_of(stmt):
+            visit_expr(getattr(container, attr))
+        if isinstance(stmt, AssignStmt):
+            visit_expr(stmt.target)
+        if isinstance(stmt, ForStmt):
+            for sub in (stmt.init, stmt.step):
+                if sub is not None:
+                    visit_stmt(sub)
+
+    for body in _bodies_of(program):
+        for stmt in body:
+            visit_stmt(stmt)
+    return names
+
+
+class Shrinker:
+    """Greedy fixed-point reducer; see module docstring."""
+
+    def __init__(
+        self,
+        predicate: Callable[[FuzzProgram], bool],
+        *,
+        max_predicate_calls: int = 400,
+    ) -> None:
+        self.predicate = predicate
+        self.budget = _Budget(max_predicate_calls)
+        self.stats = ShrinkStats()
+
+    # -- candidate plumbing --------------------------------------------------
+
+    def _rebuild(self, base: FuzzProgram, ast: Program) -> Optional[FuzzProgram]:
+        """AST → candidate FuzzProgram, or None if it no longer compiles."""
+        try:
+            source = print_program(ast)
+            reparsed = parse(source)
+            compile_program(reparsed)  # typecheck
+        except Exception:
+            return None
+        present = {g.name for g in ast.globals}
+        return replace(
+            base,
+            source=source,
+            inputs_profile={
+                k: v for k, v in base.inputs_profile.items() if k in present
+            },
+            inputs_run={k: v for k, v in base.inputs_run.items() if k in present},
+            note=(base.note + " (shrunk)") if "(shrunk)" not in base.note else base.note,
+        )
+
+    def _try(self, base: FuzzProgram, ast: Program) -> Optional[FuzzProgram]:
+        candidate = self._rebuild(base, ast)
+        if candidate is None or self.budget.spent():
+            return None
+        self.budget.tick()
+        self.stats.predicate_calls += 1
+        try:
+            still_failing = self.predicate(candidate)
+        except Exception:
+            # An oracle crash on the candidate still reproduces *a* failure,
+            # but not necessarily the one under investigation — reject.
+            still_failing = False
+        if still_failing:
+            self.stats.accepted += 1
+            return candidate
+        return None
+
+    # -- reduction passes ----------------------------------------------------
+
+    def _pass_remove_stmts(self, program: FuzzProgram) -> Optional[FuzzProgram]:
+        ast = parse(program.source)
+        for body in _bodies_of(ast):
+            n = len(body)
+            chunk = max(n // 2, 1)
+            while chunk >= 1:
+                start = 0
+                while start < len(body):
+                    saved = body[start : start + chunk]
+                    if not saved:
+                        break
+                    del body[start : start + chunk]
+                    candidate = self._try(program, ast)
+                    if candidate is not None:
+                        return candidate
+                    body[start:start] = saved
+                    start += chunk
+                if chunk == 1:
+                    break
+                chunk //= 2
+        return None
+
+    def _pass_collapse_structures(self, program: FuzzProgram) -> Optional[FuzzProgram]:
+        ast = parse(program.source)
+        for body in _bodies_of(ast):
+            for i, stmt in enumerate(body):
+                inline: Optional[list] = None
+                if isinstance(stmt, IfStmt):
+                    inline = stmt.then_body or stmt.else_body
+                elif isinstance(stmt, (WhileStmt, DoWhileStmt, ForStmt)):
+                    inline = stmt.body
+                if inline is None:
+                    continue
+                saved = body[i]
+                body[i : i + 1] = copy.deepcopy(inline)
+                candidate = self._try(program, ast)
+                if candidate is not None:
+                    return candidate
+                body[: len(body)] = body[:i] + [saved] + body[i + len(inline) :]
+        return None
+
+    def _pass_simplify_exprs(self, program: FuzzProgram) -> Optional[FuzzProgram]:
+        ast = parse(program.source)
+        slots: list = []
+        for body in _bodies_of(ast):
+            for stmt in body:
+                stmts = [stmt]
+                if isinstance(stmt, ForStmt):
+                    stmts += [s for s in (stmt.init, stmt.step) if s is not None]
+                for sub in stmts:
+                    pending = list(_exprs_of(sub))
+                    while pending:
+                        container, attr, *idx = pending.pop()
+                        child = getattr(container, attr)
+                        expr = child[idx[0]] if idx else child
+                        slots.append((container, attr, idx[0] if idx else None, expr))
+                        pending.extend(_subexpr_slots(expr))
+        for container, attr, idx, expr in slots:
+            for replacement in _replacements_for(expr):
+                if idx is None:
+                    setattr(container, attr, replacement)
+                else:
+                    getattr(container, attr)[idx] = replacement
+                candidate = self._try(program, ast)
+                if candidate is not None:
+                    return candidate
+                if idx is None:
+                    setattr(container, attr, expr)
+                else:
+                    getattr(container, attr)[idx] = expr
+        return None
+
+    def _pass_drop_toplevel(self, program: FuzzProgram) -> Optional[FuzzProgram]:
+        ast = parse(program.source)
+        called = _called_names(ast)
+        for i in range(len(ast.functions) - 1, -1, -1):
+            func = ast.functions[i]
+            if func.name == "main" or func.name in called:
+                continue
+            saved = ast.functions.pop(i)
+            candidate = self._try(program, ast)
+            if candidate is not None:
+                return candidate
+            ast.functions.insert(i, saved)
+        referenced = _referenced_globals(ast)
+        for i in range(len(ast.globals) - 1, -1, -1):
+            if ast.globals[i].name in referenced:
+                continue
+            saved_global = ast.globals.pop(i)
+            candidate = self._try(program, ast)
+            if candidate is not None:
+                return candidate
+            ast.globals.insert(i, saved_global)
+        return None
+
+    # -- driver --------------------------------------------------------------
+
+    PASSES = (
+        "_pass_remove_stmts",
+        "_pass_collapse_structures",
+        "_pass_drop_toplevel",
+        "_pass_simplify_exprs",
+    )
+
+    def shrink(self, program: FuzzProgram) -> FuzzProgram:
+        """Minimize ``program`` while the predicate stays true."""
+        self.stats.initial_lines = program.source.count("\n")
+        current = program
+        progress = True
+        while progress and not self.budget.spent():
+            progress = False
+            for pass_name in self.PASSES:
+                while not self.budget.spent():
+                    reduced = getattr(self, pass_name)(current)
+                    if reduced is None:
+                        break
+                    current = reduced
+                    progress = True
+        self.stats.final_lines = current.source.count("\n")
+        return current
+
+
+def shrink_program(
+    program: FuzzProgram,
+    predicate: Callable[[FuzzProgram], bool],
+    *,
+    max_predicate_calls: int = 400,
+) -> FuzzProgram:
+    """Convenience wrapper around :class:`Shrinker`."""
+    return Shrinker(predicate, max_predicate_calls=max_predicate_calls).shrink(program)

@@ -70,9 +70,18 @@ def verify_function(func: Function, module: Optional[Module] = None) -> None:
                     f"{block.name}: phi %{inst.name} after non-phi instruction",
                 )
                 incoming_blocks = list(inst.incoming_blocks)
+                incoming_names = sorted(b.name for b in incoming_blocks)
+                # One incoming per unique predecessor: a conditional branch
+                # may target the same block on both edges, which still counts
+                # as a single phi entry (predecessors() dedupes likewise).
                 _check(
-                    sorted(b.name for b in incoming_blocks)
-                    == sorted(p.name for p in preds[block]),
+                    incoming_names == sorted(set(incoming_names)),
+                    f"{block.name}: phi %{inst.name} has duplicate incoming "
+                    f"blocks {incoming_names}",
+                )
+                _check(
+                    incoming_names
+                    == sorted({p.name for p in preds[block]}),
                     f"{block.name}: phi %{inst.name} incoming blocks "
                     f"{[b.name for b in incoming_blocks]} != preds "
                     f"{[p.name for p in preds[block]]}",

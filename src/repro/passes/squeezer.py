@@ -78,6 +78,13 @@ def _narrow_operand(
     cached = result.trunc_cache.get((id(block), value))
     if cached is not None:
         return cached
+    if isinstance(value.type, IntType) and value.type.bits < SQUEEZE_WIDTH:
+        # i1 operand: widen to the slice; trivially fits, never misspeculates.
+        widen = Cast("zext", value, I8, func.next_name("swiden"))
+        index = block.instructions.index(position)
+        block.insert(index, widen)
+        result.trunc_cache[(id(block), value)] = widen
+        return widen
     # Unsqueezed wide producer: bridge with a speculative truncate, which
     # misspeculates when the run-time value does not fit the slice.
     trunc = Cast("trunc", value, I8, func.next_name("strunc"))
@@ -119,9 +126,15 @@ def _narrow_definition(
         if isinstance(src.type, IntType) and src.type.bits == SQUEEZE_WIDTH:
             spec8[inst] = src
             return None
-        narrow = Cast("trunc", src, I8, func.next_name(f"{inst.name}.n"))
-        narrow.speculative = True
-        result.spec_truncs += 1
+        if isinstance(src.type, IntType) and src.type.bits < SQUEEZE_WIDTH:
+            # Sub-slice source (i1 from a compare): the low 8 bits of the
+            # original widening cast are the same cast to i8 — always fits,
+            # so no speculation is needed.
+            narrow = Cast(inst.opcode, src, I8, func.next_name(f"{inst.name}.n"))
+        else:
+            narrow = Cast("trunc", src, I8, func.next_name(f"{inst.name}.n"))
+            narrow.speculative = True
+            result.spec_truncs += 1
     elif isinstance(inst, Phi):
         narrow = Phi(I8, func.next_name(f"{inst.name}.n"))
         # incomings are filled once every definition has its 8-bit form

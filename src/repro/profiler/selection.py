@@ -85,6 +85,19 @@ def _operand_target(
     return 64  # globals etc.: never squeezed through operands
 
 
+def _shift_amount_small(
+    profile: BitwidthProfile, func: Function, amount: Value, heuristic: str
+) -> bool:
+    """Is the shift amount guaranteed (per profile) below the slice width?"""
+    if isinstance(amount, Constant):
+        return 0 <= amount.value < SQUEEZE_WIDTH
+    # bits ≤ 3 ⇒ every profiled amount value ≤ 7 < SQUEEZE_WIDTH
+    return (
+        _operand_target(profile, func, amount, heuristic)
+        < SQUEEZE_WIDTH.bit_length()
+    )
+
+
 def compute_squeeze_plan(
     func: Function,
     profile: BitwidthProfile,
@@ -123,9 +136,19 @@ def compute_squeeze_plan(
             if isinstance(inst, Load):
                 operand_targets = []  # the pointer is not a data operand
             if isinstance(inst, (BinOp,)) and inst.opcode in ("shl", "lshr"):
-                # The shift amount is consumed mod the slice width; only the
-                # shifted operand's magnitude matters for the selection.
+                # The amount operand's magnitude does not flow into the
+                # result, so only the shifted operand constrains the width.
                 operand_targets = operand_targets[:1]
+                if inst.opcode == "shl" and not _shift_amount_small(
+                    profile, func, inst.rhs, heuristic
+                ):
+                    # A slice shl carries out whenever value<<amount leaves
+                    # the slice — even when the original width wraps the
+                    # overflow away (e.g. a 16-bit shl by 20 yields 0).  An
+                    # amount bounded below the slice width keeps the
+                    # no-misspeculation-on-the-profiled-path guarantee.
+                    plan.bw[inst] = original_bits
+                    continue
             bw = max([target] + operand_targets)
             plan.bw[inst] = bw if bw <= SQUEEZE_WIDTH else original_bits
             if bw <= SQUEEZE_WIDTH and original_bits > SQUEEZE_WIDTH:

@@ -220,3 +220,51 @@ def test_property_machine_matches_python(values, mask):
     for v in values:
         acc = ((acc ^ v) + (v & mask)) & 0xFFFFFFFF
     assert result.output == [acc]
+
+
+class TestMetamorphicBitwidth:
+    """Metamorphic relations: widening run inputs on a fixed-control-flow
+    BITSPEC program shifts work from the 8-bit slices to the wide ALU and
+    triggers misspeculation, but never violates the energy-model bounds."""
+
+    SOURCE = """
+    u8 data[16];
+    u32 acc;
+    void main() {
+        u32 s = 0;
+        for (u32 i = 0; i < 16; i += 1) {
+            s = (s + data[i]) & 255;
+        }
+        acc = s;
+        out(acc);
+    }
+    """
+    NARROW = {"data": [i % 7 for i in range(16)]}
+    WIDE = {"data": [250 + i % 6 for i in range(16)]}  # sums cross 255
+
+    def _run(self, inputs):
+        # run() mutates module globals, so each run gets a fresh binary;
+        # both profile on NARROW so WIDE genuinely misspeculates.
+        config = CompilerConfig.bitspec("max")
+        binary = compile_binary(self.SOURCE, config, profile_inputs=self.NARROW)
+        return binary.run(inputs)
+
+    def test_widening_inputs_shifts_alu_work(self):
+        narrow = self._run(self.NARROW)
+        wide = self._run(self.WIDE)
+        assert narrow.misspeculations == 0  # profile == run: speculation holds
+        assert wide.misspeculations > 0
+        assert wide.counters.alu8_ops <= narrow.counters.alu8_ops
+        assert wide.counters.alu32_ops >= narrow.counters.alu32_ops
+
+    def test_outputs_match_reference_both_ways(self):
+        for inputs in (self.NARROW, self.WIDE):
+            expected = 0
+            for v in inputs["data"]:
+                expected = (expected + v) & 255
+            assert self._run(inputs).output == [expected]
+
+    def test_dts_energy_never_exceeds_nominal(self):
+        for inputs in (self.NARROW, self.WIDE):
+            sim = self._run(inputs)
+            assert DTSModel().apply(sim).total <= sim.energy().total + 1e-9

@@ -77,6 +77,7 @@ def test_fig15_alt_profile_still_correct():
     assert row["bitspec_altprofile_rel"] > 0
 
 
+@pytest.mark.slow
 def test_fig17_composition():
     data = figures.fig17_dts(("bitcount",))
     row = data["rows"][0]
@@ -90,6 +91,7 @@ def test_fig18_thumb_overhead():
     assert data["rows"][0]["instructions_rel"] > 1.0
 
 
+@pytest.mark.slow
 def test_rq3_reports_all_ablations():
     data = figures.rq3_optimizations()
     assert "dijkstra-compare-elimination" in data
@@ -97,6 +99,7 @@ def test_rq3_reports_all_ablations():
     assert "blowfish-bitmask-elision" in data
 
 
+@pytest.mark.slow
 def test_rq7_wide_shape():
     data = figures.rq7_auto_bitwidth()
     for name, cell in data.items():
@@ -105,6 +108,7 @@ def test_rq7_wide_shape():
         assert cell["bitspec_wide_rel"] < cell["baseline_wide_rel"]
 
 
+@pytest.mark.slow
 def test_fig16_cdf_population():
     data = figures.fig16_susan_cdf(n_images=2, heuristics=("max",))
     cdf = data["cdfs"]["max"]

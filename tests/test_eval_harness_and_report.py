@@ -47,6 +47,7 @@ def test_dts_records_carry_scaled_energy():
     assert record.total_energy < record.energy.total
 
 
+@pytest.mark.slow
 def test_report_generator_smoke(monkeypatch):
     """The report pipeline produces markdown with the key sections.
 

@@ -1,0 +1,55 @@
+"""Replay the checked-in fuzz corpus through the full oracle stack.
+
+Every entry in ``tests/corpus/`` must agree across all ten oracle levels
+(AST reference, IR interpreter, squeezed-SIR interpreter x3, machine
+BASELINE/BITSPEC x3/THUMB) and satisfy the per-run invariants (stage
+verification, energy accounting, profile==run zero-misspeculation).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz.corpus import iter_corpus, program_to_dict
+from repro.fuzz.oracles import ALL_LEVELS, run_oracles
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+ENTRIES = sorted(CORPUS_DIR.glob("*.json"))
+
+
+@pytest.fixture(scope="module")
+def reports():
+    """One oracle-stack run per entry, shared by every test in the module."""
+    return {path.name: run_oracles(program) for path, program in iter_corpus(CORPUS_DIR)}
+
+
+def test_corpus_is_seeded():
+    assert len(ENTRIES) >= 10, "seed corpus should hold at least 10 programs"
+
+
+@pytest.mark.parametrize("path", ENTRIES, ids=lambda p: p.stem)
+def test_corpus_entry_passes_all_oracles(path, reports):
+    report = reports[path.name]
+    assert report.ok, f"{path.name}: {report.summary()}\n{report.error or ''}"
+    for level in ALL_LEVELS:
+        assert level in report.outputs, f"{path.name}: level {level} missing"
+    assert report.outputs["ref"], f"{path.name}: program produced no output"
+
+
+def test_corpus_exercises_misspeculation(reports):
+    """At least one entry misspeculates, so the Δ-handler re-execution
+    machinery (not just the happy path) is on the replayed semantics."""
+    totals = {
+        name: sum(report.misspeculations.values())
+        for name, report in reports.items()
+    }
+    assert any(count > 0 for count in totals.values()), totals
+
+
+def test_corpus_round_trips():
+    for path, program in iter_corpus(CORPUS_DIR):
+        data = program_to_dict(program, name=path.stem)
+        assert data["source"] == program.source
+        assert data["inputs_run"] == program.inputs_run
+        assert data["inputs_profile"] == program.inputs_profile

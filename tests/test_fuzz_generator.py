@@ -1,0 +1,98 @@
+"""Generator and shrinker unit tests (no oracle stack — these stay fast).
+
+The corpus replay in ``test_fuzz_corpus.py`` covers end-to-end semantics;
+here we pin the generator's contract (determinism, well-formedness of its
+output) and the shrinker's contract (minimization while preserving a given
+failure predicate).
+"""
+
+import pytest
+
+from repro.frontend.codegen import compile_program
+from repro.frontend.parser import parse
+from repro.fuzz.driver import iteration_seed
+from repro.fuzz.generator import GenConfig, generate_program
+from repro.fuzz.shrink import shrink_program
+from repro.ir.verifier import verify_module
+
+
+def test_generator_is_deterministic():
+    a = generate_program(1234)
+    b = generate_program(1234)
+    assert a.source == b.source
+    assert a.inputs_profile == b.inputs_profile
+    assert a.inputs_run == b.inputs_run
+    assert a.expander_enabled == b.expander_enabled
+
+
+def test_generator_seeds_differ():
+    assert generate_program(1).source != generate_program(2).source
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_generated_programs_are_well_formed(seed):
+    """Every generated program parses, typechecks, and verifies as IR."""
+    program = generate_program(seed)
+    module = compile_program(parse(program.source))
+    verify_module(module)
+    # input vectors only name globals the program declares
+    global_names = set(module.globals)
+    for inputs in (program.inputs_profile, program.inputs_run):
+        assert set(inputs) <= global_names
+
+
+def test_generator_config_bounds_size():
+    small = GenConfig(max_top_stmts=2, max_body_stmts=1, max_helpers=0)
+    program = generate_program(7, small)
+    big = generate_program(7)
+    assert len(program.source) < len(big.source)
+
+
+def test_iteration_seed_mixing():
+    seeds = {iteration_seed(0, i) for i in range(1000)}
+    assert len(seeds) == 1000  # no collisions across a campaign
+    assert iteration_seed(0, 5) != iteration_seed(1, 5)
+
+
+def test_shrinker_minimizes_synthetic_failure():
+    """Inject a marker construct; the shrinker must keep it and strip the
+    rest of a full-size generated program down to a few lines."""
+    base = generate_program(42)
+    marked = base.source.replace(
+        "void main()", "u32 marker_g = 77;\nvoid main()", 1
+    )
+    program = type(base)(
+        source=marked,
+        inputs_profile=dict(base.inputs_profile),
+        inputs_run=dict(base.inputs_run),
+        seed=base.seed,
+    )
+
+    def has_marker(candidate):
+        return "marker_g" in candidate.source and "out(" in candidate.source
+
+    assert has_marker(program)
+    shrunk = shrink_program(program, has_marker)
+    assert has_marker(shrunk)
+    # the shrunk program still compiles...
+    verify_module(compile_program(parse(shrunk.source)))
+    # ...and is substantially smaller than the original
+    assert len(shrunk.source) < len(program.source) / 2
+
+
+def test_shrinker_rejects_predicate_exceptions():
+    """A candidate that makes the predicate raise must be discarded, not
+    accepted as 'still failing'."""
+    program = generate_program(3)
+
+    calls = {"n": 0}
+
+    def flaky(candidate):
+        calls["n"] += 1
+        if candidate.source != program.source:
+            raise RuntimeError("oracle crashed on candidate")
+        return True
+
+    shrunk = shrink_program(program, flaky, max_predicate_calls=50)
+    assert shrunk.source == program.source
+    assert calls["n"] > 1  # it did try candidates
