@@ -17,6 +17,7 @@ Models the paper's pipeline at event granularity:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -78,7 +79,20 @@ class SimResult:
 
 
 class Machine:
-    """Executes a :class:`LinkedProgram`."""
+    """Executes a :class:`LinkedProgram`.
+
+    Two execution engines produce bit-identical results:
+
+    * the *fast path* (default): the program is predecoded once into dense
+      tuples with an integer-dispatch loop and batched energy counters
+      (:mod:`repro.arch.predecode`);
+    * the *legacy path*: the original instruction-at-a-time interpreter,
+      kept as the differential-testing reference and used automatically
+      when a ``trace_hook`` needs per-step callbacks.
+
+    ``fast=None`` selects the fast path unless a trace hook is installed
+    or ``REPRO_MACHINE_LEGACY=1`` is set in the environment.
+    """
 
     def __init__(
         self,
@@ -87,6 +101,7 @@ class Machine:
         *,
         step_limit: int = 400_000_000,
         trace_hook=None,
+        fast: Optional[bool] = None,
     ) -> None:
         self.linked = linked
         self.module = module
@@ -94,8 +109,23 @@ class Machine:
         self.narrow_rf = linked.isa == "ARM_BS"
         #: optional debug callback: trace_hook(pc, regs) before each step
         self.trace_hook = trace_hook
+        self.fast = fast
 
     def run(self) -> SimResult:
+        fast = self.fast
+        if fast is None:
+            fast = self.trace_hook is None and os.environ.get(
+                "REPRO_MACHINE_LEGACY", ""
+            ) != "1"
+        if fast:
+            if self.trace_hook is not None:
+                raise ValueError("trace_hook requires the legacy path")
+            from repro.arch.predecode import run_fast
+
+            return run_fast(self)
+        return self._run_legacy()
+
+    def _run_legacy(self) -> SimResult:
         linked = self.linked
         insts = linked.insts
         delta = linked.delta

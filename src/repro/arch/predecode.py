@@ -1,0 +1,943 @@
+"""Predecoded fast path for the behavioral machine model.
+
+The legacy :meth:`Machine.run` loop re-examines every :class:`MachineInst`
+on every dynamic execution: string opcode matching through a ~30-way elif
+chain, ``type()`` dispatch per operand, and half a dozen dict/attribute
+counter increments per step.  This module predecodes the linked program
+*once* into dense tuples — integer opcode ids, resolved operand
+descriptors, precomputed masks/shifts — and batches every statically
+determined energy/event counter out of the hot loop entirely: the loop
+bumps one per-pc execution count, and all static counter contributions
+(register-file accesses by width, ALU/move/mul/div op counts, instruction
+classes, loads/stores, branch counts, fixed extra cycles) are recovered at
+the end as ``Σ per-pc effect × execution count``.  Only genuinely dynamic
+events (cache levels, hazard bubbles, taken conditional branches,
+misspeculations, and the conditional register writes of ``movcond`` /
+``bs_*`` ops) are counted inside the loop.
+
+The predecoded form is cached on the :class:`LinkedProgram` instance, so
+repeated simulations of one binary (different inputs, DTS reruns, the
+bench matrix) skip predecode.  Event counts are bit-identical to the
+legacy path — ``tests/test_machine_predecode.py`` asserts this
+differentially over the fuzz seed corpus and real workloads.
+"""
+
+from __future__ import annotations
+
+from repro.arch.cache import MemoryHierarchy
+from repro.backend.mir import Imm, Slice
+from repro.interp.interpreter import evaluate_icmp
+from repro.interp.memory import FlatMemory, STACK_TOP, initialize_globals
+from repro.ir.types import int_type
+
+HALT = 0xFFFFFFFF
+
+_MASKS = {1: 0xFF, 2: 0xFFFF, 4: 0xFFFFFFFF}
+
+_DIV_OPS = ("udiv", "sdiv", "urem", "srem")
+
+# -- integer opcode ids -------------------------------------------------------
+
+(
+    OP_ALU,
+    OP_MOV,
+    OP_LOAD,
+    OP_STORE,
+    OP_BCOND,
+    OP_B,
+    OP_CMP,
+    OP_BS_BIN,
+    OP_BS_CMP,
+    OP_BS_TRUNC,
+    OP_BS_TRUNC_HI,
+    OP_BS_LDR,
+    OP_EXT,
+    OP_MOVCOND,
+    OP_MUL,
+    OP_UMULL,
+    OP_DIV,
+    OP_ADDS,
+    OP_ADC,
+    OP_SUBS,
+    OP_SBC,
+    OP_ADDSL,
+    OP_ORRSL,
+    OP_BL,
+    OP_BX,
+    OP_SUBSPI,
+    OP_ADDSPI,
+    OP_CMP64HI,
+    OP_CMP64LO,
+    OP_OUT,
+    OP_NOP,
+    OP_ERROR,
+) = range(32)
+
+_ALU_SUB = {"add": 0, "sub": 1, "and": 2, "orr": 3, "eor": 4, "lsl": 5,
+            "lsr": 6, "asr": 7}
+_BS_SUB = {"bs_add": 0, "bs_sub": 1, "bs_and": 2, "bs_orr": 3, "bs_eor": 4,
+           "bs_lsl": 5, "bs_lsr": 6}
+
+# -- static counter ids (the batched, exec-count-weighted events) -------------
+
+(
+    C_RF_R1, C_RF_R2, C_RF_R4,
+    C_RF_W1, C_RF_W2, C_RF_W4,
+    C_ALU32, C_ALU8, C_MUL, C_DIV, C_MOVE,
+    K_ALU32, K_ALU8, K_MUL, K_DIV, K_MOVE, K_MEM, K_BRANCH,
+    C_LOADS, C_STORES, C_COPIES, C_SPILL_L, C_SPILL_S,
+    C_BRANCHES, C_TAKEN, C_XCYCLES,
+) = range(26)
+
+N_STATIC = 26
+
+_RF_R_ID = {1: C_RF_R1, 2: C_RF_R2, 4: C_RF_R4}
+_RF_W_ID = {1: C_RF_W1, 2: C_RF_W2, 4: C_RF_W4}
+_OPCTR_ID = {"alu32": C_ALU32, "alu8": C_ALU8, "mul": C_MUL, "div": C_DIV,
+             "move": C_MOVE}
+_CLASS_ID = {"alu32": K_ALU32, "alu8": K_ALU8, "mul": K_MUL, "div": K_DIV,
+             "move": K_MOVE, "mem": K_MEM, "branch": K_BRANCH}
+
+
+class _PredecodeError(Exception):
+    """An instruction the fast path cannot represent (re-raised as the
+    legacy path's MachineError when — and only when — it executes)."""
+
+
+def _read_desc(op, eff, narrow_rf):
+    """Operand -> (kind, a, b, c); records the static rf-read effect."""
+    if type(op) is Slice:
+        size = op.size if op.size <= 4 else 4
+        width = size if narrow_rf else 4
+        eff[_RF_R_ID[width]] = eff.get(_RF_R_ID[width], 0) + 1
+        return (1, op.reg, op.offset * 8, _MASKS[size])
+    if type(op) is Imm:
+        return (0, op.value & 0xFFFFFFFF, 0, 0)
+    if op == "sp":
+        eff[C_RF_R4] = eff.get(C_RF_R4, 0) + 1
+        return (2, 0, 0, 0)
+    raise _PredecodeError(f"cannot read operand {op!r}")
+
+
+def _rf_width(op, narrow_rf):
+    size = op.size if op.size <= 4 else 4
+    return size if narrow_rf else 4
+
+
+def _write_desc(op, eff, narrow_rf, count=True):
+    """Slice def -> (reg, shift, value-mask, keep-mask)."""
+    if type(op) is not Slice:
+        raise _PredecodeError(f"cannot write operand {op!r}")
+    size = op.size if op.size <= 4 else 4
+    if count:
+        width = size if narrow_rf else 4
+        eff[_RF_W_ID[width]] = eff.get(_RF_W_ID[width], 0) + 1
+    shift = op.offset * 8
+    vmask = _MASKS[size]
+    return (op.reg, shift, vmask, (~(vmask << shift)) & 0xFFFFFFFF)
+
+
+def _bump(eff, cid, amount=1):
+    eff[cid] = eff.get(cid, 0) + amount
+
+
+def _alu_counters(eff, narrow_rf, width):
+    if narrow_rf and width == 1:
+        _bump(eff, C_ALU8)
+        _bump(eff, K_ALU8)
+    else:
+        _bump(eff, C_ALU32)
+        _bump(eff, K_ALU32)
+
+
+def _predecode_inst(inst, narrow_rf):
+    """One MachineInst -> (args tuple, static-effects dict)."""
+    eff: dict = {}
+    opcode = inst.opcode
+    kind = inst.kind
+    if kind:
+        if kind == "copy":
+            _bump(eff, C_COPIES)
+        elif kind == "reload":
+            _bump(eff, C_SPILL_L)
+        elif kind == "spill":
+            _bump(eff, C_SPILL_S)
+    hazard = tuple(
+        sorted({op.reg for op in inst.uses if type(op) is Slice})
+    )
+
+    if opcode == "mov" or opcode == "movi":
+        src = _read_desc(inst.uses[0], eff, narrow_rf)
+        dst = _write_desc(inst.defs[0], eff, narrow_rf)
+        _bump(eff, C_MOVE)
+        _bump(eff, K_MOVE)
+        return (OP_MOV, hazard, src, dst), eff
+    if opcode in ("ldr", "ldrb", "ldrh"):
+        base = _read_desc(inst.uses[0], eff, narrow_rf)
+        disp = inst.uses[1].value if len(inst.uses) > 1 else 0
+        size = {"ldr": 4, "ldrb": 1, "ldrh": 2}[opcode]
+        dst = _write_desc(inst.defs[0], eff, narrow_rf)
+        _bump(eff, C_LOADS)
+        _bump(eff, K_MEM)
+        return (OP_LOAD, hazard, base, disp, size, dst, inst.defs[0].reg), eff
+    if opcode in ("str", "strb", "strh"):
+        value = _read_desc(inst.uses[0], eff, narrow_rf)
+        base = _read_desc(inst.uses[1], eff, narrow_rf)
+        disp = inst.uses[2].value if len(inst.uses) > 2 else 0
+        size = {"str": 4, "strb": 1, "strh": 2}[opcode]
+        _bump(eff, C_STORES)
+        _bump(eff, K_MEM)
+        return (OP_STORE, hazard, value, base, disp, size), eff
+    if opcode in _ALU_SUB:
+        a = _read_desc(inst.uses[0], eff, narrow_rf)
+        b = _read_desc(inst.uses[1], eff, narrow_rf)
+        dst = _write_desc(inst.defs[0], eff, narrow_rf)
+        width = inst.width
+        mask = _MASKS.get(width, 0xFFFFFFFF)
+        _alu_counters(eff, narrow_rf, width)
+        # asr needs the signed type of the operation width
+        ty = int_type(width * 8) if opcode == "asr" else None
+        return (OP_ALU, hazard, _ALU_SUB[opcode], a, b, dst, mask, ty), eff
+    if opcode == "bs_ldr":
+        addr = _read_desc(inst.uses[0], eff, narrow_rf)
+        size = inst.uses[1].value
+        dst = _write_desc(inst.defs[0], eff, narrow_rf, count=False)
+        wr_width = _rf_width(inst.defs[0], narrow_rf)
+        _bump(eff, C_LOADS)
+        _bump(eff, C_ALU8)
+        _bump(eff, K_ALU8)
+        return (OP_BS_LDR, hazard, addr, size, dst, wr_width,
+                inst.defs[0].reg), eff
+    if opcode in _BS_SUB:
+        a = _read_desc(inst.uses[0], eff, narrow_rf)
+        b = _read_desc(inst.uses[1], eff, narrow_rf)
+        dst = _write_desc(inst.defs[0], eff, narrow_rf, count=False)
+        wr_width = _rf_width(inst.defs[0], narrow_rf)
+        _bump(eff, C_ALU8)
+        _bump(eff, K_ALU8)
+        return (OP_BS_BIN, hazard, _BS_SUB[opcode], a, b, dst, wr_width), eff
+    if opcode == "bs_cmp":
+        a = _read_desc(inst.uses[0], eff, narrow_rf)
+        b = _read_desc(inst.uses[1], eff, narrow_rf)
+        _bump(eff, C_ALU8)
+        _bump(eff, K_ALU8)
+        return (OP_BS_CMP, hazard, a, b), eff
+    if opcode == "bs_trunc":
+        a = _read_desc(inst.uses[0], eff, narrow_rf)
+        dst = _write_desc(inst.defs[0], eff, narrow_rf, count=False)
+        wr_width = _rf_width(inst.defs[0], narrow_rf)
+        _bump(eff, C_ALU8)
+        _bump(eff, K_ALU8)
+        return (OP_BS_TRUNC, hazard, a, dst, wr_width), eff
+    if opcode == "bs_trunc_hi":
+        a = _read_desc(inst.uses[0], eff, narrow_rf)
+        _bump(eff, C_ALU8)
+        _bump(eff, K_ALU8)
+        return (OP_BS_TRUNC_HI, hazard, a), eff
+    if opcode.startswith("bs_"):
+        raise _PredecodeError(f"unknown speculative opcode {opcode!r}")
+    if opcode == "cmp":
+        a = _read_desc(inst.uses[0], eff, narrow_rf)
+        b = _read_desc(inst.uses[1], eff, narrow_rf)
+        _bump(eff, C_ALU32)
+        _bump(eff, K_ALU32)
+        return (OP_CMP, hazard, a, b, inst.width), eff
+    if opcode == "cmp64hi":
+        a = _read_desc(inst.uses[0], eff, narrow_rf)
+        b = _read_desc(inst.uses[1], eff, narrow_rf)
+        _bump(eff, C_ALU32)
+        _bump(eff, K_ALU32)
+        return (OP_CMP64HI, hazard, a, b), eff
+    if opcode == "cmp64lo":
+        a = _read_desc(inst.uses[0], eff, narrow_rf)
+        b = _read_desc(inst.uses[1], eff, narrow_rf)
+        _bump(eff, C_ALU32)
+        _bump(eff, K_ALU32)
+        return (OP_CMP64LO, hazard, a, b), eff
+    if opcode == "b":
+        _bump(eff, C_BRANCHES)
+        _bump(eff, C_TAKEN)
+        _bump(eff, C_XCYCLES, 2)
+        _bump(eff, K_BRANCH)
+        return (OP_B, hazard, inst.target), eff
+    if opcode == "bcond":
+        _bump(eff, C_BRANCHES)
+        _bump(eff, K_BRANCH)
+        return (OP_BCOND, hazard, inst.cond, inst.target), eff
+    if opcode == "movcond":
+        src = inst.uses[0]
+        src_desc = _read_desc(src, {}, narrow_rf)  # counted dynamically
+        src_w = _rf_width(src, narrow_rf) if type(src) is Slice else (
+            4 if src == "sp" else 0
+        )
+        dst = _write_desc(inst.defs[0], eff, narrow_rf, count=False)
+        wr_width = _rf_width(inst.defs[0], narrow_rf)
+        _bump(eff, C_MOVE)
+        _bump(eff, K_MOVE)
+        return (OP_MOVCOND, hazard, inst.cond, src_desc, src_w, dst,
+                wr_width), eff
+    if opcode in ("uxt", "sxt", "trunc"):
+        src = inst.uses[0]
+        a = _read_desc(src, eff, narrow_rf)
+        dst = _write_desc(inst.defs[0], eff, narrow_rf)
+        src_ty = None
+        if opcode == "sxt":
+            src_bits = (src.size if type(src) is Slice else 4) * 8
+            src_ty = int_type(src_bits)
+        if narrow_rf and inst.width == 1:
+            _bump(eff, C_ALU8)
+            _bump(eff, K_ALU8)
+        else:
+            _bump(eff, C_MOVE)
+            _bump(eff, K_MOVE)
+        return (OP_EXT, hazard, a, src_ty, dst), eff
+    if opcode == "mul":
+        a = _read_desc(inst.uses[0], eff, narrow_rf)
+        b = _read_desc(inst.uses[1], eff, narrow_rf)
+        dst = _write_desc(inst.defs[0], eff, narrow_rf)
+        mask = _MASKS.get(inst.width, 0xFFFFFFFF)
+        _bump(eff, C_MUL)
+        _bump(eff, K_MUL)
+        _bump(eff, C_XCYCLES, 2)
+        return (OP_MUL, hazard, a, b, dst, mask), eff
+    if opcode == "umull":
+        a = _read_desc(inst.uses[0], eff, narrow_rf)
+        b = _read_desc(inst.uses[1], eff, narrow_rf)
+        lo = _write_desc(inst.defs[0], eff, narrow_rf)
+        hi = _write_desc(inst.defs[1], eff, narrow_rf)
+        _bump(eff, C_MUL)
+        _bump(eff, K_MUL)
+        _bump(eff, C_XCYCLES, 3)
+        return (OP_UMULL, hazard, a, b, lo, hi), eff
+    if opcode in _DIV_OPS:
+        a = _read_desc(inst.uses[0], eff, narrow_rf)
+        b = _read_desc(inst.uses[1], eff, narrow_rf)
+        dst = _write_desc(inst.defs[0], eff, narrow_rf)
+        ty = int_type(inst.width * 8)
+        _bump(eff, C_DIV)
+        _bump(eff, K_DIV)
+        _bump(eff, C_XCYCLES, 11)
+        return (OP_DIV, hazard, _DIV_OPS.index(opcode), a, b, dst, ty), eff
+    if opcode in ("adds", "adc", "subs", "sbc"):
+        a = _read_desc(inst.uses[0], eff, narrow_rf)
+        b = _read_desc(inst.uses[1], eff, narrow_rf)
+        dst = _write_desc(inst.defs[0], eff, narrow_rf)
+        _bump(eff, C_ALU32)
+        _bump(eff, K_ALU32)
+        opid = {"adds": OP_ADDS, "adc": OP_ADC, "subs": OP_SUBS,
+                "sbc": OP_SBC}[opcode]
+        return (opid, hazard, a, b, dst), eff
+    if opcode in ("addsl", "orrsl"):
+        a = _read_desc(inst.uses[0], eff, narrow_rf)
+        b = _read_desc(inst.uses[1], eff, narrow_rf)
+        dst = _write_desc(inst.defs[0], eff, narrow_rf)
+        shift = inst.uses[2].value
+        _bump(eff, C_ALU32)
+        _bump(eff, K_ALU32)
+        opid = OP_ADDSL if opcode == "addsl" else OP_ORRSL
+        return (opid, hazard, a, b, shift, dst), eff
+    if opcode == "bl":
+        _bump(eff, C_BRANCHES)
+        _bump(eff, C_TAKEN)
+        _bump(eff, C_XCYCLES, 2)
+        _bump(eff, K_BRANCH)
+        return (OP_BL, hazard, inst.target), eff
+    if opcode == "bx":
+        _bump(eff, C_BRANCHES)
+        _bump(eff, C_TAKEN)
+        _bump(eff, C_XCYCLES, 2)
+        _bump(eff, K_BRANCH)
+        return (OP_BX, hazard), eff
+    if opcode == "subspi" or opcode == "addspi":
+        _bump(eff, C_ALU32)
+        _bump(eff, K_ALU32)
+        opid = OP_SUBSPI if opcode == "subspi" else OP_ADDSPI
+        return (opid, hazard, inst.uses[0].value), eff
+    if opcode == "out":
+        a = _read_desc(inst.uses[0], eff, narrow_rf)
+        _bump(eff, C_MOVE)
+        _bump(eff, K_MOVE)
+        return (OP_OUT, hazard, a), eff
+    if opcode == "nop" or opcode == "mode":
+        _bump(eff, K_MOVE)
+        return (OP_NOP, hazard), eff
+    raise _PredecodeError(f"unknown opcode {opcode!r}")
+
+
+def predecode(linked, narrow_rf: bool):
+    """Predecode a linked program; cached on the LinkedProgram instance.
+
+    Returns ``(code, effects)``: per-pc argument tuples and per-pc static
+    counter effects (tuples of ``(counter_id, amount)``).
+    """
+    cache = getattr(linked, "_predecode_cache", None)
+    if cache is None:
+        cache = {}
+        linked._predecode_cache = cache
+    cached = cache.get(narrow_rf)
+    if cached is not None:
+        return cached
+    code = []
+    effects = []
+    for inst in linked.insts:
+        try:
+            args, eff = _predecode_inst(inst, narrow_rf)
+        except _PredecodeError as exc:
+            # Mirror the legacy path: the error is raised only if the
+            # instruction is actually executed.
+            args, eff = (OP_ERROR, (), str(exc), inst.opcode), {}
+        code.append(args)
+        effects.append(tuple(sorted(eff.items())))
+    cache[narrow_rf] = (code, effects)
+    return cache[narrow_rf]
+
+
+def run_fast(machine) -> "SimResult":
+    """Execute a linked program on the predecoded fast path.
+
+    Produces a :class:`repro.arch.machine.SimResult` with event counts
+    bit-identical to :meth:`Machine._run_legacy`.
+    """
+    from repro.arch.machine import MachineError, SimResult
+
+    linked = machine.linked
+    narrow_rf = machine.narrow_rf
+    code, effects = predecode(linked, narrow_rf)
+    n_insts = len(code)
+    delta = linked.delta
+    inst_bytes = linked.inst_bytes
+
+    result = SimResult()
+    counters = result.counters
+
+    hierarchy = MemoryHierarchy()
+    fetch = hierarchy.fetch
+    data_access = hierarchy.data_access
+
+    memory = FlatMemory()
+    initialize_globals(memory, machine.module, linked.global_addresses)
+    mem_load = memory.load
+    mem_store = memory.store
+
+    regs = [0] * 16
+    regs[13] = STACK_TOP
+    regs[14] = HALT
+    cmp_state = (0, 0, 4)
+    carry = 0
+
+    exec_counts = [0] * n_insts
+    output = result.output
+
+    pc = linked.entry_index
+    steps = 0
+    limit = machine.step_limit
+    # dynamic-only event accumulators
+    cycles = 0  # stall/extra cycles observed in-loop
+    misspecs = 0
+    taken_dyn = 0
+    last_load_reg = -1
+    ic_l1 = ic_l2 = ic_mem = 0
+    d_l1 = d_l2 = d_mem = 0
+    rf_w_dyn = {1: 0, 2: 0, 4: 0}
+    rf_r_dyn = {1: 0, 2: 0, 4: 0}
+
+    while pc != HALT:
+        if not 0 <= pc < n_insts:
+            raise MachineError(f"pc out of range: {pc}")
+        t = code[pc]
+        steps += 1
+        if steps > limit:
+            raise MachineError("machine step limit exceeded")
+        # instruction fetch
+        level = fetch(pc * inst_bytes)
+        if level == "l1":
+            ic_l1 += 1
+        elif level == "l2":
+            ic_l2 += 1
+            cycles += 10
+        else:
+            ic_mem += 1
+            cycles += 70
+        exec_counts[pc] += 1
+        # load-use hazard
+        if last_load_reg >= 0:
+            if last_load_reg in t[1]:
+                cycles += 1
+            last_load_reg = -1
+        op = t[0]
+        next_pc = pc + 1
+
+        if op == OP_ALU:
+            d = t[3]
+            k = d[0]
+            a = ((regs[d[1]] >> d[2]) & d[3]) if k == 1 else (
+                d[1] if k == 0 else regs[13]
+            )
+            d = t[4]
+            k = d[0]
+            b = ((regs[d[1]] >> d[2]) & d[3]) if k == 1 else (
+                d[1] if k == 0 else regs[13]
+            )
+            sub = t[2]
+            mask = t[6]
+            if sub == 0:
+                value = (a + b) & mask
+            elif sub == 1:
+                value = (a - b) & mask
+            elif sub == 2:
+                value = a & b
+            elif sub == 3:
+                value = a | b
+            elif sub == 4:
+                value = a ^ b
+            elif sub == 5:
+                value = (a << b) & mask if b < 32 else 0
+            elif sub == 6:
+                value = (a >> b) if b < 32 else 0
+            else:  # asr
+                ty = t[7]
+                shift = min(b, ty.bits - 1)
+                value = ty.wrap(ty.to_signed(a) >> shift)
+            w = t[5]
+            r = w[0]
+            regs[r] = (regs[r] & w[3]) | ((value & w[2]) << w[1])
+        elif op == OP_MOV:
+            d = t[2]
+            k = d[0]
+            value = ((regs[d[1]] >> d[2]) & d[3]) if k == 1 else (
+                d[1] if k == 0 else regs[13]
+            )
+            w = t[3]
+            r = w[0]
+            regs[r] = (regs[r] & w[3]) | ((value & w[2]) << w[1])
+        elif op == OP_LOAD:
+            d = t[2]
+            k = d[0]
+            base = ((regs[d[1]] >> d[2]) & d[3]) if k == 1 else (
+                d[1] if k == 0 else regs[13]
+            )
+            addr = (base + t[3]) & 0xFFFFFFFF
+            value = mem_load(addr, t[4])
+            w = t[5]
+            r = w[0]
+            regs[r] = (regs[r] & w[3]) | ((value & w[2]) << w[1])
+            lvl = data_access(addr)
+            if lvl == "l1":
+                d_l1 += 1
+                cycles += 1
+            elif lvl == "l2":
+                d_l2 += 1
+                cycles += 10
+            else:
+                d_mem += 1
+                cycles += 70
+            last_load_reg = t[6]
+        elif op == OP_STORE:
+            d = t[2]
+            k = d[0]
+            value = ((regs[d[1]] >> d[2]) & d[3]) if k == 1 else (
+                d[1] if k == 0 else regs[13]
+            )
+            d = t[3]
+            k = d[0]
+            base = ((regs[d[1]] >> d[2]) & d[3]) if k == 1 else (
+                d[1] if k == 0 else regs[13]
+            )
+            addr = (base + t[4]) & 0xFFFFFFFF
+            mem_store(addr, value, t[5])
+            # legacy path discards the store's stall cycles; levels only
+            lvl = data_access(addr)
+            if lvl == "l1":
+                d_l1 += 1
+            elif lvl == "l2":
+                d_l2 += 1
+            else:
+                d_mem += 1
+        elif op == OP_BCOND:
+            a, b, width = cmp_state
+            ty = int_type(64 if width == 8 else width * 8)
+            if evaluate_icmp(t[2], a, b, ty):
+                next_pc = t[3]
+                taken_dyn += 1
+                cycles += 2
+        elif op == OP_B:
+            next_pc = t[2]
+        elif op == OP_CMP:
+            d = t[2]
+            k = d[0]
+            a = ((regs[d[1]] >> d[2]) & d[3]) if k == 1 else (
+                d[1] if k == 0 else regs[13]
+            )
+            d = t[3]
+            k = d[0]
+            b = ((regs[d[1]] >> d[2]) & d[3]) if k == 1 else (
+                d[1] if k == 0 else regs[13]
+            )
+            cmp_state = (a, b, t[4])
+        elif op == OP_BS_BIN:
+            d = t[3]
+            k = d[0]
+            a = ((regs[d[1]] >> d[2]) & d[3]) if k == 1 else (
+                d[1] if k == 0 else regs[13]
+            )
+            d = t[4]
+            k = d[0]
+            b = ((regs[d[1]] >> d[2]) & d[3]) if k == 1 else (
+                d[1] if k == 0 else regs[13]
+            )
+            sub = t[2]
+            if sub == 0:
+                wide = a + b
+            elif sub == 1:
+                wide = a - b
+            elif sub == 2:
+                wide = a & b
+            elif sub == 3:
+                wide = a | b
+            elif sub == 4:
+                wide = a ^ b
+            elif sub == 5:
+                wide = (a << b) if b < 32 else 0
+            else:
+                wide = a >> b if b < 32 else 0
+            if wide < 0 or wide > 0xFF:
+                misspecs += 1
+                cycles += 3
+                next_pc = pc + delta
+            else:
+                w = t[5]
+                r = w[0]
+                regs[r] = (regs[r] & w[3]) | ((wide & w[2]) << w[1])
+                rf_w_dyn[t[6]] += 1
+        elif op == OP_BS_CMP:
+            d = t[2]
+            k = d[0]
+            a = ((regs[d[1]] >> d[2]) & d[3]) if k == 1 else (
+                d[1] if k == 0 else regs[13]
+            )
+            d = t[3]
+            k = d[0]
+            b = ((regs[d[1]] >> d[2]) & d[3]) if k == 1 else (
+                d[1] if k == 0 else regs[13]
+            )
+            cmp_state = (a, b, 1)
+        elif op == OP_BS_TRUNC:
+            d = t[2]
+            k = d[0]
+            value = ((regs[d[1]] >> d[2]) & d[3]) if k == 1 else (
+                d[1] if k == 0 else regs[13]
+            )
+            if value > 0xFF:
+                misspecs += 1
+                cycles += 3
+                next_pc = pc + delta
+            else:
+                w = t[3]
+                r = w[0]
+                regs[r] = (regs[r] & w[3]) | ((value & w[2]) << w[1])
+                rf_w_dyn[t[4]] += 1
+        elif op == OP_BS_TRUNC_HI:
+            d = t[2]
+            k = d[0]
+            value = ((regs[d[1]] >> d[2]) & d[3]) if k == 1 else (
+                d[1] if k == 0 else regs[13]
+            )
+            if value != 0:
+                misspecs += 1
+                cycles += 3
+                next_pc = pc + delta
+        elif op == OP_BS_LDR:
+            d = t[2]
+            k = d[0]
+            addr = ((regs[d[1]] >> d[2]) & d[3]) if k == 1 else (
+                d[1] if k == 0 else regs[13]
+            )
+            value = mem_load(addr, t[3])
+            lvl = data_access(addr)
+            if lvl == "l1":
+                d_l1 += 1
+                cycles += 1
+            elif lvl == "l2":
+                d_l2 += 1
+                cycles += 10
+            else:
+                d_mem += 1
+                cycles += 70
+            if value > 0xFF:
+                misspecs += 1
+                cycles += 3
+                next_pc = pc + delta
+            else:
+                w = t[4]
+                r = w[0]
+                regs[r] = (regs[r] & w[3]) | ((value & w[2]) << w[1])
+                rf_w_dyn[t[5]] += 1
+                last_load_reg = t[6]
+        elif op == OP_EXT:
+            d = t[2]
+            k = d[0]
+            value = ((regs[d[1]] >> d[2]) & d[3]) if k == 1 else (
+                d[1] if k == 0 else regs[13]
+            )
+            ty = t[3]
+            if ty is not None:  # sxt
+                value = ty.to_signed(value) & 0xFFFFFFFF
+            w = t[4]
+            r = w[0]
+            regs[r] = (regs[r] & w[3]) | ((value & w[2]) << w[1])
+        elif op == OP_MOVCOND:
+            a, b, width = cmp_state
+            ty = int_type(64 if width == 8 else width * 8)
+            if evaluate_icmp(t[2], a, b, ty):
+                d = t[3]
+                k = d[0]
+                value = ((regs[d[1]] >> d[2]) & d[3]) if k == 1 else (
+                    d[1] if k == 0 else regs[13]
+                )
+                if t[4]:
+                    rf_r_dyn[t[4]] += 1
+                w = t[5]
+                r = w[0]
+                regs[r] = (regs[r] & w[3]) | ((value & w[2]) << w[1])
+                rf_w_dyn[t[6]] += 1
+        elif op == OP_MUL:
+            d = t[2]
+            k = d[0]
+            a = ((regs[d[1]] >> d[2]) & d[3]) if k == 1 else (
+                d[1] if k == 0 else regs[13]
+            )
+            d = t[3]
+            k = d[0]
+            b = ((regs[d[1]] >> d[2]) & d[3]) if k == 1 else (
+                d[1] if k == 0 else regs[13]
+            )
+            value = (a * b) & t[5]
+            w = t[4]
+            r = w[0]
+            regs[r] = (regs[r] & w[3]) | ((value & w[2]) << w[1])
+        elif op == OP_UMULL:
+            d = t[2]
+            k = d[0]
+            a = ((regs[d[1]] >> d[2]) & d[3]) if k == 1 else (
+                d[1] if k == 0 else regs[13]
+            )
+            d = t[3]
+            k = d[0]
+            b = ((regs[d[1]] >> d[2]) & d[3]) if k == 1 else (
+                d[1] if k == 0 else regs[13]
+            )
+            product = a * b
+            w = t[4]
+            r = w[0]
+            value = product & 0xFFFFFFFF
+            regs[r] = (regs[r] & w[3]) | ((value & w[2]) << w[1])
+            w = t[5]
+            r = w[0]
+            value = (product >> 32) & 0xFFFFFFFF
+            regs[r] = (regs[r] & w[3]) | ((value & w[2]) << w[1])
+        elif op == OP_DIV:
+            d = t[3]
+            k = d[0]
+            a = ((regs[d[1]] >> d[2]) & d[3]) if k == 1 else (
+                d[1] if k == 0 else regs[13]
+            )
+            d = t[4]
+            k = d[0]
+            b = ((regs[d[1]] >> d[2]) & d[3]) if k == 1 else (
+                d[1] if k == 0 else regs[13]
+            )
+            if b == 0:
+                raise MachineError("division by zero")
+            sub = t[2]
+            ty = t[6]
+            if sub == 0:  # udiv
+                value = a // b
+            elif sub == 2:  # urem
+                value = a % b
+            else:
+                sa, sb = ty.to_signed(a), ty.to_signed(b)
+                q = abs(sa) // abs(sb)
+                rr = abs(sa) % abs(sb)
+                if sub == 1:  # sdiv
+                    value = ty.wrap(-q if (sa < 0) != (sb < 0) else q)
+                else:  # srem
+                    value = ty.wrap(-rr if sa < 0 else rr)
+            value = ty.wrap(value)
+            w = t[5]
+            r = w[0]
+            regs[r] = (regs[r] & w[3]) | ((value & w[2]) << w[1])
+        elif op == OP_ADDS or op == OP_ADC:
+            d = t[2]
+            k = d[0]
+            a = ((regs[d[1]] >> d[2]) & d[3]) if k == 1 else (
+                d[1] if k == 0 else regs[13]
+            )
+            d = t[3]
+            k = d[0]
+            b = ((regs[d[1]] >> d[2]) & d[3]) if k == 1 else (
+                d[1] if k == 0 else regs[13]
+            )
+            full = a + b + (carry if op == OP_ADC else 0)
+            carry = full >> 32
+            value = full & 0xFFFFFFFF
+            w = t[4]
+            r = w[0]
+            regs[r] = (regs[r] & w[3]) | ((value & w[2]) << w[1])
+        elif op == OP_SUBS:
+            d = t[2]
+            k = d[0]
+            a = ((regs[d[1]] >> d[2]) & d[3]) if k == 1 else (
+                d[1] if k == 0 else regs[13]
+            )
+            d = t[3]
+            k = d[0]
+            b = ((regs[d[1]] >> d[2]) & d[3]) if k == 1 else (
+                d[1] if k == 0 else regs[13]
+            )
+            carry = 1 if a >= b else 0
+            value = (a - b) & 0xFFFFFFFF
+            w = t[4]
+            r = w[0]
+            regs[r] = (regs[r] & w[3]) | ((value & w[2]) << w[1])
+        elif op == OP_SBC:
+            d = t[2]
+            k = d[0]
+            a = ((regs[d[1]] >> d[2]) & d[3]) if k == 1 else (
+                d[1] if k == 0 else regs[13]
+            )
+            d = t[3]
+            k = d[0]
+            b = ((regs[d[1]] >> d[2]) & d[3]) if k == 1 else (
+                d[1] if k == 0 else regs[13]
+            )
+            full = a - b - (1 - carry)
+            carry = 1 if full >= 0 else 0
+            value = full & 0xFFFFFFFF
+            w = t[4]
+            r = w[0]
+            regs[r] = (regs[r] & w[3]) | ((value & w[2]) << w[1])
+        elif op == OP_ADDSL or op == OP_ORRSL:
+            d = t[2]
+            k = d[0]
+            a = ((regs[d[1]] >> d[2]) & d[3]) if k == 1 else (
+                d[1] if k == 0 else regs[13]
+            )
+            d = t[3]
+            k = d[0]
+            b = ((regs[d[1]] >> d[2]) & d[3]) if k == 1 else (
+                d[1] if k == 0 else regs[13]
+            )
+            shift = t[4]
+            if op == OP_ADDSL:
+                value = (a + (b << shift)) & 0xFFFFFFFF
+            else:
+                shifted = (b << shift) & 0xFFFFFFFF if shift >= 0 else (
+                    b >> (-shift)
+                )
+                value = a | shifted
+            w = t[5]
+            r = w[0]
+            regs[r] = (regs[r] & w[3]) | ((value & w[2]) << w[1])
+        elif op == OP_BL:
+            regs[14] = pc + 1
+            next_pc = t[2]
+        elif op == OP_BX:
+            next_pc = regs[14]
+        elif op == OP_SUBSPI:
+            regs[13] = (regs[13] - t[2]) & 0xFFFFFFFF
+        elif op == OP_ADDSPI:
+            regs[13] = (regs[13] + t[2]) & 0xFFFFFFFF
+        elif op == OP_CMP64HI:
+            d = t[2]
+            k = d[0]
+            a = ((regs[d[1]] >> d[2]) & d[3]) if k == 1 else (
+                d[1] if k == 0 else regs[13]
+            )
+            d = t[3]
+            k = d[0]
+            b = ((regs[d[1]] >> d[2]) & d[3]) if k == 1 else (
+                d[1] if k == 0 else regs[13]
+            )
+            cmp_state = (a, b, "hi")
+        elif op == OP_CMP64LO:
+            a_hi, b_hi, _tag = cmp_state
+            d = t[2]
+            k = d[0]
+            a = ((regs[d[1]] >> d[2]) & d[3]) if k == 1 else (
+                d[1] if k == 0 else regs[13]
+            )
+            d = t[3]
+            k = d[0]
+            b = ((regs[d[1]] >> d[2]) & d[3]) if k == 1 else (
+                d[1] if k == 0 else regs[13]
+            )
+            cmp_state = ((a_hi << 32) | a, (b_hi << 32) | b, 8)
+        elif op == OP_OUT:
+            d = t[2]
+            k = d[0]
+            value = ((regs[d[1]] >> d[2]) & d[3]) if k == 1 else (
+                d[1] if k == 0 else regs[13]
+            )
+            output.append(value)
+        elif op == OP_NOP:
+            pass
+        else:  # OP_ERROR
+            raise MachineError(f"{t[2]} at {pc}")
+        pc = next_pc
+
+    # -- fold the batched static effects back into the result -----------------
+    totals = [0] * N_STATIC
+    instructions = 0
+    for pc_i in range(n_insts):
+        n = exec_counts[pc_i]
+        if n:
+            instructions += n
+            for cid, amount in effects[pc_i]:
+                totals[cid] += amount * n
+
+    result.instructions = instructions
+    result.cycles = instructions + cycles + totals[C_XCYCLES]
+    result.misspeculations = misspecs
+    result.branches = totals[C_BRANCHES]
+    result.taken_branches = totals[C_TAKEN] + taken_dyn
+    result.spill_stores = totals[C_SPILL_S]
+    result.spill_loads = totals[C_SPILL_L]
+    result.copies = totals[C_COPIES]
+    result.loads = totals[C_LOADS]
+    result.stores = totals[C_STORES]
+
+    counters.rf_reads_by_width = {
+        1: totals[C_RF_R1] + rf_r_dyn[1],
+        2: totals[C_RF_R2] + rf_r_dyn[2],
+        4: totals[C_RF_R4] + rf_r_dyn[4],
+    }
+    counters.rf_writes_by_width = {
+        1: totals[C_RF_W1] + rf_w_dyn[1],
+        2: totals[C_RF_W2] + rf_w_dyn[2],
+        4: totals[C_RF_W4] + rf_w_dyn[4],
+    }
+    counters.alu32_ops = totals[C_ALU32]
+    counters.alu8_ops = totals[C_ALU8]
+    counters.mul_ops = totals[C_MUL]
+    counters.div_ops = totals[C_DIV]
+    counters.move_ops = totals[C_MOVE]
+    counters.cycles = result.cycles
+    counters.icache_l1 = ic_l1
+    counters.icache_l2 = ic_l2
+    counters.icache_mem = ic_mem
+    counters.dcache_l1 = d_l1
+    counters.dcache_l2 = d_l2
+    counters.dcache_mem = d_mem
+
+    result.class_counts = {
+        "alu32": totals[K_ALU32],
+        "alu8": totals[K_ALU8],
+        "mul": totals[K_MUL],
+        "div": totals[K_DIV],
+        "move": totals[K_MOVE],
+        "mem": totals[K_MEM],
+        "branch": totals[K_BRANCH],
+    }
+    result.memory = memory
+    result.return_value = regs[0]
+    return result

@@ -1,0 +1,298 @@
+"""Content-addressed on-disk result cache.
+
+Simulations here are pure functions of their inputs — every metric is a
+deterministic event count — so a result may be reused across processes,
+sessions and machines *provided* the cache key covers everything that can
+change semantics: the workload source text, the full compiler
+configuration (via :meth:`CompilerConfig.fingerprint`), the profile and
+run input selectors, and a version stamp over the energy/DTS model
+constants.  Change any one ingredient and the key (hence the cache entry)
+changes; see ``tests/test_bench_cache.py`` for the property tests.
+
+Layout: ``<root>/<key[:2]>/<key>.json``, one JSON document per record,
+written atomically (temp file + ``os.replace``) so concurrent bench
+workers never observe torn entries.  A corrupt or stale-format file is
+*evicted* on read, never raised.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+#: Bump manually on semantic changes to the simulation that are not
+#: captured by the constants hashed into :func:`energy_model_stamp`.
+ENERGY_MODEL_VERSION = 1
+
+#: On-disk entry schema version; mismatches are treated as corruption.
+ENTRY_FORMAT = 1
+
+
+def energy_model_stamp() -> str:
+    """Version stamp over every constant the energy numbers depend on.
+
+    Hashes the per-event costs and the DTS model's defaults, so editing
+    ``arch/energy.py`` or ``arch/dts.py`` invalidates all cached results
+    automatically — no stale figures after a model tweak.
+    """
+    from repro.arch.dts import DTSModel
+    from repro.arch.energy import COSTS
+
+    basis = {
+        "version": ENERGY_MODEL_VERSION,
+        "costs": COSTS,
+        "dts": dataclasses.asdict(DTSModel()),
+    }
+    blob = json.dumps(basis, sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+def run_key(
+    source: str,
+    config,
+    *,
+    profile_kind: str = "test",
+    profile_seed: int = 0,
+    run_kind: str = "test",
+    run_seed: int = 0,
+    energy_stamp: Optional[str] = None,
+) -> str:
+    """The content address of one (source × config × inputs) simulation."""
+    basis = {
+        "entry_format": ENTRY_FORMAT,
+        "source": source,
+        "config": config.fingerprint(),
+        "profile": [profile_kind, profile_seed],
+        "run": [run_kind, run_seed],
+        "energy": energy_stamp or energy_model_stamp(),
+    }
+    blob = json.dumps(basis, sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class DiskCache:
+    """Key → JSON-payload store with corruption eviction."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def contains(self, key: str) -> bool:
+        return self._path(key).is_file()
+
+    def get(self, key: str) -> Optional[dict]:
+        path = self._path(key)
+        try:
+            text = path.read_text()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        try:
+            entry = json.loads(text)
+            if (
+                not isinstance(entry, dict)
+                or entry.get("format") != ENTRY_FORMAT
+                or entry.get("key") != key
+                or not isinstance(entry.get("payload"), dict)
+            ):
+                raise ValueError("malformed cache entry")
+        except (ValueError, TypeError):
+            # Corrupt / foreign / stale-format file: evict, don't crash.
+            self.stats.evictions += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return entry["payload"]
+
+    def put(self, key: str, payload: dict) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"format": ENTRY_FORMAT, "key": key, "payload": payload}
+        blob = json.dumps(entry, sort_keys=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(blob)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.puts += 1
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+
+# -- RunRecord (de)serialization ----------------------------------------------
+
+_SIM_INT_FIELDS = (
+    "instructions",
+    "cycles",
+    "misspeculations",
+    "branches",
+    "taken_branches",
+    "spill_stores",
+    "spill_loads",
+    "copies",
+    "loads",
+    "stores",
+    "return_value",
+)
+
+_COUNTER_INT_FIELDS = (
+    "icache_l1",
+    "icache_l2",
+    "icache_mem",
+    "dcache_l1",
+    "dcache_l2",
+    "dcache_mem",
+    "alu32_ops",
+    "alu8_ops",
+    "mul_ops",
+    "div_ops",
+    "move_ops",
+    "cycles",
+)
+
+
+def _sim_to_dict(sim) -> dict:
+    counters = {f: getattr(sim.counters, f) for f in _COUNTER_INT_FIELDS}
+    counters["rf_reads_by_width"] = {
+        str(w): n for w, n in sim.counters.rf_reads_by_width.items()
+    }
+    counters["rf_writes_by_width"] = {
+        str(w): n for w, n in sim.counters.rf_writes_by_width.items()
+    }
+    data = {f: getattr(sim, f) for f in _SIM_INT_FIELDS}
+    data["output"] = list(sim.output)
+    data["class_counts"] = dict(sim.class_counts)
+    data["counters"] = counters
+    return data
+
+
+def _sim_from_dict(data: dict):
+    from repro.arch.energy import EnergyCounters
+    from repro.arch.machine import SimResult
+
+    counters = EnergyCounters(
+        **{f: data["counters"][f] for f in _COUNTER_INT_FIELDS}
+    )
+    counters.rf_reads_by_width = {
+        int(w): n for w, n in data["counters"]["rf_reads_by_width"].items()
+    }
+    counters.rf_writes_by_width = {
+        int(w): n for w, n in data["counters"]["rf_writes_by_width"].items()
+    }
+    sim = SimResult(
+        output=list(data["output"]),
+        counters=counters,
+        class_counts=dict(data["class_counts"]),
+        **{f: data[f] for f in _SIM_INT_FIELDS},
+    )
+    return sim
+
+
+def record_to_payload(record) -> dict:
+    """RunRecord → JSON payload (drops the binary and the memory image)."""
+    payload = {
+        "workload": record.workload,
+        "config_name": record.config.name,
+        "correct": record.correct,
+        "sim": _sim_to_dict(record.sim),
+        "energy": record.energy.as_dict(),
+        "dts_energy": record.dts_energy.as_dict() if record.dts_energy else None,
+    }
+    return payload
+
+
+def payload_to_record(payload: dict, config):
+    """JSON payload → RunRecord (``binary`` is None on the cached path)."""
+    from repro.arch.energy import EnergyBreakdown
+    from repro.eval.harness import RunRecord
+
+    dts = payload.get("dts_energy")
+    return RunRecord(
+        workload=payload["workload"],
+        config=config,
+        sim=_sim_from_dict(payload["sim"]),
+        binary=None,
+        correct=payload["correct"],
+        energy=EnergyBreakdown(**payload["energy"]),
+        dts_energy=EnergyBreakdown(**dts) if dts else None,
+    )
+
+
+class RunDiskCache(DiskCache):
+    """The harness-facing view: RunRecords keyed by run ingredients."""
+
+    def __init__(self, root) -> None:
+        super().__init__(root)
+        # One stamp per process: the model constants cannot change under us.
+        self._stamp = energy_model_stamp()
+
+    def _run_key(self, source, config, pk, ps, rk, rs) -> str:
+        return run_key(
+            source,
+            config,
+            profile_kind=pk,
+            profile_seed=ps,
+            run_kind=rk,
+            run_seed=rs,
+            energy_stamp=self._stamp,
+        )
+
+    def contains_run(self, source, config, pk, ps, rk, rs) -> bool:
+        return self.contains(self._run_key(source, config, pk, ps, rk, rs))
+
+    def lookup_run(self, source, config, pk, ps, rk, rs):
+        payload = self.get(self._run_key(source, config, pk, ps, rk, rs))
+        if payload is None:
+            return None
+        return payload_to_record(payload, config)
+
+    def store_run(self, source, config, pk, ps, rk, rs, record) -> None:
+        self.put(
+            self._run_key(source, config, pk, ps, rk, rs),
+            record_to_payload(record),
+        )
+
+
+def install_disk_cache(root) -> RunDiskCache:
+    """Create a :class:`RunDiskCache` and install it under the harness."""
+    from repro.eval import harness
+
+    cache = RunDiskCache(root)
+    harness.set_disk_cache(cache)
+    return cache

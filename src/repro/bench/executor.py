@@ -1,0 +1,274 @@
+"""Multiprocessing fan-out over the (workload × config × seed) matrix.
+
+Each task is one :func:`repro.eval.harness.run` invocation.  Workers share
+nothing in memory but everything on disk: every worker installs the same
+:class:`RunDiskCache`, so a task computed by one worker is a cache hit for
+every later process (the property the whole bench design rests on —
+results are pure event counts, so cross-process reuse is sound).
+
+Failure policy: a task that raises or exceeds its timeout is retried once
+(fresh attempt, possibly on another worker), then *degraded* — reported as
+``status="failed"`` in the outcome list instead of aborting the campaign.
+Per-task timeouts are enforced inside the worker with ``SIGALRM`` (POSIX;
+elsewhere tasks run untimed rather than unexecuted).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import signal
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.pipeline import CompilerConfig
+
+
+@dataclass(frozen=True)
+class BenchTask:
+    """One cell of the evaluation matrix (picklable)."""
+
+    workload: str
+    config: CompilerConfig
+    profile_kind: str = "test"
+    profile_seed: int = 0
+    run_kind: str = "test"
+    run_seed: int = 0
+
+    def label(self) -> str:
+        tag = f"{self.workload}/{self.config.name}"
+        if (self.profile_kind, self.profile_seed, self.run_kind, self.run_seed) != (
+            "test", 0, "test", 0
+        ):
+            tag += (
+                f"[p={self.profile_kind}:{self.profile_seed},"
+                f"r={self.run_kind}:{self.run_seed}]"
+            )
+        return tag
+
+
+@dataclass
+class TaskOutcome:
+    """Picklable per-task result row (also serialized into BENCH_*.json)."""
+
+    workload: str
+    config_name: str
+    profile_kind: str
+    profile_seed: int
+    run_kind: str
+    run_seed: int
+    status: str = "ok"  # 'ok' | 'failed'
+    #: served from a cache (disk or in-process memo) rather than simulated
+    cached: bool = False
+    sim_seconds: float = 0.0
+    attempts: int = 1
+    instructions: int = 0
+    cycles: int = 0
+    misspeculations: int = 0
+    energy_pj: float = 0.0
+    error: str = ""
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+@dataclass
+class MatrixStats:
+    """Aggregates over one :func:`run_matrix` campaign."""
+
+    wall_seconds: float = 0.0
+    tasks: int = 0
+    ok: int = 0
+    failed: int = 0
+    retried: int = 0
+    cache_hits: int = 0
+    sim_seconds: float = 0.0
+    instructions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.tasks if self.tasks else 0.0
+
+    @property
+    def instructions_per_second(self) -> float:
+        return self.instructions / self.wall_seconds if self.wall_seconds else 0.0
+
+
+class _TaskTimeout(Exception):
+    pass
+
+
+_WORKER_TIMEOUT: Optional[float] = None
+
+
+def _init_worker(cache_dir, timeout) -> None:
+    global _WORKER_TIMEOUT
+    _WORKER_TIMEOUT = timeout
+    if cache_dir is not None:
+        from repro.bench.cache import install_disk_cache
+
+        install_disk_cache(cache_dir)
+
+
+def _alarm_handler(signum, frame):
+    raise _TaskTimeout()
+
+
+def _execute(task: BenchTask) -> TaskOutcome:
+    """Run one task under the per-task timeout; never raises."""
+    from repro.eval import harness
+
+    outcome = TaskOutcome(
+        workload=task.workload,
+        config_name=task.config.name,
+        profile_kind=task.profile_kind,
+        profile_seed=task.profile_seed,
+        run_kind=task.run_kind,
+        run_seed=task.run_seed,
+    )
+    cache = harness.get_disk_cache()
+    memo_key = (
+        task.workload,
+        harness._config_key(task.config),
+        task.profile_kind,
+        task.profile_seed,
+        task.run_kind,
+        task.run_seed,
+    )
+    try:
+        outcome.cached = memo_key in harness._RUN_CACHE or (
+            cache is not None
+            and cache.contains_run(
+                _workload_source(task.workload),
+                task.config,
+                task.profile_kind,
+                task.profile_seed,
+                task.run_kind,
+                task.run_seed,
+            )
+        )
+    except Exception:
+        outcome.cached = False
+
+    use_alarm = _WORKER_TIMEOUT is not None and hasattr(signal, "SIGALRM")
+    if use_alarm:
+        previous = signal.signal(signal.SIGALRM, _alarm_handler)
+        signal.setitimer(signal.ITIMER_REAL, _WORKER_TIMEOUT)
+    started = time.perf_counter()
+    try:
+        record = harness.run(
+            task.workload,
+            task.config,
+            profile_kind=task.profile_kind,
+            profile_seed=task.profile_seed,
+            run_kind=task.run_kind,
+            run_seed=task.run_seed,
+        )
+        outcome.sim_seconds = time.perf_counter() - started
+        outcome.instructions = record.sim.instructions
+        outcome.cycles = record.sim.cycles
+        outcome.misspeculations = record.sim.misspeculations
+        outcome.energy_pj = record.total_energy
+    except _TaskTimeout:
+        outcome.sim_seconds = time.perf_counter() - started
+        outcome.status = "failed"
+        outcome.error = f"timeout after {_WORKER_TIMEOUT:.0f}s"
+    except Exception as exc:  # degrade, never kill the campaign
+        outcome.sim_seconds = time.perf_counter() - started
+        outcome.status = "failed"
+        outcome.error = "".join(
+            traceback.format_exception_only(type(exc), exc)
+        ).strip()
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+    return outcome
+
+
+def _workload_source(name: str) -> str:
+    from repro.workloads import get_workload
+
+    return get_workload(name).source
+
+
+def run_matrix(
+    tasks: Sequence[BenchTask],
+    *,
+    jobs: int = 1,
+    cache_dir=None,
+    timeout: Optional[float] = 120.0,
+    retries: int = 1,
+    progress=None,
+) -> tuple[list[TaskOutcome], MatrixStats]:
+    """Execute the matrix; returns per-task outcomes + campaign stats.
+
+    ``progress`` is an optional callable ``(done, total, outcome)`` invoked
+    as results arrive (the CLI's live ticker).
+    """
+    tasks = list(tasks)
+    stats = MatrixStats(tasks=len(tasks))
+    started = time.monotonic()
+    outcomes: dict[int, TaskOutcome] = {}
+
+    def _note(index, outcome, done):
+        outcomes[index] = outcome
+        if progress is not None:
+            progress(done, len(tasks), outcome)
+
+    if jobs > 1 and len(tasks) > 1:
+        ctx = multiprocessing.get_context()
+        with ctx.Pool(
+            processes=jobs,
+            initializer=_init_worker,
+            initargs=(cache_dir, timeout),
+        ) as pool:
+            results = pool.imap(
+                _execute, tasks, chunksize=max(1, len(tasks) // (jobs * 4) or 1)
+            )
+            for done, (index, outcome) in enumerate(
+                zip(range(len(tasks)), results), start=1
+            ):
+                _note(index, outcome, done)
+            # retry-once-then-degrade, still fanned out
+            for _round in range(retries):
+                failed = [i for i, o in outcomes.items() if o.status == "failed"]
+                if not failed:
+                    break
+                stats.retried += len(failed)
+                retry_results = pool.imap(_execute, [tasks[i] for i in failed])
+                for index, outcome in zip(failed, retry_results):
+                    outcome.attempts = outcomes[index].attempts + 1
+                    if outcome.status == "failed" and outcomes[index].error:
+                        outcome.error = (
+                            f"{outcomes[index].error}; retry: {outcome.error}"
+                        )
+                    _note(index, outcome, len(tasks))
+    else:
+        _init_worker(cache_dir, timeout)
+        for done, (index, task) in enumerate(enumerate(tasks), start=1):
+            outcome = _execute(task)
+            for _round in range(retries):
+                if outcome.status != "failed":
+                    break
+                stats.retried += 1
+                retry = _execute(task)
+                retry.attempts = outcome.attempts + 1
+                if retry.status == "failed" and outcome.error:
+                    retry.error = f"{outcome.error}; retry: {retry.error}"
+                outcome = retry
+            _note(index, outcome, done)
+
+    stats.wall_seconds = time.monotonic() - started
+    ordered = [outcomes[i] for i in range(len(tasks))]
+    for outcome in ordered:
+        if outcome.status == "ok":
+            stats.ok += 1
+            stats.instructions += outcome.instructions
+        else:
+            stats.failed += 1
+        if outcome.cached:
+            stats.cache_hits += 1
+        stats.sim_seconds += outcome.sim_seconds
+    return ordered, stats

@@ -9,7 +9,9 @@ squeezer → speculative opts) → back-end → linked machine image;
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
 from typing import Callable, Optional, Union
 
 from repro.arch.dts import DTSModel
@@ -53,6 +55,23 @@ class CompilerConfig:
         if not self.middle_end.startswith("2cfg-"):
             raise ValueError(f"{self.middle_end} has no heuristic")
         return self.middle_end.split("-", 1)[1]
+
+    def fingerprint(self) -> dict:
+        """Canonical, JSON-serializable view of every semantic knob.
+
+        Excludes ``name`` (a display label): two configs that differ only
+        in name must hash identically, mirroring the in-process memoizer's
+        ``_config_key``.  Used as a content-address ingredient by the
+        persistent result cache (:mod:`repro.bench.cache`).
+        """
+        data = asdict(self)
+        data.pop("name")
+        return data
+
+    def stable_hash(self) -> str:
+        """SHA-256 over the canonical fingerprint."""
+        blob = json.dumps(self.fingerprint(), sort_keys=True)
+        return hashlib.sha256(blob.encode()).hexdigest()
 
     # -- presets matching the artifact configs -------------------------------
 
@@ -148,6 +167,21 @@ class CompiledBinary:
         if inputs:
             set_global_inputs(self.module, inputs)
         return Interpreter(self.module, trace=trace).run(entry)
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the linked machine image (config + instructions).
+
+        Stable across processes — a content address for the compiled
+        artifact, used by diagnostics and the bench cache to attribute
+        results to an exact binary.
+        """
+        h = hashlib.sha256()
+        h.update(self.config.stable_hash().encode())
+        h.update(f"isa={self.linked.isa};delta={self.linked.delta};".encode())
+        for inst in self.linked.insts:
+            h.update(repr(inst).encode())
+            h.update(b"\n")
+        return h.hexdigest()
 
 
 def compile_binary(

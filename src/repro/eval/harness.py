@@ -39,6 +39,16 @@ class RunRecord:
     @property
     def total_energy(self) -> float:
         if self.config.voltage_scaling == "timesqueezing":
+            if self.dts_energy is None:
+                # A record built outside run() (or deserialized) may not
+                # carry the scaled breakdown; derive it from the sim rather
+                # than dying on `None.total`.
+                if self.sim is None:
+                    raise ValueError(
+                        "timesqueezing record has neither dts_energy nor a "
+                        "sim result to derive it from"
+                    )
+                self.dts_energy = DTSModel().apply(self.sim)
             return self.dts_energy.total
         return self.energy.total
 
@@ -66,8 +76,24 @@ def _config_key(config: CompilerConfig) -> tuple:
 _BINARY_CACHE: dict = {}
 _RUN_CACHE: dict = {}
 
+#: optional persistent layer under the per-process memoizer — a
+#: :class:`repro.bench.cache.RunDiskCache` (installed via
+#: ``repro.bench.cache.install_disk_cache`` or the bench executor)
+_DISK_CACHE = None
+
+
+def set_disk_cache(cache) -> None:
+    """Install (or remove, with None) the persistent result cache."""
+    global _DISK_CACHE
+    _DISK_CACHE = cache
+
+
+def get_disk_cache():
+    return _DISK_CACHE
+
 
 def clear_caches() -> None:
+    """Clear the in-process memoizers (the disk cache is untouched)."""
     _BINARY_CACHE.clear()
     _RUN_CACHE.clear()
 
@@ -115,6 +141,13 @@ def run(
     if cached is not None:
         return cached
     workload = get_workload(workload_name)
+    if _DISK_CACHE is not None:
+        record = _DISK_CACHE.lookup_run(
+            workload.source, config, profile_kind, profile_seed, run_kind, run_seed
+        )
+        if record is not None:
+            _RUN_CACHE[key] = record
+            return record
     binary = get_binary(
         workload_name, config, profile_kind=profile_kind, profile_seed=profile_seed
     )
@@ -136,6 +169,16 @@ def run(
         raise AssertionError(
             f"{workload_name} [{config.name}]: output {sim.output} != "
             f"expected {expected}"
+        )
+    if _DISK_CACHE is not None:
+        _DISK_CACHE.store_run(
+            workload.source,
+            config,
+            profile_kind,
+            profile_seed,
+            run_kind,
+            run_seed,
+            record,
         )
     return record
 

@@ -1,0 +1,271 @@
+"""Property tests for the content-addressed on-disk result cache.
+
+Three families:
+
+* **round-trip** — a cache hit reconstructs a RunRecord equal to the one
+  that was stored (every SimResult field, every counter, every energy
+  component);
+* **key separation** — changing any *single* ingredient of the cache key
+  (source text, a config field, profile/run selectors, the energy-model
+  stamp) misses rather than aliasing;
+* **robustness** — corrupt, foreign or stale-format entries are evicted on
+  read, never raised.
+"""
+
+import dataclasses
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.energy import EnergyCounters
+from repro.arch.machine import SimResult
+from repro.bench import cache as bench_cache
+from repro.bench.cache import (
+    DiskCache,
+    RunDiskCache,
+    energy_model_stamp,
+    install_disk_cache,
+    run_key,
+)
+from repro.core.pipeline import CompilerConfig
+from repro.eval import harness
+from repro.workloads import get_workload
+
+WORKLOAD = "crc32"
+SOURCE = get_workload(WORKLOAD).source
+
+
+@pytest.fixture
+def disk_cache(tmp_path):
+    cache = install_disk_cache(tmp_path / "cache")
+    try:
+        yield cache
+    finally:
+        harness.set_disk_cache(None)
+        harness.clear_caches()
+
+
+def _records_equal(a, b) -> bool:
+    if (a.workload, a.correct) != (b.workload, b.correct):
+        return False
+    for f in dataclasses.fields(SimResult):
+        if f.name == "memory":
+            continue  # the image is deliberately not persisted
+        if getattr(a.sim, f.name) != getattr(b.sim, f.name):
+            if f.name == "counters":
+                for cf in dataclasses.fields(EnergyCounters):
+                    if getattr(a.sim.counters, cf.name) != getattr(
+                        b.sim.counters, cf.name
+                    ):
+                        return False
+                continue
+            return False
+    if a.energy.as_dict() != b.energy.as_dict():
+        return False
+    if (a.dts_energy is None) != (b.dts_energy is None):
+        return False
+    if a.dts_energy is not None and (
+        a.dts_energy.as_dict() != b.dts_energy.as_dict()
+    ):
+        return False
+    return abs(a.total_energy - b.total_energy) < 1e-9
+
+
+# ---------------------------------------------------------------------------
+# round-trip
+# ---------------------------------------------------------------------------
+
+
+def test_hit_returns_equal_record(disk_cache):
+    config = CompilerConfig.bitspec("max")
+    original = harness.run(WORKLOAD, config)
+    assert disk_cache.stats.puts == 1
+
+    # A fresh process is simulated by clearing the in-memory memoizer.
+    harness.clear_caches()
+    cached = harness.run(WORKLOAD, config)
+    assert disk_cache.stats.hits == 1
+    assert cached is not original
+    assert cached.binary is None  # binaries are not persisted
+    assert _records_equal(cached, original)
+
+
+def test_dts_record_round_trips(disk_cache):
+    config = CompilerConfig.dts_bitspec("max")
+    original = harness.run(WORKLOAD, config)
+    harness.clear_caches()
+    cached = harness.run(WORKLOAD, config)
+    assert cached.dts_energy is not None
+    assert _records_equal(cached, original)
+
+
+def test_incorrect_runs_are_not_persisted(disk_cache, monkeypatch):
+    workload = get_workload(WORKLOAD)
+    monkeypatch.setattr(
+        type(workload), "expected_output", lambda self, inputs: ["bogus"]
+    )
+    with pytest.raises(AssertionError):
+        harness.run(WORKLOAD, CompilerConfig.baseline())
+    assert disk_cache.stats.puts == 0
+
+
+# ---------------------------------------------------------------------------
+# key separation — any single ingredient change must miss
+# ---------------------------------------------------------------------------
+
+
+def _store_one(cache) -> CompilerConfig:
+    config = CompilerConfig.bitspec("max")
+    harness.run(WORKLOAD, config)
+    harness.clear_caches()
+    return config
+
+
+def test_source_change_misses(disk_cache):
+    config = _store_one(disk_cache)
+    assert disk_cache.contains_run(SOURCE, config, "test", 0, "test", 0)
+    assert not disk_cache.contains_run(
+        SOURCE + "\n", config, "test", 0, "test", 0
+    )
+
+
+@pytest.mark.parametrize(
+    "change",
+    [
+        {"bitmask_elision": False},
+        {"compare_elimination": False},
+        {"invert_handler_weights": True},
+        {"middle_end": "2cfg-min"},
+        {"isa": "ARM"},
+        {"voltage_scaling": "timesqueezing"},
+    ],
+    ids=lambda c: next(iter(c)),
+)
+def test_config_field_change_misses(disk_cache, change):
+    config = _store_one(disk_cache)
+    mutated = dataclasses.replace(config, **change)
+    assert disk_cache.contains_run(SOURCE, config, "test", 0, "test", 0)
+    assert not disk_cache.contains_run(SOURCE, mutated, "test", 0, "test", 0)
+
+
+def test_config_name_is_cosmetic(disk_cache):
+    """Renaming a config must NOT miss — the name is display-only."""
+    config = _store_one(disk_cache)
+    renamed = dataclasses.replace(config, name="same-thing-other-label")
+    assert disk_cache.contains_run(SOURCE, renamed, "test", 0, "test", 0)
+
+
+@pytest.mark.parametrize(
+    "selector",
+    [
+        ("alt", 0, "test", 0),
+        ("test", 1, "test", 0),
+        ("test", 0, "alt", 0),
+        ("test", 0, "test", 1),
+    ],
+    ids=["profile_kind", "profile_seed", "run_kind", "run_seed"],
+)
+def test_input_selector_change_misses(disk_cache, selector):
+    config = _store_one(disk_cache)
+    assert not disk_cache.contains_run(SOURCE, config, *selector)
+
+
+def test_energy_model_version_bump_misses(disk_cache, monkeypatch):
+    config = _store_one(disk_cache)
+    monkeypatch.setattr(bench_cache, "ENERGY_MODEL_VERSION", 9999)
+    fresh = RunDiskCache(disk_cache.root)  # stamps are per-instance
+    assert not fresh.contains_run(SOURCE, config, "test", 0, "test", 0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    which=st.sampled_from(
+        ["source", "profile_kind", "profile_seed", "run_kind", "run_seed", "stamp"]
+    ),
+    salt=st.integers(min_value=1, max_value=10**6),
+)
+def test_any_single_perturbation_changes_key(which, salt):
+    config = CompilerConfig.bitspec("max")
+    base = dict(
+        source=SOURCE,
+        profile_kind="test",
+        profile_seed=0,
+        run_kind="test",
+        run_seed=0,
+        energy_stamp=energy_model_stamp(),
+    )
+    mutated = dict(base)
+    if which == "source":
+        mutated["source"] = SOURCE + f"\n// {salt}"
+    elif which == "stamp":
+        mutated["energy_stamp"] = f"stamp-{salt}"
+    elif which.endswith("_seed"):
+        mutated[which] = salt
+    else:
+        mutated[which] = f"kind-{salt}"
+
+    def key(ingredients):
+        src = ingredients.pop("source")
+        return run_key(src, config, **ingredients)
+
+    assert key(dict(base)) != key(dict(mutated))
+    assert key(dict(base)) == key(dict(base))  # and keys are deterministic
+
+
+# ---------------------------------------------------------------------------
+# robustness — corruption is evicted, not raised
+# ---------------------------------------------------------------------------
+
+
+def _entry_path(cache, key):
+    return cache._path(key)
+
+
+@pytest.mark.parametrize(
+    "garbage",
+    [
+        "not json at all {",
+        '"a bare string"',
+        json.dumps({"format": 999, "key": "k", "payload": {}}),
+        json.dumps({"format": 1, "key": "WRONG", "payload": {}}),
+        json.dumps({"format": 1, "key": "k", "payload": "not-a-dict"}),
+    ],
+    ids=["syntax", "non-dict", "stale-format", "key-mismatch", "bad-payload"],
+)
+def test_corrupted_entry_is_evicted(tmp_path, garbage):
+    cache = DiskCache(tmp_path)
+    key = "ab" + "0" * 62
+    path = _entry_path(cache, key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(garbage.replace('"k"', f'"{key}"') if '"k"' in garbage else garbage)
+
+    assert cache.get(key) is None  # no exception
+    assert not path.exists(), "corrupt entry should have been unlinked"
+    assert cache.stats.evictions == 1
+    assert cache.stats.hits == 0
+
+
+def test_corrupted_entry_recovers_end_to_end(disk_cache):
+    """After eviction the harness recomputes and re-stores transparently."""
+    config = _store_one(disk_cache)
+    key = disk_cache._run_key(SOURCE, config, "test", 0, "test", 0)
+    _entry_path(disk_cache, key).write_text("garbage")
+
+    record = harness.run(WORKLOAD, config)  # must not raise
+    assert record.correct
+    assert disk_cache.stats.evictions == 1
+    assert disk_cache.stats.puts == 2  # original store + re-store
+    # and the re-stored entry is valid again
+    harness.clear_caches()
+    assert harness.run(WORKLOAD, config).binary is None
+
+
+def test_put_then_get_round_trips_payload(tmp_path):
+    cache = DiskCache(tmp_path)
+    key = "cd" + "f" * 62
+    payload = {"nested": {"a": [1, 2, 3]}, "x": 1.5}
+    cache.put(key, payload)
+    assert cache.get(key) == payload
+    assert len(cache) == 1

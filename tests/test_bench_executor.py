@@ -1,0 +1,128 @@
+"""Executor tests: fan-out, retry-once-then-degrade, timeouts, stats.
+
+Parallelism here is exercised for *correctness* (ordering, retry plumbing,
+cross-process cache sharing), not speed — CI machines may have any core
+count.  The speedup claims live in the BENCH_*.json artifacts produced by
+the bench-smoke CI job.
+"""
+
+import pytest
+
+from repro.bench.executor import BenchTask, run_matrix
+from repro.core.pipeline import CompilerConfig
+from repro.eval import harness
+
+
+@pytest.fixture(autouse=True)
+def _isolate_caches():
+    harness.clear_caches()
+    yield
+    harness.set_disk_cache(None)
+    harness.clear_caches()
+
+
+def _task(workload="crc32", config=None, **kw):
+    return BenchTask(
+        workload=workload, config=config or CompilerConfig.baseline(), **kw
+    )
+
+
+def test_sequential_matrix_ok(tmp_path):
+    tasks = [_task("crc32"), _task("bitcount")]
+    outcomes, stats = run_matrix(tasks, jobs=1, cache_dir=tmp_path / "c")
+    assert [o.workload for o in outcomes] == ["crc32", "bitcount"]
+    assert stats.ok == 2 and stats.failed == 0 and stats.retried == 0
+    assert all(o.status == "ok" and o.instructions > 0 for o in outcomes)
+    assert stats.instructions == sum(o.instructions for o in outcomes)
+
+
+def test_unknown_workload_degrades_with_one_retry(tmp_path):
+    tasks = [_task("crc32"), _task("no-such-workload")]
+    outcomes, stats = run_matrix(tasks, jobs=1, cache_dir=tmp_path / "c")
+    good, bad = outcomes
+    assert good.status == "ok"
+    assert bad.status == "failed"
+    assert bad.attempts == 2, "failed task must be retried exactly once"
+    assert "retry:" in bad.error
+    assert stats.failed == 1 and stats.retried == 1
+    assert stats.ok == 1, "one bad cell must not sink the campaign"
+
+
+def test_timeout_degrades_instead_of_hanging():
+    # 1 ms: fires mid-compile long before the simulation could finish.
+    outcomes, stats = run_matrix(
+        [_task("sha", CompilerConfig.bitspec("avg"))],
+        jobs=1,
+        cache_dir=None,
+        timeout=0.001,
+        retries=0,
+    )
+    (outcome,) = outcomes
+    assert outcome.status == "failed"
+    assert "timeout" in outcome.error
+    assert stats.failed == 1
+
+
+def test_warm_rerun_is_all_cache_hits(tmp_path):
+    tasks = [_task("crc32"), _task("crc32", CompilerConfig.bitspec("max"))]
+    _, cold = run_matrix(tasks, jobs=1, cache_dir=tmp_path / "c")
+    assert cold.cache_hits == 0
+
+    harness.clear_caches()  # simulate a fresh process; disk survives
+    outcomes, warm = run_matrix(tasks, jobs=1, cache_dir=tmp_path / "c")
+    assert warm.cache_hits == len(tasks)
+    assert warm.hit_rate == 1.0
+    assert all(o.cached and o.status == "ok" for o in outcomes)
+    # cached outcomes still carry the full metrics row
+    assert all(o.instructions > 0 and o.energy_pj > 0 for o in outcomes)
+
+
+def test_parallel_matrix_matches_sequential(tmp_path):
+    """Same outcomes (modulo wall-clock) whether fanned out or not."""
+    tasks = [
+        _task(w, c)
+        for w in ("crc32", "bitcount")
+        for c in (CompilerConfig.baseline(), CompilerConfig.bitspec("max"))
+    ]
+    seq, _ = run_matrix(tasks, jobs=1, cache_dir=tmp_path / "seq")
+    par, stats = run_matrix(tasks, jobs=2, cache_dir=tmp_path / "par")
+    assert stats.failed == 0
+    assert [o.workload for o in par] == [o.workload for o in seq]
+    for a, b in zip(par, seq):
+        assert (a.workload, a.config_name, a.status) == (
+            b.workload,
+            b.config_name,
+            b.status,
+        )
+        assert (a.instructions, a.cycles, a.misspeculations) == (
+            b.instructions,
+            b.cycles,
+            b.misspeculations,
+        )
+        assert a.energy_pj == pytest.approx(b.energy_pj)
+
+
+def test_parallel_retry_plumbing(tmp_path):
+    tasks = [_task("no-such-workload"), _task("crc32")]
+    outcomes, stats = run_matrix(tasks, jobs=2, cache_dir=tmp_path / "c")
+    assert outcomes[0].status == "failed" and outcomes[0].attempts == 2
+    assert outcomes[1].status == "ok"
+    assert stats.retried == 1
+
+
+def test_progress_callback_sees_every_task(tmp_path):
+    seen = []
+    run_matrix(
+        [_task("crc32"), _task("bitcount")],
+        jobs=1,
+        cache_dir=tmp_path / "c",
+        progress=lambda done, total, o: seen.append((done, total, o.workload)),
+    )
+    assert [(d, t) for d, t, _ in seen] == [(1, 2), (2, 2)]
+
+
+def test_task_label():
+    assert _task("crc32").label() == "crc32/baseline"
+    assert (
+        _task("crc32", run_seed=3).label() == "crc32/baseline[p=test:0,r=test:3]"
+    )

@@ -47,6 +47,35 @@ def test_dts_records_carry_scaled_energy():
     assert record.total_energy < record.energy.total
 
 
+def test_timesqueezing_total_energy_without_dts_breakdown():
+    """Regression: a timesqueezing record whose ``dts_energy`` was never
+    populated (built by hand, or deserialized from an old cache entry) must
+    derive it from the sim instead of crashing on ``None.total``."""
+    import dataclasses
+
+    from repro.arch.dts import DTSModel
+    from repro.eval.harness import RunRecord
+
+    full = run("bitcount", CompilerConfig.dts(), run_kind="train")
+    bare = RunRecord(
+        workload=full.workload,
+        config=full.config,
+        sim=full.sim,
+        binary=full.binary,
+        correct=full.correct,
+        energy=full.energy,
+        dts_energy=None,
+    )
+    assert bare.total_energy == DTSModel().apply(full.sim).total
+    assert bare.total_energy == full.total_energy
+    assert bare.dts_energy is not None  # derived lazily, then kept
+
+    # ... but with no sim to derive from, the failure must be explicit.
+    simless = dataclasses.replace(bare, sim=None, dts_energy=None)
+    with pytest.raises(ValueError, match="timesqueezing"):
+        simless.total_energy
+
+
 @pytest.mark.slow
 def test_report_generator_smoke(monkeypatch):
     """The report pipeline produces markdown with the key sections.

@@ -1,0 +1,116 @@
+"""Differential tests: predecoded fast path vs the legacy Machine loop.
+
+The fast path (:mod:`repro.arch.predecode`) must be *bit-identical* to the
+legacy instruction-at-a-time interpreter — same output stream, same cycle
+and instruction counts, same per-width register-file traffic, same cache
+and misspeculation events.  Any divergence silently corrupts every energy
+figure, so equality is checked field-by-field, not just on the totals.
+"""
+
+import dataclasses
+from pathlib import Path
+
+import pytest
+
+from repro.arch.energy import EnergyCounters
+from repro.arch.machine import Machine, SimResult
+from repro.core.pipeline import CompilerConfig, compile_binary, set_global_inputs
+from repro.eval.harness import get_binary
+from repro.fuzz.corpus import load_program
+from repro.passes.expander import ExpanderConfig
+from repro.workloads import get_workload
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+#: five seed-corpus programs (fixed, so failures are reproducible by name)
+CORPUS_PROGRAMS = ("seed000", "seed003", "seed004", "seed009", "seed011")
+
+WORKLOADS = ("crc32", "sha", "bitcount")
+
+CONFIGS = (
+    CompilerConfig.baseline(),
+    CompilerConfig.bitspec("max"),
+    CompilerConfig.thumb(),
+)
+
+
+def assert_sims_identical(fast: SimResult, legacy: SimResult, label: str) -> None:
+    """Field-by-field SimResult equality (counters and class mix included)."""
+    for f in dataclasses.fields(SimResult):
+        if f.name in ("counters", "memory"):
+            continue
+        assert getattr(fast, f.name) == getattr(legacy, f.name), (
+            f"{label}: SimResult.{f.name} differs: "
+            f"fast={getattr(fast, f.name)!r} legacy={getattr(legacy, f.name)!r}"
+        )
+    for f in dataclasses.fields(EnergyCounters):
+        assert getattr(fast.counters, f.name) == getattr(legacy.counters, f.name), (
+            f"{label}: counters.{f.name} differs: "
+            f"fast={getattr(fast.counters, f.name)!r} "
+            f"legacy={getattr(legacy.counters, f.name)!r}"
+        )
+    assert (fast.memory is None) == (legacy.memory is None), label
+    if fast.memory is not None:
+        assert fast.memory.data == legacy.memory.data, (
+            f"{label}: final memory images differ"
+        )
+    # ... and therefore the energy model sees identical inputs
+    assert fast.energy().as_dict() == legacy.energy().as_dict(), label
+
+
+def _run_both(binary, inputs) -> tuple:
+    if inputs:
+        set_global_inputs(binary.module, inputs)
+    legacy = Machine(binary.linked, binary.module, fast=False).run()
+    fast = Machine(binary.linked, binary.module, fast=True).run()
+    return fast, legacy
+
+
+@pytest.mark.parametrize("name", CORPUS_PROGRAMS)
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.name)
+def test_corpus_program_fast_path_identical(name, config):
+    program = load_program(CORPUS_DIR / f"{name}.json")
+    expander = (
+        ExpanderConfig() if program.expander_enabled else ExpanderConfig.disabled()
+    )
+    config = dataclasses.replace(config, expander=expander)
+    binary = compile_binary(
+        program.source, config, profile_inputs=program.inputs_profile
+    )
+    fast, legacy = _run_both(binary, program.inputs_run)
+    assert_sims_identical(fast, legacy, f"{name}/{config.name}")
+
+
+@pytest.mark.parametrize("workload_name", WORKLOADS)
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.name)
+def test_workload_fast_path_identical(workload_name, config):
+    binary = get_binary(workload_name, config)
+    inputs = get_workload(workload_name).inputs("test", 0)
+    fast, legacy = _run_both(binary, inputs)
+    assert_sims_identical(fast, legacy, f"{workload_name}/{config.name}")
+    assert fast.instructions > 0
+
+
+def test_fast_path_is_the_default_without_trace_hook(monkeypatch):
+    monkeypatch.delenv("REPRO_MACHINE_LEGACY", raising=False)
+    binary = get_binary("crc32", CompilerConfig.baseline())
+    machine = Machine(binary.linked, binary.module)
+    assert machine.fast is None  # auto: resolved at run() time
+    # an explicit fast=True with a trace hook must be rejected, not ignored
+    traced = Machine(
+        binary.linked, binary.module, trace_hook=lambda pc, regs: None, fast=True
+    )
+    with pytest.raises(ValueError):
+        traced.run()
+
+
+def test_legacy_env_escape_hatch(monkeypatch):
+    """REPRO_MACHINE_LEGACY=1 forces the legacy loop (and still agrees)."""
+    binary = get_binary("bitcount", CompilerConfig.bitspec("max"))
+    inputs = get_workload("bitcount").inputs("test", 0)
+    set_global_inputs(binary.module, inputs)
+    monkeypatch.setenv("REPRO_MACHINE_LEGACY", "1")
+    legacy = Machine(binary.linked, binary.module).run()
+    monkeypatch.delenv("REPRO_MACHINE_LEGACY")
+    fast = Machine(binary.linked, binary.module).run()
+    assert_sims_identical(fast, legacy, "bitcount/env-escape")
