@@ -66,6 +66,9 @@ class SimResult:
     class_counts: dict = field(default_factory=lambda: {c: 0 for c in DTS_CLASSES})
     memory: Optional[FlatMemory] = None
     return_value: int = 0
+    #: per-pc observability sample (:class:`repro.obs.events.PcSample`);
+    #: populated only when the Machine ran with ``obs=True``
+    obs: Optional[object] = None
 
     def energy(self, scale: Optional[dict] = None) -> EnergyBreakdown:
         return compute_energy(self.counters, scale=scale)
@@ -92,6 +95,12 @@ class Machine:
 
     ``fast=None`` selects the fast path unless a trace hook is installed
     or ``REPRO_MACHINE_LEGACY=1`` is set in the environment.
+
+    ``obs=True`` attaches a per-pc event sample to ``SimResult.obs`` for
+    :mod:`repro.obs`.  Observability is a fast-path feature: the sample
+    is the loop's own batched per-pc counters, so it forces the fast
+    engine rather than falling back to the legacy interpreter (the two
+    engines are bit-identical, so this never changes results).
     """
 
     def __init__(
@@ -102,6 +111,7 @@ class Machine:
         step_limit: int = 400_000_000,
         trace_hook=None,
         fast: Optional[bool] = None,
+        obs: bool = False,
     ) -> None:
         self.linked = linked
         self.module = module
@@ -110,19 +120,26 @@ class Machine:
         #: optional debug callback: trace_hook(pc, regs) before each step
         self.trace_hook = trace_hook
         self.fast = fast
+        #: collect a per-pc PcSample on SimResult.obs (fast path only)
+        self.obs = obs
 
     def run(self) -> SimResult:
         fast = self.fast
         if fast is None:
-            fast = self.trace_hook is None and os.environ.get(
-                "REPRO_MACHINE_LEGACY", ""
-            ) != "1"
+            if self.obs:
+                fast = True
+            else:
+                fast = self.trace_hook is None and os.environ.get(
+                    "REPRO_MACHINE_LEGACY", ""
+                ) != "1"
         if fast:
             if self.trace_hook is not None:
                 raise ValueError("trace_hook requires the legacy path")
             from repro.arch.predecode import run_fast
 
             return run_fast(self)
+        if self.obs:
+            raise ValueError("obs=True requires the predecoded fast path")
         return self._run_legacy()
 
     def _run_legacy(self) -> SimResult:

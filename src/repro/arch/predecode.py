@@ -20,6 +20,17 @@ repeated simulations of one binary (different inputs, DTS reruns, the
 bench matrix) skip predecode.  Event counts are bit-identical to the
 legacy path — ``tests/test_machine_predecode.py`` asserts this
 differentially over the fuzz seed corpus and real workloads.
+
+Observability rides the same batching (:mod:`repro.obs`): the loop keeps
+*per-pc* arrays for the genuinely dynamic events (cache misses, load-use
+hazards, misspeculations, taken conditional branches, conditional-move
+commits), bumped only when the event actually occurs.  The fold then
+*derives* the common-case counters (L1 hits, slice writes of successful
+``bs_*`` ops, stall cycles) from ``exec − events`` instead of bumping
+them per step — so attribution data is a free by-product of the fast
+path, and the hot loop got cheaper, not slower.  When ``Machine.obs`` is
+set, the arrays are handed to the caller as a
+:class:`repro.obs.events.PcSample` on ``SimResult.obs``.
 """
 
 from __future__ import annotations
@@ -431,15 +442,21 @@ def run_fast(machine) -> "SimResult":
     pc = linked.entry_index
     steps = 0
     limit = machine.step_limit
-    # dynamic-only event accumulators
-    cycles = 0  # stall/extra cycles observed in-loop
-    misspecs = 0
-    taken_dyn = 0
+    # Dynamic events, recorded per pc and only when they occur.  The
+    # common case (L1 hit, no hazard, no misspeculation, branch not
+    # taken) touches none of these; everything an aggregate counter or
+    # :mod:`repro.obs` needs is derived from ``exec − events`` at fold
+    # time.  This is also what keeps obs overhead ~zero: enabling it
+    # adds no work to the loop at all.
     last_load_reg = -1
-    ic_l1 = ic_l2 = ic_mem = 0
-    d_l1 = d_l2 = d_mem = 0
-    rf_w_dyn = {1: 0, 2: 0, 4: 0}
-    rf_r_dyn = {1: 0, 2: 0, 4: 0}
+    ic_l2_pc = [0] * n_insts  # fetch hit L2
+    ic_mem_pc = [0] * n_insts  # fetch went to DRAM
+    d_l2_pc = [0] * n_insts  # data access hit L2 (loads and stores)
+    d_mem_pc = [0] * n_insts  # data access went to DRAM
+    hazard_pc = [0] * n_insts  # load-use bubble charged to the consumer
+    misspec_pc = [0] * n_insts  # bs_* op overflowed its slice
+    taken_pc = [0] * n_insts  # conditional branch taken
+    movcond_pc = [0] * n_insts  # movcond condition was true (committed)
 
     while pc != HALT:
         if not 0 <= pc < n_insts:
@@ -450,19 +467,16 @@ def run_fast(machine) -> "SimResult":
             raise MachineError("machine step limit exceeded")
         # instruction fetch
         level = fetch(pc * inst_bytes)
-        if level == "l1":
-            ic_l1 += 1
-        elif level == "l2":
-            ic_l2 += 1
-            cycles += 10
-        else:
-            ic_mem += 1
-            cycles += 70
+        if level != "l1":
+            if level == "l2":
+                ic_l2_pc[pc] += 1
+            else:
+                ic_mem_pc[pc] += 1
         exec_counts[pc] += 1
         # load-use hazard
         if last_load_reg >= 0:
             if last_load_reg in t[1]:
-                cycles += 1
+                hazard_pc[pc] += 1
             last_load_reg = -1
         op = t[0]
         next_pc = pc + 1
@@ -522,15 +536,11 @@ def run_fast(machine) -> "SimResult":
             r = w[0]
             regs[r] = (regs[r] & w[3]) | ((value & w[2]) << w[1])
             lvl = data_access(addr)
-            if lvl == "l1":
-                d_l1 += 1
-                cycles += 1
-            elif lvl == "l2":
-                d_l2 += 1
-                cycles += 10
-            else:
-                d_mem += 1
-                cycles += 70
+            if lvl != "l1":
+                if lvl == "l2":
+                    d_l2_pc[pc] += 1
+                else:
+                    d_mem_pc[pc] += 1
             last_load_reg = t[6]
         elif op == OP_STORE:
             d = t[2]
@@ -547,19 +557,17 @@ def run_fast(machine) -> "SimResult":
             mem_store(addr, value, t[5])
             # legacy path discards the store's stall cycles; levels only
             lvl = data_access(addr)
-            if lvl == "l1":
-                d_l1 += 1
-            elif lvl == "l2":
-                d_l2 += 1
-            else:
-                d_mem += 1
+            if lvl != "l1":
+                if lvl == "l2":
+                    d_l2_pc[pc] += 1
+                else:
+                    d_mem_pc[pc] += 1
         elif op == OP_BCOND:
             a, b, width = cmp_state
             ty = int_type(64 if width == 8 else width * 8)
             if evaluate_icmp(t[2], a, b, ty):
                 next_pc = t[3]
-                taken_dyn += 1
-                cycles += 2
+                taken_pc[pc] += 1
         elif op == OP_B:
             next_pc = t[2]
         elif op == OP_CMP:
@@ -601,14 +609,12 @@ def run_fast(machine) -> "SimResult":
             else:
                 wide = a >> b if b < 32 else 0
             if wide < 0 or wide > 0xFF:
-                misspecs += 1
-                cycles += 3
+                misspec_pc[pc] += 1
                 next_pc = pc + delta
             else:
                 w = t[5]
                 r = w[0]
                 regs[r] = (regs[r] & w[3]) | ((wide & w[2]) << w[1])
-                rf_w_dyn[t[6]] += 1
         elif op == OP_BS_CMP:
             d = t[2]
             k = d[0]
@@ -628,14 +634,12 @@ def run_fast(machine) -> "SimResult":
                 d[1] if k == 0 else regs[13]
             )
             if value > 0xFF:
-                misspecs += 1
-                cycles += 3
+                misspec_pc[pc] += 1
                 next_pc = pc + delta
             else:
                 w = t[3]
                 r = w[0]
                 regs[r] = (regs[r] & w[3]) | ((value & w[2]) << w[1])
-                rf_w_dyn[t[4]] += 1
         elif op == OP_BS_TRUNC_HI:
             d = t[2]
             k = d[0]
@@ -643,8 +647,7 @@ def run_fast(machine) -> "SimResult":
                 d[1] if k == 0 else regs[13]
             )
             if value != 0:
-                misspecs += 1
-                cycles += 3
+                misspec_pc[pc] += 1
                 next_pc = pc + delta
         elif op == OP_BS_LDR:
             d = t[2]
@@ -654,24 +657,18 @@ def run_fast(machine) -> "SimResult":
             )
             value = mem_load(addr, t[3])
             lvl = data_access(addr)
-            if lvl == "l1":
-                d_l1 += 1
-                cycles += 1
-            elif lvl == "l2":
-                d_l2 += 1
-                cycles += 10
-            else:
-                d_mem += 1
-                cycles += 70
+            if lvl != "l1":
+                if lvl == "l2":
+                    d_l2_pc[pc] += 1
+                else:
+                    d_mem_pc[pc] += 1
             if value > 0xFF:
-                misspecs += 1
-                cycles += 3
+                misspec_pc[pc] += 1
                 next_pc = pc + delta
             else:
                 w = t[4]
                 r = w[0]
                 regs[r] = (regs[r] & w[3]) | ((value & w[2]) << w[1])
-                rf_w_dyn[t[5]] += 1
                 last_load_reg = t[6]
         elif op == OP_EXT:
             d = t[2]
@@ -689,17 +686,15 @@ def run_fast(machine) -> "SimResult":
             a, b, width = cmp_state
             ty = int_type(64 if width == 8 else width * 8)
             if evaluate_icmp(t[2], a, b, ty):
+                movcond_pc[pc] += 1
                 d = t[3]
                 k = d[0]
                 value = ((regs[d[1]] >> d[2]) & d[3]) if k == 1 else (
                     d[1] if k == 0 else regs[13]
                 )
-                if t[4]:
-                    rf_r_dyn[t[4]] += 1
                 w = t[5]
                 r = w[0]
                 regs[r] = (regs[r] & w[3]) | ((value & w[2]) << w[1])
-                rf_w_dyn[t[6]] += 1
         elif op == OP_MUL:
             d = t[2]
             k = d[0]
@@ -885,18 +880,65 @@ def run_fast(machine) -> "SimResult":
             raise MachineError(f"{t[2]} at {pc}")
         pc = next_pc
 
-    # -- fold the batched static effects back into the result -----------------
+    # -- fold static effects and per-pc dynamic events into the result --------
+    # Everything below is derived from (exec count, per-pc event arrays)
+    # and must stay bit-identical to the legacy interpreter.  The per-pc
+    # form of the same derivation lives in :func:`pc_counters`; the
+    # conservation tests in tests/test_obs.py pin the two together.
     totals = [0] * N_STATIC
     instructions = 0
+    stall_cycles = 0
+    misspecs = 0
+    taken_dyn = 0
+    ic_l2 = ic_mem = 0
+    d_l2 = d_mem = 0
+    rf_w_dyn = {1: 0, 2: 0, 4: 0}
+    rf_r_dyn = {1: 0, 2: 0, 4: 0}
     for pc_i in range(n_insts):
         n = exec_counts[pc_i]
-        if n:
-            instructions += n
-            for cid, amount in effects[pc_i]:
-                totals[cid] += amount * n
+        if not n:
+            continue
+        instructions += n
+        for cid, amount in effects[pc_i]:
+            totals[cid] += amount * n
+        fl2 = ic_l2_pc[pc_i]
+        fmem = ic_mem_pc[pc_i]
+        ic_l2 += fl2
+        ic_mem += fmem
+        stall = 10 * fl2 + 70 * fmem + hazard_pc[pc_i]
+        t = code[pc_i]
+        op = t[0]
+        miss = misspec_pc[pc_i]
+        if miss:
+            misspecs += miss
+            stall += 3 * miss
+        if op == OP_LOAD or op == OP_STORE or op == OP_BS_LDR:
+            al2 = d_l2_pc[pc_i]
+            amem = d_mem_pc[pc_i]
+            d_l2 += al2
+            d_mem += amem
+            if op != OP_STORE:
+                # loads stall 1/10/70 by level; stores charge no stall
+                stall += (n - al2 - amem) + 10 * al2 + 70 * amem
+            if op == OP_BS_LDR:
+                rf_w_dyn[t[5]] += n - miss
+        elif op == OP_BCOND:
+            tk = taken_pc[pc_i]
+            taken_dyn += tk
+            stall += 2 * tk
+        elif op == OP_BS_BIN:
+            rf_w_dyn[t[6]] += n - miss
+        elif op == OP_BS_TRUNC:
+            rf_w_dyn[t[4]] += n - miss
+        elif op == OP_MOVCOND:
+            mv = movcond_pc[pc_i]
+            rf_w_dyn[t[6]] += mv
+            if t[4]:
+                rf_r_dyn[t[4]] += mv
+        stall_cycles += stall
 
     result.instructions = instructions
-    result.cycles = instructions + cycles + totals[C_XCYCLES]
+    result.cycles = instructions + stall_cycles + totals[C_XCYCLES]
     result.misspeculations = misspecs
     result.branches = totals[C_BRANCHES]
     result.taken_branches = totals[C_TAKEN] + taken_dyn
@@ -922,10 +964,10 @@ def run_fast(machine) -> "SimResult":
     counters.div_ops = totals[C_DIV]
     counters.move_ops = totals[C_MOVE]
     counters.cycles = result.cycles
-    counters.icache_l1 = ic_l1
+    counters.icache_l1 = instructions - ic_l2 - ic_mem
     counters.icache_l2 = ic_l2
     counters.icache_mem = ic_mem
-    counters.dcache_l1 = d_l1
+    counters.dcache_l1 = totals[C_LOADS] + totals[C_STORES] - d_l2 - d_mem
     counters.dcache_l2 = d_l2
     counters.dcache_mem = d_mem
 
@@ -940,4 +982,129 @@ def run_fast(machine) -> "SimResult":
     }
     result.memory = memory
     result.return_value = regs[0]
+
+    if machine.obs:
+        from repro.obs.events import PcSample
+
+        result.obs = PcSample(
+            narrow_rf=narrow_rf,
+            delta=delta,
+            exec_counts=exec_counts,
+            icache_l2=ic_l2_pc,
+            icache_mem=ic_mem_pc,
+            dcache_l2=d_l2_pc,
+            dcache_mem=d_mem_pc,
+            hazards=hazard_pc,
+            misspecs=misspec_pc,
+            taken=taken_pc,
+            movconds=movcond_pc,
+        )
     return result
+
+
+#: counter names produced by :func:`pc_counters`, in report order
+PC_COUNTER_FIELDS = (
+    "instructions", "cycles", "misspeculations", "branches",
+    "taken_branches", "loads", "stores", "spill_loads", "spill_stores",
+    "copies",
+)
+
+
+def pc_counters(linked, narrow_rf, pc, sample):
+    """Rebuild one pc's aggregate contribution from a :class:`PcSample`.
+
+    Returns ``(fields, counters, class_counts)`` where ``fields`` maps
+    :data:`PC_COUNTER_FIELDS` names to integers and ``counters`` is an
+    :class:`repro.arch.energy.EnergyCounters` holding this pc's share.
+    Summing the return over every pc reproduces the :class:`SimResult`
+    aggregates *bit for bit* — the conservation invariant that
+    :mod:`repro.obs.attribution` builds on and tests/fuzzing enforce.
+    """
+    from repro.arch.energy import EnergyCounters
+
+    code, effects = predecode(linked, narrow_rf)
+    n = sample.exec_counts[pc]
+    fields = {name: 0 for name in PC_COUNTER_FIELDS}
+    counters = EnergyCounters()
+    classes = {k: 0 for k in
+               ("alu32", "alu8", "mul", "div", "move", "mem", "branch")}
+    if not n:
+        return fields, counters, classes
+
+    totals = [0] * N_STATIC
+    for cid, amount in effects[pc]:
+        totals[cid] += amount * n
+
+    fl2 = sample.icache_l2[pc]
+    fmem = sample.icache_mem[pc]
+    stall = 10 * fl2 + 70 * fmem + sample.hazards[pc]
+    t = code[pc]
+    op = t[0]
+    miss = sample.misspecs[pc]
+    stall += 3 * miss
+    rf_w_dyn = {1: 0, 2: 0, 4: 0}
+    rf_r_dyn = {1: 0, 2: 0, 4: 0}
+    al2 = amem = 0
+    taken_dyn = 0
+    if op == OP_LOAD or op == OP_STORE or op == OP_BS_LDR:
+        al2 = sample.dcache_l2[pc]
+        amem = sample.dcache_mem[pc]
+        if op != OP_STORE:
+            stall += (n - al2 - amem) + 10 * al2 + 70 * amem
+        if op == OP_BS_LDR:
+            rf_w_dyn[t[5]] += n - miss
+    elif op == OP_BCOND:
+        taken_dyn = sample.taken[pc]
+        stall += 2 * taken_dyn
+    elif op == OP_BS_BIN:
+        rf_w_dyn[t[6]] += n - miss
+    elif op == OP_BS_TRUNC:
+        rf_w_dyn[t[4]] += n - miss
+    elif op == OP_MOVCOND:
+        mv = sample.movconds[pc]
+        rf_w_dyn[t[6]] += mv
+        if t[4]:
+            rf_r_dyn[t[4]] += mv
+
+    fields["instructions"] = n
+    fields["cycles"] = n + stall + totals[C_XCYCLES]
+    fields["misspeculations"] = miss
+    fields["branches"] = totals[C_BRANCHES]
+    fields["taken_branches"] = totals[C_TAKEN] + taken_dyn
+    fields["loads"] = totals[C_LOADS]
+    fields["stores"] = totals[C_STORES]
+    fields["spill_loads"] = totals[C_SPILL_L]
+    fields["spill_stores"] = totals[C_SPILL_S]
+    fields["copies"] = totals[C_COPIES]
+
+    counters.rf_reads_by_width = {
+        1: totals[C_RF_R1] + rf_r_dyn[1],
+        2: totals[C_RF_R2] + rf_r_dyn[2],
+        4: totals[C_RF_R4] + rf_r_dyn[4],
+    }
+    counters.rf_writes_by_width = {
+        1: totals[C_RF_W1] + rf_w_dyn[1],
+        2: totals[C_RF_W2] + rf_w_dyn[2],
+        4: totals[C_RF_W4] + rf_w_dyn[4],
+    }
+    counters.alu32_ops = totals[C_ALU32]
+    counters.alu8_ops = totals[C_ALU8]
+    counters.mul_ops = totals[C_MUL]
+    counters.div_ops = totals[C_DIV]
+    counters.move_ops = totals[C_MOVE]
+    counters.cycles = fields["cycles"]
+    counters.icache_l1 = n - fl2 - fmem
+    counters.icache_l2 = fl2
+    counters.icache_mem = fmem
+    counters.dcache_l1 = totals[C_LOADS] + totals[C_STORES] - al2 - amem
+    counters.dcache_l2 = al2
+    counters.dcache_mem = amem
+
+    classes["alu32"] = totals[K_ALU32]
+    classes["alu8"] = totals[K_ALU8]
+    classes["mul"] = totals[K_MUL]
+    classes["div"] = totals[K_DIV]
+    classes["move"] = totals[K_MOVE]
+    classes["mem"] = totals[K_MEM]
+    classes["branch"] = totals[K_BRANCH]
+    return fields, counters, classes

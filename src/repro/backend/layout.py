@@ -37,6 +37,31 @@ _THREE_ADDR = frozenset(
 
 
 @dataclass
+class DebugInfo:
+    """Per-pc compiler provenance, emitted at link time for :mod:`repro.obs`.
+
+    Parallel arrays over the final instruction image (including the Δ
+    skeleton area), plus the handler map that lets attribution charge
+    misspeculation recovery to the region that caused it:
+
+    * ``var[pc]`` — name of the IR value the instruction defines (the
+      vreg hint captured by the register allocator), or ``""``;
+    * ``block[pc]`` — machine-block label the instruction came from;
+    * ``world[pc]`` — ``"spec"`` / ``"orig"`` / ``"handler"`` /
+      ``"skeleton"`` / ``""`` (non-speculative code);
+    * ``region[pc]`` — speculative-region id or ``None``;
+    * ``handler_of`` — pc of a speculative instruction → entry pc of its
+      misspeculation handler (what ``pc + Δ``'s skeleton branch targets).
+    """
+
+    var: list = field(default_factory=list)
+    block: list = field(default_factory=list)
+    world: list = field(default_factory=list)
+    region: list = field(default_factory=list)
+    handler_of: dict = field(default_factory=dict)
+
+
+@dataclass
 class LinkedProgram:
     """A fully linked executable image for the machine simulator."""
 
@@ -51,6 +76,8 @@ class LinkedProgram:
     #: index -> function name (for attribution in diagnostics)
     owner: list = field(default_factory=list)
     code_size: int = 0
+    #: per-pc provenance for the observability layer
+    debug: DebugInfo = field(default_factory=DebugInfo)
 
     def dump(self, start: int = 0, count: int = 80) -> str:
         lines = []
@@ -154,14 +181,17 @@ def link_program(program: MachineProgram) -> LinkedProgram:
     # We must know block addresses before eliminating fallthrough branches;
     # do it iteratively: first lay out with all branches, then remove
     # branches to the immediately following block and re-lay.
+    debug = DebugInfo()
     for _round in range(2):
         flat = []
         owner = []
         block_index = {}
+        debug = DebugInfo()
         for func in ordered_functions:
             blocks = _order_blocks(func)
             for b_pos, block in enumerate(blocks):
                 block_index[id(block)] = len(flat)
+                world = "handler" if block.is_handler else (block.world or "")
                 for inst in block.insts:
                     if (
                         _round == 1
@@ -173,6 +203,10 @@ def link_program(program: MachineProgram) -> LinkedProgram:
                         continue  # fallthrough
                     flat.append(inst)
                     owner.append(func.name)
+                    debug.var.append(inst.comment)
+                    debug.block.append(block.name)
+                    debug.world.append(world)
+                    debug.region.append(block.region_id)
             linked.function_entries[func.name] = block_index[
                 id(blocks[0])
             ]
@@ -219,11 +253,17 @@ def link_program(program: MachineProgram) -> LinkedProgram:
                 skeleton[index] = MachineInst(
                     "b", target=block_index[id(handler_block)]
                 )
+                debug.handler_of[index] = block_index[id(handler_block)]
         resolved.extend(skeleton)
         owner.extend(["__skeleton__"] * code_len)
+        debug.var.extend([""] * code_len)
+        debug.block.extend(["__skeleton__"] * code_len)
+        debug.world.extend(["skeleton"] * code_len)
+        debug.region.extend([None] * code_len)
 
     linked.insts = resolved
     linked.owner = owner
+    linked.debug = debug
     linked.entry_index = linked.function_entries[program.entry]
     return linked
 

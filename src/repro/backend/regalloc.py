@@ -121,6 +121,8 @@ class AllocationStats:
     spill_loads: int = 0
     copies: int = 0
     frame_bytes: int = 0
+    #: "%vN:hint" -> repr of its assigned Slice/FrameSlot (repro.obs)
+    assignments: dict = field(default_factory=dict)
 
 
 def _succs_with_handlers(block: MachineBlock) -> list[MachineBlock]:
@@ -506,6 +508,14 @@ class RegisterAllocator:
         for block in self.mfunc.blocks:
             out: list[MachineInst] = []
             for inst in block.insts:
+                # Debug metadata: the vreg hint (IR value name) is about
+                # to be erased by the Slice rewrite — pin it on the inst
+                # so Δ-layout can emit per-pc variable provenance.
+                if not inst.comment:
+                    for d in inst.defs:
+                        if isinstance(d, VReg) and d.hint:
+                            inst.comment = d.hint
+                            break
                 reloads: list[MachineInst] = []
                 stores: list[MachineInst] = []
                 scratch_index = 0
@@ -608,6 +618,19 @@ class RegisterAllocator:
         self.cleanup_moves()
         finalize_frame(self.mfunc, self.used_callee_saved, self._scratch_used)
         self.stats.frame_bytes = self.mfunc.frame_bytes
+        self.stats.assignments = {
+            (f"%v{v.id}:{v.hint}" if v.hint else f"%v{v.id}"): repr(loc)
+            for v, loc in sorted(
+                self.location.items(), key=lambda kv: kv[0].id
+            )
+        }
+        from repro.passes import stats as pass_stats
+
+        pass_stats.bump("regalloc", "vregs_assigned", self.stats.assigned_vregs)
+        pass_stats.bump("regalloc", "vregs_spilled", self.stats.spilled_vregs)
+        pass_stats.bump("regalloc", "spill_stores", self.stats.spill_stores)
+        pass_stats.bump("regalloc", "spill_loads", self.stats.spill_loads)
+        pass_stats.bump("regalloc", "copies", self.stats.copies)
         return self.stats
 
 

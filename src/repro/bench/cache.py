@@ -31,7 +31,8 @@ from typing import Optional
 ENERGY_MODEL_VERSION = 1
 
 #: On-disk entry schema version; mismatches are treated as corruption.
-ENTRY_FORMAT = 1
+#: 2: payloads carry ``pass_stats`` (repro.passes.stats snapshots).
+ENTRY_FORMAT = 2
 
 
 def energy_model_stamp() -> str:
@@ -233,6 +234,7 @@ def record_to_payload(record) -> dict:
         "sim": _sim_to_dict(record.sim),
         "energy": record.energy.as_dict(),
         "dts_energy": record.dts_energy.as_dict() if record.dts_energy else None,
+        "pass_stats": record.pass_stats,
     }
     return payload
 
@@ -251,6 +253,7 @@ def payload_to_record(payload: dict, config):
         correct=payload["correct"],
         energy=EnergyBreakdown(**payload["energy"]),
         dts_energy=EnergyBreakdown(**dts) if dts else None,
+        pass_stats=payload.get("pass_stats") or {},
     )
 
 

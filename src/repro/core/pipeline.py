@@ -23,6 +23,7 @@ from repro.frontend.ast_nodes import Program
 from repro.interp.interpreter import Interpreter, RunResult
 from repro.ir.cfg import remove_unreachable_blocks
 from repro.ir.function import Module
+from repro.passes import stats as pass_stats
 from repro.passes.dce import eliminate_dead_code_module
 from repro.passes.expander import ExpanderConfig, build_module
 from repro.passes.cfg_prep import prepare_cfg_module
@@ -143,18 +144,33 @@ class CompiledBinary:
     squeeze_results: dict = field(default_factory=dict)
     alloc_stats: dict = field(default_factory=dict)
     opt_counts: dict = field(default_factory=dict)
+    #: LLVM `-stats`-style per-pass counters collected during compilation
+    pass_stats: dict = field(default_factory=dict)
     #: static code size in instructions (excluding the skeleton area)
     code_size: int = 0
 
     def run(
-        self, inputs: Optional[dict] = None, entry: str = "main"
+        self,
+        inputs: Optional[dict] = None,
+        entry: str = "main",
+        *,
+        obs: bool = False,
     ) -> SimResult:
-        """Simulate on the architecture model with the given inputs."""
+        """Simulate on the architecture model with the given inputs.
+
+        ``obs=True`` attaches a per-pc :class:`repro.obs.events.PcSample`
+        to ``SimResult.obs``.  The sample comes from the predecoded fast
+        path's own batched counters, so obs always uses the fast engine
+        (never a ``_run_legacy`` fallback — the engines are bit-identical,
+        so ``REPRO_MACHINE_LEGACY`` is ignored for obs runs).
+        """
         if inputs:
             set_global_inputs(self.module, inputs)
         if entry != "main":
             raise ValueError("the machine image always enters at main")
-        machine = Machine(self.linked, self.module)
+        machine = Machine(
+            self.linked, self.module, obs=obs, fast=True if obs else None
+        )
         result = machine.run()
         if self.config.voltage_scaling == "timesqueezing":
             result.dts_energy = DTSModel().apply(result)
@@ -200,6 +216,17 @@ def compile_binary(
     verifiers between passes.
     """
     hook = stage_hook or (lambda stage, mod: None)
+    with pass_stats.collecting() as stats_scope:
+        binary = _compile_binary(
+            source, config, profile_inputs, entry, name, hook
+        )
+    binary.pass_stats = pass_stats.snapshot(stats_scope)
+    return binary
+
+
+def _compile_binary(
+    source, config, profile_inputs, entry, name, hook
+) -> CompiledBinary:
     module = build_module(source, config.expander, name)
     hook("frontend+expander", module)
     binary = CompiledBinary(config=config, module=module, linked=None)

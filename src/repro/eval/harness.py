@@ -35,6 +35,8 @@ class RunRecord:
     energy: EnergyBreakdown
     #: energy under time squeezing (populated when voltage_scaling says so)
     dts_energy: Optional[EnergyBreakdown] = None
+    #: per-pass compiler counters (repro.passes.stats), cached with the run
+    pass_stats: dict = field(default_factory=dict)
 
     @property
     def total_energy(self) -> float:
@@ -161,6 +163,7 @@ def run(
         binary=binary,
         correct=sim.output == expected,
         energy=sim.energy(),
+        pass_stats=binary.pass_stats,
     )
     if config.voltage_scaling == "timesqueezing":
         record.dts_energy = DTSModel().apply(sim)

@@ -26,7 +26,10 @@ On top of output agreement, per-run invariants are asserted:
   DTS (time-squeezed) energy never exceeds nominal energy;
 * the baseline interpreter run never misspeculates;
 * under T=MAX with profile == run inputs, misspeculation count is exactly 0
-  (Theorem 3.2's "speculation holds on the profiled path").
+  (Theorem 3.2's "speculation holds on the profiled path");
+* under T=MAX the run is observability-enabled and the attribution totals
+  (:func:`repro.obs.attribution.check_conservation`) must re-sum to the
+  ``SimResult`` aggregates integer-exactly.
 """
 
 from __future__ import annotations
@@ -217,10 +220,22 @@ def _run_oracles(
         report.misspeculations[f"interp-squeezed-{heuristic}"] = (
             interp_result.trace.misspeculations
         )
-        sim = binary.run(program.inputs_run)
+        # T=MAX runs with observability on: the attribution conservation
+        # invariant (per-pc tallies re-sum to the SimResult aggregates,
+        # integer-exact) is cross-checked on every fuzzed program.
+        obs = heuristic == "max"
+        sim = binary.run(program.inputs_run, obs=obs)
         report.outputs[f"machine-bitspec-{heuristic}"] = sim.output
         report.misspeculations[f"machine-bitspec-{heuristic}"] = sim.misspeculations
         _check_energy(report, f"machine-bitspec-{heuristic}", sim)
+        if obs:
+            from repro.obs.attribution import attribute, check_conservation
+
+            attribution = attribute(binary.linked, sim.obs)
+            for mismatch in check_conservation(attribution, sim):
+                report.invariant_failures.append(
+                    f"machine-bitspec-{heuristic}: obs conservation: {mismatch}"
+                )
 
     # Machine baseline + Thumb.
     for level, config in (

@@ -1,0 +1,196 @@
+"""Structured observability events and the ring-buffered event bus.
+
+The machine's fast path does not emit events one at a time — that would
+put a callback in the hot loop.  Instead it hands back one
+:class:`PcSample` per run: per-pc arrays of the dynamic events the loop
+already had to notice (cache misses, load-use hazards, misspeculations,
+taken conditional branches, conditional-move commits), alongside the
+per-pc execution counts.  :func:`events_from_sample` expands a sample
+into *batched* typed events — one :class:`ObsEvent` per (kind, pc) with a
+``count`` — which is what a trace consumer or the :class:`EventBus`
+ingests.  Everything aggregate is derived, nothing is double-counted:
+:mod:`repro.obs.attribution` proves that by re-summing to the
+:class:`~repro.arch.machine.SimResult` totals bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+# -- event kinds --------------------------------------------------------------
+
+MISSPECULATION = "misspeculation"
+HANDLER_ENTER = "handler_enter"
+HANDLER_EXIT = "handler_exit"
+ICACHE_MISS = "icache_miss"
+DCACHE_MISS = "dcache_miss"
+STALL = "stall"
+DTS_MODE_SWITCH = "dts_mode_switch"
+
+#: every event kind, in rendering order
+EVENT_KINDS = (
+    MISSPECULATION,
+    HANDLER_ENTER,
+    HANDLER_EXIT,
+    ICACHE_MISS,
+    DCACHE_MISS,
+    STALL,
+    DTS_MODE_SWITCH,
+)
+
+
+@dataclass(frozen=True)
+class ObsEvent:
+    """One batched observability event.
+
+    ``count`` is how many times the event occurred at ``pc`` during the
+    run (batching per-pc keeps event streams small and the simulator
+    fast); ``info`` carries kind-specific detail, e.g. the miss level
+    (``"l2"``/``"mem"``), the stall reason (``"hazard"``), the handler
+    entry pc for misspeculations, or the DTS class being switched.
+    """
+
+    kind: str
+    pc: int
+    count: int = 1
+    info: str = ""
+
+
+@dataclass
+class PcSample:
+    """Per-pc dynamic event counts from one fast-path run.
+
+    Parallel arrays indexed by pc over the full image (code + skeleton).
+    ``exec_counts[pc]`` is the number of dynamic executions; the other
+    arrays count the rare events.  Common-case counters (L1 hits,
+    successful speculative writes, stall cycles) are *derived* — see
+    :func:`repro.arch.predecode.pc_counters`.
+    """
+
+    narrow_rf: bool
+    delta: int
+    exec_counts: list = field(default_factory=list)
+    icache_l2: list = field(default_factory=list)
+    icache_mem: list = field(default_factory=list)
+    dcache_l2: list = field(default_factory=list)
+    dcache_mem: list = field(default_factory=list)
+    hazards: list = field(default_factory=list)
+    misspecs: list = field(default_factory=list)
+    taken: list = field(default_factory=list)
+    movconds: list = field(default_factory=list)
+
+    @property
+    def n_insts(self) -> int:
+        return len(self.exec_counts)
+
+
+class EventBus:
+    """A bounded ring buffer of :class:`ObsEvent`.
+
+    ``capacity`` bounds memory for arbitrarily long traces: when full,
+    the oldest events are overwritten and ``dropped`` counts them, so a
+    consumer always knows whether the window is complete.
+    """
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.dropped = 0
+        self._ring: list[Optional[ObsEvent]] = [None] * capacity
+        self._next = 0  # next write position
+        self._size = 0
+
+    def post(self, event: ObsEvent) -> None:
+        if self._size == self.capacity:
+            self.dropped += 1
+        else:
+            self._size += 1
+        self._ring[self._next] = event
+        self._next = (self._next + 1) % self.capacity
+
+    def post_all(self, events) -> None:
+        for event in events:
+            self.post(event)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def drain(self) -> list[ObsEvent]:
+        """Return buffered events oldest-first and empty the bus."""
+        if self._size < self.capacity:
+            out = [e for e in self._ring[: self._size]]
+        else:
+            out = self._ring[self._next:] + self._ring[: self._next]
+        self._ring = [None] * self.capacity
+        self._next = 0
+        self._size = 0
+        return [e for e in out if e is not None]
+
+    def counts_by_kind(self) -> dict:
+        """Total occurrence count per event kind currently buffered."""
+        totals: dict = {}
+        live = (
+            self._ring[: self._size]
+            if self._size < self.capacity
+            else self._ring
+        )
+        for event in live:
+            if event is not None:
+                totals[event.kind] = totals.get(event.kind, 0) + event.count
+        return totals
+
+
+def events_from_sample(sample: PcSample, debug=None) -> Iterator[ObsEvent]:
+    """Expand a :class:`PcSample` into batched typed events.
+
+    ``debug`` is the program's :class:`repro.backend.layout.DebugInfo`;
+    when given, misspeculation events carry their handler entry pc in
+    ``info`` and are paired with ``HANDLER_ENTER``/``HANDLER_EXIT``
+    events at that handler (the misspeculate-once model re-enters
+    CFG_orig, so enter and exit counts match the misspeculation count).
+    """
+    handler_of = debug.handler_of if debug is not None else {}
+    for pc in range(sample.n_insts):
+        if not sample.exec_counts[pc]:
+            continue
+        if sample.icache_l2[pc]:
+            yield ObsEvent(ICACHE_MISS, pc, sample.icache_l2[pc], "l2")
+        if sample.icache_mem[pc]:
+            yield ObsEvent(ICACHE_MISS, pc, sample.icache_mem[pc], "mem")
+        if sample.dcache_l2[pc]:
+            yield ObsEvent(DCACHE_MISS, pc, sample.dcache_l2[pc], "l2")
+        if sample.dcache_mem[pc]:
+            yield ObsEvent(DCACHE_MISS, pc, sample.dcache_mem[pc], "mem")
+        if sample.hazards[pc]:
+            yield ObsEvent(STALL, pc, sample.hazards[pc], "hazard")
+        miss = sample.misspecs[pc]
+        if miss:
+            handler = handler_of.get(pc)
+            info = f"handler@{handler}" if handler is not None else ""
+            yield ObsEvent(MISSPECULATION, pc, miss, info)
+            if handler is not None:
+                yield ObsEvent(HANDLER_ENTER, handler, miss, f"for@{pc}")
+                yield ObsEvent(HANDLER_EXIT, handler, miss, f"for@{pc}")
+
+
+def dts_mode_events(class_counts: dict, slack_profile: dict) -> Iterator[ObsEvent]:
+    """Model DTS mode switches as batched per-class events.
+
+    The DTS model (:mod:`repro.arch.dts`) is post-hoc — it rescales
+    energy by the dynamic class mix rather than simulating a timeline —
+    so its "mode switches" are reported the same way: one batched event
+    per instruction class that runs at a non-nominal voltage/frequency
+    mode, counted at the class's dynamic instruction count.  ``pc`` is
+    -1: the events are class-wide, not located at an instruction.
+
+    ``slack_profile`` maps class -> critical-path fraction of the clock
+    period (:data:`repro.arch.dts.SLACK_PROFILE`); a fraction below 1.0
+    means the class runs in a scaled-down mode.
+    """
+    for cls in sorted(class_counts):
+        count = class_counts[cls]
+        fraction = slack_profile.get(cls, 1.0)
+        if count and fraction < 1.0:
+            yield ObsEvent(DTS_MODE_SWITCH, -1, count, f"{cls}:path={fraction}")

@@ -1,5 +1,11 @@
-"""Middle-end passes: expander, CFG prep, squeezer, speculative opts."""
+"""Middle-end passes: expander, CFG prep, squeezer, speculative opts.
 
+Every pass reports what it did through the scoped counter registry in
+:mod:`repro.passes.stats` (LLVM ``-stats`` style); the pipeline collects
+a snapshot onto ``CompiledBinary.pass_stats``.
+"""
+
+from repro.passes import stats
 from repro.passes.cfg_prep import check_prepared, prepare_cfg, prepare_cfg_module
 from repro.passes.dce import eliminate_dead_code, eliminate_dead_code_module
 from repro.passes.expander import (
@@ -44,5 +50,6 @@ __all__ = [
     "simplify_module",
     "squeeze_function",
     "squeeze_module",
+    "stats",
     "unroll_program",
 ]

@@ -45,4 +45,8 @@ def eliminate_dead_code(func: Function) -> int:
 
 
 def eliminate_dead_code_module(module: Module) -> int:
-    return sum(eliminate_dead_code(f) for f in module.functions.values())
+    from repro.passes import stats
+
+    removed = sum(eliminate_dead_code(f) for f in module.functions.values())
+    stats.bump("dce", "instructions_removed", removed)
+    return removed

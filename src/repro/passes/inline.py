@@ -142,4 +142,7 @@ def inline_module(
                     total += 1
                     progress = True
                     break  # the block was split; rescan
+    from repro.passes import stats
+
+    stats.bump("inline", "calls_inlined", total)
     return total

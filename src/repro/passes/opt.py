@@ -131,10 +131,16 @@ def run_speculative_opts(
     bitmask_elision: bool = True,
 ) -> dict[str, int]:
     """Run the enabled optimizations module-wide; returns counts."""
+    from repro.passes import stats
+
     counts = {"compares_eliminated": 0, "bitmasks_elided": 0}
     for func in module.functions.values():
         if compare_elimination:
             counts["compares_eliminated"] += eliminate_compares(func)
         if bitmask_elision:
             counts["bitmasks_elided"] += elide_bitmasks(func)
+    stats.bump("speculative-opts", "compares_eliminated",
+               counts["compares_eliminated"])
+    stats.bump("speculative-opts", "bitmasks_elided",
+               counts["bitmasks_elided"])
     return counts

@@ -222,9 +222,13 @@ def _thread_empty_blocks(func: Function) -> int:
 
 def simplify_function(func: Function) -> None:
     """Run the full simplification pipeline to a fixpoint."""
+    from repro.passes import stats
+
     for _ in range(8):
         changed = 0
-        changed += fold_constants(func)
+        folds = fold_constants(func)
+        stats.bump("simplify", "constants_folded", folds)
+        changed += folds
         changed += _fold_constant_branches(func)
         changed += _thread_empty_blocks(func)
         changed += _merge_straightline(func)

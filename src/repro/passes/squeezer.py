@@ -35,6 +35,7 @@ from repro.ir.instructions import (
 )
 from repro.ir.liveness import compute_liveness
 from repro.ir.types import IntType, int_type
+from repro.passes import stats
 from repro.ir.values import Constant, Value
 from repro.passes.ssa_updater import SSAUpdater
 from repro.profiler.selection import SQUEEZE_WIDTH, SqueezePlan
@@ -332,5 +333,12 @@ def squeeze_module(
     """Squeeze every function that has a plan; returns per-function results."""
     results = {}
     for name, plan in plans.items():
-        results[name] = squeeze_function(module.functions[name], plan, module)
+        result = squeeze_function(module.functions[name], plan, module)
+        results[name] = result
+        stats.bump("squeezer", "variables_narrowed", result.narrowed)
+        stats.bump("squeezer", "compares_narrowed", result.narrowed_cmps)
+        stats.bump("squeezer", "casts_inserted", result.spec_truncs)
+        stats.bump("squeezer", "regions_created", result.regions)
+        stats.bump("squeezer", "functions_squeezed",
+                   1 if (plan.narrow or plan.narrow_cmps) else 0)
     return results

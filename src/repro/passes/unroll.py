@@ -249,7 +249,10 @@ def unroll_program(
     """Unroll eligible loops in place; returns the number of loops unrolled."""
     if factor <= 1:
         return 0
+    from repro.passes import stats
+
     counter = [0]
     for func in program.functions:
         func.body = _unroll_stmts(func.body, factor, max_loop_size, counter)
+    stats.bump("unroll", "loops_unrolled", counter[0])
     return counter[0]

@@ -104,6 +104,8 @@ def compute_squeeze_plan(
     heuristic: str = "max",
 ) -> SqueezePlan:
     """Compute BW (Eq. 3 constraints applied to T) and the squeeze sets."""
+    from repro.passes import stats
+
     plan = SqueezePlan(heuristic=heuristic)
 
     candidates: set[Instruction] = set()
@@ -148,6 +150,7 @@ def compute_squeeze_plan(
                     # amount bounded below the slice width keeps the
                     # no-misspeculation-on-the-profiled-path guarantee.
                     plan.bw[inst] = original_bits
+                    stats.bump("selection", "shl_amount_rejected")
                     continue
             bw = max([target] + operand_targets)
             plan.bw[inst] = bw if bw <= SQUEEZE_WIDTH else original_bits
@@ -190,6 +193,7 @@ def compute_squeeze_plan(
             if isinstance(inst, Phi) and not phi_ok(inst):
                 candidates.discard(inst)
                 plan.bw[inst] = inst.type.bits
+                stats.bump("selection", "phis_rejected")
                 changed = True
 
     plan.narrow = candidates
@@ -222,6 +226,9 @@ def compute_squeeze_plan(
                 ok = False
         if ok and isinstance(cmp.lhs.type, IntType) and cmp.lhs.type.bits > SQUEEZE_WIDTH:
             kept_cmps.add(cmp)
+    stats.bump(
+        "selection", "compares_rejected", len(plan.narrow_cmps) - len(kept_cmps)
+    )
     plan.narrow_cmps = kept_cmps
 
     # Profile-narrow arguments consumed by squeezed instructions get a
@@ -231,4 +238,7 @@ def compute_squeeze_plan(
     for arg in small_args:
         if any(arg in inst.operands for inst in narrow_consumers):
             plan.narrow_args.add(arg)
+    stats.bump("selection", "values_selected", len(plan.narrow))
+    stats.bump("selection", "compares_selected", len(plan.narrow_cmps))
+    stats.bump("selection", "arguments_narrowed", len(plan.narrow_args))
     return plan

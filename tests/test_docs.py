@@ -1,0 +1,143 @@
+"""Documentation lint: docstrings, markdown links, code references.
+
+Three guarantees, so the docs tree cannot silently rot:
+
+* every ``repro.*`` package ``__init__`` carries a real module docstring;
+* every internal link in ``docs/*.md`` (plus README/EXPERIMENTS/DESIGN)
+  points at a file that exists, and every ``#anchor`` fragment matches a
+  heading in its target;
+* every backticked dotted code reference (``repro.module.symbol``) in
+  those documents resolves by import + attribute lookup.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+import re
+from pathlib import Path
+
+import pytest
+
+import repro
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: documents the lint covers (docs/ plus the top-level entry points)
+DOCS = sorted(
+    [
+        *(REPO / "docs").glob("*.md"),
+        REPO / "README.md",
+        REPO / "EXPERIMENTS.md",
+        REPO / "DESIGN.md",
+    ]
+)
+
+PACKAGES = ["repro"] + [
+    f"repro.{m.name}"
+    for m in pkgutil.iter_modules(repro.__path__)
+    if m.ispkg
+]
+
+
+# -- docstrings ----------------------------------------------------------------
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_package_docstring(package):
+    module = importlib.import_module(package)
+    doc = (module.__doc__ or "").strip()
+    assert doc, f"{package}/__init__.py has no module docstring"
+    assert len(doc.splitlines()[0]) > 10, (
+        f"{package} docstring first line is not a real summary: {doc!r}"
+    )
+
+
+# -- markdown helpers ----------------------------------------------------------
+
+
+_FENCE = re.compile(r"^```.*?^```", re.MULTILINE | re.DOTALL)
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_CODE_SPAN = re.compile(r"`([^`\n]+)`")
+_CODE_REF = re.compile(r"^repro(\.[A-Za-z_][A-Za-z0-9_]*)+$")
+
+
+def _prose(path: Path) -> str:
+    """The document text with fenced code blocks removed."""
+    return _FENCE.sub("", path.read_text())
+
+
+def _anchor(heading: str) -> str:
+    """GitHub-style anchor slug for a markdown heading."""
+    text = heading.strip().lstrip("#").strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _anchors(path: Path) -> set:
+    return {
+        _anchor(line)
+        for line in _FENCE.sub("", path.read_text()).splitlines()
+        if line.startswith("#")
+    }
+
+
+# -- links ---------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("doc", DOCS, ids=lambda p: p.name)
+def test_internal_links_resolve(doc):
+    problems = []
+    for target in _LINK.findall(_prose(doc)):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, fragment = target.partition("#")
+        resolved = (
+            doc if not path_part else (doc.parent / path_part).resolve()
+        )
+        if not resolved.exists():
+            problems.append(f"{target}: {resolved} does not exist")
+            continue
+        if fragment and resolved.suffix == ".md":
+            if fragment not in _anchors(resolved):
+                problems.append(
+                    f"{target}: no heading for anchor #{fragment} "
+                    f"in {resolved.name}"
+                )
+    assert not problems, f"{doc.name}: broken links:\n  " + "\n  ".join(problems)
+
+
+# -- code references -----------------------------------------------------------
+
+
+def _resolve(ref: str) -> bool:
+    """Import the longest module prefix of ``ref``, getattr the rest."""
+    parts = ref.split(".")
+    for cut in range(len(parts), 0, -1):
+        try:
+            obj = importlib.import_module(".".join(parts[:cut]))
+        except ImportError:
+            continue
+        try:
+            for attr in parts[cut:]:
+                obj = getattr(obj, attr)
+        except AttributeError:
+            return False
+        return True
+    return False
+
+
+@pytest.mark.parametrize("doc", DOCS, ids=lambda p: p.name)
+def test_code_references_resolve(doc):
+    problems = []
+    for span in _CODE_SPAN.findall(_prose(doc)):
+        if _CODE_REF.match(span) and not _resolve(span):
+            problems.append(span)
+    assert not problems, (
+        f"{doc.name}: unresolvable code references: {problems}"
+    )
+
+
+def test_docs_tree_exists():
+    for name in ("architecture.md", "observability.md", "glossary.md"):
+        assert (REPO / "docs" / name).is_file(), f"docs/{name} missing"
