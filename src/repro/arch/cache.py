@@ -73,13 +73,32 @@ class Cache:
         self._last_line = -1
 
 
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Sweepable cache configuration (sizes in KiB; defaults match §4.1)."""
+
+    l1_kb: int = 8
+    l1_ways: int = 4
+    l2_kb: int = 256
+    l2_ways: int = 8
+
+    def validate(self) -> "CacheGeometry":
+        # Construct both levels once so bad geometry fails loudly at
+        # configuration time, not mid-simulation.
+        Cache(self.l1_kb * 1024, self.l1_ways, "probe-l1")
+        Cache(self.l2_kb * 1024, self.l2_ways, "probe-l2")
+        return self
+
+
 class MemoryHierarchy:
     """I$/D$ + shared L2 + DRAM; returns the serving level per access."""
 
-    def __init__(self) -> None:
-        self.icache = Cache(8 * 1024, 4, "icache")
-        self.dcache = Cache(8 * 1024, 4, "dcache")
-        self.l2 = Cache(256 * 1024, 8, "l2")
+    def __init__(self, geometry: CacheGeometry = None) -> None:
+        g = geometry or CacheGeometry()
+        self.geometry = g
+        self.icache = Cache(g.l1_kb * 1024, g.l1_ways, "icache")
+        self.dcache = Cache(g.l1_kb * 1024, g.l1_ways, "dcache")
+        self.l2 = Cache(g.l2_kb * 1024, g.l2_ways, "l2")
         self.dram_accesses = 0
 
     def fetch(self, addr: int) -> str:

@@ -105,4 +105,8 @@ class DTSModel:
         """Scaled energy breakdown for a simulation under time squeezing."""
         factor = self.scale_for_mix(sim_result.class_counts)
         scale = {c: factor for c in ("alu", "regfile", "dcache", "icache", "pipeline")}
-        return compute_energy(sim_result.counters, scale=scale)
+        return compute_energy(
+            sim_result.counters,
+            scale=scale,
+            slice_bits=getattr(sim_result, "slice_width", 8),
+        )

@@ -106,12 +106,20 @@ class EnergyBreakdown:
 
 
 def compute_energy(
-    counters: EnergyCounters, *, scale: dict = None
+    counters: EnergyCounters, *, scale: dict = None, slice_bits: int = 8
 ) -> EnergyBreakdown:
     """Convert event counts to a component energy breakdown.
 
     ``scale`` optionally multiplies each component's energy — the DTS model
     (RQ8) passes per-component voltage-scaling factors through here.
+
+    ``slice_bits`` is the speculative slice width the binary was compiled
+    for: the segmented ALU's slice-op cost scales linearly with the active
+    carry-chain length, so a 16-bit slice op costs twice the calibrated
+    8-bit cost and a 4-bit op half of it.  At the default (8) the numbers
+    are bit-identical to the original model.  This is an approximation for
+    the few native i8 ops that share the ``alu8`` counter under a non-8-bit
+    configuration; see docs/dse.md.
     """
     out = EnergyBreakdown()
     c = COSTS
@@ -133,7 +141,7 @@ def compute_energy(
         out.regfile += count * c["rf_write"] * (width / 4.0)
     out.alu = (
         counters.alu32_ops * c["alu32"]
-        + counters.alu8_ops * c["alu8"]
+        + counters.alu8_ops * c["alu8"] * (slice_bits / 8.0)
         + counters.mul_ops * c["mul"]
         + counters.div_ops * c["div"]
         + counters.move_ops * c["move"]

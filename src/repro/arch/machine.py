@@ -21,8 +21,9 @@ import os
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.arch.cache import MemoryHierarchy
+from repro.arch.cache import CacheGeometry, MemoryHierarchy
 from repro.arch.energy import EnergyBreakdown, EnergyCounters, compute_energy
+from repro.arch.widths import BYTE_MASKS as _MASKS, slice_mask
 from repro.backend.layout import LinkedProgram
 from repro.backend.mir import Imm, MachineInst, Slice
 from repro.interp.interpreter import evaluate_icmp
@@ -32,8 +33,6 @@ from repro.ir.types import int_type
 
 # Return-address sentinel: survives the 32-bit masking of stack save/restore.
 HALT = 0xFFFFFFFF
-
-_MASKS = {1: 0xFF, 2: 0xFFFF, 4: 0xFFFFFFFF}
 
 _DIV_OPS = {"udiv", "sdiv", "urem", "srem"}
 
@@ -66,12 +65,17 @@ class SimResult:
     class_counts: dict = field(default_factory=lambda: {c: 0 for c in DTS_CLASSES})
     memory: Optional[FlatMemory] = None
     return_value: int = 0
+    #: speculative slice width (bits) the binary was compiled for — scales
+    #: the slice-ALU energy cost; 8 for every legacy/default configuration
+    slice_width: int = 8
     #: per-pc observability sample (:class:`repro.obs.events.PcSample`);
     #: populated only when the Machine ran with ``obs=True``
     obs: Optional[object] = None
 
     def energy(self, scale: Optional[dict] = None) -> EnergyBreakdown:
-        return compute_energy(self.counters, scale=scale)
+        return compute_energy(
+            self.counters, scale=scale, slice_bits=self.slice_width
+        )
 
     @property
     def epi(self) -> float:
@@ -112,11 +116,18 @@ class Machine:
         trace_hook=None,
         fast: Optional[bool] = None,
         obs: bool = False,
+        geometry: Optional[CacheGeometry] = None,
     ) -> None:
         self.linked = linked
         self.module = module
         self.step_limit = step_limit
         self.narrow_rf = linked.isa == "ARM_BS"
+        #: speculative slice width in bits, stamped on the linked image
+        self.slice_width = getattr(linked, "slice_width", 8)
+        #: values above this mask misspeculate in ``bs_*`` ops (§3.5)
+        self.spec_mask = slice_mask(self.slice_width)
+        #: cache hierarchy configuration (None = the paper's §4.1 geometry)
+        self.geometry = geometry
         #: optional debug callback: trace_hook(pc, regs) before each step
         self.trace_hook = trace_hook
         self.fast = fast
@@ -147,12 +158,12 @@ class Machine:
         insts = linked.insts
         delta = linked.delta
         inst_bytes = linked.inst_bytes
-        result = SimResult()
+        result = SimResult(slice_width=self.slice_width)
         counters = result.counters
         rf_reads = counters.rf_reads_by_width
         rf_writes = counters.rf_writes_by_width
         class_counts = result.class_counts
-        hierarchy = MemoryHierarchy()
+        hierarchy = MemoryHierarchy(self.geometry)
         fetch = hierarchy.fetch
         data_access = hierarchy.data_access
 
@@ -325,7 +336,7 @@ class Machine:
                 result.loads += 1
                 counters.alu8_ops += 1
                 class_counts["alu8"] += 1
-                if value > 0xFF:
+                if value > self.spec_mask:
                     misspecs += 1
                     cycles += 3
                     next_pc = pc + delta
@@ -525,16 +536,17 @@ class Machine:
 
         Returns "misspec", a new cmp_state tuple (for ``bs_cmp``), or None.
         Misspeculation is detected exactly as the segmented ALU does it:
-        any carry/borrow/bit leaving the 8-bit slice (§3.5).
+        any carry/borrow/bit leaving the configured slice (§3.5).
         """
         opcode = inst.opcode
+        spec_mask = self.spec_mask
         counters.alu8_ops += 1
         class_counts["alu8"] += 1
         if opcode == "bs_cmp":
-            return (read(inst.uses[0]), read(inst.uses[1]), 1)
+            return (read(inst.uses[0]), read(inst.uses[1]), inst.width)
         if opcode == "bs_trunc":
             value = read(inst.uses[0])
-            if value > 0xFF:
+            if value > spec_mask:
                 return "misspec"
             write(inst.defs[0], value)
             return None
@@ -560,7 +572,7 @@ class Machine:
             wide = a >> b if b < 32 else 0
         else:
             raise MachineError(f"unknown speculative opcode {opcode!r}")
-        if wide < 0 or wide > 0xFF:
+        if wide < 0 or wide > spec_mask:
             return "misspec"
         write(inst.defs[0], wide)
         return None

@@ -36,14 +36,13 @@ set, the arrays are handed to the caller as a
 from __future__ import annotations
 
 from repro.arch.cache import MemoryHierarchy
+from repro.arch.widths import BYTE_MASKS as _MASKS, slice_mask
 from repro.backend.mir import Imm, Slice
 from repro.interp.interpreter import evaluate_icmp
 from repro.interp.memory import FlatMemory, STACK_TOP, initialize_globals
 from repro.ir.types import int_type
 
 HALT = 0xFFFFFFFF
-
-_MASKS = {1: 0xFF, 2: 0xFFFF, 4: 0xFFFFFFFF}
 
 _DIV_OPS = ("udiv", "sdiv", "urem", "srem")
 
@@ -232,7 +231,7 @@ def _predecode_inst(inst, narrow_rf):
         b = _read_desc(inst.uses[1], eff, narrow_rf)
         _bump(eff, C_ALU8)
         _bump(eff, K_ALU8)
-        return (OP_BS_CMP, hazard, a, b), eff
+        return (OP_BS_CMP, hazard, a, b, inst.width), eff
     if opcode == "bs_trunc":
         a = _read_desc(inst.uses[0], eff, narrow_rf)
         dst = _write_desc(inst.defs[0], eff, narrow_rf, count=False)
@@ -417,11 +416,12 @@ def run_fast(machine) -> "SimResult":
     n_insts = len(code)
     delta = linked.delta
     inst_bytes = linked.inst_bytes
+    spec_mask = slice_mask(machine.slice_width)
 
-    result = SimResult()
+    result = SimResult(slice_width=machine.slice_width)
     counters = result.counters
 
-    hierarchy = MemoryHierarchy()
+    hierarchy = MemoryHierarchy(machine.geometry)
     fetch = hierarchy.fetch
     data_access = hierarchy.data_access
 
@@ -608,7 +608,7 @@ def run_fast(machine) -> "SimResult":
                 wide = (a << b) if b < 32 else 0
             else:
                 wide = a >> b if b < 32 else 0
-            if wide < 0 or wide > 0xFF:
+            if wide < 0 or wide > spec_mask:
                 misspec_pc[pc] += 1
                 next_pc = pc + delta
             else:
@@ -626,14 +626,14 @@ def run_fast(machine) -> "SimResult":
             b = ((regs[d[1]] >> d[2]) & d[3]) if k == 1 else (
                 d[1] if k == 0 else regs[13]
             )
-            cmp_state = (a, b, 1)
+            cmp_state = (a, b, t[4])
         elif op == OP_BS_TRUNC:
             d = t[2]
             k = d[0]
             value = ((regs[d[1]] >> d[2]) & d[3]) if k == 1 else (
                 d[1] if k == 0 else regs[13]
             )
-            if value > 0xFF:
+            if value > spec_mask:
                 misspec_pc[pc] += 1
                 next_pc = pc + delta
             else:
@@ -662,7 +662,7 @@ def run_fast(machine) -> "SimResult":
                     d_l2_pc[pc] += 1
                 else:
                     d_mem_pc[pc] += 1
-            if value > 0xFF:
+            if value > spec_mask:
                 misspec_pc[pc] += 1
                 next_pc = pc + delta
             else:

@@ -104,11 +104,16 @@ class FunctionISel:
         module: Module,
         *,
         bitspec: bool,
+        slice_width: int = 8,
     ) -> None:
         self.func = func
         self.module = module
         self.program = program
         self.bitspec = bitspec
+        self.slice_width = slice_width
+        #: register-file footprint of a slice op (bytes); sub-byte widths
+        #: still occupy one byte cell
+        self.slice_bytes = max(1, (slice_width + 7) // 8)
         self.mfunc = MachineFunction(func.name)
         self.vmap: dict[Value, object] = {}
         self.bmap: dict[BasicBlock, MachineBlock] = {}
@@ -168,7 +173,8 @@ class FunctionISel:
             and value.opcode == "zext"
             and not _is_pair(value)
             and isinstance(value.value.type, IntType)
-            and value.value.type.bits <= 8
+            and value.value.type.bits <= max(8, self.slice_width)
+            and value.value.type.bits < 32
             and not isinstance(value.value, Constant)
         ):
             return self.vreg_for(value.value)
@@ -375,7 +381,10 @@ class FunctionISel:
             lhs = self.materialize(inst.lhs)
             rhs = self.operand(inst.rhs, _BS_IMM_MAX)
             out = self.emit(
-                MachineInst(opcode, [vd], [lhs, rhs], width=1, speculative=True)
+                MachineInst(
+                    opcode, [vd], [lhs, rhs],
+                    width=self.slice_bytes, speculative=True,
+                )
             )
             out.handler = self.current.handler
             return
@@ -460,13 +469,19 @@ class FunctionISel:
             return
         narrow = (
             isinstance(lhs.type, IntType)
-            and lhs.type.bits <= 8
+            and lhs.type.bits <= max(8, self.slice_width)
+            and lhs.type.bits < 32
             and isinstance(rhs.type, IntType)
         )
         a = self.materialize(lhs)
         if narrow and self.bitspec:
             b = self.operand(rhs, _BS_IMM_MAX)
-            self.emit(MachineInst("bs_cmp", uses=[a, b], width=1))
+            # width carries the operand's byte size: the slice compare unit
+            # interprets signedness at the operand width, not the sweep's
+            # global slice width.
+            self.emit(
+                MachineInst("bs_cmp", uses=[a, b], width=_value_size(lhs))
+            )
         else:
             b = self.operand(rhs, _ALU_IMM_MAX)
             self.emit(MachineInst("cmp", uses=[a, b], width=_value_size(lhs)))
@@ -508,7 +523,10 @@ class FunctionISel:
                 else self.materialize(source)
             )
             out = self.emit(
-                MachineInst("bs_trunc", [vd], [src], width=1, speculative=True)
+                MachineInst(
+                    "bs_trunc", [vd], [src],
+                    width=self.slice_bytes, speculative=True,
+                )
             )
             out.handler = self.current.handler
             if _is_pair(source):
@@ -552,7 +570,8 @@ class FunctionISel:
             vd = self.vreg_for(inst)
             out = self.emit(
                 MachineInst(
-                    "bs_ldr", [vd], [addr, Imm(elem_size)], width=1, speculative=True
+                    "bs_ldr", [vd], [addr, Imm(elem_size)],
+                    width=self.slice_bytes, speculative=True,
                 )
             )
             out.handler = self.current.handler
@@ -709,14 +728,17 @@ def remove_dead_machine_code(mfunc: MachineFunction) -> int:
 
 
 def select_module(
-    module: Module, *, isa: str = "ARM", name: str = "program"
+    module: Module, *, isa: str = "ARM", name: str = "program",
+    slice_width: int = 8,
 ) -> MachineProgram:
     """Lower a whole module; ``isa`` ∈ {ARM, ARM_BS, THUMB}."""
     program = MachineProgram(name, isa)
     program.global_addresses = layout_globals(module)
     bitspec = isa == "ARM_BS"
     for func in module.functions.values():
-        isel = FunctionISel(func, program, module, bitspec=bitspec)
+        isel = FunctionISel(
+            func, program, module, bitspec=bitspec, slice_width=slice_width
+        )
         mfunc = isel.run()
         remove_dead_machine_code(mfunc)
         program.add_function(mfunc)

@@ -73,6 +73,9 @@ class LinkedProgram:
     global_addresses: dict = field(default_factory=dict)
     #: bytes per instruction (Thumb: 2, ARM: 4) for I$ addressing
     inst_bytes: int = 4
+    #: speculative slice width (bits) the image was compiled for; drives
+    #: the machine's misspeculation mask
+    slice_width: int = 8
     #: index -> function name (for attribution in diagnostics)
     owner: list = field(default_factory=list)
     code_size: int = 0
@@ -162,9 +165,11 @@ def _order_blocks(func: MachineFunction) -> list[MachineBlock]:
     return spec + orig + handlers
 
 
-def link_program(program: MachineProgram) -> LinkedProgram:
+def link_program(
+    program: MachineProgram, *, slice_width: int = 8
+) -> LinkedProgram:
     """Linearize, resolve branches, and append the Δ skeleton area."""
-    linked = LinkedProgram(isa=program.isa)
+    linked = LinkedProgram(isa=program.isa, slice_width=slice_width)
     linked.global_addresses = dict(program.global_addresses)
     if program.isa == "THUMB":
         linked.inst_bytes = 2

@@ -32,7 +32,10 @@ ENERGY_MODEL_VERSION = 1
 
 #: On-disk entry schema version; mismatches are treated as corruption.
 #: 2: payloads carry ``pass_stats`` (repro.passes.stats snapshots).
-ENTRY_FORMAT = 2
+#: 3: sims carry ``slice_width`` and configs carry the DSE knobs
+#:    (slice width, squeeze-op set, hotness/confidence thresholds, DTS
+#:    alpha/awareness, cache geometry) in their fingerprints.
+ENTRY_FORMAT = 3
 
 
 def energy_model_stamp() -> str:
@@ -200,6 +203,7 @@ def _sim_to_dict(sim) -> dict:
     data["output"] = list(sim.output)
     data["class_counts"] = dict(sim.class_counts)
     data["counters"] = counters
+    data["slice_width"] = sim.slice_width
     return data
 
 
@@ -220,6 +224,7 @@ def _sim_from_dict(data: dict):
         output=list(data["output"]),
         counters=counters,
         class_counts=dict(data["class_counts"]),
+        slice_width=data.get("slice_width", 8),
         **{f: data[f] for f in _SIM_INT_FIELDS},
     )
     return sim

@@ -14,8 +14,10 @@ import json
 from dataclasses import asdict, dataclass, field, replace
 from typing import Callable, Optional, Union
 
-from repro.arch.dts import DTSModel
+from repro.arch.cache import CacheGeometry
+from repro.arch.dts import BITWIDTH_AWARE_SLACK, DTSModel
 from repro.arch.machine import Machine, SimResult
+from repro.arch.widths import DEFAULT_SLICE_WIDTH, validate_slice_width
 from repro.backend.isel import select_module
 from repro.backend.layout import LinkedProgram, link_program
 from repro.backend.regalloc import AllocationStats, RegisterAllocator
@@ -50,12 +52,50 @@ class CompilerConfig:
     bitmask_elision: bool = True
     invert_handler_weights: bool = False
     voltage_scaling: str = "nominal"  # 'nominal' | 'timesqueezing'
+    # -- DSE sweep knobs (repro.dse); defaults are the paper's design point --
+    #: speculative slice width in bits (4/8/16; 32 = speculation off)
+    slice_width: int = DEFAULT_SLICE_WIDTH
+    #: binop opcodes the selector may squeeze (subset of Table 1)
+    squeeze_ops: tuple = ("add", "sub", "and", "or", "xor", "shl", "lshr")
+    #: fraction of the function's hottest assignment count a definition
+    #: must reach to be squeezed (0 = no hotness gate)
+    min_hotness: float = 0.0
+    #: headroom bits: eligible iff profiled target ≤ slice_width - margin
+    confidence_margin: int = 0
+    #: alpha-power-law exponent of the DTS voltage model
+    dts_alpha: float = 1.3
+    #: DTS slack estimator exploits slice carry chains (future-work mode)
+    dts_bitwidth_aware: bool = False
+    #: cache geometry (KiB / ways)
+    l1_kb: int = 8
+    l1_ways: int = 4
+    l2_kb: int = 256
+    l2_ways: int = 8
+
+    def __post_init__(self) -> None:
+        validate_slice_width(self.slice_width)
+        self.cache_geometry().validate()
 
     @property
     def heuristic(self) -> str:
         if not self.middle_end.startswith("2cfg-"):
             raise ValueError(f"{self.middle_end} has no heuristic")
         return self.middle_end.split("-", 1)[1]
+
+    def cache_geometry(self) -> CacheGeometry:
+        return CacheGeometry(
+            l1_kb=self.l1_kb, l1_ways=self.l1_ways,
+            l2_kb=self.l2_kb, l2_ways=self.l2_ways,
+        )
+
+    def dts_model(self) -> DTSModel:
+        """The DTS model this configuration's knobs describe."""
+        if self.dts_bitwidth_aware:
+            return DTSModel(
+                alpha=self.dts_alpha,
+                slack_profile=dict(BITWIDTH_AWARE_SLACK),
+            )
+        return DTSModel(alpha=self.dts_alpha)
 
     def fingerprint(self) -> dict:
         """Canonical, JSON-serializable view of every semantic knob.
@@ -169,11 +209,12 @@ class CompiledBinary:
         if entry != "main":
             raise ValueError("the machine image always enters at main")
         machine = Machine(
-            self.linked, self.module, obs=obs, fast=True if obs else None
+            self.linked, self.module, obs=obs, fast=True if obs else None,
+            geometry=self.config.cache_geometry(),
         )
         result = machine.run()
         if self.config.voltage_scaling == "timesqueezing":
-            result.dts_energy = DTSModel().apply(result)
+            result.dts_energy = self.config.dts_model().apply(result)
         return result
 
     def interpret(
@@ -239,7 +280,15 @@ def _compile_binary(
         profile = BitwidthProfile.collect(module, entry)
         binary.profile = profile
         plans = {
-            fname: compute_squeeze_plan(func, profile, config.heuristic)
+            fname: compute_squeeze_plan(
+                func,
+                profile,
+                config.heuristic,
+                width=config.slice_width,
+                ops=frozenset(config.squeeze_ops),
+                min_hotness=config.min_hotness,
+                confidence_margin=config.confidence_margin,
+            )
             for fname, func in module.functions.items()
         }
         binary.squeeze_results = squeeze_module(module, plans)
@@ -248,6 +297,7 @@ def _compile_binary(
             module,
             compare_elimination=config.compare_elimination,
             bitmask_elision=config.bitmask_elision,
+            slice_width=config.slice_width,
         )
         hook("speculative-opts", module)
         for func in module.functions.values():
@@ -262,7 +312,9 @@ def _compile_binary(
     elif config.middle_end != "none":
         raise ValueError(f"unknown middle-end: {config.middle_end}")
 
-    program = select_module(module, isa=config.isa, name=name)
+    program = select_module(
+        module, isa=config.isa, name=name, slice_width=config.slice_width
+    )
     for mfunc in program.functions.values():
         allocator = RegisterAllocator(
             mfunc,
@@ -270,6 +322,6 @@ def _compile_binary(
             invert_handler_weights=config.invert_handler_weights,
         )
         binary.alloc_stats[mfunc.name] = allocator.run()
-    binary.linked = link_program(program)
+    binary.linked = link_program(program, slice_width=config.slice_width)
     binary.code_size = binary.linked.code_size
     return binary

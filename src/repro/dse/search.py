@@ -1,0 +1,91 @@
+"""Search strategies over a :class:`~repro.dse.space.SpecSpace`.
+
+Three strategies, all built on the same cached executor so they compose
+with warm caches and with each other:
+
+* :func:`grid_search` — exhaustive cartesian product; the reference.
+* :func:`random_search` — a seeded sample of the grid; same measurement
+  path, just fewer points.
+* :func:`successive_halving` — bandit-style pruning on *partial rosters*:
+  every point is first scored on a small prefix of the workload roster,
+  only the top ``1/eta`` survive to the next (larger) rung, and the final
+  survivors are measured on the full roster.  Because every cell goes
+  through the content-addressed disk cache, the partial measurements of a
+  survivor are free when the rung grows — the rungs share work instead of
+  repeating it.
+
+Each strategy returns ``(rows, evaluations)``: the PointRows backing the
+result (for halving, the final rung only) and the total number of cells
+measured across all stages.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.dse.runner import evaluate_points
+from repro.dse.space import SpecSpace
+from repro.eval.harness import geomean
+
+
+def grid_search(space: SpecSpace, workloads, **kwargs):
+    """Evaluate every grid point on every workload."""
+    rows = evaluate_points(space.points(), workloads, **kwargs)
+    return rows, len(rows)
+
+
+def random_search(space: SpecSpace, workloads, *, n: int, seed: int = 0, **kwargs):
+    """Evaluate a seeded without-replacement sample of ``n`` grid points."""
+    points = space.points()
+    if n <= 0:
+        raise ValueError("random_search needs n > 0")
+    if n < len(points):
+        points = random.Random(seed).sample(points, n)
+    rows = evaluate_points(points, workloads, **kwargs)
+    return rows, len(rows)
+
+
+def _rank_key(point, rows):
+    """Sort key for a point given its measured rows: lower is better.
+
+    Points with any failed cell sort after every healthy point; ties
+    break on the deterministic config label.
+    """
+    mine = [r for r in rows if r.point == point]
+    failed = any(r.status != "ok" for r in mine)
+    energy = geomean([r.energy_pj for r in mine if r.status == "ok"])
+    return (1 if failed or not energy else 0, energy, point.label())
+
+
+def successive_halving(
+    space: SpecSpace, workloads, *, eta: int = 3, **kwargs
+):
+    """Prune the grid on growing workload rosters; survivors get the full one.
+
+    Rung ``k`` measures the current survivors on the first
+    ``min(eta**k, len(workloads))`` workloads, ranks them by geomean
+    energy over the cells measured so far, and keeps the top
+    ``ceil(n/eta)``.  With fewer than two workloads (or ``eta < 2``)
+    this degenerates to a grid search.
+    """
+    workloads = list(workloads)
+    points = space.points()
+    if eta < 2 or len(workloads) < 2 or len(points) <= eta:
+        rows = evaluate_points(points, workloads, **kwargs)
+        return rows, len(rows)
+
+    evaluations = 0
+    roster_size = 1
+    survivors = points
+    while roster_size < len(workloads) and len(survivors) > 1:
+        roster = workloads[:roster_size]
+        rows = evaluate_points(survivors, roster, **kwargs)
+        evaluations += len(rows)
+        keep = max(1, math.ceil(len(survivors) / eta))
+        survivors = sorted(survivors, key=lambda p: _rank_key(p, rows))[:keep]
+        roster_size = min(roster_size * eta, len(workloads))
+
+    final_rows = evaluate_points(survivors, workloads, **kwargs)
+    evaluations += len(final_rows)
+    return final_rows, evaluations

@@ -654,3 +654,66 @@ def fig18_thumb(benchmarks: Sequence[str] = BENCHMARKS) -> dict:
         "mean_instruction_increase_percent": 100.0 * (geomean(rels) - 1.0),
         "max_instruction_increase_percent": 100.0 * (max(rels) - 1.0),
     }
+
+
+def fig_dse_tradeoff(
+    benchmarks: Sequence[str] = ("crc32", "sha", "bitcount"),
+    widths: Sequence[int] = (4, 8, 16, 32),
+) -> dict:
+    """Energy/cycles trade-off across slice widths (the DSE headline view).
+
+    One row per (benchmark, slice width), normalized to that benchmark's
+    width-32 point — which *is* the BASELINE build, so the width-8 column
+    reproduces fig08's energy ratios.  Rows on the per-benchmark Pareto
+    front over (energy, cycles, misspec rate) are flagged; the fronts
+    come from :mod:`repro.dse.analysis` on the same measurements.
+    """
+    from repro.dse.analysis import pareto_front
+    from repro.dse.runner import PointRow
+    from repro.dse.space import SpecPoint
+
+    rows = []
+    for name in benchmarks:
+        records = {
+            w: run(name, SpecPoint(slice_width=w).to_config()) for w in widths
+        }
+        base = records[32] if 32 in records else run(
+            name, SpecPoint(slice_width=32).to_config()
+        )
+        point_rows = [
+            PointRow(
+                point=SpecPoint(slice_width=w),
+                workload=name,
+                instructions=rec.sim.instructions,
+                cycles=rec.sim.cycles,
+                misspeculations=rec.sim.misspeculations,
+                energy_pj=rec.total_energy,
+            )
+            for w, rec in records.items()
+        ]
+        front = {r.point.slice_width for r in pareto_front(point_rows)}
+        for w, rec in records.items():
+            rows.append(
+                {
+                    "benchmark": name,
+                    "slice_width": w,
+                    "energy_rel": rec.total_energy / base.total_energy,
+                    "cycles_rel": rec.sim.cycles / base.sim.cycles,
+                    "misspeculations": rec.sim.misspeculations,
+                    "pareto": w in front,
+                }
+            )
+    by_width = {
+        w: geomean(
+            [r["energy_rel"] for r in rows if r["slice_width"] == w]
+        )
+        for w in widths
+    }
+    best_width = min(by_width, key=lambda w: by_width[w])
+    return {
+        "rows": rows,
+        "mean_energy_rel_by_width": by_width,
+        "best_width": best_width,
+        "mean_energy_reduction_percent_at_best": 100.0
+        * (1.0 - by_width[best_width]),
+    }

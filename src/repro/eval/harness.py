@@ -15,7 +15,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.arch.dts import DTSModel
 from repro.arch.energy import EnergyBreakdown
 from repro.arch.machine import SimResult
 from repro.core.pipeline import CompiledBinary, CompilerConfig, compile_binary
@@ -50,7 +49,7 @@ class RunRecord:
                         "timesqueezing record has neither dts_energy nor a "
                         "sim result to derive it from"
                     )
-                self.dts_energy = DTSModel().apply(self.sim)
+                self.dts_energy = self.config.dts_model().apply(self.sim)
             return self.dts_energy.total
         return self.energy.total
 
@@ -63,16 +62,14 @@ class RunRecord:
         return self.total_energy / max(self.sim.instructions, 1)
 
 
-def _config_key(config: CompilerConfig) -> tuple:
-    return (
-        config.isa,
-        config.middle_end,
-        config.expander,
-        config.compare_elimination,
-        config.bitmask_elision,
-        config.invert_handler_weights,
-        config.voltage_scaling,
-    )
+def _config_key(config: CompilerConfig) -> str:
+    """Memoization key covering every semantic knob (but not ``name``).
+
+    Delegates to :meth:`CompilerConfig.stable_hash`, which hashes the full
+    fingerprint — so a knob added to the config dataclass is covered here
+    automatically instead of silently aliasing cache entries.
+    """
+    return config.stable_hash()
 
 
 _BINARY_CACHE: dict = {}
@@ -166,7 +163,7 @@ def run(
         pass_stats=binary.pass_stats,
     )
     if config.voltage_scaling == "timesqueezing":
-        record.dts_energy = DTSModel().apply(sim)
+        record.dts_energy = config.dts_model().apply(sim)
     _RUN_CACHE[key] = record
     if not record.correct:
         raise AssertionError(

@@ -61,8 +61,10 @@ class Tally:
             setattr(self, name, getattr(self, name) + fields[name])
         self.static_insts += 1
 
-    def energy(self, scale: Optional[dict] = None) -> EnergyBreakdown:
-        return compute_energy(self.counters, scale=scale)
+    def energy(
+        self, scale: Optional[dict] = None, *, slice_bits: int = 8
+    ) -> EnergyBreakdown:
+        return compute_energy(self.counters, scale=scale, slice_bits=slice_bits)
 
     @property
     def misspec_rate(self) -> float:

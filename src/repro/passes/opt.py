@@ -20,9 +20,7 @@ from repro.ir.types import IntType, int_type
 from repro.ir.values import Constant, Value
 from repro.profiler.selection import SQUEEZE_WIDTH
 
-_LIMIT = 1 << SQUEEZE_WIDTH
-
-#: predicate -> constant result when lhs < 2^8 <= rhs
+#: predicate -> constant result when lhs < 2^width <= rhs
 _FOLD_WHEN_RHS_TOO_BIG = {
     "ult": 1,
     "ule": 1,
@@ -33,30 +31,31 @@ _FOLD_WHEN_RHS_TOO_BIG = {
 }
 
 
-def _speculative_root(value: Value) -> Instruction | None:
-    """The speculative definition guaranteeing ``value`` < 2^8, if any."""
+def _speculative_root(value: Value, width: int) -> Instruction | None:
+    """The speculative definition guaranteeing ``value`` < 2^width, if any."""
     if isinstance(value, Cast) and value.opcode == "zext":
         source = value.value
         if (
             isinstance(source, Instruction)
             and source.speculative
             and isinstance(source.type, IntType)
-            and source.type.bits == SQUEEZE_WIDTH
+            and source.type.bits == width
         ):
             return source
     if (
         isinstance(value, Instruction)
         and value.speculative
         and isinstance(value.type, IntType)
-        and value.type.bits == SQUEEZE_WIDTH
+        and value.type.bits == width
     ):
         return value
     return None
 
 
-def eliminate_compares(func: Function) -> int:
+def eliminate_compares(func: Function, width: int = SQUEEZE_WIDTH) -> int:
     """Fold compares decided by speculation; returns the number removed."""
     removed = 0
+    limit = 1 << width
     for block in list(func.blocks):
         if block.world == "orig":
             continue  # CFG_orig executes without speculation guarantees
@@ -69,14 +68,14 @@ def eliminate_compares(func: Function) -> int:
             outcome = _FOLD_WHEN_RHS_TOO_BIG.get(inst.pred)
             if outcome is None:
                 continue
-            root = _speculative_root(lhs)
+            root = _speculative_root(lhs, width)
             if root is None:
                 continue
             folds = False
-            if rhs.value >= _LIMIT:
+            if rhs.value >= limit:
                 folds = True
-            elif rhs.value == _LIMIT - 1 and inst.pred == "ule":
-                # v <= 255 is tautological for a non-misspeculated slice.
+            elif rhs.value == limit - 1 and inst.pred == "ule":
+                # v <= slice max is tautological for a non-misspeculated slice.
                 outcome = 1
                 folds = True
             if not folds:
@@ -91,29 +90,38 @@ def eliminate_compares(func: Function) -> int:
     return removed
 
 
-def elide_bitmasks(func: Function) -> int:
-    """Rewrite ``and v, 0xFF`` as a slice move; returns rewrites performed."""
+def elide_bitmasks(func: Function, width: int = SQUEEZE_WIDTH) -> int:
+    """Rewrite ``and v, slice-mask`` as a slice move; returns rewrites done.
+
+    Only byte-aligned slice widths qualify: the register file is
+    byte-granular, so a sub-byte mask (e.g. ``and v, 0xF`` at a 4-bit
+    slice) is a real ALU op, not a slice access — the byte cell would
+    deliver the upper nibble too.
+    """
+    if width % 8:
+        return 0
     rewritten = 0
+    limit = 1 << width
     for block in list(func.blocks):
         if block.world == "orig":
             continue
         for inst in list(block.instructions):
             if not (isinstance(inst, BinOp) and inst.opcode == "and"):
                 continue
-            if not isinstance(inst.type, IntType) or inst.type.bits <= SQUEEZE_WIDTH:
+            if not isinstance(inst.type, IntType) or inst.type.bits <= width:
                 continue
             lhs, rhs = inst.lhs, inst.rhs
             mask = None
             source = None
-            if isinstance(rhs, Constant) and rhs.value == _LIMIT - 1:
+            if isinstance(rhs, Constant) and rhs.value == limit - 1:
                 source = lhs
-            elif isinstance(lhs, Constant) and lhs.value == _LIMIT - 1:
+            elif isinstance(lhs, Constant) and lhs.value == limit - 1:
                 source = rhs
             if source is None:
                 continue
             index = block.instructions.index(inst)
             trunc = Cast(
-                "trunc", source, int_type(SQUEEZE_WIDTH), func.next_name("slice")
+                "trunc", source, int_type(width), func.next_name("slice")
             )
             block.insert(index, trunc)
             ext = Cast("zext", trunc, inst.type, func.next_name("slice.x"))
@@ -129,6 +137,7 @@ def run_speculative_opts(
     *,
     compare_elimination: bool = True,
     bitmask_elision: bool = True,
+    slice_width: int = SQUEEZE_WIDTH,
 ) -> dict[str, int]:
     """Run the enabled optimizations module-wide; returns counts."""
     from repro.passes import stats
@@ -136,9 +145,9 @@ def run_speculative_opts(
     counts = {"compares_eliminated": 0, "bitmasks_elided": 0}
     for func in module.functions.values():
         if compare_elimination:
-            counts["compares_eliminated"] += eliminate_compares(func)
+            counts["compares_eliminated"] += eliminate_compares(func, slice_width)
         if bitmask_elision:
-            counts["bitmasks_elided"] += elide_bitmasks(func)
+            counts["bitmasks_elided"] += elide_bitmasks(func, slice_width)
     stats.bump("speculative-opts", "compares_eliminated",
                counts["compares_eliminated"])
     stats.bump("speculative-opts", "bitmasks_elided",

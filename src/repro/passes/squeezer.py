@@ -38,10 +38,8 @@ from repro.ir.types import IntType, int_type
 from repro.passes import stats
 from repro.ir.values import Constant, Value
 from repro.passes.ssa_updater import SSAUpdater
-from repro.profiler.selection import SQUEEZE_WIDTH, SqueezePlan
+from repro.profiler.selection import SqueezePlan
 from repro.sir.regions import SpeculativeRegion
-
-I8 = int_type(SQUEEZE_WIDTH)
 
 
 @dataclass
@@ -67,28 +65,29 @@ def _narrow_operand(
     value: Value,
     spec8: dict,
     result: SqueezeResult,
+    slice_ty: IntType,
 ) -> Value:
-    """8-bit form of ``value`` for use by a narrowed instruction."""
+    """Slice-width form of ``value`` for use by a narrowed instruction."""
     mapped = spec8.get(value)
     if mapped is not None:
         return mapped
     if isinstance(value, Constant):
-        return Constant(I8, value.value)
-    if isinstance(value.type, IntType) and value.type.bits == SQUEEZE_WIDTH:
+        return Constant(slice_ty, value.value)
+    if isinstance(value.type, IntType) and value.type.bits == slice_ty.bits:
         return value
     cached = result.trunc_cache.get((id(block), value))
     if cached is not None:
         return cached
-    if isinstance(value.type, IntType) and value.type.bits < SQUEEZE_WIDTH:
+    if isinstance(value.type, IntType) and value.type.bits < slice_ty.bits:
         # i1 operand: widen to the slice; trivially fits, never misspeculates.
-        widen = Cast("zext", value, I8, func.next_name("swiden"))
+        widen = Cast("zext", value, slice_ty, func.next_name("swiden"))
         index = block.instructions.index(position)
         block.insert(index, widen)
         result.trunc_cache[(id(block), value)] = widen
         return widen
     # Unsqueezed wide producer: bridge with a speculative truncate, which
     # misspeculates when the run-time value does not fit the slice.
-    trunc = Cast("trunc", value, I8, func.next_name("strunc"))
+    trunc = Cast("trunc", value, slice_ty, func.next_name("strunc"))
     trunc.speculative = True
     index = block.instructions.index(position)
     block.insert(index, trunc)
@@ -102,17 +101,18 @@ def _narrow_definition(
     inst: Instruction,
     spec8: dict,
     result: SqueezeResult,
+    slice_ty: IntType,
 ) -> Optional[Instruction]:
-    """Create the 8-bit clone of ``inst`` (or alias through for casts)."""
+    """Create the slice-width clone of ``inst`` (or alias through for casts)."""
     block = inst.parent
     if isinstance(inst, BinOp):
-        lhs = _narrow_operand(func, block, inst, inst.lhs, spec8, result)
-        rhs = _narrow_operand(func, block, inst, inst.rhs, spec8, result)
+        lhs = _narrow_operand(func, block, inst, inst.lhs, spec8, result, slice_ty)
+        rhs = _narrow_operand(func, block, inst, inst.rhs, spec8, result, slice_ty)
         narrow = BinOp(inst.opcode, lhs, rhs, func.next_name(f"{inst.name}.n"))
         narrow.speculative = True
     elif isinstance(inst, Load):
         narrow = Load(
-            inst.ptr, func.next_name(f"{inst.name}.n"), result_type=I8
+            inst.ptr, func.next_name(f"{inst.name}.n"), result_type=slice_ty
         )
         narrow.speculative = True
     elif isinstance(inst, Cast):
@@ -122,22 +122,22 @@ def _narrow_definition(
             spec8[inst] = mapped
             return None
         if isinstance(src, Constant):
-            spec8[inst] = Constant(I8, I8.wrap(src.value))
+            spec8[inst] = Constant(slice_ty, slice_ty.wrap(src.value))
             return None
-        if isinstance(src.type, IntType) and src.type.bits == SQUEEZE_WIDTH:
+        if isinstance(src.type, IntType) and src.type.bits == slice_ty.bits:
             spec8[inst] = src
             return None
-        if isinstance(src.type, IntType) and src.type.bits < SQUEEZE_WIDTH:
-            # Sub-slice source (i1 from a compare): the low 8 bits of the
-            # original widening cast are the same cast to i8 — always fits,
-            # so no speculation is needed.
-            narrow = Cast(inst.opcode, src, I8, func.next_name(f"{inst.name}.n"))
+        if isinstance(src.type, IntType) and src.type.bits < slice_ty.bits:
+            # Sub-slice source (i1 from a compare): the low slice bits of the
+            # original widening cast are the same cast to the slice type —
+            # always fits, so no speculation is needed.
+            narrow = Cast(inst.opcode, src, slice_ty, func.next_name(f"{inst.name}.n"))
         else:
-            narrow = Cast("trunc", src, I8, func.next_name(f"{inst.name}.n"))
+            narrow = Cast("trunc", src, slice_ty, func.next_name(f"{inst.name}.n"))
             narrow.speculative = True
             result.spec_truncs += 1
     elif isinstance(inst, Phi):
-        narrow = Phi(I8, func.next_name(f"{inst.name}.n"))
+        narrow = Phi(slice_ty, func.next_name(f"{inst.name}.n"))
         # incomings are filled once every definition has its 8-bit form
     else:  # pragma: no cover - plan only selects the kinds above
         raise TypeError(f"cannot narrow {inst.opcode}")
@@ -154,6 +154,7 @@ def squeeze_function(
     result = SqueezeResult()
     if not plan.narrow and not plan.narrow_cmps:
         return result
+    slice_ty = int_type(plan.width)
 
     # Dedicated (idempotent, call-free) entry block to host the hoisted
     # argument truncates; created pre-clone so its CFG_orig twin exists.
@@ -185,7 +186,7 @@ def squeeze_function(
         for position, arg in enumerate(
             sorted(plan.narrow_args, key=lambda a: a.index)
         ):
-            trunc = Cast("trunc", arg, I8, func.next_name(f"{arg.name}.arg8"))
+            trunc = Cast("trunc", arg, slice_ty, func.next_name(f"{arg.name}.arg8"))
             trunc.speculative = True
             spec_entry.insert(position, trunc)
             spec8[arg] = trunc
@@ -198,13 +199,17 @@ def squeeze_function(
             continue
         for inst in list(block.instructions):
             if inst in spec_narrow:
-                narrow = _narrow_definition(func, inst, spec8, result)
+                narrow = _narrow_definition(func, inst, spec8, result, slice_ty)
                 if isinstance(narrow, Phi):
                     narrow_phis.append((inst, narrow))
                 result.narrowed += 1
             elif inst in spec_cmps:
-                lhs = _narrow_operand(func, block, inst, inst.lhs, spec8, result)
-                rhs = _narrow_operand(func, block, inst, inst.rhs, spec8, result)
+                lhs = _narrow_operand(
+                    func, block, inst, inst.lhs, spec8, result, slice_ty
+                )
+                rhs = _narrow_operand(
+                    func, block, inst, inst.rhs, spec8, result, slice_ty
+                )
                 narrow_cmp = Icmp(
                     inst.pred, lhs, rhs, func.next_name(f"{inst.name}.n")
                 )
@@ -221,8 +226,8 @@ def squeeze_function(
             if value in spec8:
                 narrow.add_incoming(spec8[value], pred)
             elif isinstance(value, Constant):
-                narrow.add_incoming(Constant(I8, value.value), pred)
-            elif isinstance(value.type, IntType) and value.type.bits == SQUEEZE_WIDTH:
+                narrow.add_incoming(Constant(slice_ty, value.value), pred)
+            elif isinstance(value.type, IntType) and value.type.bits == plan.width:
                 narrow.add_incoming(value, pred)
             else:  # pragma: no cover - excluded by the plan's phi fixpoint
                 raise AssertionError(

@@ -31,38 +31,44 @@ from repro.ir.types import IntType, required_bits
 from repro.ir.values import Argument, Constant, Value
 from repro.profiler.profile import BitwidthProfile
 
-#: Width of a register slice — the only speculative width in the ISA.
+#: Width of a register slice — the paper's hardware point.  The sweepable
+#: generalization (repro.dse) passes ``width=`` to :func:`compute_squeeze_plan`.
 SQUEEZE_WIDTH = 8
 
-#: Opcodes with an 8-bit speculative form (Table 1 + slice shifts, which the
+#: Opcodes with a speculative slice form (Table 1 + slice shifts, which the
 #: segmented ALU supports through the same carry-boundary detection).
 _SQUEEZABLE_BINOPS = frozenset({"add", "sub", "and", "or", "xor", "shl", "lshr"})
+
+#: Alias exported for the DSE knob space (sweeps shrink this set).
+SQUEEZABLE_BINOPS = _SQUEEZABLE_BINOPS
 
 _UNSIGNED_PREDS = frozenset({"eq", "ne", "ult", "ule", "ugt", "uge"})
 
 
 @dataclass
 class SqueezePlan:
-    """Which values get squeezed to 8 bits, and the BW selection behind it."""
+    """Which values get squeezed to the slice width, and the BW selection."""
 
-    #: instructions whose definitions are reduced to 8 bits
+    #: instructions whose definitions are reduced to the slice width
     narrow: set = field(default_factory=set)
-    #: comparisons to execute at 8 bits (result stays i1)
+    #: comparisons to execute at the slice width (result stays i1)
     narrow_cmps: set = field(default_factory=set)
     #: arguments whose slice form is materialized once at function entry
     narrow_args: set = field(default_factory=set)
     #: the full BW(v) selection, for reporting
     bw: dict = field(default_factory=dict)
     heuristic: str = "max"
+    #: slice width the plan was computed for (drives the squeezer's types)
+    width: int = SQUEEZE_WIDTH
 
     def __len__(self) -> int:
         return len(self.narrow) + len(self.narrow_cmps)
 
 
-def _speculative_opcode(inst: Instruction) -> bool:
-    """Speculative? — does the ISA provide an 8-bit form of this op?"""
+def _speculative_opcode(inst: Instruction, ops: frozenset) -> bool:
+    """Speculative? — does the ISA provide a slice form of this op?"""
     if isinstance(inst, BinOp):
-        return inst.opcode in _SQUEEZABLE_BINOPS
+        return inst.opcode in ops
     if isinstance(inst, Load):
         # The speculative load of Table 1 reads at most Mem32.
         return not inst.volatile and inst.ptr.type.pointee.bits <= 32
@@ -86,27 +92,77 @@ def _operand_target(
 
 
 def _shift_amount_small(
-    profile: BitwidthProfile, func: Function, amount: Value, heuristic: str
+    profile: BitwidthProfile, func: Function, amount: Value, heuristic: str,
+    width: int,
 ) -> bool:
     """Is the shift amount guaranteed (per profile) below the slice width?"""
     if isinstance(amount, Constant):
-        return 0 <= amount.value < SQUEEZE_WIDTH
-    # bits ≤ 3 ⇒ every profiled amount value ≤ 7 < SQUEEZE_WIDTH
+        return 0 <= amount.value < width
+    # bits < width.bit_length() ⇒ every profiled amount value < width
     return (
         _operand_target(profile, func, amount, heuristic)
-        < SQUEEZE_WIDTH.bit_length()
+        < width.bit_length()
     )
+
+
+def _hotness_floor(
+    profile: BitwidthProfile, func_name: str, min_hotness: float
+) -> float:
+    """Absolute assignment-count threshold for this function's variables."""
+    if min_hotness <= 0:
+        return 0.0
+    peak = max(
+        (s.count for (f, _), s in profile.stats.items() if f == func_name),
+        default=0,
+    )
+    return min_hotness * peak
+
+
+def _hot(profile: BitwidthProfile, func_name: str, var_name: str,
+         floor: float) -> bool:
+    if floor <= 0:
+        return True
+    stats = profile.stats.get((func_name, var_name))
+    return stats is not None and stats.count >= floor
 
 
 def compute_squeeze_plan(
     func: Function,
     profile: BitwidthProfile,
     heuristic: str = "max",
+    *,
+    width: int = SQUEEZE_WIDTH,
+    ops: frozenset = None,
+    min_hotness: float = 0.0,
+    confidence_margin: int = 0,
 ) -> SqueezePlan:
-    """Compute BW (Eq. 3 constraints applied to T) and the squeeze sets."""
+    """Compute BW (Eq. 3 constraints applied to T) and the squeeze sets.
+
+    The keyword knobs are the DSE sweep axes (defaults reproduce the
+    paper's fixed design point exactly):
+
+    ``width``
+        Speculative slice width in bits; ``>= 32`` disables squeezing
+        (no value is narrower than a register), yielding an empty plan.
+    ``ops``
+        Restriction of the squeezable binop set (Table 1).
+    ``min_hotness``
+        Fraction of the function's hottest assignment count a definition
+        must reach before it may be squeezed; cold/unprofiled values are
+        rejected when this is positive.
+    ``confidence_margin``
+        Headroom in bits: a value is eligible only when its profiled
+        target fits ``width - confidence_margin``, trading coverage for
+        fewer misspeculations on near-the-edge profiles.
+    """
     from repro.passes import stats
 
-    plan = SqueezePlan(heuristic=heuristic)
+    plan = SqueezePlan(heuristic=heuristic, width=width)
+    if width >= 32:
+        return plan  # speculation off: nothing is narrower than a register
+    squeezable = _SQUEEZABLE_BINOPS if ops is None else frozenset(ops)
+    limit = width - confidence_margin
+    floor = _hotness_floor(profile, func.name, min_hotness)
 
     candidates: set[Instruction] = set()
     for block in func.blocks:
@@ -126,8 +182,12 @@ def compute_squeeze_plan(
             if original_bits <= 1:
                 plan.bw[inst] = original_bits
                 continue
-            if not (idempotent and _speculative_opcode(inst)):
+            if not (idempotent and _speculative_opcode(inst, squeezable)):
                 plan.bw[inst] = original_bits
+                continue
+            if not _hot(profile, func.name, inst.name, floor):
+                plan.bw[inst] = original_bits
+                stats.bump("selection", "cold_rejected")
                 continue
             target = profile.target_bits(func.name, inst.name, heuristic)
             operand_targets = [
@@ -142,7 +202,7 @@ def compute_squeeze_plan(
                 # result, so only the shifted operand constrains the width.
                 operand_targets = operand_targets[:1]
                 if inst.opcode == "shl" and not _shift_amount_small(
-                    profile, func, inst.rhs, heuristic
+                    profile, func, inst.rhs, heuristic, width
                 ):
                     # A slice shl carries out whenever value<<amount leaves
                     # the slice — even when the original width wraps the
@@ -153,8 +213,8 @@ def compute_squeeze_plan(
                     stats.bump("selection", "shl_amount_rejected")
                     continue
             bw = max([target] + operand_targets)
-            plan.bw[inst] = bw if bw <= SQUEEZE_WIDTH else original_bits
-            if bw <= SQUEEZE_WIDTH and original_bits > SQUEEZE_WIDTH:
+            plan.bw[inst] = bw if bw <= limit else original_bits
+            if bw <= limit and original_bits > width:
                 candidates.add(inst)
 
     # Arguments that will carry a hoisted slice form (final set computed
@@ -163,15 +223,16 @@ def compute_squeeze_plan(
         arg
         for arg in func.args
         if isinstance(arg.type, IntType)
-        and arg.type.bits > SQUEEZE_WIDTH
-        and profile.target_bits(func.name, arg.name, heuristic) <= SQUEEZE_WIDTH
+        and arg.type.bits > width
+        and profile.target_bits(func.name, arg.name, heuristic) <= limit
+        and _hot(profile, func.name, arg.name, floor)
     }
 
     # Fixpoint: drop phis whose incoming values will not be 8-bit producers.
     def phi_ok(phi: Phi) -> bool:
         for value in phi.operands:
             if isinstance(value, Constant):
-                if required_bits(value.value) > SQUEEZE_WIDTH:
+                if required_bits(value.value) > width:
                     return False
             elif isinstance(value, Argument):
                 if value not in small_args:
@@ -179,7 +240,7 @@ def compute_squeeze_plan(
             elif isinstance(value, Instruction):
                 if value not in candidates and (
                     not isinstance(value.type, IntType)
-                    or value.type.bits > SQUEEZE_WIDTH
+                    or value.type.bits > width
                 ):
                     return False
             else:
@@ -198,23 +259,24 @@ def compute_squeeze_plan(
 
     plan.narrow = candidates
 
-    # A comparison runs at 8 bits when both sides are 8-bit producers or
-    # profile-small values (a speculative truncate bridges the latter).
+    # A comparison runs at the slice width when both sides are slice
+    # producers or profile-small values (a speculative truncate bridges the
+    # latter).
     kept_cmps = set()
     for cmp in plan.narrow_cmps:
         ok = True
         for value in (cmp.lhs, cmp.rhs):
             if isinstance(value, Constant):
-                if required_bits(value.value) > SQUEEZE_WIDTH:
+                if required_bits(value.value) > width:
                     ok = False
             elif isinstance(value, (Instruction, Argument)):
                 already_narrow = (
                     isinstance(value.type, IntType)
-                    and value.type.bits <= SQUEEZE_WIDTH
+                    and value.type.bits <= width
                 )
                 profiled_small = (
                     _operand_target(profile, func, value, heuristic)
-                    <= SQUEEZE_WIDTH
+                    <= limit
                 )
                 if (
                     value not in candidates
@@ -224,7 +286,7 @@ def compute_squeeze_plan(
                     ok = False
             else:
                 ok = False
-        if ok and isinstance(cmp.lhs.type, IntType) and cmp.lhs.type.bits > SQUEEZE_WIDTH:
+        if ok and isinstance(cmp.lhs.type, IntType) and cmp.lhs.type.bits > width:
             kept_cmps.add(cmp)
     stats.bump(
         "selection", "compares_rejected", len(plan.narrow_cmps) - len(kept_cmps)

@@ -150,6 +150,30 @@ def test_config_field_change_misses(disk_cache, change):
     assert not disk_cache.contains_run(SOURCE, mutated, "test", 0, "test", 0)
 
 
+@pytest.mark.parametrize(
+    "change",
+    [
+        {"slice_width": 16},
+        {"squeeze_ops": ("add", "sub")},
+        {"min_hotness": 0.25},
+        {"confidence_margin": 1},
+        {"dts_alpha": 1.6},
+        {"dts_bitwidth_aware": True},
+        {"l1_kb": 4},
+        {"l1_ways": 2},
+        {"l2_kb": 128},
+        {"l2_ways": 4},
+    ],
+    ids=lambda c: next(iter(c)),
+)
+def test_dse_knob_change_misses(disk_cache, change):
+    """Every DSE sweep knob is a semantic cache-key ingredient."""
+    config = _store_one(disk_cache)
+    mutated = dataclasses.replace(config, **change)
+    assert disk_cache.contains_run(SOURCE, config, "test", 0, "test", 0)
+    assert not disk_cache.contains_run(SOURCE, mutated, "test", 0, "test", 0)
+
+
 def test_config_name_is_cosmetic(disk_cache):
     """Renaming a config must NOT miss — the name is display-only."""
     config = _store_one(disk_cache)
@@ -245,6 +269,30 @@ def test_corrupted_entry_is_evicted(tmp_path, garbage):
     assert not path.exists(), "corrupt entry should have been unlinked"
     assert cache.stats.evictions == 1
     assert cache.stats.hits == 0
+
+
+def test_previous_entry_format_is_evicted(disk_cache):
+    """A format-2 entry (pre-DSE schema: sims without ``slice_width``)
+    under today's key must be evicted and recomputed, never deserialized —
+    the ENTRY_FORMAT bump to 3 is what protects warm caches from the
+    schema change."""
+    config = _store_one(disk_cache)
+    key = disk_cache._run_key(SOURCE, config, "test", 0, "test", 0)
+    path = _entry_path(disk_cache, key)
+    entry = json.loads(path.read_text())
+    assert entry["format"] == bench_cache.ENTRY_FORMAT == 3
+    entry["format"] = 2
+    del entry["payload"]["sim"]["slice_width"]  # the format-2 shape
+    path.write_text(json.dumps(entry))
+
+    record = harness.run(WORKLOAD, config)  # must recompute, not raise
+    assert record.correct
+    assert disk_cache.stats.evictions == 1
+    assert disk_cache.stats.puts == 2
+    # the re-stored entry is format 3 again and carries the new field
+    entry = json.loads(path.read_text())
+    assert entry["format"] == 3
+    assert entry["payload"]["sim"]["slice_width"] == 8
 
 
 def test_corrupted_entry_recovers_end_to_end(disk_cache):
