@@ -44,6 +44,15 @@ class MachineError(Exception):
     """The machine executed an illegal instruction or address."""
 
 
+class FaultTrap(MachineError):
+    """An injected fault was caught by a hardware check (e.g. parity).
+
+    Raised by a :class:`repro.faults.session.FaultSession` hook, never by
+    the machine itself; defined here so the machine layer stays free of
+    any dependency on :mod:`repro.faults`.
+    """
+
+
 @dataclass
 class SimResult:
     """Everything a simulation run produces."""
@@ -117,10 +126,14 @@ class Machine:
         fast: Optional[bool] = None,
         obs: bool = False,
         geometry: Optional[CacheGeometry] = None,
+        faults=None,
     ) -> None:
         self.linked = linked
         self.module = module
         self.step_limit = step_limit
+        #: optional :class:`repro.faults.session.FaultSession`; both
+        #: engines consult it behind one ``is not None`` guard per step
+        self.faults = faults
         self.narrow_rf = linked.isa == "ARM_BS"
         #: speculative slice width in bits, stamped on the linked image
         self.slice_width = getattr(linked, "slice_width", 8)
@@ -178,6 +191,12 @@ class Machine:
         cmp_state = (0, 0, 4)  # (lhs, rhs, width-or-64)
         carry = 0
         narrow_rf = self.narrow_rf
+        base_narrow = narrow_rf
+        #: mixed-world binaries: functions that fell back to BASELINE
+        #: codegen access the register file at full width even on ARM_BS
+        fallback = getattr(linked, "fallback_functions", None) or None
+        owner = linked.owner if fallback else None
+        fx = self.faults
 
         pc = linked.entry_index
         steps = 0
@@ -238,6 +257,16 @@ class Machine:
             steps += 1
             if steps > limit:
                 raise MachineError("machine step limit exceeded")
+            if fx is not None:
+                if fx.on_step(steps, pc, regs, memory) is not None:
+                    # corrupted fetch: the slot executes as a bubble
+                    instructions += 1
+                    cycles += 1
+                    last_load_reg = -1
+                    pc = pc + 1
+                    continue
+            if owner is not None:
+                narrow_rf = base_narrow and owner[pc] not in fallback
             # instruction fetch
             level = fetch(pc * inst_bytes)
             if level == "l1":
@@ -336,21 +365,24 @@ class Machine:
                 result.loads += 1
                 counters.alu8_ops += 1
                 class_counts["alu8"] += 1
-                if value > self.spec_mask:
+                miss = value > self.spec_mask
+                if fx is not None:
+                    miss = fx.spec_outcome(miss)
+                if miss:
                     misspecs += 1
                     cycles += 3
-                    next_pc = pc + delta
+                    next_pc = pc + delta if fx is None else fx.redirect(pc, delta)
                 else:
                     write(inst.defs[0], value)
                     last_load_reg = inst.defs[0].reg
             elif opcode.startswith("bs_"):
                 taken = self._exec_bitspec(
-                    inst, read, write, counters, class_counts
+                    inst, read, write, counters, class_counts, fx
                 )
                 if taken == "misspec":
                     misspecs += 1
                     cycles += 3
-                    next_pc = pc + delta
+                    next_pc = pc + delta if fx is None else fx.redirect(pc, delta)
                 elif isinstance(taken, tuple):
                     cmp_state = taken
             elif opcode == "cmp":
@@ -517,6 +549,8 @@ class Machine:
                 raise MachineError(f"unknown opcode {opcode!r} at {pc}")
             pc = next_pc
 
+        if fx is not None:
+            cycles += fx.extra_cycles
         result.instructions = instructions
         result.cycles = cycles
         result.misspeculations = misspecs
@@ -531,12 +565,16 @@ class Machine:
         result.return_value = regs[0]
         return result
 
-    def _exec_bitspec(self, inst, read, write, counters, class_counts):
+    def _exec_bitspec(self, inst, read, write, counters, class_counts, fx=None):
         """Execute one non-memory ``bs_*`` op.
 
         Returns "misspec", a new cmp_state tuple (for ``bs_cmp``), or None.
         Misspeculation is detected exactly as the segmented ALU does it:
-        any carry/borrow/bit leaving the configured slice (§3.5).
+        any carry/borrow/bit leaving the configured slice (§3.5).  ``fx``
+        (a fault session) may override the natural verdict; a suppressed
+        misspeculation writes back its out-of-slice value, which the
+        destination slice mask truncates — exactly the architectural
+        effect of a carry-out the hardware failed to flag.
         """
         opcode = inst.opcode
         spec_mask = self.spec_mask
@@ -546,12 +584,18 @@ class Machine:
             return (read(inst.uses[0]), read(inst.uses[1]), inst.width)
         if opcode == "bs_trunc":
             value = read(inst.uses[0])
-            if value > spec_mask:
+            miss = value > spec_mask
+            if fx is not None:
+                miss = fx.spec_outcome(miss)
+            if miss:
                 return "misspec"
             write(inst.defs[0], value)
             return None
         if opcode == "bs_trunc_hi":
-            if read(inst.uses[0]) != 0:
+            miss = read(inst.uses[0]) != 0
+            if fx is not None:
+                miss = fx.spec_outcome(miss)
+            if miss:
                 return "misspec"
             return None
         a = read(inst.uses[0])
@@ -572,7 +616,10 @@ class Machine:
             wide = a >> b if b < 32 else 0
         else:
             raise MachineError(f"unknown speculative opcode {opcode!r}")
-        if wide < 0 or wide > spec_mask:
+        miss = wide < 0 or wide > spec_mask
+        if fx is not None:
+            miss = fx.spec_outcome(miss)
+        if miss:
             return "misspec"
         write(inst.defs[0], wide)
         return None

@@ -387,11 +387,20 @@ def predecode(linked, narrow_rf: bool):
     cached = cache.get(narrow_rf)
     if cached is not None:
         return cached
+    # Mixed-world binaries: instructions owned by functions that fell back
+    # to BASELINE codegen use full-width register-file accounting even when
+    # the image as a whole is ARM_BS.  The fallback set is fixed per
+    # LinkedProgram instance, so ``narrow_rf`` alone still keys the cache.
+    fallback = getattr(linked, "fallback_functions", None) or None
+    owner = linked.owner if (fallback and narrow_rf) else None
     code = []
     effects = []
-    for inst in linked.insts:
+    for index, inst in enumerate(linked.insts):
+        inst_narrow = narrow_rf
+        if owner is not None and owner[index] in fallback:
+            inst_narrow = False
         try:
-            args, eff = _predecode_inst(inst, narrow_rf)
+            args, eff = _predecode_inst(inst, inst_narrow)
         except _PredecodeError as exc:
             # Mirror the legacy path: the error is raised only if the
             # instruction is actually executed.
@@ -442,6 +451,7 @@ def run_fast(machine) -> "SimResult":
     pc = linked.entry_index
     steps = 0
     limit = machine.step_limit
+    fx = machine.faults
     # Dynamic events, recorded per pc and only when they occur.  The
     # common case (L1 hit, no hazard, no misspeculation, branch not
     # taken) touches none of these; everything an aggregate counter or
@@ -465,6 +475,14 @@ def run_fast(machine) -> "SimResult":
         steps += 1
         if steps > limit:
             raise MachineError("machine step limit exceeded")
+        if fx is not None:
+            if fx.on_step(steps, pc, regs, memory) is not None:
+                # corrupted fetch: the slot executes as a bubble (same
+                # architectural effect as the legacy engine's skip)
+                exec_counts[pc] += 1
+                last_load_reg = -1
+                pc = pc + 1
+                continue
         # instruction fetch
         level = fetch(pc * inst_bytes)
         if level != "l1":
@@ -608,9 +626,12 @@ def run_fast(machine) -> "SimResult":
                 wide = (a << b) if b < 32 else 0
             else:
                 wide = a >> b if b < 32 else 0
-            if wide < 0 or wide > spec_mask:
+            miss = wide < 0 or wide > spec_mask
+            if fx is not None:
+                miss = fx.spec_outcome(miss)
+            if miss:
                 misspec_pc[pc] += 1
-                next_pc = pc + delta
+                next_pc = pc + delta if fx is None else fx.redirect(pc, delta)
             else:
                 w = t[5]
                 r = w[0]
@@ -633,9 +654,12 @@ def run_fast(machine) -> "SimResult":
             value = ((regs[d[1]] >> d[2]) & d[3]) if k == 1 else (
                 d[1] if k == 0 else regs[13]
             )
-            if value > spec_mask:
+            miss = value > spec_mask
+            if fx is not None:
+                miss = fx.spec_outcome(miss)
+            if miss:
                 misspec_pc[pc] += 1
-                next_pc = pc + delta
+                next_pc = pc + delta if fx is None else fx.redirect(pc, delta)
             else:
                 w = t[3]
                 r = w[0]
@@ -646,9 +670,12 @@ def run_fast(machine) -> "SimResult":
             value = ((regs[d[1]] >> d[2]) & d[3]) if k == 1 else (
                 d[1] if k == 0 else regs[13]
             )
-            if value != 0:
+            miss = value != 0
+            if fx is not None:
+                miss = fx.spec_outcome(miss)
+            if miss:
                 misspec_pc[pc] += 1
-                next_pc = pc + delta
+                next_pc = pc + delta if fx is None else fx.redirect(pc, delta)
         elif op == OP_BS_LDR:
             d = t[2]
             k = d[0]
@@ -662,9 +689,12 @@ def run_fast(machine) -> "SimResult":
                     d_l2_pc[pc] += 1
                 else:
                     d_mem_pc[pc] += 1
-            if value > spec_mask:
+            miss = value > spec_mask
+            if fx is not None:
+                miss = fx.spec_outcome(miss)
+            if miss:
                 misspec_pc[pc] += 1
-                next_pc = pc + delta
+                next_pc = pc + delta if fx is None else fx.redirect(pc, delta)
             else:
                 w = t[4]
                 r = w[0]
@@ -939,6 +969,8 @@ def run_fast(machine) -> "SimResult":
 
     result.instructions = instructions
     result.cycles = instructions + stall_cycles + totals[C_XCYCLES]
+    if fx is not None:
+        result.cycles += fx.extra_cycles
     result.misspeculations = misspecs
     result.branches = totals[C_BRANCHES]
     result.taken_branches = totals[C_TAKEN] + taken_dyn

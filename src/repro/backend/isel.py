@@ -729,15 +729,22 @@ def remove_dead_machine_code(mfunc: MachineFunction) -> int:
 
 def select_module(
     module: Module, *, isa: str = "ARM", name: str = "program",
-    slice_width: int = 8,
+    slice_width: int = 8, baseline_functions: frozenset = frozenset(),
 ) -> MachineProgram:
-    """Lower a whole module; ``isa`` ∈ {ARM, ARM_BS, THUMB}."""
+    """Lower a whole module; ``isa`` ∈ {ARM, ARM_BS, THUMB}.
+
+    ``baseline_functions`` names functions lowered with ``bitspec=False``
+    even on ARM_BS — the pipeline's graceful-degradation fallback, which
+    produces a mixed-world binary instead of failing the whole compile.
+    """
     program = MachineProgram(name, isa)
     program.global_addresses = layout_globals(module)
     bitspec = isa == "ARM_BS"
     for func in module.functions.values():
         isel = FunctionISel(
-            func, program, module, bitspec=bitspec, slice_width=slice_width
+            func, program, module,
+            bitspec=bitspec and func.name not in baseline_functions,
+            slice_width=slice_width,
         )
         mfunc = isel.run()
         remove_dead_machine_code(mfunc)

@@ -81,6 +81,10 @@ class LinkedProgram:
     code_size: int = 0
     #: per-pc provenance for the observability layer
     debug: DebugInfo = field(default_factory=DebugInfo)
+    #: functions compiled with BASELINE codegen after a middle-end failure
+    #: (graceful degradation); the machine engines access their registers
+    #: at full width even when ``isa == "ARM_BS"``
+    fallback_functions: frozenset = frozenset()
 
     def dump(self, start: int = 0, count: int = 80) -> str:
         lines = []

@@ -35,7 +35,9 @@ ENERGY_MODEL_VERSION = 1
 #: 3: sims carry ``slice_width`` and configs carry the DSE knobs
 #:    (slice width, squeeze-op set, hotness/confidence thresholds, DTS
 #:    alpha/awareness, cache geometry) in their fingerprints.
-ENTRY_FORMAT = 3
+#: 4: configs carry ``max_spec_regions`` (graceful-degradation budget)
+#:    in their fingerprints.
+ENTRY_FORMAT = 4
 
 
 def energy_model_stamp() -> str:

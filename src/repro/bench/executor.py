@@ -9,20 +9,33 @@ results are pure event counts, so cross-process reuse is sound).
 Failure policy: a task that raises or exceeds its timeout is retried once
 (fresh attempt, possibly on another worker), then *degraded* — reported as
 ``status="failed"`` in the outcome list instead of aborting the campaign.
-Per-task timeouts are enforced inside the worker with ``SIGALRM`` (POSIX;
-elsewhere tasks run untimed rather than unexecuted).
+Retry rounds are separated by exponential backoff with *deterministic*
+jitter (:func:`_backoff_delay` hashes the round + task label, so two
+campaigns over the same matrix pause identically — no wall-clock entropy
+in reproducible runs).  Per-task timeouts are enforced inside the worker
+with ``SIGALRM`` (POSIX; elsewhere tasks run untimed rather than
+unexecuted); the alarm scope (:func:`_task_alarm`) is re-entrancy safe —
+it restores both the prior handler *and* whatever remained of an outer
+``ITIMER_REAL``, so a bench task nested under another alarm-based timeout
+cannot silently disarm it.
 """
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing
 import signal
 import time
 import traceback
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.core.pipeline import CompilerConfig
+
+#: first-retry backoff ceiling (seconds); doubles per round up to the cap
+BACKOFF_BASE = 0.25
+BACKOFF_CAP = 8.0
 
 
 @dataclass(frozen=True)
@@ -115,6 +128,49 @@ def _alarm_handler(signum, frame):
     raise _TaskTimeout()
 
 
+def _backoff_delay(round_index: int, key: str) -> float:
+    """Backoff before retry round ``round_index`` (0-based), in seconds.
+
+    Exponential in the round number, capped at :data:`BACKOFF_CAP`, with
+    deterministic jitter in ``[base/2, base]`` derived by hashing the
+    round + ``key`` — identical campaigns back off identically, while
+    different tasks still de-synchronize.
+    """
+    base = min(BACKOFF_CAP, BACKOFF_BASE * (2 ** round_index))
+    digest = hashlib.sha256(f"{round_index}:{key}".encode()).digest()
+    fraction = int.from_bytes(digest[:8], "big") / 2 ** 64
+    return base * (0.5 + 0.5 * fraction)
+
+
+@contextmanager
+def _task_alarm(seconds: Optional[float]):
+    """Arm ``SIGALRM`` to raise :class:`_TaskTimeout` after ``seconds``.
+
+    Re-entrancy safe: on exit the prior handler is restored *and*, if an
+    outer ``ITIMER_REAL`` was pending when we armed ours, it is re-armed
+    with its remaining time (minus what this scope consumed).  An outer
+    deadline that expired while the inner scope ran fires immediately on
+    exit instead of being lost.
+    """
+    if seconds is None or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+    previous_handler = signal.signal(signal.SIGALRM, _alarm_handler)
+    prior_remaining, _ = signal.getitimer(signal.ITIMER_REAL)
+    started = time.monotonic()
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous_handler)
+        if prior_remaining > 0.0:
+            elapsed = time.monotonic() - started
+            signal.setitimer(
+                signal.ITIMER_REAL, max(prior_remaining - elapsed, 1e-6)
+            )
+
+
 def _execute(task: BenchTask) -> TaskOutcome:
     """Run one task under the per-task timeout; never raises."""
     from repro.eval import harness
@@ -151,20 +207,17 @@ def _execute(task: BenchTask) -> TaskOutcome:
     except Exception:
         outcome.cached = False
 
-    use_alarm = _WORKER_TIMEOUT is not None and hasattr(signal, "SIGALRM")
-    if use_alarm:
-        previous = signal.signal(signal.SIGALRM, _alarm_handler)
-        signal.setitimer(signal.ITIMER_REAL, _WORKER_TIMEOUT)
     started = time.perf_counter()
     try:
-        record = harness.run(
-            task.workload,
-            task.config,
-            profile_kind=task.profile_kind,
-            profile_seed=task.profile_seed,
-            run_kind=task.run_kind,
-            run_seed=task.run_seed,
-        )
+        with _task_alarm(_WORKER_TIMEOUT):
+            record = harness.run(
+                task.workload,
+                task.config,
+                profile_kind=task.profile_kind,
+                profile_seed=task.profile_seed,
+                run_kind=task.run_kind,
+                run_seed=task.run_seed,
+            )
         outcome.sim_seconds = time.perf_counter() - started
         outcome.instructions = record.sim.instructions
         outcome.cycles = record.sim.cycles
@@ -180,10 +233,6 @@ def _execute(task: BenchTask) -> TaskOutcome:
         outcome.error = "".join(
             traceback.format_exception_only(type(exc), exc)
         ).strip()
-    finally:
-        if use_alarm:
-            signal.setitimer(signal.ITIMER_REAL, 0.0)
-            signal.signal(signal.SIGALRM, previous)
     return outcome
 
 
@@ -237,6 +286,7 @@ def run_matrix(
                 if not failed:
                     break
                 stats.retried += len(failed)
+                time.sleep(_backoff_delay(_round, tasks[failed[0]].label()))
                 retry_results = pool.imap(_execute, [tasks[i] for i in failed])
                 for index, outcome in zip(failed, retry_results):
                     outcome.attempts = outcomes[index].attempts + 1
@@ -253,6 +303,7 @@ def run_matrix(
                 if outcome.status != "failed":
                     break
                 stats.retried += 1
+                time.sleep(_backoff_delay(_round, task.label()))
                 retry = _execute(task)
                 retry.attempts = outcome.attempts + 1
                 if retry.status == "failed" and outcome.error:

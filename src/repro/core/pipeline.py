@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from dataclasses import asdict, dataclass, field, replace
 from typing import Callable, Optional, Union
 
@@ -21,20 +22,23 @@ from repro.arch.widths import DEFAULT_SLICE_WIDTH, validate_slice_width
 from repro.backend.isel import select_module
 from repro.backend.layout import LinkedProgram, link_program
 from repro.backend.regalloc import AllocationStats, RegisterAllocator
+from repro.faults.toolchain import maybe_fail as _maybe_inject_fault
 from repro.frontend.ast_nodes import Program
 from repro.interp.interpreter import Interpreter, RunResult
 from repro.ir.cfg import remove_unreachable_blocks
+from repro.ir.clone import clone_function
 from repro.ir.function import Module
 from repro.passes import stats as pass_stats
-from repro.passes.dce import eliminate_dead_code_module
+from repro.passes.dce import eliminate_dead_code
 from repro.passes.expander import ExpanderConfig, build_module
 from repro.passes.cfg_prep import prepare_cfg_module
 from repro.passes.opt import run_speculative_opts
-from repro.passes.simplify import simplify_module
-from repro.passes.squeezer import SqueezeResult, squeeze_module
+from repro.passes.simplify import simplify_function, simplify_module
+from repro.passes.squeezer import SqueezeResult, squeeze_function
 from repro.passes.static_narrow import narrow_module
 from repro.profiler.profile import BitwidthProfile
 from repro.profiler.selection import SqueezePlan, compute_squeeze_plan
+from repro.sir.verifier import verify_sir_function
 
 ISAS = ("ARM", "ARM_BS", "THUMB")
 MIDDLE_ENDS = ("none", "2cfg-max", "2cfg-avg", "2cfg-min", "static")
@@ -71,6 +75,9 @@ class CompilerConfig:
     l1_ways: int = 4
     l2_kb: int = 256
     l2_ways: int = 8
+    #: speculation budget: a function whose squeeze creates more than this
+    #: many speculative regions falls back to BASELINE codegen (0 = no cap)
+    max_spec_regions: int = 0
 
     def __post_init__(self) -> None:
         validate_slice_width(self.slice_width)
@@ -173,6 +180,25 @@ def set_global_inputs(module: Module, inputs: dict) -> None:
         gv.initializer = init
 
 
+@dataclass(frozen=True)
+class CompileDiagnostic:
+    """One structured graceful-degradation event emitted by the pipeline.
+
+    ``function`` is the MiniC function that fell back to BASELINE codegen
+    (``"*"`` when a back-end/layout failure degraded the whole module);
+    ``stage`` is where it failed: ``squeeze``, ``limits``, ``verify`` or
+    ``layout``.
+    """
+
+    function: str
+    stage: str
+    error: str
+    message: str
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
 @dataclass
 class CompiledBinary:
     """The output of a pipeline run, ready to simulate."""
@@ -188,6 +214,8 @@ class CompiledBinary:
     pass_stats: dict = field(default_factory=dict)
     #: static code size in instructions (excluding the skeleton area)
     code_size: int = 0
+    #: graceful-degradation events (empty on a clean compile)
+    diagnostics: list = field(default_factory=list)
 
     def run(
         self,
@@ -195,6 +223,8 @@ class CompiledBinary:
         entry: str = "main",
         *,
         obs: bool = False,
+        faults=None,
+        step_limit: Optional[int] = None,
     ) -> SimResult:
         """Simulate on the architecture model with the given inputs.
 
@@ -203,14 +233,22 @@ class CompiledBinary:
         path's own batched counters, so obs always uses the fast engine
         (never a ``_run_legacy`` fallback — the engines are bit-identical,
         so ``REPRO_MACHINE_LEGACY`` is ignored for obs runs).
+
+        ``faults`` attaches a :class:`repro.faults.FaultSession` to the
+        machine; ``step_limit`` overrides the default watchdog (fault
+        campaigns shrink it so a corrupted loop counter cannot spin for
+        the full default budget).
         """
         if inputs:
             set_global_inputs(self.module, inputs)
         if entry != "main":
             raise ValueError("the machine image always enters at main")
+        kwargs = {}
+        if step_limit is not None:
+            kwargs["step_limit"] = step_limit
         machine = Machine(
             self.linked, self.module, obs=obs, fast=True if obs else None,
-            geometry=self.config.cache_geometry(),
+            geometry=self.config.cache_geometry(), faults=faults, **kwargs,
         )
         result = machine.run()
         if self.config.voltage_scaling == "timesqueezing":
@@ -249,38 +287,55 @@ def compile_binary(
     entry: str = "main",
     name: str = "program",
     stage_hook: Optional[Callable[[str, Module], None]] = None,
+    strict: Optional[bool] = None,
 ) -> CompiledBinary:
     """Run the full pipeline of Fig. 4 for one configuration.
 
     ``stage_hook(stage_name, module)`` is called after every middle-end
     stage; the fuzzer's differential oracles use it to run the IR/SIR
     verifiers between passes.
+
+    ``strict`` controls graceful degradation: when False (the default), a
+    per-function failure in the squeezer, the SIR verifier, or the
+    ``max_spec_regions`` budget restores that function's pre-middle-end
+    IR and compiles it with BASELINE codegen (a mixed-world binary),
+    recording a :class:`CompileDiagnostic`; a back-end/layout failure
+    degrades the whole module.  When True, every failure propagates.
+    ``strict=None`` reads the ``REPRO_STRICT_COMPILE`` environment
+    variable (``"1"`` = strict).
     """
     hook = stage_hook or (lambda stage, mod: None)
+    if strict is None:
+        strict = os.environ.get("REPRO_STRICT_COMPILE", "") == "1"
     with pass_stats.collecting() as stats_scope:
         binary = _compile_binary(
-            source, config, profile_inputs, entry, name, hook
+            source, config, profile_inputs, entry, name, hook, strict
         )
     binary.pass_stats = pass_stats.snapshot(stats_scope)
     return binary
 
 
-def _compile_binary(
-    source, config, profile_inputs, entry, name, hook
-) -> CompiledBinary:
-    module = build_module(source, config.expander, name)
-    hook("frontend+expander", module)
-    binary = CompiledBinary(config=config, module=module, linked=None)
+class SpeculationLimitError(Exception):
+    """A function exceeded ``CompilerConfig.max_spec_regions``."""
 
-    if config.middle_end.startswith("2cfg-"):
-        prepare_cfg_module(module)
-        hook("cfg-prep", module)
-        if profile_inputs:
-            set_global_inputs(module, profile_inputs)
-        profile = BitwidthProfile.collect(module, entry)
-        binary.profile = profile
-        plans = {
-            fname: compute_squeeze_plan(
+
+def _squeeze_with_fallback(binary, module, profile, config, strict) -> set:
+    """Per-function squeeze + verify with graceful degradation.
+
+    Returns the set of function names that fell back to BASELINE.  A
+    fallback function's IR is restored to its pre-``cfg-prep`` snapshot,
+    so later middle-end passes must leave it untouched and the back-end
+    must select it without speculation (as if ``middle_end == "none"``).
+    """
+    snapshots = binary._snapshots
+    fallback: set = set()
+    limit = config.max_spec_regions
+    for fname in list(module.functions):
+        func = module.functions[fname]
+        stage = "squeeze"
+        try:
+            _maybe_inject_fault("squeeze", fname)
+            plan = compute_squeeze_plan(
                 func,
                 profile,
                 config.heuristic,
@@ -289,21 +344,88 @@ def _compile_binary(
                 min_hotness=config.min_hotness,
                 confidence_margin=config.confidence_margin,
             )
+            result = squeeze_function(func, plan, module)
+            stage = "limits"
+            if limit and result.regions > limit:
+                raise SpeculationLimitError(
+                    f"{result.regions} speculative regions exceed "
+                    f"max_spec_regions={limit}"
+                )
+            stage = "verify"
+            _maybe_inject_fault("verify", fname)
+            verify_sir_function(func, module)
+        except Exception as exc:
+            if strict:
+                raise
+            binary.diagnostics.append(
+                CompileDiagnostic(
+                    function=fname,
+                    stage=stage,
+                    error=type(exc).__name__,
+                    message=str(exc),
+                )
+            )
+            restored = snapshots[fname]
+            restored.parent = module
+            module.functions[fname] = restored
+            fallback.add(fname)
+            pass_stats.bump("pipeline-fallback", "functions_degraded", 1)
+            continue
+        binary.squeeze_results[fname] = result
+        # mirror squeeze_module's counters for the functions that made it
+        pass_stats.bump("squeezer", "variables_narrowed", result.narrowed)
+        pass_stats.bump("squeezer", "compares_narrowed", result.narrowed_cmps)
+        pass_stats.bump("squeezer", "casts_inserted", result.spec_truncs)
+        pass_stats.bump("squeezer", "regions_created", result.regions)
+        pass_stats.bump(
+            "squeezer",
+            "functions_squeezed",
+            1 if (plan.narrow or plan.narrow_cmps) else 0,
+        )
+    return fallback
+
+
+def _compile_binary(
+    source, config, profile_inputs, entry, name, hook, strict
+) -> CompiledBinary:
+    module = build_module(source, config.expander, name)
+    hook("frontend+expander", module)
+    binary = CompiledBinary(config=config, module=module, linked=None)
+    fallback: set = set()
+
+    if config.middle_end.startswith("2cfg-"):
+        # Pristine per-function snapshots, taken before any middle-end
+        # pass mutates the IR: the graceful-degradation path restores
+        # these, so a fallback function compiles exactly as BASELINE
+        # (middle_end == "none") would have compiled it.
+        binary._snapshots = {
+            fname: clone_function(func)
             for fname, func in module.functions.items()
         }
-        binary.squeeze_results = squeeze_module(module, plans)
+        prepare_cfg_module(module)
+        hook("cfg-prep", module)
+        if profile_inputs:
+            set_global_inputs(module, profile_inputs)
+        profile = BitwidthProfile.collect(module, entry)
+        binary.profile = profile
+        fallback = _squeeze_with_fallback(binary, module, profile, config, strict)
         hook("squeeze", module)
         binary.opt_counts = run_speculative_opts(
             module,
             compare_elimination=config.compare_elimination,
             bitmask_elision=config.bitmask_elision,
             slice_width=config.slice_width,
+            skip=frozenset(fallback),
         )
         hook("speculative-opts", module)
-        for func in module.functions.values():
+        removed = 0
+        for fname, func in module.functions.items():
+            if fname in fallback:
+                continue  # restored bodies must stay bit-equal to BASELINE's
             remove_unreachable_blocks(func)
-        eliminate_dead_code_module(module)
-        simplify_module(module)
+            removed += eliminate_dead_code(func)
+            simplify_function(func)
+        pass_stats.bump("dce", "instructions_removed", removed)
         hook("cleanup", module)
     elif config.middle_end == "static":
         narrow_module(module)
@@ -312,16 +434,51 @@ def _compile_binary(
     elif config.middle_end != "none":
         raise ValueError(f"unknown middle-end: {config.middle_end}")
 
-    program = select_module(
-        module, isa=config.isa, name=name, slice_width=config.slice_width
-    )
-    for mfunc in program.functions.values():
-        allocator = RegisterAllocator(
-            mfunc,
-            isa=config.isa,
-            invert_handler_weights=config.invert_handler_weights,
+    def backend(baseline_fns: frozenset):
+        program = select_module(
+            module, isa=config.isa, name=name,
+            slice_width=config.slice_width,
+            baseline_functions=baseline_fns,
         )
-        binary.alloc_stats[mfunc.name] = allocator.run()
-    binary.linked = link_program(program, slice_width=config.slice_width)
-    binary.code_size = binary.linked.code_size
+        alloc_stats = {}
+        for mfunc in program.functions.values():
+            isa = config.isa
+            if mfunc.name in baseline_fns and isa == "ARM_BS":
+                isa = "ARM"  # no slice packing for BASELINE-fallback code
+            allocator = RegisterAllocator(
+                mfunc,
+                isa=isa,
+                invert_handler_weights=config.invert_handler_weights,
+            )
+            alloc_stats[mfunc.name] = allocator.run()
+        return link_program(program, slice_width=config.slice_width), alloc_stats
+
+    fallback_set = frozenset(fallback)
+    try:
+        _maybe_inject_fault("layout", "*")
+        linked, binary.alloc_stats = backend(fallback_set)
+    except Exception as exc:
+        snapshots = getattr(binary, "_snapshots", None)
+        if strict or snapshots is None:
+            raise
+        # Back-end failures have no per-function attribution (layout is
+        # module-wide), so degrade the whole module to BASELINE.
+        binary.diagnostics.append(
+            CompileDiagnostic(
+                function="*",
+                stage="layout",
+                error=type(exc).__name__,
+                message=str(exc),
+            )
+        )
+        fresh = {f for f in module.functions if f not in fallback_set}
+        pass_stats.bump("pipeline-fallback", "functions_degraded", len(fresh))
+        for fname, snap in snapshots.items():
+            snap.parent = module
+            module.functions[fname] = snap
+        fallback_set = frozenset(module.functions)
+        linked, binary.alloc_stats = backend(fallback_set)
+    linked.fallback_functions = fallback_set
+    binary.linked = linked
+    binary.code_size = linked.code_size
     return binary

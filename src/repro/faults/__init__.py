@@ -1,0 +1,28 @@
+"""Deterministic fault injection and recovery auditing (resilience layer).
+
+BITSPEC's safety story rests on the misspeculation detect-and-recover path
+(slice carry-out → ``PC += Δ`` → handler re-extend, §3.3.4/§3.5).  This
+package adversarially exercises it: seeded :class:`~repro.faults.plan.FaultPlan`\\ s
+inject register-file bit flips, D$/I$ corruption (with an optional
+parity-detect knob), suppressed / spurious misspeculation signals,
+Razor-style DTS timing errors, and dropped / misrouted Δ redirects into
+both machine engines; the campaign runner (:mod:`repro.faults.campaign`,
+CLI ``python -m repro.faults``) classifies every injection as
+*detected-and-recovered*, *detected-unrecoverable*, *masked* or
+*silent-data-corruption* and attributes absorbed faults to the
+world/region/handler that caught them.  :mod:`repro.faults.toolchain`
+injects failures into the compile pipeline itself to exercise the
+per-function BASELINE fallback path (mixed-world binaries).  See
+``docs/resilience.md``.
+"""
+
+from repro.faults.plan import (  # noqa: F401
+    DETECTABLE_KINDS,
+    FAULT_KINDS,
+    FaultPlan,
+    GoldenProfile,
+    SPEC_KINDS,
+    STEP_KINDS,
+    derive_plan,
+)
+from repro.faults.session import FaultSession  # noqa: F401

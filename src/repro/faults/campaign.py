@@ -1,0 +1,503 @@
+"""Fault-injection campaigns and the recovery coverage matrix.
+
+A campaign sweeps a grid of (workload × config × fault kind × seed)
+cells.  Each cell derives one :class:`~repro.faults.plan.FaultPlan` from
+the cell's golden execution profile, replays the run with the fault
+armed, and classifies the injection:
+
+==========================  ==================================================
+category                    meaning
+==========================  ==================================================
+``detected-and-recovered``  output matches golden and a detection mechanism
+                            fired (Δ handler, Razor replay)
+``detected-unrecoverable``  a detection mechanism fired (parity trap, machine
+                            exception, or extra misspeculations) but the run
+                            did not reproduce the golden output
+``masked``                  output matches golden with no detection event —
+                            including plans whose trigger never arrived
+``silent-data-corruption``  output differs and nothing detected anything
+==========================  ==================================================
+
+Recovered faults are *attributed* with the observability layer: the per-pc
+misspeculation deltas against the golden run name the function, world,
+region and Δ handler that absorbed the fault (``repro.obs`` provenance).
+
+Everything is deterministic: cell seeds come from the fuzz driver's
+splitmix64 stream, plans are derived with ``random.Random``, and the
+canonical JSON matrix carries no wall-clock — the same campaign seed
+yields a byte-identical matrix whether the bench disk cache is warm or
+cold.  Golden runs go through :mod:`repro.eval.harness` (memoized, disk
+cached when a cache is installed) so campaigns ride the bench
+infrastructure; faulty runs are never cached.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import traceback
+from typing import Optional, Sequence
+
+from repro.arch.machine import FaultTrap, MachineError
+from repro.arch.predecode import (
+    OP_BS_BIN,
+    OP_BS_LDR,
+    OP_BS_TRUNC,
+    OP_BS_TRUNC_HI,
+    predecode,
+)
+from repro.core.pipeline import CompilerConfig
+from repro.faults.plan import (
+    FAULT_KINDS,
+    FaultPlan,
+    GoldenProfile,
+    derive_plan,
+    detectable_kinds,
+)
+from repro.faults.session import FaultSession
+from repro.fuzz.driver import iteration_seed
+from repro.interp.memory import STACK_TOP
+
+# -- classification outcomes --------------------------------------------------
+
+DETECTED_RECOVERED = "detected-and-recovered"
+DETECTED_UNRECOVERABLE = "detected-unrecoverable"
+MASKED = "masked"
+SDC = "silent-data-corruption"
+
+CATEGORIES = (DETECTED_RECOVERED, DETECTED_UNRECOVERABLE, MASKED, SDC)
+
+#: opcode ids that resolve a speculation (the engines' four spec sites)
+_SPEC_OPS = frozenset({OP_BS_BIN, OP_BS_TRUNC, OP_BS_TRUNC_HI, OP_BS_LDR})
+
+#: watchdog floor — a corrupted loop bound must not spin for the default
+#: 400M-step machine budget
+_MIN_WATCHDOG = 10_000
+
+DEFAULT_WORKLOADS = ("crc32", "bitcount")
+#: T=MAX is the paper's design point; T=MIN misspeculates even on the
+#: profiled input, giving the spec-fault kinds a live trigger pool
+DEFAULT_CONFIGS = ("bitspec-max", "bitspec-min")
+
+
+def resolve_config(name: str) -> CompilerConfig:
+    """Map a CLI config alias to a :class:`CompilerConfig`."""
+    key = name.strip().lower()
+    if key in ("baseline", "arm"):
+        return CompilerConfig.baseline()
+    if key in ("bitspec", "arm_bs"):
+        return CompilerConfig.bitspec("max")
+    if key.startswith("bitspec-"):
+        return CompilerConfig.bitspec(key.split("-", 1)[1])
+    if key.startswith("dts-bitspec-"):
+        return CompilerConfig.dts_bitspec(key.split("-", 2)[2])
+    if key == "nospec":
+        return CompilerConfig.nospec()
+    if key == "thumb":
+        return CompilerConfig.thumb()
+    if key == "dts":
+        return CompilerConfig.dts()
+    raise ValueError(f"unknown config alias: {name}")
+
+
+def spec_successes(linked, sample) -> int:
+    """Successful speculation resolutions in an obs run (Σ execs − misses
+    over the image's speculative ops) — the event pool spurious-assert
+    plans draw their trigger from."""
+    code, _ = predecode(linked, sample.narrow_rf)
+    total = 0
+    for entry, n, miss in zip(code, sample.exec_counts, sample.misspecs):
+        if entry[0] in _SPEC_OPS:
+            total += n - miss
+    return total
+
+
+def _mem_window(linked, module) -> tuple[int, int]:
+    """The [base, base+span) data window mem_bit plans corrupt.
+
+    Globals when the program has any (that is where workload state lives);
+    otherwise a small window at the top of the stack region.
+    """
+    extents = []
+    for name, addr in linked.global_addresses.items():
+        gv = module.globals.get(name)
+        extents.append((addr, gv.size_bytes if gv is not None else 4))
+    if not extents:
+        return STACK_TOP - 256, 256
+    base = min(addr for addr, _ in extents)
+    end = max(addr + size for addr, size in extents)
+    return base, end - base
+
+
+def golden_profile(binary, golden_sim) -> GoldenProfile:
+    """Derive the plan-derivation profile from a golden ``obs=True`` run."""
+    base, span = _mem_window(binary.linked, binary.module)
+    return GoldenProfile(
+        instructions=golden_sim.instructions,
+        misspeculations=golden_sim.misspeculations,
+        spec_successes=spec_successes(binary.linked, golden_sim.obs),
+        mem_base=base,
+        mem_span=span,
+    )
+
+
+def _absorbers(linked, golden_obs, faulty_obs) -> list:
+    """Name the sites whose misspeculation counts grew under the fault.
+
+    ``region`` is the region's *ordinal within the image* (1-based, in
+    region-id order), not the raw ``SpeculativeRegion`` id: raw ids come
+    from a process-global counter, so two compiles of the same program
+    would stamp different numbers and break the matrix's byte-stability.
+    """
+    debug = linked.debug
+    ordinal = {
+        raw: i + 1
+        for i, raw in enumerate(
+            sorted({r for r in debug.region if r is not None})
+        )
+    }
+    sites = []
+    for pc, (g, f) in enumerate(zip(golden_obs.misspecs, faulty_obs.misspecs)):
+        if f > g:
+            raw = debug.region[pc] if pc < len(debug.region) else None
+            sites.append(
+                {
+                    "pc": pc,
+                    "function": linked.owner[pc] if pc < len(linked.owner) else "",
+                    "world": debug.world[pc] if pc < len(debug.world) else "",
+                    "region": ordinal.get(raw),
+                    "handler": debug.handler_of.get(pc),
+                    "extra_misspecs": f - g,
+                }
+            )
+    return sites
+
+
+def run_injection(
+    binary,
+    inputs: Optional[dict],
+    plan: FaultPlan,
+    golden_sim,
+) -> dict:
+    """Replay one faulted run and classify it against the golden run."""
+    session = FaultSession(plan)
+    watchdog = max(4 * golden_sim.instructions, _MIN_WATCHDOG)
+    record = {
+        "kind": plan.kind,
+        "fault_seed": plan.seed,
+        "plan": plan.to_dict(),
+        "triggered": False,
+        "category": MASKED,
+        "mechanism": "",
+        "absorbed_by": [],
+        "error": "",
+        "instructions": 0,
+        "misspeculations": 0,
+        "razor_recoveries": 0,
+        "output_matches": True,
+    }
+    trapped = False
+    sim = None
+    try:
+        sim = binary.run(inputs, obs=True, faults=session, step_limit=watchdog)
+    except FaultTrap as exc:
+        trapped = True
+        record["error"] = f"FaultTrap: {exc}"
+    except (MachineError, MemoryError, OverflowError, ValueError) as exc:
+        # post-corruption wreckage surfacing as a machine/memory exception:
+        # the fault was *detected* by an architectural check, not silent
+        trapped = True
+        record["error"] = f"{type(exc).__name__}: {exc}"
+
+    record["triggered"] = session.triggered
+    record["razor_recoveries"] = session.razor_recoveries
+
+    if sim is not None:
+        record["instructions"] = sim.instructions
+        record["misspeculations"] = sim.misspeculations
+        # The observable channel is the out() stream.  return_value is NOT
+        # compared: workload mains are void, so r0 at halt is dead-register
+        # state that legitimately differs between the spec and orig worlds
+        # once a recovery re-enters CFG_orig.
+        matches = sim.output == golden_sim.output
+        record["output_matches"] = matches
+        extra_misses = sim.misspeculations > golden_sim.misspeculations
+        detected = extra_misses or session.razor_recoveries > 0
+        if matches:
+            record["category"] = DETECTED_RECOVERED if detected else MASKED
+        else:
+            record["category"] = DETECTED_UNRECOVERABLE if detected else SDC
+        if detected:
+            if session.razor_recoveries:
+                record["mechanism"] = "razor-replay"
+            else:
+                record["mechanism"] = "delta-handler"
+            if extra_misses and sim.obs is not None and golden_sim.obs is not None:
+                record["absorbed_by"] = _absorbers(
+                    binary.linked, golden_sim.obs, sim.obs
+                )
+    elif trapped:
+        record["output_matches"] = False
+        record["category"] = DETECTED_UNRECOVERABLE
+        record["mechanism"] = (
+            "parity-trap" if session.detected_by_parity else "machine-exception"
+        )
+    return record
+
+
+# -- workload campaigns -------------------------------------------------------
+
+#: per-process golden cache: (workload, config hash) -> (binary, sim, profile)
+_GOLDEN: dict = {}
+
+
+def _golden_for(workload: str, config: CompilerConfig):
+    from repro.eval import harness
+    from repro.workloads import get_workload
+
+    key = (workload, config.stable_hash())
+    cached = _GOLDEN.get(key)
+    if cached is not None:
+        return cached
+    # harness.run validates output against the workload oracle and rides
+    # the bench caches; the obs run below feeds plan derivation.
+    harness.run(workload, config)
+    binary = harness.get_binary(workload, config)
+    inputs = get_workload(workload).inputs("test", 0)
+    golden_sim = binary.run(inputs, obs=True)
+    profile = golden_profile(binary, golden_sim)
+    bundle = (binary, inputs, golden_sim, profile)
+    _GOLDEN[key] = bundle
+    return bundle
+
+
+def _run_cell(task: tuple) -> dict:
+    workload, config_name, kind, fault_seed, parity = task
+    base = {
+        "workload": workload,
+        "config": config_name,
+        "kind": kind,
+        "fault_seed": fault_seed,
+    }
+    try:
+        config = resolve_config(config_name)
+        binary, inputs, golden_sim, profile = _golden_for(workload, config)
+        plan = derive_plan(kind, fault_seed, profile, parity=parity)
+        record = run_injection(binary, inputs, plan, golden_sim)
+        record.update(base)
+        record["golden_instructions"] = golden_sim.instructions
+        record["golden_misspeculations"] = golden_sim.misspeculations
+        record["status"] = "ok"
+        return record
+    except Exception:
+        base.update(
+            {
+                "status": "error",
+                "category": "error",
+                "error": traceback.format_exc().strip().splitlines()[-1],
+            }
+        )
+        return base
+
+
+def _init_worker(cache_dir) -> None:
+    if cache_dir is not None:
+        from repro.bench.cache import install_disk_cache
+
+        install_disk_cache(cache_dir)
+
+
+def enumerate_cells(
+    workloads: Sequence[str],
+    config_names: Sequence[str],
+    kinds: Sequence[str],
+    seed: int,
+    per_kind: int,
+    parity: bool,
+) -> list:
+    """The campaign grid, with deterministic per-cell fault seeds."""
+    cells = []
+    for workload in workloads:
+        for config_name in config_names:
+            for kind in kinds:
+                for _ in range(per_kind):
+                    cells.append(
+                        (
+                            workload,
+                            config_name,
+                            kind,
+                            iteration_seed(seed, len(cells)),
+                            parity,
+                        )
+                    )
+    return cells
+
+
+def summarize(cells: list, parity: bool) -> dict:
+    """Aggregate the coverage matrix: per-kind category histograms plus
+    the count of silent corruptions in detectable fault classes (the
+    campaign's pass/fail signal)."""
+    per_kind: dict = {}
+    detectable = detectable_kinds(parity)
+    sdc_detectable = 0
+    for cell in cells:
+        kind = cell["kind"]
+        category = cell.get("category", "error")
+        histogram = per_kind.setdefault(kind, {})
+        histogram[category] = histogram.get(category, 0) + 1
+        if category == SDC and kind in detectable:
+            sdc_detectable += 1
+    return {
+        "per_kind": per_kind,
+        "cells": len(cells),
+        "errors": sum(1 for c in cells if c.get("status") != "ok"),
+        "sdc_in_detectable_kinds": sdc_detectable,
+    }
+
+
+def run_campaign(
+    *,
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+    config_names: Sequence[str] = DEFAULT_CONFIGS,
+    kinds: Sequence[str] = FAULT_KINDS,
+    seed: int = 0,
+    per_kind: int = 2,
+    parity: bool = False,
+    jobs: int = 1,
+    cache_dir=None,
+    progress=None,
+) -> dict:
+    """Run the grid; returns the coverage matrix (canonical-JSON-able)."""
+    tasks = enumerate_cells(workloads, config_names, kinds, seed, per_kind, parity)
+    results: list = []
+    if jobs > 1 and len(tasks) > 1:
+        ctx = multiprocessing.get_context()
+        with ctx.Pool(
+            processes=jobs, initializer=_init_worker, initargs=(cache_dir,)
+        ) as pool:
+            for done, record in enumerate(pool.imap(_run_cell, tasks), start=1):
+                results.append(record)
+                if progress is not None:
+                    progress(done, len(tasks), record)
+    else:
+        _init_worker(cache_dir)
+        for done, task in enumerate(tasks, start=1):
+            record = _run_cell(task)
+            results.append(record)
+            if progress is not None:
+                progress(done, len(tasks), record)
+    return {
+        "seed": seed,
+        "parity": parity,
+        "per_kind_plans": per_kind,
+        "workloads": list(workloads),
+        "configs": list(config_names),
+        "kinds": list(kinds),
+        "cells": results,
+        "summary": summarize(results, parity),
+    }
+
+
+# -- fuzz-corpus replay -------------------------------------------------------
+
+
+def replay_corpus(
+    corpus_dir,
+    *,
+    count: int = 5,
+    kinds: Sequence[str] = FAULT_KINDS,
+    seed: int = 0,
+    per_kind: int = 1,
+    parity: bool = False,
+) -> dict:
+    """Replay fuzz-corpus programs under a fault grid (the ``faults``
+    oracle mode): compile each saved program as BITSPEC T=MAX, golden-run
+    it, and classify every injection.  Detectable fault classes must not
+    silently corrupt — checked by the caller via the summary."""
+    from repro.core.pipeline import compile_binary
+    from repro.fuzz.corpus import iter_corpus
+
+    programs = []
+    for path, program in iter_corpus(corpus_dir):
+        programs.append((path.name, program))
+        if len(programs) >= count:
+            break
+
+    cells: list = []
+    config = CompilerConfig.bitspec("max")
+    for name, program in programs:
+        binary = compile_binary(
+            program.source,
+            config,
+            profile_inputs=program.inputs_profile,
+            strict=True,
+        )
+        golden_sim = binary.run(program.inputs_run, obs=True)
+        profile = golden_profile(binary, golden_sim)
+        for kind in kinds:
+            for _ in range(per_kind):
+                fault_seed = iteration_seed(seed, len(cells))
+                plan = derive_plan(kind, fault_seed, profile, parity=parity)
+                record = run_injection(
+                    binary, program.inputs_run, plan, golden_sim
+                )
+                record.update(
+                    {
+                        "workload": f"corpus:{name}",
+                        "config": config.name,
+                        "status": "ok",
+                        "golden_instructions": golden_sim.instructions,
+                        "golden_misspeculations": golden_sim.misspeculations,
+                    }
+                )
+                cells.append(record)
+    return {
+        "seed": seed,
+        "parity": parity,
+        "per_kind_plans": per_kind,
+        "workloads": [f"corpus:{name}" for name, _ in programs],
+        "configs": [config.name],
+        "kinds": list(kinds),
+        "cells": cells,
+        "summary": summarize(cells, parity),
+    }
+
+
+# -- rendering ----------------------------------------------------------------
+
+
+def to_canonical_json(matrix: dict) -> str:
+    """Byte-stable serialization: sorted keys, no wall-clock anywhere."""
+    return json.dumps(matrix, sort_keys=True, indent=2) + "\n"
+
+
+def render_matrix(matrix: dict) -> str:
+    """Human-readable coverage table for the CLI."""
+    summary = matrix["summary"]
+    width = max((len(k) for k in summary["per_kind"]), default=10)
+    lines = [
+        f"fault coverage matrix — seed {matrix['seed']}, "
+        f"{summary['cells']} cells, parity={'on' if matrix['parity'] else 'off'}"
+    ]
+    header = (
+        f"{'kind':<{width}}  {'recovered':>9}  {'unrecov':>8}  "
+        f"{'masked':>6}  {'SDC':>4}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for kind in matrix["kinds"]:
+        histogram = summary["per_kind"].get(kind, {})
+        lines.append(
+            f"{kind:<{width}}  "
+            f"{histogram.get(DETECTED_RECOVERED, 0):>9}  "
+            f"{histogram.get(DETECTED_UNRECOVERABLE, 0):>8}  "
+            f"{histogram.get(MASKED, 0):>6}  "
+            f"{histogram.get(SDC, 0):>4}"
+        )
+    if summary["errors"]:
+        lines.append(f"errors: {summary['errors']}")
+    lines.append(
+        "SDC in detectable kinds: "
+        f"{summary['sdc_in_detectable_kinds']}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,152 @@
+"""Fault taxonomy and deterministic plan derivation.
+
+A :class:`FaultPlan` fully describes one injection: what to break, where,
+and when.  Plans are derived from a seed plus a :class:`GoldenProfile`
+summarizing the fault-free reference run, so every parameter (trigger
+step, register, bit, address, event ordinal) is a pure function of
+``(kind, seed, golden)`` — the same seed always produces the same
+injection, which is what makes campaign documents bit-reproducible.
+
+Timing faults come in two trigger flavors:
+
+* *step faults* (:data:`STEP_KINDS`) fire at one dynamic instruction
+  ``trigger_step`` drawn uniformly from ``[1, golden.instructions]``;
+* *speculation faults* (:data:`SPEC_KINDS`) fire at the ``nth_event``-th
+  natural speculation outcome (misspeculation for suppress/Δ faults,
+  in-slice success for spurious assertion).  When the golden run never
+  produced the event the plan is *untriggered* and classifies as masked.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass
+
+#: every fault kind the injection layer implements
+FAULT_KINDS = (
+    "rf_bit",            # flip one bit of one architectural register
+    "mem_bit",           # flip one bit of one data byte (D$ line corruption)
+    "icache",            # corrupt one fetched instruction (executes as a bubble)
+    "misspec_suppress",  # slice-boundary carry-out signal fails to assert
+    "misspec_spurious",  # signal asserts although the value fit the slice
+    "dts_timing",        # Razor-style DTS timing error (detected + replayed)
+    "delta_drop",        # misspec detected but the Δ redirect is dropped
+    "delta_misroute",    # Δ redirect lands at the wrong skeleton slot
+)
+
+#: kinds triggered at one dynamic step of the golden run
+STEP_KINDS = frozenset({"rf_bit", "mem_bit", "icache", "dts_timing"})
+
+#: kinds triggered at the nth natural speculation outcome
+SPEC_KINDS = frozenset(
+    {"misspec_suppress", "misspec_spurious", "delta_drop", "delta_misroute"}
+)
+
+#: size of the misroute displacement pool (skeleton slots past the target)
+_MISROUTE_SPAN = 4
+
+
+def detectable_kinds(parity: bool) -> frozenset:
+    """Kinds whose injections the hardware always *detects*.
+
+    A detected fault may still be unrecoverable, but it must never be
+    silent: the campaign treats any silent-data-corruption in these
+    classes as a resilience bug.  ``misspec_spurious`` raises the misspec
+    signal itself; ``dts_timing`` is Razor-detected by construction; with
+    the parity knob on, cache corruption traps at injection time.
+    """
+    kinds = {"misspec_spurious", "dts_timing"}
+    if parity:
+        kinds |= {"mem_bit", "icache"}
+    return frozenset(kinds)
+
+
+#: detectable classes under the default (no-parity) hardware model
+DETECTABLE_KINDS = detectable_kinds(parity=False)
+
+
+@dataclass(frozen=True)
+class GoldenProfile:
+    """What plan derivation needs to know about the fault-free run."""
+
+    instructions: int
+    misspeculations: int
+    #: speculative ops that executed and stayed inside the slice
+    spec_successes: int
+    #: byte-address window for data corruption (globals, else stack top)
+    mem_base: int
+    mem_span: int
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One fully determined injection (picklable, JSON-serializable)."""
+
+    kind: str
+    seed: int
+    trigger_step: int = 0  # 1-based dynamic step, step kinds only
+    nth_event: int = 0     # 1-based speculation-event ordinal, spec kinds only
+    reg: int = 0
+    bit: int = 0
+    addr: int = 0
+    parity: bool = False
+    offset: int = 0        # misroute displacement added to Δ
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        return cls(**data)
+
+    def describe(self) -> str:
+        if self.kind == "rf_bit":
+            where = f"r{self.reg} bit {self.bit} @ step {self.trigger_step}"
+        elif self.kind == "mem_bit":
+            where = f"[0x{self.addr:x}] bit {self.bit} @ step {self.trigger_step}"
+        elif self.kind in STEP_KINDS:
+            where = f"@ step {self.trigger_step}"
+        elif self.kind == "delta_misroute":
+            where = f"Δ+{self.offset} @ event {self.nth_event}"
+        else:
+            where = f"@ event {self.nth_event}"
+        tag = " +parity" if self.parity else ""
+        return f"{self.kind} {where}{tag}"
+
+
+def derive_plan(
+    kind: str, seed: int, golden: GoldenProfile, *, parity: bool = False
+) -> FaultPlan:
+    """Derive one concrete plan from ``(kind, seed)`` and the golden run.
+
+    Uses :class:`random.Random` (whose integer stream is stable across
+    CPython versions) so the derivation is reproducible anywhere.
+    """
+    if kind not in FAULT_KINDS:
+        raise ValueError(f"unknown fault kind: {kind!r}")
+    rng = random.Random(seed)
+    if kind in STEP_KINDS:
+        step = 1 + rng.randrange(max(1, golden.instructions))
+        if kind == "rf_bit":
+            # r0-r12: the allocatable file; sp/lr corruption is modeled by
+            # the address/control bits those registers feed anyway
+            return FaultPlan(kind, seed, trigger_step=step,
+                             reg=rng.randrange(13), bit=rng.randrange(32))
+        if kind == "mem_bit":
+            addr = golden.mem_base + rng.randrange(max(1, golden.mem_span))
+            return FaultPlan(kind, seed, trigger_step=step,
+                             addr=addr, bit=rng.randrange(8), parity=parity)
+        if kind == "icache":
+            return FaultPlan(kind, seed, trigger_step=step, parity=parity)
+        return FaultPlan(kind, seed, trigger_step=step)  # dts_timing
+    if kind == "misspec_spurious":
+        pool = golden.spec_successes
+    else:
+        pool = golden.misspeculations
+    # an empty pool leaves nth_event=1 unreachable: an untriggered (masked)
+    # plan, reported as such rather than silently skipped
+    nth = 1 + (rng.randrange(pool) if pool else 0)
+    if kind == "delta_misroute":
+        return FaultPlan(kind, seed, nth_event=nth,
+                         offset=1 + rng.randrange(_MISROUTE_SPAN))
+    return FaultPlan(kind, seed, nth_event=nth)

@@ -1,0 +1,123 @@
+"""Per-run fault-injection state machine, hooked into the machine engines.
+
+A :class:`FaultSession` carries one :class:`~repro.faults.plan.FaultPlan`
+through one simulation.  The machine engines consult it through three
+entry points, each guarded by a single ``fx is not None`` test so the
+no-fault hot path pays one local comparison per step and nothing else:
+
+* :meth:`on_step` — called once per dynamic instruction *before* fetch;
+  mutates registers/memory for state corruption, raises
+  :class:`~repro.arch.machine.FaultTrap` for parity-detected corruption,
+  and returns ``"skip"`` when the fetched instruction is corrupted into
+  a bubble;
+* :meth:`spec_outcome` — called at every speculative-op resolution with
+  the natural misspeculation verdict; may suppress or spuriously assert
+  it for the planned event;
+* :meth:`redirect` — called when a misspeculation redirects; normally
+  returns ``pc + Δ``, but the Δ-fault kinds override one redirect
+  (dropped → fall through, misrouted → wrong skeleton slot).
+
+Both engines keep the fold-consistency invariant under speculation
+faults: successful ops write back and failed ops redirect, whichever way
+the session bent the verdict, so ``writebacks == execs − misspecs``
+still holds and the fast path's batched counters stay self-consistent.
+"""
+
+from __future__ import annotations
+
+from repro.arch.machine import FaultTrap
+from repro.faults.plan import FaultPlan, SPEC_KINDS, STEP_KINDS
+
+#: cycles one Razor replay costs (detect at latch, flush one stage, retry)
+RAZOR_REPLAY_CYCLES = 2
+
+
+class FaultSession:
+    """Mutable injection state threaded through one machine run."""
+
+    __slots__ = (
+        "plan", "kind", "triggered", "detected_by_parity",
+        "extra_cycles", "razor_recoveries",
+        "_spec_seen", "_redirect_kind", "_step_armed", "_trigger_step",
+    )
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.kind = plan.kind
+        self.triggered = False
+        self.detected_by_parity = False
+        self.extra_cycles = 0
+        self.razor_recoveries = 0
+        self._spec_seen = 0
+        self._redirect_kind = None
+        self._step_armed = plan.kind in STEP_KINDS
+        self._trigger_step = plan.trigger_step
+
+    def on_step(self, step: int, pc: int, regs: list, memory) -> str | None:
+        if not self._step_armed or step != self._trigger_step:
+            return None
+        self._step_armed = False
+        self.triggered = True
+        kind = self.kind
+        plan = self.plan
+        if kind == "rf_bit":
+            regs[plan.reg] ^= 1 << plan.bit
+            return None
+        if kind == "mem_bit":
+            if plan.parity:
+                self.detected_by_parity = True
+                raise FaultTrap(
+                    f"dcache parity error at 0x{plan.addr:x} (step {step})"
+                )
+            byte = memory.load(plan.addr, 1)
+            memory.store(plan.addr, byte ^ (1 << plan.bit), 1)
+            return None
+        if kind == "icache":
+            if plan.parity:
+                self.detected_by_parity = True
+                raise FaultTrap(f"icache parity error at pc {pc} (step {step})")
+            return "skip"
+        # dts_timing: the Razor latch catches the late transition and
+        # replays the stage — always detected, always recovered
+        self.extra_cycles += RAZOR_REPLAY_CYCLES
+        self.razor_recoveries += 1
+        return None
+
+    def spec_outcome(self, natural_miss: bool) -> bool:
+        kind = self.kind
+        if kind not in SPEC_KINDS:
+            return natural_miss
+        plan = self.plan
+        if kind == "misspec_suppress":
+            if natural_miss:
+                self._spec_seen += 1
+                if self._spec_seen == plan.nth_event:
+                    self.triggered = True
+                    return False
+            return natural_miss
+        if kind == "misspec_spurious":
+            if not natural_miss:
+                self._spec_seen += 1
+                if self._spec_seen == plan.nth_event:
+                    self.triggered = True
+                    return True
+            return natural_miss
+        # delta_drop / delta_misroute: let the misspeculation stand but
+        # sabotage its redirect
+        if natural_miss:
+            self._spec_seen += 1
+            if self._spec_seen == plan.nth_event:
+                self.triggered = True
+                self._redirect_kind = kind
+        return natural_miss
+
+    def redirect(self, pc: int, delta: int) -> int:
+        kind = self._redirect_kind
+        if kind is None:
+            return pc + delta
+        self._redirect_kind = None
+        if kind == "delta_drop":
+            # the redirect never happens; the pipeline falls through with
+            # the (discarded) speculative result's writeback already gone
+            return pc + 1
+        return pc + delta + self.plan.offset  # delta_misroute

@@ -1,0 +1,55 @@
+"""Compile-time fault injection: force pipeline stages to fail on demand.
+
+Complements the machine-level injection layer: instead of breaking the
+*hardware*, break the *toolchain* — make the squeezer, SIR verifier,
+speculative optimizer or layout throw for a chosen function — and audit
+that :func:`repro.core.pipeline.compile_binary` degrades gracefully
+(per-function BASELINE fallback with a structured diagnostic) instead of
+aborting.
+
+This module is imported by the pipeline, so it must not import anything
+from :mod:`repro` (keeping ``core → faults.toolchain`` cycle-free).
+
+Usage::
+
+    with inject_compile_faults({("main", "squeeze")}):
+        binary = compile_binary(source, config, ...)
+    assert "main" in binary.linked.fallback_functions
+
+Stages checked by the pipeline: ``squeeze``, ``verify``, ``layout``
+(``layout`` is module-wide — use ``*`` as the function name).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+#: active injection set: {(function_name, stage)}; empty = disabled
+_ACTIVE: set = set()
+
+
+class InjectedCompileFault(Exception):
+    """A deliberately injected toolchain failure (testing only)."""
+
+
+@contextmanager
+def inject_compile_faults(faults):
+    """Arm ``{(function, stage)}`` injections for the enclosed compiles.
+
+    Not reentrant-safe across threads (the pipeline itself is not either);
+    nested contexts compose by union.
+    """
+    added = {tuple(f) for f in faults} - _ACTIVE
+    _ACTIVE.update(added)
+    try:
+        yield
+    finally:
+        _ACTIVE.difference_update(added)
+
+
+def maybe_fail(stage: str, function: str) -> None:
+    """Raise :class:`InjectedCompileFault` if (function, stage) is armed."""
+    if _ACTIVE and ((function, stage) in _ACTIVE or ("*", stage) in _ACTIVE):
+        raise InjectedCompileFault(
+            f"injected {stage} fault in {function}()"
+        )

@@ -209,11 +209,14 @@ def _run_oracles(
     # Levels 2+3: squeezed SIR (interp) and BITSPEC binaries (machine).
     for heuristic in HEURISTICS:
         config = CompilerConfig.bitspec(heuristic, expander=expander)
+        # strict=True: the fuzzer must see middle-end failures as findings,
+        # never have them masked by graceful BASELINE fallback
         binary = compile_binary(
             program.source,
             config,
             profile_inputs=program.inputs_profile,
             stage_hook=_verifying_stage_hook,
+            strict=True,
         )
         interp_result = binary.interpret(program.inputs_run)
         report.outputs[f"interp-squeezed-{heuristic}"] = interp_result.output
@@ -242,7 +245,9 @@ def _run_oracles(
         ("machine-baseline", CompilerConfig.baseline(expander=expander)),
         ("machine-thumb", CompilerConfig.thumb(expander=expander)),
     ):
-        binary = compile_binary(program.source, config, stage_hook=_verifying_stage_hook)
+        binary = compile_binary(
+            program.source, config, stage_hook=_verifying_stage_hook, strict=True
+        )
         sim = binary.run(program.inputs_run)
         report.outputs[level] = sim.output
         _check_energy(report, level, sim)
@@ -255,6 +260,7 @@ def _run_oracles(
             config,
             profile_inputs=program.inputs_run,
             stage_hook=_verifying_stage_hook,
+            strict=True,
         )
         sim = binary.run(program.inputs_run)
         if sim.misspeculations:

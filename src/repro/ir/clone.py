@@ -7,6 +7,7 @@ body, §3.2.3 step 1).  Cloning returns value and block maps (the paper's
 
 from __future__ import annotations
 
+import itertools
 from typing import Iterable, Optional
 
 from repro.ir.block import BasicBlock
@@ -66,6 +67,28 @@ def _clone_instruction(inst, lookup) -> object:
         raise TypeError(f"cannot clone instruction kind {type(inst).__name__}")
     clone.speculative = inst.speculative
     clone.volatile = inst.volatile
+    return clone
+
+
+def clone_function(func: Function) -> Function:
+    """Deep-copy ``func`` into a fresh, independent :class:`Function`.
+
+    Block and value names are preserved verbatim; arguments are remapped
+    to the clone's own :class:`Argument` objects.  Used by the pipeline's
+    graceful-degradation path to snapshot every function before the
+    speculative middle-end runs, so a failing squeeze/verify can restore
+    the pristine body instead of aborting the whole compile.
+    """
+    clone = Function(
+        func.name, func.ret_type, [(a.name, a.type) for a in func.args]
+    )
+    seed = dict(zip(func.args, clone.args))
+    clone_blocks(clone, func.blocks, "", value_map=seed)
+    # Keep the clone's name counters ahead of every existing name so a
+    # later ``next_name()`` on the restored body cannot collide.  (Burning
+    # one number from the source counters is harmless.)
+    clone._name_counter = itertools.count(next(func._name_counter))
+    clone._block_counter = itertools.count(next(func._block_counter))
     return clone
 
 

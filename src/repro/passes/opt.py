@@ -138,12 +138,21 @@ def run_speculative_opts(
     compare_elimination: bool = True,
     bitmask_elision: bool = True,
     slice_width: int = SQUEEZE_WIDTH,
+    skip: frozenset = frozenset(),
 ) -> dict[str, int]:
-    """Run the enabled optimizations module-wide; returns counts."""
+    """Run the enabled optimizations module-wide; returns counts.
+
+    ``skip`` names functions to leave untouched — the pipeline's
+    BASELINE-fallback functions, whose restored raw bodies carry no
+    speculation guarantees (their blocks have no world tags, so the
+    ``world == "orig"`` guards above would not protect them).
+    """
     from repro.passes import stats
 
     counts = {"compares_eliminated": 0, "bitmasks_elided": 0}
     for func in module.functions.values():
+        if func.name in skip:
+            continue
         if compare_elimination:
             counts["compares_eliminated"] += eliminate_compares(func, slice_width)
         if bitmask_elision:

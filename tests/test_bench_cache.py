@@ -274,13 +274,13 @@ def test_corrupted_entry_is_evicted(tmp_path, garbage):
 def test_previous_entry_format_is_evicted(disk_cache):
     """A format-2 entry (pre-DSE schema: sims without ``slice_width``)
     under today's key must be evicted and recomputed, never deserialized —
-    the ENTRY_FORMAT bump to 3 is what protects warm caches from the
-    schema change."""
+    the ENTRY_FORMAT bump is what protects warm caches from schema
+    changes."""
     config = _store_one(disk_cache)
     key = disk_cache._run_key(SOURCE, config, "test", 0, "test", 0)
     path = _entry_path(disk_cache, key)
     entry = json.loads(path.read_text())
-    assert entry["format"] == bench_cache.ENTRY_FORMAT == 3
+    assert entry["format"] == bench_cache.ENTRY_FORMAT == 4
     entry["format"] = 2
     del entry["payload"]["sim"]["slice_width"]  # the format-2 shape
     path.write_text(json.dumps(entry))
@@ -289,9 +289,9 @@ def test_previous_entry_format_is_evicted(disk_cache):
     assert record.correct
     assert disk_cache.stats.evictions == 1
     assert disk_cache.stats.puts == 2
-    # the re-stored entry is format 3 again and carries the new field
+    # the re-stored entry is the current format again with the new field
     entry = json.loads(path.read_text())
-    assert entry["format"] == 3
+    assert entry["format"] == bench_cache.ENTRY_FORMAT
     assert entry["payload"]["sim"]["slice_width"] == 8
 
 
@@ -317,3 +317,74 @@ def test_put_then_get_round_trips_payload(tmp_path):
     cache.put(key, payload)
     assert cache.get(key) == payload
     assert len(cache) == 1
+
+
+# ---------------------------------------------------------------------------
+# concurrency — two writers racing on the same shard
+# ---------------------------------------------------------------------------
+
+
+def _hammer_put(root, key, tag, rounds, barrier):
+    """Writer process: repeatedly store a distinguishable payload."""
+    cache = DiskCache(root)
+    barrier.wait()
+    for i in range(rounds):
+        cache.put(key, {"writer": tag, "round": i, "pad": "x" * 4096})
+
+
+def test_same_shard_writer_race_never_tears(tmp_path):
+    """Two processes racing ``put`` on the *same key* (hence the same
+    shard file) while a reader polls: every read must be ``None`` or one
+    writer's complete payload — never an exception, never a torn mix.
+    Atomicity comes from temp-file + ``os.replace``; this pins it."""
+    import multiprocessing
+
+    key = "ab" + "c" * 62
+    ctx = multiprocessing.get_context()
+    barrier = ctx.Barrier(3)
+    writers = [
+        ctx.Process(target=_hammer_put, args=(tmp_path, key, tag, 60, barrier))
+        for tag in ("first", "second")
+    ]
+    for w in writers:
+        w.start()
+    reader = DiskCache(tmp_path)
+    barrier.wait()
+    observed = set()
+    for _ in range(300):
+        payload = reader.get(key)  # must never raise
+        if payload is not None:
+            assert payload["writer"] in ("first", "second")
+            assert len(payload["pad"]) == 4096, "torn read"
+            observed.add(payload["writer"])
+    for w in writers:
+        w.join(timeout=60)
+        assert w.exitcode == 0
+    assert reader.stats.evictions == 0, "a racing write must never corrupt"
+    final = reader.get(key)
+    assert final is not None and final["round"] == 59
+    # no stray temp files left behind by either writer
+    leftovers = list(tmp_path.rglob(".tmp-*"))
+    assert leftovers == []
+
+
+def test_concurrent_distinct_keys_all_land(tmp_path):
+    """Writers on different keys of one cache directory don't interfere."""
+    import multiprocessing
+
+    ctx = multiprocessing.get_context()
+    barrier = ctx.Barrier(2)
+    keys = ["aa" + f"{i:062x}" for i in range(2)]
+    procs = [
+        ctx.Process(target=_hammer_put, args=(tmp_path, key, key[:4], 25, barrier))
+        for key in keys
+    ]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(timeout=60)
+        assert p.exitcode == 0
+    cache = DiskCache(tmp_path)
+    for key in keys:
+        payload = cache.get(key)
+        assert payload is not None and payload["round"] == 24

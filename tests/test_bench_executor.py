@@ -126,3 +126,118 @@ def test_task_label():
     assert (
         _task("crc32", run_seed=3).label() == "crc32/baseline[p=test:0,r=test:3]"
     )
+
+
+# ---------------------------------------------------------------------------
+# retry backoff: exponential, capped, deterministically jittered
+# ---------------------------------------------------------------------------
+
+
+def test_backoff_is_deterministic_and_bounded():
+    from repro.bench.executor import BACKOFF_BASE, BACKOFF_CAP, _backoff_delay
+
+    for round_index in range(8):
+        base = min(BACKOFF_CAP, BACKOFF_BASE * 2 ** round_index)
+        delay = _backoff_delay(round_index, "crc32/baseline")
+        assert delay == _backoff_delay(round_index, "crc32/baseline")
+        assert base / 2 <= delay <= base
+    # jitter de-synchronizes different tasks at the same round
+    assert _backoff_delay(0, "a") != _backoff_delay(0, "b")
+    # ... and the cap holds forever
+    assert _backoff_delay(50, "x") <= BACKOFF_CAP
+
+
+def test_retry_sleeps_with_backoff(monkeypatch, tmp_path):
+    from repro.bench import executor
+
+    naps = []
+    monkeypatch.setattr(executor.time, "sleep", naps.append)
+    outcomes, stats = run_matrix(
+        [_task("no-such-workload")], jobs=1, cache_dir=tmp_path / "c"
+    )
+    assert outcomes[0].attempts == 2
+    assert naps == [executor._backoff_delay(0, _task("no-such-workload").label())]
+
+
+# ---------------------------------------------------------------------------
+# SIGALRM re-entrancy: _task_alarm must compose with outer deadlines
+# ---------------------------------------------------------------------------
+
+
+import signal
+import time
+
+from repro.bench.executor import _TaskTimeout, _task_alarm
+
+
+class _OuterDeadline(Exception):
+    pass
+
+
+def _raise_outer(signum, frame):
+    raise _OuterDeadline()
+
+
+@pytest.fixture
+def _clean_alarm():
+    prior = signal.getsignal(signal.SIGALRM)
+    yield
+    signal.setitimer(signal.ITIMER_REAL, 0.0)
+    signal.signal(signal.SIGALRM, prior)
+
+
+def test_task_alarm_fires_and_restores(_clean_alarm):
+    outer = signal.signal(signal.SIGALRM, _raise_outer)
+    with pytest.raises(_TaskTimeout):
+        with _task_alarm(0.02):
+            time.sleep(0.5)
+    # prior handler restored, no timer left ticking
+    assert signal.getsignal(signal.SIGALRM) is _raise_outer
+    assert signal.getitimer(signal.ITIMER_REAL)[0] == 0.0
+    signal.signal(signal.SIGALRM, outer)
+
+
+def test_task_alarm_restores_outer_timer_remaining(_clean_alarm):
+    """A bench task nested under an outer ITIMER_REAL deadline must not
+    disarm it: on scope exit the outer timer is re-armed with (roughly)
+    its remaining time."""
+    signal.signal(signal.SIGALRM, _raise_outer)
+    signal.setitimer(signal.ITIMER_REAL, 30.0)
+    with _task_alarm(0.01):
+        try:
+            time.sleep(0.05)
+        except _TaskTimeout:
+            pass
+    remaining, _ = signal.getitimer(signal.ITIMER_REAL)
+    assert 0.0 < remaining <= 30.0
+    assert signal.getsignal(signal.SIGALRM) is _raise_outer
+
+
+def test_task_alarm_expired_outer_deadline_still_fires(_clean_alarm):
+    """An outer deadline that lapses while the inner alarm owns ITIMER_REAL
+    is not lost — it is re-armed (epsilon) on exit and fires promptly."""
+    signal.signal(signal.SIGALRM, _raise_outer)
+    signal.setitimer(signal.ITIMER_REAL, 0.03)
+    with pytest.raises(_OuterDeadline):
+        with _task_alarm(30.0):
+            time.sleep(0.08)  # outer would have fired here; inner owns timer
+        time.sleep(0.5)  # re-armed with epsilon: fires immediately
+
+
+def test_task_alarm_nests_within_itself(_clean_alarm):
+    """Two stacked _task_alarm scopes: the inner timeout fires without
+    killing the outer scope's deadline."""
+    with pytest.raises(_TaskTimeout):
+        with _task_alarm(0.5):
+            with pytest.raises(_TaskTimeout):
+                with _task_alarm(0.02):
+                    time.sleep(0.2)
+            time.sleep(2.0)  # outer deadline (0.5s minus elapsed) fires here
+
+
+def test_task_alarm_none_is_a_no_op(_clean_alarm):
+    sentinel = signal.signal(signal.SIGALRM, _raise_outer)
+    with _task_alarm(None):
+        pass
+    assert signal.getsignal(signal.SIGALRM) is _raise_outer
+    signal.signal(signal.SIGALRM, sentinel)

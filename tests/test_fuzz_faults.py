@@ -1,0 +1,76 @@
+"""The ``faults`` oracle mode: fuzz-corpus programs under a fault grid.
+
+Replays saved corpus programs (compiled BITSPEC T=MAX, *strict* — a
+middle-end failure on a corpus program is a finding, never masked by the
+graceful fallback) with seeded injections across every fault kind, and
+asserts the resilience contract on real generated programs:
+
+* no injection from a *detectable* fault class ends in silent data
+  corruption — spurious asserts and Razor timing errors recover, parity'd
+  cache corruption traps;
+* the replay matrix is deterministic: same seed ⇒ byte-identical JSON.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.faults.campaign import SDC, replay_corpus, to_canonical_json
+from repro.faults.plan import FAULT_KINDS, detectable_kinds
+
+CORPUS = Path(__file__).parent / "corpus"
+
+#: the CI-gated detectable grid: spurious + Razor always, D$/I$ under parity
+PARITY_GRID = dict(
+    count=5, kinds=list(FAULT_KINDS), seed=11, per_kind=1, parity=True
+)
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return replay_corpus(CORPUS, **PARITY_GRID)
+
+
+def test_replay_covers_five_programs_every_kind(matrix):
+    assert len(matrix["workloads"]) == 5
+    assert all(w.startswith("corpus:") for w in matrix["workloads"])
+    assert matrix["summary"]["cells"] == 5 * len(FAULT_KINDS)
+    assert matrix["summary"]["errors"] == 0
+
+
+def test_no_sdc_in_detectable_kinds(matrix):
+    """The resilience contract on generated programs: detectable faults
+    never silently corrupt the out() stream."""
+    assert matrix["summary"]["sdc_in_detectable_kinds"] == 0
+    detectable = detectable_kinds(parity=True)
+    for cell in matrix["cells"]:
+        if cell["kind"] in detectable:
+            assert cell["category"] != SDC, cell
+
+
+def test_spurious_asserts_recover_on_corpus_programs(matrix):
+    """Stronger than no-SDC: a spuriously raised misspec signal must leave
+    output untouched on every corpus program (handlers re-execute wide)."""
+    for cell in matrix["cells"]:
+        if cell["kind"] == "misspec_spurious" and cell["triggered"]:
+            assert cell["output_matches"], cell
+
+
+def test_replay_is_deterministic():
+    grid = dict(count=3, kinds=["dts_timing", "misspec_spurious"],
+                seed=5, per_kind=1)
+    assert to_canonical_json(replay_corpus(CORPUS, **grid)) == to_canonical_json(
+        replay_corpus(CORPUS, **grid)
+    )
+
+
+def test_cli_replay_smoke(tmp_path):
+    from repro.faults.__main__ import main
+
+    out = tmp_path / "replay.json"
+    code = main([
+        "replay", "--corpus", str(CORPUS), "--count", "2",
+        "--kinds", "dts_timing", "--seed", "3", "--json", str(out),
+    ])
+    assert code == 0
+    assert out.exists()

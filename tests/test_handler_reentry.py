@@ -1,0 +1,117 @@
+"""Misspeculation *inside* a Δ handler: the re-entry edge of the redirect
+contract.
+
+The squeezer never emits a speculative op inside a handler (handlers run
+in CFG_orig at full width), so this corner of the contract — a handler
+block that is itself the single block of another speculative region, whose
+misspeculation must route to *that* region's handler — is exercised with a
+hand-built SIR program, below the verifier:
+
+* region A = {entry}, handler hA;
+* region B = {hA}, handler hB  (hA is simultaneously A's handler and B's
+  body — legal per §3.1.1: a handler may not lie inside the region it
+  handles, but nothing stops it being the body of a *different* region);
+* every speculative add overflows the 8-bit slice, so control must walk
+  entry → hA → hB deterministically, with exactly two misspeculations.
+
+Pinned at the IR interpreter and both machine engines (legacy and
+predecoded), which must agree bit-for-bit: output ``[600]`` and a
+misspeculation count of 2.  The construction deliberately bypasses the
+SIR verifier — it checks the squeezer's single-world invariants, and this
+program exists precisely to exercise hardware behavior the squeezer never
+generates.
+"""
+
+import pytest
+
+from repro.arch.machine import Machine
+from repro.backend.isel import select_module
+from repro.backend.layout import link_program
+from repro.backend.regalloc import RegisterAllocator
+from repro.interp.interpreter import Interpreter
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function, Module
+from repro.ir.types import VOID
+from repro.sir.regions import SpeculativeRegion
+
+
+def build_reentry_module() -> Module:
+    module = Module("reentry")
+    func = module.add_function(Function("main", VOID))
+    entry = func.add_block("entry")
+    handler_a = func.add_block("hA")
+    handler_b = func.add_block("hB")
+    exit_block = func.add_block("exit")
+
+    b = IRBuilder(entry)
+    # 200 + 100 = 300: carries out of the u8 slice, always misspeculates.
+    first = b.add(b.const(200, 8), b.const(100, 8))
+    first.speculative = True
+    b.call("__out", [first], VOID)  # never reached; anchors the def
+    b.br(exit_block)
+
+    b.set_block(handler_a)
+    second = b.add(b.const(220, 8), b.const(90, 8))
+    second.speculative = True
+    b.call("__out", [second], VOID)  # never reached either
+    b.br(exit_block)
+
+    b.set_block(handler_b)
+    b.call("__out", [b.const(600, 32)], VOID)
+    b.br(exit_block)
+
+    b.set_block(exit_block)
+    b.ret()
+
+    # Order matters: hA must become A's handler while it is still
+    # region-free, then join B as its (only) body block.
+    region_a = SpeculativeRegion([entry])
+    region_a.set_handler(handler_a)
+    region_b = SpeculativeRegion([handler_a])
+    region_b.set_handler(handler_b)
+    return module
+
+
+def _link(module: Module):
+    program = select_module(module, isa="ARM_BS")
+    for mfunc in program.functions.values():
+        RegisterAllocator(mfunc, isa="ARM_BS").run()
+    return link_program(program)
+
+
+def test_region_wiring():
+    module = build_reentry_module()
+    func = module.function("main")
+    entry, handler_a, handler_b, _ = func.blocks
+    assert entry.region.handler is handler_a
+    assert handler_a.handler_for is entry.region
+    assert handler_a.region.handler is handler_b
+    assert handler_b.handler_for is handler_a.region
+
+
+def test_interpreter_reenters_through_both_handlers():
+    result = Interpreter(build_reentry_module(), trace=True).run("main")
+    assert result.output == [600]
+    assert result.trace.misspeculations == 2
+
+
+@pytest.mark.parametrize("fast", [True, False], ids=["predecoded", "legacy"])
+def test_machine_reenters_through_both_handlers(fast):
+    module = build_reentry_module()
+    linked = _link(module)
+    sim = Machine(module=module, linked=linked, fast=fast, step_limit=10_000).run()
+    assert sim.output == [600]
+    assert sim.misspeculations == 2
+
+
+def test_engines_and_interpreter_agree_exactly():
+    module = build_reentry_module()
+    linked = _link(module)
+    fast = Machine(module=module, linked=linked, fast=True, step_limit=10_000).run()
+    legacy = Machine(module=module, linked=linked, fast=False, step_limit=10_000).run()
+    assert (fast.output, fast.misspeculations, fast.instructions) == (
+        legacy.output, legacy.misspeculations, legacy.instructions
+    )
+    interp = Interpreter(build_reentry_module(), trace=True).run("main")
+    assert interp.output == fast.output
+    assert interp.trace.misspeculations == fast.misspeculations

@@ -1,0 +1,220 @@
+"""Graceful degradation: per-function BASELINE fallback in the pipeline.
+
+When the squeezer, SIR verifier, speculation budget or layout fails for a
+function, ``compile_binary`` must not abort: the failing function reverts
+to BASELINE codegen inside an otherwise-speculative binary (a *mixed-world*
+binary), with a structured :class:`CompileDiagnostic` recording what broke.
+``strict=True`` (or ``REPRO_STRICT_COMPILE=1``) restores fail-fast.
+
+The acceptance bar for the fallback itself: every BASELINE-fallback
+function must match the pure-BASELINE build *event-for-event* — same
+instruction opcodes, same per-instruction execution counts, zero
+misspeculations — checked below through the obs layer.
+"""
+
+import pytest
+
+from repro.core.pipeline import (
+    CompilerConfig,
+    SpeculationLimitError,
+    compile_binary,
+)
+from repro.faults.toolchain import InjectedCompileFault, inject_compile_faults
+
+SOURCE = """
+u32 n;
+u32 acc;
+u32 helper(u32 v) {
+    u32 s = 0;
+    for (u32 i = 0; i < 10; i += 1) {
+        s = (s + v + i) & 255;
+    }
+    return s;
+}
+void main() {
+    u32 x = n;
+    for (u32 i = 0; i < 8; i += 1) {
+        acc = acc + helper(x + i);
+    }
+    out(acc);
+}
+"""
+
+PROFILE = {"n": 5}
+RUN = {"n": 5}
+
+
+def _bitspec(**kw):
+    return compile_binary(
+        SOURCE, CompilerConfig.bitspec("max"), profile_inputs=PROFILE, **kw
+    )
+
+
+def _baseline():
+    return compile_binary(SOURCE, CompilerConfig.baseline())
+
+
+# ---------------------------------------------------------------------------
+# the fallback path
+# ---------------------------------------------------------------------------
+
+
+def test_clean_compile_has_no_fallback():
+    binary = _bitspec()
+    assert binary.linked.fallback_functions == frozenset()
+    assert binary.diagnostics == []
+
+
+def test_squeeze_failure_degrades_only_that_function():
+    with inject_compile_faults({("helper", "squeeze")}):
+        binary = _bitspec()
+    assert binary.linked.fallback_functions == frozenset({"helper"})
+    assert "helper" not in binary.squeeze_results
+    assert "main" in binary.squeeze_results  # the rest still speculates
+    (diag,) = binary.diagnostics
+    assert (diag.function, diag.stage) == ("helper", "squeeze")
+    assert diag.error == "InjectedCompileFault"
+    assert "helper" in diag.message
+    assert diag.to_dict()["stage"] == "squeeze"
+
+
+def test_mixed_binary_output_matches_clean_builds():
+    with inject_compile_faults({("helper", "squeeze")}):
+        mixed = _bitspec()
+    assert mixed.run(RUN).output == _bitspec().run(RUN).output
+    assert mixed.run(RUN).output == _baseline().run(RUN).output
+
+
+def test_verify_failure_also_degrades():
+    with inject_compile_faults({("helper", "verify")}):
+        binary = _bitspec()
+    (diag,) = binary.diagnostics
+    assert diag.stage == "verify"
+    assert binary.linked.fallback_functions == frozenset({"helper"})
+
+
+def test_strict_mode_raises_instead():
+    with inject_compile_faults({("helper", "squeeze")}):
+        with pytest.raises(InjectedCompileFault):
+            _bitspec(strict=True)
+
+
+def test_strict_env_var_is_the_default_escape_hatch(monkeypatch):
+    monkeypatch.setenv("REPRO_STRICT_COMPILE", "1")
+    with inject_compile_faults({("helper", "squeeze")}):
+        with pytest.raises(InjectedCompileFault):
+            _bitspec()
+    monkeypatch.setenv("REPRO_STRICT_COMPILE", "0")
+    with inject_compile_faults({("helper", "squeeze")}):
+        assert _bitspec().linked.fallback_functions == frozenset({"helper"})
+
+
+def test_speculation_budget_degrades_with_limits_diagnostic():
+    config = CompilerConfig.bitspec("max", max_spec_regions=1)
+    binary = compile_binary(SOURCE, config, profile_inputs=PROFILE)
+    assert binary.linked.fallback_functions  # something exceeded 1 region
+    for diag in binary.diagnostics:
+        assert diag.stage == "limits"
+        assert diag.error == "SpeculationLimitError"
+    assert binary.run(RUN).output == _baseline().run(RUN).output
+
+
+def test_speculation_budget_strict_raises():
+    config = CompilerConfig.bitspec("max", max_spec_regions=1)
+    with pytest.raises(SpeculationLimitError):
+        compile_binary(SOURCE, config, profile_inputs=PROFILE, strict=True)
+
+
+def test_layout_failure_falls_back_to_all_baseline():
+    """A module-wide back-end failure retries with every function at
+    BASELINE — the binary still links and runs exactly like pure BASELINE."""
+    with inject_compile_faults({("*", "layout")}):
+        binary = _bitspec()
+    assert binary.linked.fallback_functions == frozenset(
+        binary.module.functions
+    )
+    assert any(d.stage == "layout" and d.function == "*"
+               for d in binary.diagnostics)
+    mixed_sim = binary.run(RUN)
+    pure_sim = _baseline().run(RUN)
+    assert mixed_sim.output == pure_sim.output
+    assert mixed_sim.instructions == pure_sim.instructions
+    assert mixed_sim.misspeculations == 0
+
+
+def test_layout_failure_strict_raises():
+    with inject_compile_faults({("*", "layout")}):
+        with pytest.raises(InjectedCompileFault):
+            _bitspec(strict=True)
+
+
+# ---------------------------------------------------------------------------
+# event-for-event equivalence of fallback functions
+# ---------------------------------------------------------------------------
+
+
+def _function_events(binary, fname, sim):
+    """(opcode, execs, misspecs) per instruction owned by ``fname``."""
+    return [
+        (
+            binary.linked.insts[pc].opcode,
+            sim.obs.exec_counts[pc],
+            sim.obs.misspecs[pc],
+        )
+        for pc in range(len(binary.linked.owner))
+        if binary.linked.owner[pc] == fname
+    ]
+
+
+def test_fallback_function_matches_pure_baseline_event_for_event():
+    """The acceptance criterion: a BASELINE-fallback function inside a
+    mixed-world binary executes the same instruction stream with the same
+    per-instruction dynamic counts as the pure-BASELINE build — and never
+    misspeculates."""
+    with inject_compile_faults({("helper", "squeeze")}):
+        mixed = _bitspec()
+    pure = _baseline()
+    mixed_sim = mixed.run(RUN, obs=True)
+    pure_sim = pure.run(RUN, obs=True)
+
+    mixed_events = _function_events(mixed, "helper", mixed_sim)
+    pure_events = _function_events(pure, "helper", pure_sim)
+    assert mixed_events == pure_events
+    assert mixed_events, "helper produced no instructions?"
+    assert all(miss == 0 for _, _, miss in mixed_events)
+    # ... while the non-degraded main still carries speculative ops
+    assert any(
+        inst.opcode.startswith("bs_")
+        for pc, inst in enumerate(mixed.linked.insts)
+        if mixed.linked.owner[pc] == "main"
+    )
+
+
+def test_all_baseline_fallback_matches_pure_baseline_everywhere():
+    with inject_compile_faults({("*", "layout")}):
+        mixed = _bitspec()
+    pure = _baseline()
+    mixed_sim = mixed.run(RUN, obs=True)
+    pure_sim = pure.run(RUN, obs=True)
+    for fname in pure.module.functions:
+        assert _function_events(mixed, fname, mixed_sim) == _function_events(
+            pure, fname, pure_sim
+        ), fname
+
+
+# ---------------------------------------------------------------------------
+# bookkeeping
+# ---------------------------------------------------------------------------
+
+
+def test_fallback_counter_is_bumped():
+    with inject_compile_faults({("helper", "squeeze")}):
+        binary = _bitspec()
+    assert binary.pass_stats["pipeline-fallback"]["functions_degraded"] == 1
+    assert "pipeline-fallback" not in _bitspec().pass_stats
+
+
+def test_max_spec_regions_is_a_cache_key_ingredient():
+    a = CompilerConfig.bitspec("max")
+    b = CompilerConfig.bitspec("max", max_spec_regions=3)
+    assert a.stable_hash() != b.stable_hash()
