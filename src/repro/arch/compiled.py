@@ -1,0 +1,1494 @@
+"""Compiled simulation engine: a block-specialized template JIT.
+
+The predecoded fast path (:mod:`repro.arch.predecode`) still pays a
+Python-level dispatch per dynamic instruction: fetch the pc's tuple,
+branch on the integer opcode, decode operand descriptors, bump per-pc
+arrays.  This module removes that per-step tax by *translating* the
+predecoded program into straight-line Python source, one specialized
+function per basic-block region:
+
+* every handler is specialized to its pc — operand registers become
+  function locals, immediates/masks/shifts become literals, and the
+  opcode dispatch disappears entirely;
+* registers touched by a region are loaded into locals once at entry
+  and spilled back once per exit;
+* statically-determined event counts (execution counts, intra-region
+  load-use hazards) are not counted at run time at all: the region bumps
+  one entry counter, misspeculation exits bump one site counter, and the
+  per-pc execution/hazard arrays are reconstructed after the run as
+  ``entries − Σ earlier-exit counts`` per offset;
+* instruction fetches are elided for same-cache-line successors: the
+  :class:`repro.arch.cache.Cache` last-line fast path makes such
+  lookups observably inert (no LRU movement, no L2 traffic), so only
+  line-transition pcs issue real ``fetch()`` calls;
+* genuinely dynamic events (cache miss levels, taken conditional
+  branches, committed ``movcond``, misspeculations, cross-region
+  load-use hazards) are recorded in the same nine per-pc arrays the
+  fast path keeps, so the final aggregation is literally the shared
+  :func:`repro.arch.predecode.fold_result` — the two engines cannot
+  drift in how they fold events into a :class:`SimResult`.
+
+Control transfers (branches, calls, returns, misspeculation redirects
+into the Δ-skeleton) leave the region and go through a small dispatch
+loop indexed by pc.  A transfer to a pc that is not a region entry
+(e.g. an indirect jump through a corrupted return address) *deoptimizes*:
+the whole run is replayed on the per-step engine, which is bit-identical,
+so correctness never depends on the compiled cover being complete.
+
+Hook degradation (the three-engine contract, see docs/engines.md):
+
+* ``faults`` — a :class:`repro.faults.session.FaultSession` must observe
+  every architectural step, so a compiled run with a live fault session
+  degrades to :func:`repro.arch.predecode.run_fast` for the entire run
+  (same counters, same classifications — only slower);
+* ``obs`` — survives compilation natively: the per-pc arrays *are* the
+  sample, so ``obs=True`` costs the compiled engine nothing;
+* ``trace_hook`` — rejected, exactly as on the fast path: per-step
+  tracing is the legacy interpreter's job.
+
+Hot self-loop regions (a block whose conditional latch targets its own
+entry) are emitted in a *loop mode*: a ``while True`` body with eager
+prologue loads, flag spills at back edges, and a step-budget check per
+pass.  Each loop region additionally gets a *steady-state twin* — a
+second body with the inline icache probes compiled out.  After one
+priming pass every line the loop fetches is L1-resident, so the probes
+are unobservable L1 hits whose only effect is MRU reordering; the twin
+replays the compressed recency permutation once per pass boundary
+instead.  A runtime associativity guard (``INW >= distinct lines``)
+selects the twin only when residency actually holds, and twins whose
+emission diverges from the priming body (sites, pcs) are discarded —
+bit-identity is never assumed, always re-verified differentially.
+
+The generated source is cached on the :class:`LinkedProgram` instance
+(keyed by register-file narrowing and slice width), so repeated runs of
+one binary recompile nothing.  Each image also keeps a pool of reusable
+:class:`_Runtime` instances keyed by (step limit, cache geometry):
+registers, the 4 MB flat memory, cache way lists and all per-pc counter
+arrays are reset in place between runs, and results are copied out so a
+cached runtime never aliases a returned :class:`SimResult`.
+"""
+
+from __future__ import annotations
+
+from struct import Struct
+
+from repro.arch.cache import L1_LINE_SHIFT, CacheGeometry, MemoryHierarchy
+from repro.arch.predecode import (
+    OP_ADC,
+    OP_ADDS,
+    OP_ADDSL,
+    OP_ADDSPI,
+    OP_ALU,
+    OP_B,
+    OP_BCOND,
+    OP_BL,
+    OP_BS_BIN,
+    OP_BS_CMP,
+    OP_BS_LDR,
+    OP_BS_TRUNC,
+    OP_BS_TRUNC_HI,
+    OP_BX,
+    OP_CMP,
+    OP_CMP64HI,
+    OP_CMP64LO,
+    OP_DIV,
+    OP_ERROR,
+    OP_EXT,
+    OP_LOAD,
+    OP_MOV,
+    OP_MOVCOND,
+    OP_MUL,
+    OP_NOP,
+    OP_ORRSL,
+    OP_OUT,
+    OP_SBC,
+    OP_STORE,
+    OP_SUBS,
+    OP_SUBSPI,
+    OP_UMULL,
+    fold_result,
+    predecode,
+    run_fast,
+)
+from repro.arch.widths import BYTE_MASKS as _MASKS, slice_mask
+from repro.interp.interpreter import evaluate_icmp
+from repro.interp.memory import MEMORY_SIZE, STACK_TOP, FlatMemory, initialize_globals
+from repro.ir.types import int_type
+
+HALT = 0xFFFFFFFF
+
+#: a region stops extending past this many instructions (codegen bound;
+#: the fallthrough pc becomes a region entry of its own)
+MAX_REGION = 256
+
+#: backward branches spanning at most this many instructions keep tracing
+#: (loop unrolling up to MAX_REGION); larger loop bodies already amortize
+#: their entry cost, so they end the region instead
+UNROLL_SPAN = 64
+
+#: in loop mode (a region whose trace returns to its own leader), keep
+#: unrolling copies of the loop body until this many instructions before
+#: closing the ``while True`` back edge, amortizing the per-iteration
+#: bookkeeping (entry counter, hazard check, flag spills) over the copies
+LOOP_UNROLL = 192
+
+_SPEC_OPS = (OP_BS_BIN, OP_BS_TRUNC, OP_BS_TRUNC_HI, OP_BS_LDR)
+
+_U16 = Struct("<H").unpack_from
+_U32 = Struct("<I").unpack_from
+_P16 = Struct("<H").pack_into
+_P32 = Struct("<I").pack_into
+
+_UNSIGNED = {"eq": "==", "ne": "!=", "ult": "<", "ule": "<=",
+             "ugt": ">", "uge": ">="}
+_SIGNED = {"slt": "<", "sle": "<=", "sgt": ">", "sge": ">="}
+
+#: names the generated factory binds from its argument dict
+_BIND_NAMES = (
+    "regs", "S", "data", "out_append",
+    "IC2", "ICM", "DC2", "DCM", "HZ", "MS", "TK", "MC", "BE", "BX",
+    "ICD", "MERR", "U16", "U32", "P16", "P32",
+    "IW", "DW", "LW", "ISM", "LSM", "INW", "LNW", "LIM",
+)
+
+
+def _icmp_dyn(cond, a, b, width):
+    """Dynamic-width comparison helper for entry-inherited cmp state."""
+    return evaluate_icmp(cond, a, b, int_type(64 if width == 8 else width * 8))
+
+
+class CompiledImage:
+    """One translated program: a code object plus fold metadata."""
+
+    __slots__ = ("codeobj", "source", "leaders", "fold_regions",
+                 "n_insts", "n_regions", "n_sites", "runtimes")
+
+    def __init__(self, codeobj, source, leaders, fold_regions,
+                 n_insts, n_regions, n_sites):
+        self.codeobj = codeobj
+        self.source = source
+        self.leaders = leaders
+        self.fold_regions = fold_regions
+        self.n_insts = n_insts
+        self.n_regions = n_regions
+        self.n_sites = n_sites
+        #: reusable :class:`_Runtime` instances keyed by (step limit,
+        #: cache geometry) — see run_compiled
+        self.runtimes = {}
+
+
+class _RegionEmitter:
+    """Generates the specialized function for one region.
+
+    A region is a superblock: it starts at a region entry (*leader*) and
+    runs straight-line through subsequent leaders until a control-flow
+    terminator (``b``/``bcond``/``bl``/``bx``/undecodable) or the
+    :data:`MAX_REGION` cap.  Regions may therefore overlap; the fold
+    adds each region's contribution to the shared per-pc arrays.
+    """
+
+    def __init__(self, code, start, n, inst_bytes, delta, spec_mask,
+                 region_idx, site_base, leaders, stop_set=frozenset(),
+                 loop_mode=False, spill=None, steady=False,
+                 entry_probe=True, site_map=None):
+        self.code = code
+        self.start = start
+        self.n = n
+        self.inst_bytes = inst_bytes
+        self.delta = delta
+        self.spec_mask = spec_mask
+        self.region_idx = region_idx
+        self.site_base = site_base
+        self.leaders = leaders
+        self.stop_set = stop_set
+        # loop mode: the region's trace returns to its own leader, so the
+        # body is wrapped in ``while True`` and back edges ``continue``
+        # instead of returning — register locals stay live across
+        # iterations.  ``spill`` is the full write set discovered by the
+        # straight-line first pass: any exit may run after a back edge,
+        # so every exit conservatively spills all of it (a spill of an
+        # unwritten local just rewrites the value the prologue loaded).
+        self.loop_mode = loop_mode
+        self.spill = spill if spill is not None else []
+        self.wants_loop = False
+        # steady mode re-emits a loop body with the icache model compiled
+        # out: once a full pass has run (all fetched lines resident, L1
+        # always hits — unobservable), each probe is a pure MRU reorder
+        # of resident lines, so the body records probes instead of
+        # emitting them and every pass boundary (side exit, back edge)
+        # applies the prefix's compressed remove/append permutation —
+        # bit-identical ways-list state at a fraction of the work.
+        # ``entry_probe`` says whether the pass-top line check would fire
+        # (static: uniform over all back-edge lines, else ineligible);
+        # ``site_map`` reuses the priming body's fold-site ids in walk
+        # order, keeping one set of counters for both bodies.
+        self.steady = steady
+        self.entry_probe = entry_probe
+        self.site_map = site_map
+        self._site_i = 0
+        self.probe_seq: list = []     # icache lines probed, in walk order
+        self.backedge_lines: list = []  # line of each back edge's inst
+        self.boundary_done = False    # steady walk passed the first back edge
+        self.first_backedge_end = None  # body index just past that edge
+        self.cycle_len = None         # offset of the first return to start
+        self.body: list = []          # (indent, text)
+        self.pending_loads: list = []  # regs first read by the current inst
+        self.bound: set = set()       # regs bound as locals
+        self.dirty: list = []         # regs written (spill order)
+        self.dirty_set: set = set()
+        self.pcs: list = []           # covered pcs, in offset order
+        self.hz_offsets: list = []    # offsets with a static load-use hazard
+        self.sites: list = []         # (absolute site index, offset)
+        self.cmp = ("inherit",)       # | ("loaded",) | ("set", cw, amax, bmax)
+        self.carry = "inherit"        # | "loaded" | "set"
+        self.llr = None               # dest reg of an immediately-preceding load
+        self.r14_const = None         # r14's value when statically known
+        self.fallthrough_target = None
+
+    # -- low-level helpers ----------------------------------------------
+
+    def line(self, indent, text):
+        self.body.append((indent, text))
+
+    def reg(self, r, read=True):
+        if r not in self.bound:
+            self.bound.add(r)
+            if read and not self.loop_mode:
+                # lazily loaded just before the instruction that first
+                # reads it, so a path that exits the region early never
+                # pays for registers only later instructions touch.
+                # (Loop mode hoists every load into the prologue instead:
+                # a back edge must find all locals initialized.)
+                self.pending_loads.append(r)
+        return f"r{r}"
+
+    def wrote(self, r):
+        if r == 14:
+            self.r14_const = None
+        if r not in self.dirty_set:
+            self.dirty_set.add(r)
+            self.dirty.append(r)
+
+    def rd(self, d):
+        """Read descriptor -> (expression, max possible value)."""
+        k = d[0]
+        if k == 0:
+            return repr(d[1]), d[1]
+        if k == 2:
+            return self.reg(13), 0xFFFFFFFF
+        name = self.reg(d[1])
+        shift, mask = d[2], d[3]
+        if mask == 0xFFFFFFFF and shift == 0:
+            return name, 0xFFFFFFFF
+        if shift:
+            return f"(({name} >> {shift}) & {mask:#x})", mask
+        return f"({name} & {mask:#x})", mask
+
+    def wr(self, indent, w, expr, vmax, force_load=False):
+        """Emit a register write for descriptor ``w`` from ``expr``.
+
+        ``vmax`` is a proven upper bound on the expression's value, used
+        to drop redundant masking.  ``force_load`` binds the old value
+        even for full-width writes (needed when the write is emitted
+        under a condition, so exits can spill an initialized local).
+        """
+        r, shift, vmask, keep = w
+        full = vmask == 0xFFFFFFFF and shift == 0
+        name = self.reg(r, read=(force_load or not full))
+        self.wrote(r)
+        if full:
+            if vmax <= vmask:
+                self.line(indent, f"{name} = {expr}")
+            else:
+                self.line(indent, f"{name} = ({expr}) & 0xFFFFFFFF")
+            return
+        sub = expr if vmax <= vmask else f"({expr}) & {vmask:#x}"
+        if shift:
+            self.line(indent,
+                      f"{name} = ({name} & {keep:#x}) | (({sub}) << {shift})")
+        else:
+            self.line(indent, f"{name} = ({name} & {keep:#x}) | ({sub})")
+
+    # -- cmp / carry lazy state -----------------------------------------
+
+    def ensure_cmp(self, indent):
+        if self.cmp[0] == "inherit":
+            self.line(indent, "ca, cb, cw = S[0]")
+            self.cmp = ("loaded",)
+
+    def set_cmp(self, indent, a_expr, b_expr, cw, amax, bmax):
+        self.line(indent, f"ca = {a_expr}")
+        self.line(indent, f"cb = {b_expr}")
+        self.cmp = ("set", cw, amax, bmax)
+
+    def cond_expr(self, indent, cond):
+        """Emit prep lines for comparison ``cond``; return a bool expr."""
+        if self.cmp[0] == "inherit":
+            self.ensure_cmp(indent)
+        if self.cmp[0] == "loaded":
+            return f"ICD({cond!r}, ca, cb, cw)"
+        cw, amax, bmax = self.cmp[1], self.cmp[2], self.cmp[3]
+        if cw == "hi":
+            # a dangling cmp64hi read: evaluate_icmp would be handed the
+            # "hi" tag as a width — reproduce the fast path's behavior
+            return f"ICD({cond!r}, ca, cb, 'hi')"
+        op = _UNSIGNED.get(cond)
+        if op is not None:
+            return f"ca {op} cb"
+        op = _SIGNED.get(cond)
+        if op is None:
+            return f"ICD({cond!r}, ca, cb, {cw!r})"
+        bits = 64 if cw == 8 else cw * 8
+        mask = (1 << bits) - 1
+        sb = 1 << (bits - 1)
+        m = 1 << bits
+        ae = "ca" if (amax is not None and amax <= mask) else f"(ca & {mask:#x})"
+        be = "cb" if (bmax is not None and bmax <= mask) else f"(cb & {mask:#x})"
+        self.line(indent, f"sa_ = {ae}")
+        self.line(indent, f"sa_ = sa_ - {m} if sa_ >= {sb} else sa_")
+        self.line(indent, f"sb_ = {be}")
+        self.line(indent, f"sb_ = sb_ - {m} if sb_ >= {sb} else sb_")
+        return f"sa_ {op} sb_"
+
+    def ensure_carry(self, indent):
+        if self.carry == "inherit":
+            self.line(indent, "cy = S[1]")
+            self.carry = "loaded"
+
+    # -- exits -----------------------------------------------------------
+
+    def ret_target(self, pc_target):
+        """Exit-value expression for a static transfer to ``pc_target``.
+
+        Region entries return the *next region function* directly, so the
+        dispatch loop never touches the pc-indexed table for statically
+        known control transfers; anything else returns the integer pc
+        (which the dispatcher bounds-checks, or recognizes as HALT).
+        """
+        if pc_target in self.leaders:
+            return f"_b{pc_target}"
+        return repr(pc_target)
+
+    def new_site(self, off):
+        """Allocate (or, in steady mode, reuse the twin's) fold site."""
+        if self.site_map is not None:
+            site = self.site_map[self._site_i]
+            self._site_i += 1
+        else:
+            site = self.site_base + len(self.sites)
+        self.sites.append((site, off))
+        return site
+
+    def emit_replay(self, indent):
+        """Steady mode: materialize the recorded probe prefix.
+
+        Applying each line's MRU move in dedup-keep-last order yields the
+        exact ways-list state the skipped probes would have left (probed
+        lines move to the back in last-touch order; unprobed lines keep
+        their relative order), and the shadow takes the last probed line.
+        """
+        seq = self.probe_seq
+        if not seq:
+            return
+        seen = set()
+        last = []
+        for ln in reversed(seq):
+            if ln not in seen:
+                seen.add(ln)
+                last.append(ln)
+        last.reverse()
+        for ln in last:
+            self.line(indent, f"iw_ = IW[{ln} & ISM]")
+            self.line(indent, f"iw_.remove({ln})")
+            self.line(indent, f"iw_.append({ln})")
+        self.line(indent, f"S[4] = {seq[-1]}")
+
+    def emit_exit(self, indent, steps, ret, llr_store=None):
+        if self.steady and not self.boundary_done:
+            self.emit_replay(indent)
+        if self.cmp[0] == "set":
+            self.line(indent, f"S[0] = (ca, cb, {self.cmp[1]!r})")
+        if self.carry == "set":
+            self.line(indent, "S[1] = cy")
+        for r in (self.spill if self.loop_mode else self.dirty):
+            self.line(indent, f"regs[{r}] = r{r}")
+        if llr_store is not None:
+            self.line(indent, f"S[2] = {llr_store}")
+        self.line(indent, f"S[3] += {steps}")
+        self.line(indent, f"return {ret}")
+
+    def emit_loopback(self, indent, steps, site_off=None):
+        """Back edge to the region's own leader (loop mode only).
+
+        Emits a ``continue`` to the top of the ``while True`` body:
+        register locals stay live, so only the lazily-shared flag state
+        (cmp tuple, carry, pending load reg) is written back to ``S``
+        for the next iteration's on-demand reads.  ``site_off`` marks a
+        *conditional* back edge as a fold site (later offsets in the
+        body stop executing once it is taken); the terminal back edge at
+        the end of the body needs none.  The step-limit check mirrors
+        the dispatch loop's: returning the region's own function hands
+        an over-limit run back to the dispatcher, which raises.
+        """
+        if self.steady and not self.boundary_done:
+            self.emit_replay(indent)
+        if self.cmp[0] == "set":
+            self.line(indent, f"S[0] = (ca, cb, {self.cmp[1]!r})")
+        if self.carry == "set":
+            self.line(indent, "S[1] = cy")
+        if site_off is not None:
+            site = self.new_site(site_off)
+            self.line(indent, f"BX[{site}] += 1")
+        if self.llr is not None:
+            self.line(indent, f"S[2] = {self.llr}")
+        self.line(indent, f"S[3] += {steps}")
+        self.line(indent, "if S[3] > LIM:")
+        self.line(indent + 1, f"return _b{self.start}")
+        self.line(indent, "continue")
+        if self.first_backedge_end is None:
+            # the first back edge is the steady boundary: when a steady
+            # twin is attached, the priming body hands off to it here
+            self.first_backedge_end = len(self.body)
+
+    def misspec_exit(self, pc, off):
+        site = self.new_site(off)
+        self.line(1, f"MS[{pc}] += 1")
+        self.line(1, f"BX[{site}] += 1")
+        self.emit_exit(1, off + 1, self.ret_target(pc + self.delta))
+
+    # -- main loop --------------------------------------------------------
+
+    def emit(self):
+        code = self.code
+        pc = self.start
+        off = 0
+        prev_line_no = None
+        while True:
+            if off >= MAX_REGION or not 0 <= pc < self.n:
+                if 0 <= pc < self.n:
+                    # the cap created a new region entry; register it as a
+                    # leader *now* so the exit can return its function
+                    self.leaders.add(pc)
+                    self.fallthrough_target = pc
+                else:
+                    self.fallthrough_target = None
+                self.emit_exit(0, off, self.ret_target(pc),
+                               llr_store=self.llr)
+                return
+            t = code[pc]
+            self.pcs.append(pc)
+            if off and self.llr is not None:
+                # intra-region load-use hazard: fully static
+                if self.llr in t[1]:
+                    self.hz_offsets.append(off)
+                self.llr = None
+            line_no = (pc * self.inst_bytes) >> L1_LINE_SHIFT
+            if line_no != prev_line_no:
+                if self.steady and not self.boundary_done:
+                    # steady prefix: record for the boundary replay; the
+                    # entry check's outcome is static — see _build_image
+                    if prev_line_no is not None or self.entry_probe:
+                        self.probe_seq.append(line_no)
+                elif prev_line_no is None:
+                    # region entry: the line may equal the icache's current
+                    # last line (S[4] shadows Cache._last_line exactly: the
+                    # skipped probe would have been the observably-inert
+                    # same-line fast path)
+                    self.line(0, f"if S[4] != {line_no}:")
+                    self.line(1, f"S[4] = {line_no}")
+                    self._icache_probe(1, line_no, pc)
+                else:
+                    # intra-region transition: execution follows emission
+                    # order exactly, so at run time the shadow always holds
+                    # the previous instruction's line — a differing static
+                    # line therefore never matches it: probe unconditionally
+                    # (a matching one needs no probe at all: the skipped
+                    # lookup is the observably-inert same-line fast path)
+                    self.line(0, f"S[4] = {line_no}")
+                    self._icache_probe(0, line_no, pc)
+            prev_line_no = line_no
+            mark = len(self.body)
+            nxt = self.emit_inst(pc, off, t)
+            for i, r in enumerate(self.pending_loads):
+                self.body.insert(mark + i, (0, f"r{r} = regs[{r}]"))
+            self.pending_loads = []
+            if nxt == "end":
+                return
+            nxt_pc = nxt[1] if nxt is not None else pc + 1
+            off += 1
+            if nxt_pc == self.start:
+                # the trace arrived back at this region's own leader
+                if not self.loop_mode:
+                    # first pass: stop here and ask _build_image to
+                    # re-emit the region in loop mode (the exit below is
+                    # only reached if the rebuild is skipped — it never
+                    # is — but keeps the pass-one body well-formed)
+                    self.wants_loop = True
+                    self.emit_exit(0, off, self.ret_target(self.start),
+                                   llr_store=self.llr)
+                    return
+                if self.cycle_len is None:
+                    self.cycle_len = off
+                if off >= LOOP_UNROLL or off + self.cycle_len > MAX_REGION:
+                    # enough copies — or another full copy would trip the
+                    # MAX_REGION cap mid-body and lose the terminal back
+                    # edge: close the loop here
+                    if self.steady and self.boundary_done:
+                        # same residency argument as the conditional
+                        # back edge: go through the dispatcher
+                        self.emit_exit(0, off, self.ret_target(self.start),
+                                       llr_store=self.llr)
+                        return
+                    self.backedge_lines.append(
+                        (pc * self.inst_bytes) >> L1_LINE_SHIFT)
+                    self.emit_loopback(0, off)
+                    if self.steady:
+                        self.boundary_done = True
+                    return
+                # otherwise keep unrolling copies of the loop body
+            elif nxt_pc in self.stop_set:
+                # transfer into a known self-loop's entry: dispatch to
+                # its loop-mode region rather than unrolling a second
+                # copy of the loop here
+                self.emit_exit(0, off, self.ret_target(nxt_pc),
+                               llr_store=self.llr)
+                return
+            pc = nxt_pc
+
+    def _icache_probe(self, indent, line_no, pc):
+        """Inline set-associative LRU probe of the icache at a static line.
+
+        Replicates exactly the observable parts of ``Cache.lookup`` +
+        ``MemoryHierarchy.fetch`` (ways-list mutations and the served
+        level); the skipped parts — CacheStats, ``dram_accesses``, the
+        L2 ``_last_line`` (reset before every L2 lookup, so its fast path
+        never fires) — never escape ``run_compiled``.
+        """
+        L = line_no
+        self.line(indent, f"iw_ = IW[{L} & ISM]")
+        self.line(indent, f"if {L} in iw_:")
+        self.line(indent + 1, f"if iw_[-1] != {L}:")
+        self.line(indent + 2, f"iw_.remove({L})")
+        self.line(indent + 2, f"iw_.append({L})")
+        self.line(indent, "else:")
+        self.line(indent + 1, f"iw_.append({L})")
+        self.line(indent + 1, "if len(iw_) > INW:")
+        self.line(indent + 2, "iw_.pop(0)")
+        self.line(indent + 1, f"lw_ = LW[{L} & LSM]")
+        self.line(indent + 1, f"if {L} in lw_:")
+        self.line(indent + 2, f"if lw_[-1] != {L}:")
+        self.line(indent + 3, f"lw_.remove({L})")
+        self.line(indent + 3, f"lw_.append({L})")
+        self.line(indent + 2, f"IC2[{pc}] += 1")
+        self.line(indent + 1, "else:")
+        self.line(indent + 2, f"lw_.append({L})")
+        self.line(indent + 2, "if len(lw_) > LNW:")
+        self.line(indent + 3, "lw_.pop(0)")
+        self.line(indent + 2, f"ICM[{pc}] += 1")
+
+    def _dcache_bump(self, pc):
+        # S[5] shadows the dcache's last line: a same-line access is the
+        # observably-inert fast path in Cache.lookup, so skip the probe
+        # entirely; otherwise probe the inlined dcache/L2 model (same
+        # equivalence argument as _icache_probe, dynamic line)
+        self.line(0, f"dl_ = a_ >> {L1_LINE_SHIFT}")
+        self.line(0, "if dl_ != S[5]:")
+        self.line(1, "S[5] = dl_")
+        self.line(1, "dw_ = DW[dl_ & ISM]")
+        self.line(1, "if dl_ in dw_:")
+        self.line(2, "if dw_[-1] != dl_:")
+        self.line(3, "dw_.remove(dl_)")
+        self.line(3, "dw_.append(dl_)")
+        self.line(1, "else:")
+        self.line(2, "dw_.append(dl_)")
+        self.line(2, "if len(dw_) > INW:")
+        self.line(3, "dw_.pop(0)")
+        self.line(2, "lw_ = LW[dl_ & LSM]")
+        self.line(2, "if dl_ in lw_:")
+        self.line(3, "if lw_[-1] != dl_:")
+        self.line(4, "lw_.remove(dl_)")
+        self.line(4, "lw_.append(dl_)")
+        self.line(3, f"DC2[{pc}] += 1")
+        self.line(2, "else:")
+        self.line(3, "lw_.append(dl_)")
+        self.line(3, "if len(lw_) > LNW:")
+        self.line(4, "lw_.pop(0)")
+        self.line(3, f"DCM[{pc}] += 1")
+
+    def _addr(self, base_expr, disp):
+        if disp:
+            self.line(0, f"a_ = ({base_expr} + {disp}) & 0xFFFFFFFF")
+        else:
+            self.line(0, f"a_ = {base_expr}")
+
+    def emit_inst(self, pc, off, t):
+        """Emit one instruction's body; True if it terminates the region."""
+        op = t[0]
+        spec = self.spec_mask
+
+        if op == OP_ALU:
+            sub = t[2]
+            a, amax = self.rd(t[3])
+            b, bmax = self.rd(t[4])
+            mask = t[6]
+            if sub == 0:
+                self.wr(0, t[5], f"({a} + {b}) & {mask:#x}", mask)
+            elif sub == 1:
+                self.wr(0, t[5], f"({a} - {b}) & {mask:#x}", mask)
+            elif sub == 2:
+                self.wr(0, t[5], f"{a} & {b}", min(amax, bmax))
+            elif sub == 3:
+                self.wr(0, t[5], f"{a} | {b}", amax | bmax)
+            elif sub == 4:
+                self.wr(0, t[5], f"{a} ^ {b}", amax | bmax)
+            elif sub == 5:
+                if t[4][0] == 0:
+                    c = t[4][1]
+                    if c < 32:
+                        self.wr(0, t[5], f"({a} << {c}) & {mask:#x}", mask)
+                    else:
+                        self.wr(0, t[5], "0", 0)
+                else:
+                    self.line(0, f"b_ = {b}")
+                    self.wr(0, t[5],
+                            f"(({a} << b_) & {mask:#x}) if b_ < 32 else 0",
+                            mask)
+            elif sub == 6:
+                if t[4][0] == 0:
+                    c = t[4][1]
+                    if c < 32:
+                        self.wr(0, t[5], f"{a} >> {c}", amax >> c)
+                    else:
+                        self.wr(0, t[5], "0", 0)
+                else:
+                    self.line(0, f"b_ = {b}")
+                    self.wr(0, t[5], f"({a} >> b_) if b_ < 32 else 0", amax)
+            else:  # asr: arithmetic shift at the operation's signed width
+                ty = t[7]
+                bits = ty.bits
+                tmask = ty.mask
+                sb = 1 << (bits - 1)
+                m = 1 << bits
+                ae = a if amax <= tmask else f"({a} & {tmask:#x})"
+                self.line(0, f"a_ = {ae}")
+                self.line(0, f"a_ = a_ - {m} if a_ >= {sb} else a_")
+                if t[4][0] == 0:
+                    sh = min(t[4][1], bits - 1)
+                    self.wr(0, t[5], f"(a_ >> {sh}) & {tmask:#x}", tmask)
+                else:
+                    self.line(0, f"b_ = {b}")
+                    self.line(0, f"s_ = b_ if b_ < {bits - 1} else {bits - 1}")
+                    self.wr(0, t[5], f"(a_ >> s_) & {tmask:#x}", tmask)
+            return None
+
+        if op == OP_MOV:
+            e, vmax = self.rd(t[2])
+            self.wr(0, t[3], e, vmax)
+            return None
+
+        if op == OP_LOAD:
+            base, _ = self.rd(t[2])
+            size = t[4]
+            self._addr(base, t[3])
+            self.line(0, f"if a_ > {MEMORY_SIZE - size}:")
+            self.line(1, "raise MemoryError("
+                         f"\"load out of bounds: 0x%x+{size}\" % a_)")
+            if size == 1:
+                self.line(0, "v_ = data[a_]")
+            elif size == 2:
+                self.line(0, "v_ = U16(data, a_)[0]")
+            else:
+                self.line(0, "v_ = U32(data, a_)[0]")
+            self.wr(0, t[5], "v_", _MASKS[size])
+            self._dcache_bump(pc)
+            self.llr = t[6]
+            return None
+
+        if op == OP_STORE:
+            v, vmax = self.rd(t[2])
+            base, _ = self.rd(t[3])
+            size = t[5]
+            self._addr(base, t[4])
+            self.line(0, f"if a_ > {MEMORY_SIZE - size}:")
+            self.line(1, "raise MemoryError("
+                         f"\"store out of bounds: 0x%x+{size}\" % a_)")
+            if size == 1:
+                sv = v if vmax <= 0xFF else f"{v} & 0xFF"
+                self.line(0, f"data[a_] = {sv}")
+            elif size == 2:
+                sv = v if vmax <= 0xFFFF else f"{v} & 0xFFFF"
+                self.line(0, f"P16(data, a_, {sv})")
+            else:
+                self.line(0, f"P32(data, a_, {v})")
+            self._dcache_bump(pc)
+            return None
+
+        if op == OP_BCOND:
+            target = t[3]
+            if target == self.start:
+                if self.loop_mode:
+                    # conditional back edge to the loop header: continue
+                    # to the top of the while body, fall through otherwise
+                    cond = self.cond_expr(0, t[2])
+                    self.line(0, f"if {cond}:")
+                    self.line(1, f"TK[{pc}] += 1")
+                    if self.steady and self.boundary_done:
+                        # past the boundary the tail's live probes may
+                        # have evicted prefix lines: re-enter through the
+                        # dispatcher so a priming pass re-establishes
+                        # residency (bit-identical to `continue` — the
+                        # spilled locals reload and BE bumps on entry)
+                        site = self.new_site(off)
+                        self.line(1, f"BX[{site}] += 1")
+                        self.emit_exit(1, off + 1,
+                                       self.ret_target(self.start),
+                                       llr_store=self.llr)
+                        return None
+                    self.backedge_lines.append(
+                        (pc * self.inst_bytes) >> L1_LINE_SHIFT)
+                    self.emit_loopback(1, off + 1, site_off=off)
+                    if self.steady and not self.boundary_done:
+                        # not-taken path crosses the boundary too:
+                        # materialize the skipped prefix, then emit the
+                        # tail with the live icache model
+                        self.emit_replay(0)
+                        self.boundary_done = True
+                    return None
+                self.wants_loop = True
+            if target > pc:
+                # forward conditional (if/else): superblock-continue on the
+                # fallthrough path — the taken path is an early exit with
+                # its own fold site so later offsets lose its entries
+                cond = self.cond_expr(0, t[2])
+                self.line(0, f"if {cond}:")
+                self.line(1, f"TK[{pc}] += 1")
+                site = self.new_site(off)
+                self.line(1, f"BX[{site}] += 1")
+                self.emit_exit(1, off + 1, self.ret_target(target))
+                return None
+            if 0 <= target and pc - target <= UNROLL_SPAN:
+                # small backward conditional (tight-loop latch, usually
+                # taken): invert it — the not-taken side becomes the early
+                # exit and tracing continues at the loop header, unrolling
+                # the loop until MAX_REGION
+                cond = self.cond_expr(0, t[2])
+                site = self.new_site(off)
+                self.line(0, f"if not ({cond}):")
+                self.line(1, f"BX[{site}] += 1")
+                self.emit_exit(1, off + 1, self.ret_target(pc + 1))
+                self.line(0, f"TK[{pc}] += 1")
+                return ("jump", target)
+            # far backward conditional: end the region
+            cond = self.cond_expr(0, t[2])
+            self.line(0, f"if {cond}:")
+            self.line(1, f"TK[{pc}] += 1")
+            self.emit_exit(1, off + 1, self.ret_target(target))
+            self.emit_exit(0, off + 1, self.ret_target(pc + 1))
+            return "end"
+
+        if op == OP_B:
+            if 0 <= t[2] < self.n and (t[2] > pc or pc - t[2] <= UNROLL_SPAN):
+                # unconditional jump with a nearby target: keep tracing
+                # (forward = block merge, backward = while-loop unroll)
+                return ("jump", t[2])
+            self.emit_exit(0, off + 1, self.ret_target(t[2]))
+            return "end"
+
+        if op == OP_CMP or op == OP_BS_CMP:
+            a, amax = self.rd(t[2])
+            b, bmax = self.rd(t[3])
+            self.set_cmp(0, a, b, t[4], amax, bmax)
+            return None
+
+        if op == OP_BS_BIN:
+            sub = t[2]
+            a, amax = self.rd(t[3])
+            b, bmax = self.rd(t[4])
+            neg = False
+            wmax = None
+            if sub == 0:
+                self.line(0, f"w_ = {a} + {b}")
+                wmax = amax + bmax
+            elif sub == 1:
+                self.line(0, f"w_ = {a} - {b}")
+                neg = True
+            elif sub == 2:
+                self.line(0, f"w_ = {a} & {b}")
+                wmax = min(amax, bmax)
+            elif sub == 3:
+                self.line(0, f"w_ = {a} | {b}")
+                wmax = amax | bmax
+            elif sub == 4:
+                self.line(0, f"w_ = {a} ^ {b}")
+                wmax = amax | bmax
+            elif sub == 5:
+                if t[4][0] == 0:
+                    c = t[4][1]
+                    if c < 32:
+                        self.line(0, f"w_ = {a} << {c}")
+                        wmax = amax << c
+                    else:
+                        self.line(0, "w_ = 0")
+                        wmax = 0
+                else:
+                    self.line(0, f"b_ = {b}")
+                    self.line(0, f"w_ = ({a} << b_) if b_ < 32 else 0")
+            else:
+                if t[4][0] == 0:
+                    c = t[4][1]
+                    if c < 32:
+                        self.line(0, f"w_ = {a} >> {c}")
+                        wmax = amax >> c
+                    else:
+                        self.line(0, "w_ = 0")
+                        wmax = 0
+                else:
+                    self.line(0, f"b_ = {b}")
+                    self.line(0, f"w_ = ({a} >> b_) if b_ < 32 else 0")
+                    wmax = amax
+            if wmax is not None and not neg and wmax <= spec:
+                # statically proven in-slice: can never misspeculate
+                self.wr(0, t[5], "w_", wmax)
+            else:
+                cond = (f"w_ < 0 or w_ > {spec}" if neg else f"w_ > {spec}")
+                self.line(0, f"if {cond}:")
+                self.misspec_exit(pc, off)
+                self.wr(0, t[5], "w_", spec)
+            return None
+
+        if op == OP_BS_TRUNC:
+            a, amax = self.rd(t[2])
+            if amax <= spec:
+                self.wr(0, t[3], a, amax)
+            else:
+                self.line(0, f"v_ = {a}")
+                self.line(0, f"if v_ > {spec}:")
+                self.misspec_exit(pc, off)
+                self.wr(0, t[3], "v_", spec)
+            return None
+
+        if op == OP_BS_TRUNC_HI:
+            a, amax = self.rd(t[2])
+            if amax:
+                self.line(0, f"if {a} != 0:")
+                self.misspec_exit(pc, off)
+            return None
+
+        if op == OP_BS_LDR:
+            addr, _ = self.rd(t[2])
+            size = t[3]
+            self.line(0, f"a_ = {addr}")
+            self.line(0, f"if a_ > {MEMORY_SIZE - size}:")
+            self.line(1, "raise MemoryError("
+                         f"\"load out of bounds: 0x%x+{size}\" % a_)")
+            if size == 1:
+                self.line(0, "v_ = data[a_]")
+            elif size == 2:
+                self.line(0, "v_ = U16(data, a_)[0]")
+            else:
+                self.line(0, "v_ = U32(data, a_)[0]")
+            self._dcache_bump(pc)
+            if _MASKS[size] > spec:
+                self.line(0, f"if v_ > {spec}:")
+                self.misspec_exit(pc, off)
+            self.wr(0, t[4], "v_", min(_MASKS[size], spec))
+            self.llr = t[6]
+            return None
+
+        if op == OP_EXT:
+            e, vmax = self.rd(t[2])
+            ty = t[3]
+            if ty is None:
+                self.wr(0, t[4], e, vmax)
+            else:  # sxt
+                bits = ty.bits
+                sb = 1 << (bits - 1)
+                m = 1 << bits
+                if vmax < sb:
+                    self.wr(0, t[4], e, vmax)
+                else:
+                    self.line(0, f"v_ = {e}")
+                    self.line(0,
+                              f"v_ = (v_ - {m}) & 0xFFFFFFFF "
+                              f"if v_ >= {sb} else v_")
+                    self.wr(0, t[4], "v_", 0xFFFFFFFF)
+            return None
+
+        if op == OP_MOVCOND:
+            cond = self.cond_expr(0, t[2])
+            self.line(0, f"if {cond}:")
+            self.line(1, f"MC[{pc}] += 1")
+            e, vmax = self.rd(t[3])
+            self.wr(1, t[5], e, vmax, force_load=True)
+            return None
+
+        if op == OP_MUL:
+            a, _ = self.rd(t[2])
+            b, _ = self.rd(t[3])
+            self.wr(0, t[4], f"({a} * {b}) & {t[5]:#x}", t[5])
+            return None
+
+        if op == OP_UMULL:
+            a, _ = self.rd(t[2])
+            b, _ = self.rd(t[3])
+            self.line(0, f"p_ = {a} * {b}")
+            self.wr(0, t[4], "p_ & 0xFFFFFFFF", 0xFFFFFFFF)
+            self.wr(0, t[5], "(p_ >> 32) & 0xFFFFFFFF", 0xFFFFFFFF)
+            return None
+
+        if op == OP_DIV:
+            sub = t[2]
+            ty = t[6]
+            tmask = ty.mask
+            a, amax = self.rd(t[3])
+            b, bmax = self.rd(t[4])
+            self.line(0, f"b_ = {b}")
+            self.line(0, "if b_ == 0:")
+            self.line(1, 'raise MERR("division by zero")')
+            if sub == 0:
+                e = f"{a} // b_"
+                self.line(0, f"v_ = ({e}) & {tmask:#x}" if amax > tmask
+                          else f"v_ = {e}")
+            elif sub == 2:
+                e = f"{a} % b_"
+                self.line(0, f"v_ = ({e}) & {tmask:#x}" if amax > tmask
+                          else f"v_ = {e}")
+            else:
+                bits = ty.bits
+                sbit = 1 << (bits - 1)
+                m = 1 << bits
+                ae = a if amax <= tmask else f"({a} & {tmask:#x})"
+                be = "b_" if bmax <= tmask else f"(b_ & {tmask:#x})"
+                self.line(0, f"sa_ = {ae}")
+                self.line(0, f"sa_ = sa_ - {m} if sa_ >= {sbit} else sa_")
+                self.line(0, f"sb_ = {be}")
+                self.line(0, f"sb_ = sb_ - {m} if sb_ >= {sbit} else sb_")
+                if sub == 1:  # sdiv
+                    self.line(0, "q_ = abs(sa_) // abs(sb_)")
+                    self.line(0, "v_ = (-q_ if (sa_ < 0) != (sb_ < 0) "
+                                 f"else q_) & {tmask:#x}")
+                else:  # srem
+                    self.line(0, "q_ = abs(sa_) % abs(sb_)")
+                    self.line(0, f"v_ = (-q_ if sa_ < 0 else q_) & {tmask:#x}")
+            self.wr(0, t[5], "v_", tmask)
+            return None
+
+        if op == OP_ADDS or op == OP_ADC:
+            a, _ = self.rd(t[2])
+            b, _ = self.rd(t[3])
+            if op == OP_ADC:
+                self.ensure_carry(0)
+                self.line(0, f"f_ = {a} + {b} + cy")
+            else:
+                self.line(0, f"f_ = {a} + {b}")
+            self.line(0, "cy = f_ >> 32")
+            self.carry = "set"
+            self.wr(0, t[4], "f_ & 0xFFFFFFFF", 0xFFFFFFFF)
+            return None
+
+        if op == OP_SUBS:
+            a, _ = self.rd(t[2])
+            b, _ = self.rd(t[3])
+            self.line(0, f"a_ = {a}")
+            self.line(0, f"b_ = {b}")
+            self.line(0, "cy = 1 if a_ >= b_ else 0")
+            self.carry = "set"
+            self.wr(0, t[4], "(a_ - b_) & 0xFFFFFFFF", 0xFFFFFFFF)
+            return None
+
+        if op == OP_SBC:
+            a, _ = self.rd(t[2])
+            b, _ = self.rd(t[3])
+            self.ensure_carry(0)
+            self.line(0, f"f_ = {a} - {b} - 1 + cy")
+            self.line(0, "cy = 1 if f_ >= 0 else 0")
+            self.carry = "set"
+            self.wr(0, t[4], "f_ & 0xFFFFFFFF", 0xFFFFFFFF)
+            return None
+
+        if op == OP_ADDSL:
+            a, _ = self.rd(t[2])
+            b, _ = self.rd(t[3])
+            self.wr(0, t[5], f"({a} + ({b} << {t[4]})) & 0xFFFFFFFF",
+                    0xFFFFFFFF)
+            return None
+
+        if op == OP_ORRSL:
+            a, _ = self.rd(t[2])
+            b, _ = self.rd(t[3])
+            sh = t[4]
+            if sh >= 0:
+                self.wr(0, t[5], f"{a} | (({b} << {sh}) & 0xFFFFFFFF)",
+                        0xFFFFFFFF)
+            else:
+                self.wr(0, t[5], f"{a} | ({b} >> {-sh})", 0xFFFFFFFF)
+            return None
+
+        if op == OP_BL:
+            name = self.reg(14, read=False)
+            self.line(0, f"{name} = {pc + 1}")
+            self.wrote(14)
+            if 0 <= t[2] < self.n:
+                # inline the call: keep tracing into the callee, and note
+                # that r14 now provably holds pc+1 (wrote() clears the
+                # note on any later r14 write, e.g. a restore-from-stack)
+                self.r14_const = pc + 1
+                return ("jump", t[2])
+            self.emit_exit(0, off + 1, self.ret_target(t[2]))
+            return "end"
+
+        if op == OP_BX:
+            if self.r14_const is not None and 0 <= self.r14_const < self.n:
+                # return to a statically known address (the inlined call's
+                # continuation): keep tracing there — no dispatch at all
+                return ("jump", self.r14_const)
+            self.emit_exit(0, off + 1, self.reg(14))
+            return "end"
+
+        if op == OP_SUBSPI or op == OP_ADDSPI:
+            name = self.reg(13)
+            self.wrote(13)
+            sign = "-" if op == OP_SUBSPI else "+"
+            self.line(0, f"{name} = ({name} {sign} {t[2]}) & 0xFFFFFFFF")
+            return None
+
+        if op == OP_CMP64HI:
+            a, amax = self.rd(t[2])
+            b, bmax = self.rd(t[3])
+            self.set_cmp(0, a, b, "hi", amax, bmax)
+            return None
+
+        if op == OP_CMP64LO:
+            self.ensure_cmp(0)
+            a, _ = self.rd(t[2])
+            b, _ = self.rd(t[3])
+            self.line(0, f"ca = (ca << 32) | {a}")
+            self.line(0, f"cb = (cb << 32) | {b}")
+            self.cmp = ("set", 8, None, None)
+            return None
+
+        if op == OP_OUT:
+            e, _ = self.rd(t[2])
+            self.line(0, f"out_append({e})")
+            return None
+
+        if op == OP_NOP:
+            return None
+
+        # OP_ERROR: undecodable instruction — raises when (and only when)
+        # it actually executes, exactly like both steppers
+        self.line(0, f"raise MERR({(t[2] + ' at ' + str(pc))!r})")
+        return "end"
+
+    # -- assembly ---------------------------------------------------------
+
+    def _render_body(self, out, base, body):
+        out.append(base + f"BE[{self.region_idx}] += 1")
+        hz = self.code[self.start][1] if self.start < self.n else ()
+        # dynamic load-use hazard carried in from the previous region
+        # (or, in loop mode, from the previous iteration's back edge)
+        if hz:
+            out.append(base + "llr_ = S[2]")
+            out.append(base + "if llr_ != -1:")
+            out.append(base + "    S[2] = -1")
+            cond = " or ".join(f"llr_ == {r}" for r in hz)
+            out.append(base + f"    if {cond}:")
+            out.append(base + f"        HZ[{self.start}] += 1")
+        else:
+            out.append(base + "if S[2] != -1:")
+            out.append(base + "    S[2] = -1")
+        for indent, text in body:
+            out.append(base + "    " * indent + text)
+
+    def render(self, fname, steady_em=None, steady_guard=0):
+        out = [f"    def {fname}():"]
+        if self.loop_mode:
+            # eager prologue: every register the body references (or any
+            # exit spills) becomes a local before the loop, so back edges
+            # carry values in locals without touching ``regs``
+            for r in sorted(self.bound | set(self.spill)):
+                out.append(f"        r{r} = regs[{r}]")
+            if steady_em is not None:
+                # one full priming pass makes every fetched line resident
+                # (runtime-guarded: the steady body's replay needs them
+                # all to fit in one L1 set's ways in the worst case),
+                # then the terminal back edge breaks into the steady loop
+                out.append(f"        _p = 1 if INW >= {steady_guard}"
+                           " else -1")
+            out.append("        while True:")
+            base = "            "
+        else:
+            base = "        "
+        self._render_body(out, base, self.body)
+        if steady_em is not None:
+            out.append("        while True:")
+            self._render_body(out, base, steady_em.body)
+        return out
+
+
+def _build_image(linked, narrow_rf, spec_mask):
+    code, effects = predecode(linked, narrow_rf)
+    n = len(code)
+    delta = linked.delta
+    inst_bytes = linked.inst_bytes
+    entry = linked.entry_index
+
+    leaders = set()
+    if 0 <= entry < n:
+        leaders.add(entry)
+    for pc, t in enumerate(code):
+        op = t[0]
+        if op == OP_B or op == OP_BL:
+            if 0 <= t[2] < n:
+                leaders.add(t[2])
+            if pc + 1 < n:
+                leaders.add(pc + 1)
+        elif op == OP_BCOND:
+            if 0 <= t[3] < n:
+                leaders.add(t[3])
+            if pc + 1 < n:
+                leaders.add(pc + 1)
+        elif op == OP_BX:
+            if pc + 1 < n:
+                leaders.add(pc + 1)
+        elif delta and op in _SPEC_OPS:
+            if pc + delta < n:
+                leaders.add(pc + delta)
+
+    # Phase A — analysis: trace every leader straight-line (no stop set)
+    # to discover which regions return to their own start.  Those become
+    # loop-mode regions; ``wants[leader]`` holds the trace's write set
+    # (the loop pass spills it at every exit) or None for straight code.
+    wants = {}
+    scheduled = set(leaders)
+    pending = sorted(leaders)
+    while pending:
+        discovered = []
+        for leader in pending:
+            em = _RegionEmitter(code, leader, n, inst_bytes, delta, spec_mask,
+                                region_idx=0, site_base=0, leaders=leaders)
+            em.emit()
+            wants[leader] = em.dirty if em.wants_loop else None
+            ft = em.fallthrough_target
+            if ft is not None and ft not in scheduled:
+                # a MAX_REGION cap created a new region entry
+                scheduled.add(ft)
+                discovered.append(ft)
+        pending = sorted(discovered)
+
+    # Phase B — emission.  Loop regions trace freely back to their own
+    # start; straight regions stop when they reach a known self-loop's
+    # entry and dispatch to its loop-mode function instead of unrolling
+    # a throwaway copy of the loop in place.
+    stop_set = frozenset(L for L, spill in wants.items() if spill is not None)
+    order = []
+    chunks = []
+    fold_regions = []
+    n_sites = 0
+    pending = sorted(wants)
+    while pending:
+        discovered = []
+        for leader in pending:
+            spill = wants[leader]
+            sem = None
+            guard = 0
+            if spill is not None:
+                em = _RegionEmitter(code, leader, n, inst_bytes, delta,
+                                    spec_mask, region_idx=len(order),
+                                    site_base=n_sites, leaders=leaders,
+                                    loop_mode=True, spill=spill)
+                em.emit()
+                # steady twin: eligible when the body has a back edge —
+                # the first one is the steady boundary, and the pass-top
+                # line check's outcome is static (the boundary edge's
+                # line either is or isn't the leader's line)
+                if em.first_backedge_end is not None:
+                    first_line = (leader * inst_bytes) >> L1_LINE_SHIFT
+                    sem = _RegionEmitter(
+                        code, leader, n, inst_bytes, delta, spec_mask,
+                        region_idx=em.region_idx, site_base=n_sites,
+                        leaders=leaders, loop_mode=True, spill=spill,
+                        steady=True,
+                        entry_probe=em.backedge_lines[0] != first_line,
+                        site_map=[s for s, _ in em.sites])
+                    try:
+                        sem.emit()
+                    except IndexError:  # twin walk diverged (site map)
+                        sem = None
+                    if sem is not None and (sem.pcs != em.pcs
+                                            or sem.sites != em.sites):
+                        sem = None
+                if sem is not None:
+                    guard = len(set(sem.probe_seq))
+                    # hand the priming loop off to the steady one at its
+                    # boundary back edge (one full prefix execution has
+                    # made every skipped line resident by then)
+                    k = em.first_backedge_end
+                    ind = em.body[k - 1][0]
+                    assert em.body[k - 1] == (ind, "continue")
+                    em.body[k - 1:k] = [(ind, "_p -= 1"), (ind, "if _p:"),
+                                        (ind + 1, "continue"),
+                                        (ind, "break")]
+            else:
+                em = _RegionEmitter(code, leader, n, inst_bytes, delta,
+                                    spec_mask, region_idx=len(order),
+                                    site_base=n_sites, leaders=leaders,
+                                    stop_set=stop_set)
+                em.emit()
+            order.append(leader)
+            chunks.append(em.render(f"_b{leader}", steady_em=sem,
+                                    steady_guard=guard))
+            fold_regions.append((em.region_idx, tuple(em.pcs),
+                                 tuple(em.hz_offsets), tuple(em.sites)))
+            n_sites += len(em.sites)
+            ft = em.fallthrough_target
+            if ft is not None and ft not in wants:
+                # phase B regions are prefixes of their phase A traces,
+                # so a new cap target here is unreachable in practice —
+                # but cover it to keep every _b reference defined
+                wants[ft] = None
+                discovered.append(ft)
+        pending = sorted(discovered)
+
+    src = ["def _factory(B):"]
+    for name in _BIND_NAMES:
+        src.append(f"    {name} = B['{name}']")
+    for chunk in chunks:
+        src.extend(chunk)
+    src.append("    return [" + ", ".join(f"_b{L}" for L in order) + "]")
+    source = "\n".join(src) + "\n"
+    codeobj = compile(source, "<repro.arch.compiled>", "exec")
+    return CompiledImage(codeobj, source, tuple(order), tuple(fold_regions),
+                         n, len(order), n_sites)
+
+
+#: shared all-zero page for resetting a runtime's flat memory in place
+_ZERO_MEM = bytes(MEMORY_SIZE)
+
+
+class _Runtime:
+    """Reusable execution state for one :class:`CompiledImage`.
+
+    Building a run's machinery — the ``exec`` of the code object, one
+    closure per region, the cache-way lists, a dozen counter arrays and
+    a fresh flat memory — costs on the order of a millisecond, which
+    rivals the execute phase of short workloads.  One instance per
+    (step limit, cache geometry) is cached on the image and reset in
+    place between runs; :func:`run_compiled` copies everything that
+    outlives the call (memory image, output, obs arrays) out of this
+    shared state before returning.
+    """
+
+    __slots__ = ("memory", "regs", "S", "output", "entries", "exits",
+                 "ic2", "icm", "dc2", "dcm", "hz", "ms", "tk", "mc",
+                 "ways", "table", "_zeros", "_zentries", "_zexits")
+
+    def __init__(self, image, step_limit, geometry):
+        from repro.arch.machine import MachineError
+
+        n = image.n_insts
+        hierarchy = MemoryHierarchy(geometry)
+        icache, dcache, l2 = hierarchy.icache, hierarchy.dcache, hierarchy.l2
+        self.memory = FlatMemory()
+        self.regs = [0] * 16
+        self.S = [(0, 0, 4), 0, -1, 0, -1, -1]
+        self.output = []
+        (self.ic2, self.icm, self.dc2, self.dcm, self.hz, self.ms,
+         self.tk, self.mc) = ([0] * n for _ in range(8))
+        self.entries = [0] * image.n_regions
+        self.exits = [0] * image.n_sites
+        # every cache set's ways list, for in-place clearing on reset —
+        # the generated code probes these lists directly, so no other
+        # hierarchy state is live
+        self.ways = (*icache._lines, *dcache._lines, *l2._lines)
+        ns: dict = {}
+        exec(image.codeobj, ns)
+        funcs = ns["_factory"]({
+            "regs": self.regs, "S": self.S, "data": self.memory.data,
+            "out_append": self.output.append,
+            "IC2": self.ic2, "ICM": self.icm,
+            "DC2": self.dc2, "DCM": self.dcm,
+            "HZ": self.hz, "MS": self.ms, "TK": self.tk, "MC": self.mc,
+            "BE": self.entries, "BX": self.exits,
+            "ICD": _icmp_dyn, "MERR": MachineError,
+            "U16": _U16, "U32": _U32, "P16": _P16, "P32": _P32,
+            "IW": icache._lines, "DW": dcache._lines, "LW": l2._lines,
+            "ISM": icache._set_mask, "LSM": l2._set_mask,
+            "INW": icache.ways, "LNW": l2.ways,
+            "LIM": step_limit,
+        })
+        self.table = [None] * n
+        for leader, fn in zip(image.leaders, funcs):
+            self.table[leader] = fn
+        self._zeros = [0] * n
+        self._zentries = [0] * image.n_regions
+        self._zexits = [0] * image.n_sites
+
+    def reset(self):
+        """Restore pristine architectural and counter state in place."""
+        self.regs[:] = (0,) * 16
+        self.regs[13] = STACK_TOP
+        self.regs[14] = HALT
+        self.S[:] = ((0, 0, 4), 0, -1, 0, -1, -1)
+        del self.output[:]
+        z = self._zeros
+        for arr in (self.ic2, self.icm, self.dc2, self.dcm,
+                    self.hz, self.ms, self.tk, self.mc):
+            arr[:] = z
+        self.entries[:] = self._zentries
+        self.exits[:] = self._zexits
+        for w in self.ways:
+            if w:
+                del w[:]
+        self.memory.data[:] = _ZERO_MEM
+
+
+def get_image(linked, narrow_rf, spec_mask) -> CompiledImage:
+    """Translate (or fetch the cached translation of) a linked program."""
+    cache = getattr(linked, "_compiled_cache", None)
+    if cache is None:
+        cache = {}
+        linked._compiled_cache = cache
+    key = (narrow_rf, spec_mask)
+    image = cache.get(key)
+    if image is None:
+        image = _build_image(linked, narrow_rf, spec_mask)
+        cache[key] = image
+    return image
+
+
+def run_compiled(machine):
+    """Execute a linked program on the compiled engine.
+
+    Produces a :class:`repro.arch.machine.SimResult` bit-identical to
+    both :meth:`Machine._run_legacy` and
+    :func:`repro.arch.predecode.run_fast` —
+    ``tests/test_engine_equivalence.py`` asserts this differentially.
+    """
+    from repro.arch.machine import MachineError
+
+    if machine.trace_hook is not None:
+        raise ValueError("trace_hook requires the legacy path")
+    if machine.faults is not None:
+        # a live FaultSession must observe every architectural step:
+        # degrade the whole run to the per-step engine (bit-identical)
+        return run_fast(machine)
+
+    linked = machine.linked
+    narrow_rf = machine.narrow_rf
+    spec_mask = slice_mask(machine.slice_width)
+    code, effects = predecode(linked, narrow_rf)
+    image = get_image(linked, narrow_rf, spec_mask)
+    n = image.n_insts
+
+    # Reuse (or build) the cached runtime for this step limit and cache
+    # geometry: the exec'd closures permanently bind its arrays, so the
+    # same instance serves every run after an in-place reset.
+    g = machine.geometry or CacheGeometry()
+    key = (machine.step_limit, g.l1_kb, g.l1_ways, g.l2_kb, g.l2_ways)
+    rt = image.runtimes.get(key)
+    if rt is None:
+        image.runtimes[key] = rt = _Runtime(image, machine.step_limit,
+                                            machine.geometry)
+    rt.reset()
+    memory = rt.memory
+    initialize_globals(memory, machine.module, linked.global_addresses)
+    regs = rt.regs
+    # shared mutable slots: cmp state, carry, pending load-use reg, steps,
+    # icache shadow last-line, dcache shadow last-line
+    S = rt.S
+    table = rt.table
+
+    # Each region returns either the *next region's function* (statically
+    # known transfers — branches, calls, misspec redirects, fallthroughs)
+    # or an integer pc (indirect jumps via bx, out-of-range targets, HALT).
+    # Only the integer case touches the dispatch table.
+    pc = linked.entry_index
+    limit = machine.step_limit
+    if not 0 <= pc < n:
+        raise MachineError(f"pc out of range: {pc}")
+    fn = table[pc]
+    while True:
+        if fn is None:
+            # control reached the middle of every covering region (e.g.
+            # an indirect jump through a corrupted return address):
+            # deoptimize — replay the whole run on the per-step engine
+            return run_fast(machine)
+        nxt = fn()
+        if S[3] > limit:
+            raise MachineError("machine step limit exceeded")
+        # spin on direct function references (statically known transfers)
+        # without touching the table; integers are the rare case — bx
+        # through a dynamic r14, out-of-range targets, or HALT
+        while nxt.__class__ is not int:
+            nxt = nxt()
+            if S[3] > limit:
+                raise MachineError("machine step limit exceeded")
+        if nxt == HALT:
+            break
+        if not 0 <= nxt < n:
+            raise MachineError(f"pc out of range: {nxt}")
+        fn = table[nxt]
+
+    # With obs on, the per-pc event arrays outlive this call inside the
+    # returned PcSample — snapshot them so the next run's reset can't
+    # mutate a caller-held result.  Without obs they are only read below,
+    # so the runtime's arrays are used directly.
+    entries, exits = rt.entries, rt.exits
+    if machine.obs:
+        ic_l2_pc, ic_mem_pc = list(rt.ic2), list(rt.icm)
+        d_l2_pc, d_mem_pc = list(rt.dc2), list(rt.dcm)
+        hazard_pc, misspec_pc = list(rt.hz), list(rt.ms)
+        taken_pc, movcond_pc = list(rt.tk), list(rt.mc)
+    else:
+        ic_l2_pc, ic_mem_pc = rt.ic2, rt.icm
+        d_l2_pc, d_mem_pc = rt.dc2, rt.dcm
+        hazard_pc, misspec_pc = rt.hz, rt.ms
+        taken_pc, movcond_pc = rt.tk, rt.mc
+    exec_counts = [0] * n
+
+    # reconstruct per-pc execution counts and static hazards from the
+    # per-region entry/exit counters: an instruction at offset ``off``
+    # executed once per region entry minus once per earlier-offset exit.
+    # Exit sites with a zero count don't split segments, so the common
+    # case is one bulk `+= running` sweep over the region's pcs.
+    for _ridx, pcs, hz_offsets, sites in image.fold_regions:
+        running = entries[_ridx]
+        if not running:
+            continue
+        start = 0
+        for site, soff in sites:
+            x = exits[site]
+            if not x:
+                continue
+            end = soff + 1
+            for p in pcs[start:end]:
+                exec_counts[p] += running
+            running -= x
+            start = end
+            if running <= 0:
+                break
+        if running > 0:
+            for p in pcs[start:]:
+                exec_counts[p] += running
+        for hoff in hz_offsets:
+            # count at offset hoff = entries − Σ exits at earlier offsets
+            r = entries[_ridx]
+            for site, soff in sites:
+                if soff >= hoff:
+                    break
+                r -= exits[site]
+            if r > 0:
+                hazard_pc[pcs[hoff]] += r
+
+    # the result's memory image and output list must not alias runtime
+    # state — both are caller-visible and the runtime is reset in place
+    result_memory = FlatMemory.__new__(FlatMemory)
+    result_memory.size = memory.size
+    result_memory.data = bytearray(memory.data)
+    return fold_result(
+        machine, narrow_rf, code, effects, exec_counts,
+        ic_l2_pc, ic_mem_pc, d_l2_pc, d_mem_pc,
+        hazard_pc, misspec_pc, taken_pc, movcond_pc,
+        list(rt.output), result_memory, regs, None,
+    )

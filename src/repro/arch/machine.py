@@ -94,20 +94,33 @@ class SimResult:
         return self.energy().total / self.instructions
 
 
+#: recognized values for ``Machine(engine=...)`` / ``REPRO_MACHINE_ENGINE``
+ENGINES = ("legacy", "fast", "compiled")
+
+
 class Machine:
     """Executes a :class:`LinkedProgram`.
 
-    Two execution engines produce bit-identical results:
+    Three execution engines produce bit-identical results (the contract
+    is documented in docs/engines.md and enforced differentially by
+    ``tests/test_engine_equivalence.py``):
 
     * the *fast path* (default): the program is predecoded once into dense
       tuples with an integer-dispatch loop and batched energy counters
       (:mod:`repro.arch.predecode`);
+    * the *compiled engine*: a block-specialized template JIT that
+      translates the predecoded program into straight-line Python per
+      basic-block region (:mod:`repro.arch.compiled`); select it with
+      ``engine="compiled"`` or ``REPRO_MACHINE_ENGINE=compiled``;
     * the *legacy path*: the original instruction-at-a-time interpreter,
       kept as the differential-testing reference and used automatically
       when a ``trace_hook`` needs per-step callbacks.
 
-    ``fast=None`` selects the fast path unless a trace hook is installed
-    or ``REPRO_MACHINE_LEGACY=1`` is set in the environment.
+    Engine selection precedence: an explicit ``engine=`` argument, then
+    the boolean ``fast=`` compatibility argument, then the
+    ``REPRO_MACHINE_ENGINE`` environment variable, then the historical
+    defaults (``fast=None`` selects the fast path unless a trace hook is
+    installed or ``REPRO_MACHINE_LEGACY=1`` is set in the environment).
 
     ``obs=True`` attaches a per-pc event sample to ``SimResult.obs`` for
     :mod:`repro.obs`.  Observability is a fast-path feature: the sample
@@ -127,6 +140,7 @@ class Machine:
         obs: bool = False,
         geometry: Optional[CacheGeometry] = None,
         faults=None,
+        engine: Optional[str] = None,
     ) -> None:
         self.linked = linked
         self.module = module
@@ -146,17 +160,50 @@ class Machine:
         self.fast = fast
         #: collect a per-pc PcSample on SimResult.obs (fast path only)
         self.obs = obs
+        if engine is not None and engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}: expected one of {ENGINES}"
+            )
+        #: explicit engine selection ("legacy" / "fast" / "compiled");
+        #: None resolves at run() time (env vars, fast=, obs, trace_hook)
+        self.engine = engine
+
+    def resolve_engine(self) -> str:
+        """The engine :meth:`run` will use, after all defaulting rules."""
+        if self.engine is not None:
+            return self.engine
+        if self.fast is True:
+            return "fast"
+        if self.fast is False:
+            return "legacy"
+        env = os.environ.get("REPRO_MACHINE_ENGINE", "").strip().lower()
+        if env:
+            if env not in ENGINES:
+                raise ValueError(
+                    f"REPRO_MACHINE_ENGINE={env!r}: expected one of {ENGINES}"
+                )
+            if env == "legacy" and self.obs:
+                # obs is a batching-path feature; the env default cannot
+                # force an engine that cannot produce a PcSample
+                return "fast"
+            return env
+        if self.obs:
+            return "fast"
+        if self.trace_hook is not None:
+            return "legacy"
+        if os.environ.get("REPRO_MACHINE_LEGACY", "") == "1":
+            return "legacy"
+        return "fast"
 
     def run(self) -> SimResult:
-        fast = self.fast
-        if fast is None:
-            if self.obs:
-                fast = True
-            else:
-                fast = self.trace_hook is None and os.environ.get(
-                    "REPRO_MACHINE_LEGACY", ""
-                ) != "1"
-        if fast:
+        engine = self.resolve_engine()
+        if engine == "compiled":
+            if self.trace_hook is not None:
+                raise ValueError("trace_hook requires the legacy path")
+            from repro.arch.compiled import run_compiled
+
+            return run_compiled(self)
+        if engine == "fast":
             if self.trace_hook is not None:
                 raise ValueError("trace_hook requires the legacy path")
             from repro.arch.predecode import run_fast

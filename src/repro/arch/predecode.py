@@ -427,8 +427,7 @@ def run_fast(machine) -> "SimResult":
     inst_bytes = linked.inst_bytes
     spec_mask = slice_mask(machine.slice_width)
 
-    result = SimResult(slice_width=machine.slice_width)
-    counters = result.counters
+    output: list = []
 
     hierarchy = MemoryHierarchy(machine.geometry)
     fetch = hierarchy.fetch
@@ -446,7 +445,6 @@ def run_fast(machine) -> "SimResult":
     carry = 0
 
     exec_counts = [0] * n_insts
-    output = result.output
 
     pc = linked.entry_index
     steps = 0
@@ -910,11 +908,38 @@ def run_fast(machine) -> "SimResult":
             raise MachineError(f"{t[2]} at {pc}")
         pc = next_pc
 
-    # -- fold static effects and per-pc dynamic events into the result --------
-    # Everything below is derived from (exec count, per-pc event arrays)
-    # and must stay bit-identical to the legacy interpreter.  The per-pc
-    # form of the same derivation lives in :func:`pc_counters`; the
-    # conservation tests in tests/test_obs.py pin the two together.
+    return fold_result(
+        machine, narrow_rf, code, effects, exec_counts,
+        ic_l2_pc, ic_mem_pc, d_l2_pc, d_mem_pc,
+        hazard_pc, misspec_pc, taken_pc, movcond_pc,
+        output, memory, regs, fx,
+    )
+
+
+def fold_result(
+    machine, narrow_rf, code, effects, exec_counts,
+    ic_l2_pc, ic_mem_pc, d_l2_pc, d_mem_pc,
+    hazard_pc, misspec_pc, taken_pc, movcond_pc,
+    output, memory, regs, fx,
+):
+    """Fold static effects and per-pc dynamic events into a SimResult.
+
+    Everything below is derived from (exec count, per-pc event arrays)
+    and must stay bit-identical to the legacy interpreter.  The per-pc
+    form of the same derivation lives in :func:`pc_counters`; the
+    conservation tests in tests/test_obs.py pin the two together.
+
+    Shared by the predecoded stepper (:func:`run_fast`) and the compiled
+    engine (:mod:`repro.arch.compiled`): both record the same nine per-pc
+    arrays, so aggregation is literally the same code path and cannot
+    drift between engines.
+    """
+    from repro.arch.machine import SimResult
+
+    delta = machine.linked.delta
+    result = SimResult(output=output, slice_width=machine.slice_width)
+    counters = result.counters
+
     totals = [0] * N_STATIC
     instructions = 0
     stall_cycles = 0
@@ -924,8 +949,7 @@ def run_fast(machine) -> "SimResult":
     d_l2 = d_mem = 0
     rf_w_dyn = {1: 0, 2: 0, 4: 0}
     rf_r_dyn = {1: 0, 2: 0, 4: 0}
-    for pc_i in range(n_insts):
-        n = exec_counts[pc_i]
+    for pc_i, n in enumerate(exec_counts):
         if not n:
             continue
         instructions += n

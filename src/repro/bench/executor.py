@@ -48,6 +48,10 @@ class BenchTask:
     profile_seed: int = 0
     run_kind: str = "test"
     run_seed: int = 0
+    #: simulation engine ("legacy" / "fast" / "compiled"; None = default
+    #: resolution).  Engines are bit-identical, so this changes *how* the
+    #: cell simulates, never what it reports.
+    engine: Optional[str] = None
 
     def label(self) -> str:
         tag = f"{self.workload}/{self.config.name}"
@@ -58,6 +62,8 @@ class BenchTask:
                 f"[p={self.profile_kind}:{self.profile_seed},"
                 f"r={self.run_kind}:{self.run_seed}]"
             )
+        if self.engine is not None:
+            tag += f"@{self.engine}"
         return tag
 
 
@@ -71,6 +77,7 @@ class TaskOutcome:
     profile_seed: int
     run_kind: str
     run_seed: int
+    engine: Optional[str] = None
     status: str = "ok"  # 'ok' | 'failed'
     #: served from a cache (disk or in-process memo) rather than simulated
     cached: bool = False
@@ -182,6 +189,7 @@ def _execute(task: BenchTask) -> TaskOutcome:
         profile_seed=task.profile_seed,
         run_kind=task.run_kind,
         run_seed=task.run_seed,
+        engine=task.engine,
     )
     cache = harness.get_disk_cache()
     memo_key = (
@@ -191,6 +199,7 @@ def _execute(task: BenchTask) -> TaskOutcome:
         task.profile_seed,
         task.run_kind,
         task.run_seed,
+        task.engine,
     )
     try:
         outcome.cached = memo_key in harness._RUN_CACHE or (
@@ -217,6 +226,7 @@ def _execute(task: BenchTask) -> TaskOutcome:
                 profile_seed=task.profile_seed,
                 run_kind=task.run_kind,
                 run_seed=task.run_seed,
+                engine=task.engine,
             )
         outcome.sim_seconds = time.perf_counter() - started
         outcome.instructions = record.sim.instructions

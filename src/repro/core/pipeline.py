@@ -225,14 +225,21 @@ class CompiledBinary:
         obs: bool = False,
         faults=None,
         step_limit: Optional[int] = None,
+        engine: Optional[str] = None,
     ) -> SimResult:
         """Simulate on the architecture model with the given inputs.
 
         ``obs=True`` attaches a per-pc :class:`repro.obs.events.PcSample`
-        to ``SimResult.obs``.  The sample comes from the predecoded fast
-        path's own batched counters, so obs always uses the fast engine
+        to ``SimResult.obs``.  The sample comes from the batching
+        engines' own per-pc counters, so obs selects the fast engine
         (never a ``_run_legacy`` fallback — the engines are bit-identical,
-        so ``REPRO_MACHINE_LEGACY`` is ignored for obs runs).
+        so ``REPRO_MACHINE_LEGACY`` is ignored for obs runs) unless an
+        explicit ``engine`` says otherwise.
+
+        ``engine`` picks the execution engine ("legacy" / "fast" /
+        "compiled"); None defers to ``REPRO_MACHINE_ENGINE`` and the
+        historical defaults.  All engines produce bit-identical results
+        (docs/engines.md).
 
         ``faults`` attaches a :class:`repro.faults.FaultSession` to the
         machine; ``step_limit`` overrides the default watchdog (fault
@@ -247,7 +254,8 @@ class CompiledBinary:
         if step_limit is not None:
             kwargs["step_limit"] = step_limit
         machine = Machine(
-            self.linked, self.module, obs=obs, fast=True if obs else None,
+            self.linked, self.module, obs=obs, engine=engine,
+            fast=True if (obs and engine is None) else None,
             geometry=self.config.cache_geometry(), faults=faults, **kwargs,
         )
         result = machine.run()

@@ -87,6 +87,7 @@ def cmd_sweep(args, parser) -> int:
         random_n=args.random_n,
         random_seed=args.random_seed,
         halving_eta=args.eta,
+        engine=args.engine,
         progress=ticker,
     )
     text = result.to_json()
@@ -230,6 +231,13 @@ def main(argv=None) -> int:
         help="fail if an existing document is not reproduced byte-identically",
     )
     sweep.add_argument("--quiet", action="store_true")
+    sweep.add_argument(
+        "--engine",
+        choices=("legacy", "fast", "compiled"),
+        default=None,
+        help="simulation engine for every cell (bit-identical; affects "
+        "throughput only, never the emitted document)",
+    )
     sweep.set_defaults(func=cmd_sweep)
 
     pareto = sub.add_parser("pareto", help="print per-workload Pareto fronts")

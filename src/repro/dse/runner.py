@@ -69,18 +69,21 @@ def evaluate_points(
     jobs: int = 1,
     cache_dir=None,
     timeout: float = 300.0,
+    engine=None,
     progress=None,
 ) -> list:
     """Measure every (point × workload) cell; returns ordered PointRows.
 
     Rows come back point-major in the order given (the executor preserves
     task order), with failures degraded to ``status="failed"`` rather than
-    aborting the sweep.
+    aborting the sweep.  ``engine`` picks the simulation engine for every
+    cell; engines are bit-identical, so the emitted document does not
+    depend on it (the reproducibility gate holds across engines).
     """
     points = list(points)
     workloads = list(workloads)
     tasks = [
-        BenchTask(workload=w, config=p.to_config())
+        BenchTask(workload=w, config=p.to_config(), engine=engine)
         for p in points
         for w in workloads
     ]
@@ -158,13 +161,15 @@ def run_sweep(
     random_n: int = 0,
     random_seed: int = 0,
     halving_eta: int = 3,
+    engine=None,
     progress=None,
 ) -> SweepResult:
     """Run one sweep end to end under the chosen search strategy."""
     from repro.dse import search
 
     kwargs = dict(
-        jobs=jobs, cache_dir=cache_dir, timeout=timeout, progress=progress
+        jobs=jobs, cache_dir=cache_dir, timeout=timeout, engine=engine,
+        progress=progress,
     )
     if strategy == "grid":
         rows, evaluations = search.grid_search(space, workloads, **kwargs)

@@ -126,8 +126,19 @@ def run(
     profile_seed: int = 0,
     run_kind: str = "test",
     run_seed: int = 0,
+    engine: Optional[str] = None,
 ) -> RunRecord:
-    """Compile + simulate (memoized); checks output against the oracle."""
+    """Compile + simulate (memoized); checks output against the oracle.
+
+    ``engine`` selects the simulation engine ("legacy" / "fast" /
+    "compiled"; default lets :class:`~repro.arch.machine.Machine`
+    resolve).  Engines are bit-identical (docs/engines.md,
+    ``tests/test_engine_equivalence.py``), so the engine is deliberately
+    excluded from the disk-cache key — records are interchangeable
+    across engines.  It does enter the in-process memo key so that
+    engine-comparison harness code measuring a specific engine is not
+    short-circuited by a record produced under another one.
+    """
     key = (
         workload_name,
         _config_key(config),
@@ -135,6 +146,7 @@ def run(
         profile_seed,
         run_kind,
         run_seed,
+        engine,
     )
     cached = _RUN_CACHE.get(key)
     if cached is not None:
@@ -151,7 +163,7 @@ def run(
         workload_name, config, profile_kind=profile_kind, profile_seed=profile_seed
     )
     inputs = workload.inputs(run_kind, run_seed)
-    sim = binary.run(inputs)
+    sim = binary.run(inputs, engine=engine)
     expected = workload.expected_output(inputs)
     record = RunRecord(
         workload=workload_name,

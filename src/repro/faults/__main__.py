@@ -64,6 +64,11 @@ def _add_common(sub: argparse.ArgumentParser) -> None:
         "--json", type=Path, default=None, metavar="PATH",
         help="write the canonical coverage-matrix JSON here",
     )
+    sub.add_argument(
+        "--engine", choices=("legacy", "fast", "compiled"), default=None,
+        help="simulation engine for faulted runs (classification and the "
+        "emitted JSON are engine-invariant)",
+    )
 
 
 def main(argv=None) -> int:
@@ -122,6 +127,7 @@ def main(argv=None) -> int:
             parity=args.parity,
             jobs=args.jobs,
             cache_dir=args.cache_dir,
+            engine=args.engine,
             progress=progress,
         )
     else:
@@ -132,6 +138,7 @@ def main(argv=None) -> int:
             seed=args.seed,
             per_kind=args.per_kind,
             parity=args.parity,
+            engine=args.engine,
         )
 
     print(render_matrix(matrix))

@@ -178,8 +178,17 @@ def run_injection(
     inputs: Optional[dict],
     plan: FaultPlan,
     golden_sim,
+    engine: Optional[str] = None,
 ) -> dict:
-    """Replay one faulted run and classify it against the golden run."""
+    """Replay one faulted run and classify it against the golden run.
+
+    ``engine`` selects the simulation engine for the faulted run.  Fault
+    hooks degrade the compiled engine to the predecoded stepper for the
+    whole run (docs/engines.md), so classification is engine-invariant;
+    the engine is deliberately *not* recorded in the returned record —
+    FAULTS documents must be byte-identical across engines
+    (``tests/test_faults.py`` parity grid).
+    """
     session = FaultSession(plan)
     watchdog = max(4 * golden_sim.instructions, _MIN_WATCHDOG)
     record = {
@@ -199,7 +208,9 @@ def run_injection(
     trapped = False
     sim = None
     try:
-        sim = binary.run(inputs, obs=True, faults=session, step_limit=watchdog)
+        sim = binary.run(
+            inputs, obs=True, faults=session, step_limit=watchdog, engine=engine
+        )
     except FaultTrap as exc:
         trapped = True
         record["error"] = f"FaultTrap: {exc}"
@@ -272,7 +283,7 @@ def _golden_for(workload: str, config: CompilerConfig):
 
 
 def _run_cell(task: tuple) -> dict:
-    workload, config_name, kind, fault_seed, parity = task
+    workload, config_name, kind, fault_seed, parity, engine = task
     base = {
         "workload": workload,
         "config": config_name,
@@ -283,7 +294,7 @@ def _run_cell(task: tuple) -> dict:
         config = resolve_config(config_name)
         binary, inputs, golden_sim, profile = _golden_for(workload, config)
         plan = derive_plan(kind, fault_seed, profile, parity=parity)
-        record = run_injection(binary, inputs, plan, golden_sim)
+        record = run_injection(binary, inputs, plan, golden_sim, engine=engine)
         record.update(base)
         record["golden_instructions"] = golden_sim.instructions
         record["golden_misspeculations"] = golden_sim.misspeculations
@@ -314,6 +325,7 @@ def enumerate_cells(
     seed: int,
     per_kind: int,
     parity: bool,
+    engine: Optional[str] = None,
 ) -> list:
     """The campaign grid, with deterministic per-cell fault seeds."""
     cells = []
@@ -328,6 +340,7 @@ def enumerate_cells(
                             kind,
                             iteration_seed(seed, len(cells)),
                             parity,
+                            engine,
                         )
                     )
     return cells
@@ -365,10 +378,18 @@ def run_campaign(
     parity: bool = False,
     jobs: int = 1,
     cache_dir=None,
+    engine: Optional[str] = None,
     progress=None,
 ) -> dict:
-    """Run the grid; returns the coverage matrix (canonical-JSON-able)."""
-    tasks = enumerate_cells(workloads, config_names, kinds, seed, per_kind, parity)
+    """Run the grid; returns the coverage matrix (canonical-JSON-able).
+
+    ``engine`` is an execution choice, not a result axis: it is threaded
+    to every injection but never serialized into the document, which
+    must stay byte-identical across engines.
+    """
+    tasks = enumerate_cells(
+        workloads, config_names, kinds, seed, per_kind, parity, engine
+    )
     results: list = []
     if jobs > 1 and len(tasks) > 1:
         ctx = multiprocessing.get_context()
@@ -409,6 +430,7 @@ def replay_corpus(
     seed: int = 0,
     per_kind: int = 1,
     parity: bool = False,
+    engine: Optional[str] = None,
 ) -> dict:
     """Replay fuzz-corpus programs under a fault grid (the ``faults``
     oracle mode): compile each saved program as BITSPEC T=MAX, golden-run
@@ -439,7 +461,7 @@ def replay_corpus(
                 fault_seed = iteration_seed(seed, len(cells))
                 plan = derive_plan(kind, fault_seed, profile, parity=parity)
                 record = run_injection(
-                    binary, program.inputs_run, plan, golden_sim
+                    binary, program.inputs_run, plan, golden_sim, engine=engine
                 )
                 record.update(
                     {

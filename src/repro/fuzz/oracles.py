@@ -12,7 +12,14 @@ level                   what executes
 ``machine-baseline``    compiled ARM binary on ``repro.arch.machine``
 ``machine-bitspec-T``   compiled ARM_BS binary, T ∈ {max,avg,min}
 ``machine-thumb``       compiled THUMB binary
+``engines``             the T=MAX binary on the legacy and compiled engines
 ======================  =====================================================
+
+The ``engines`` level is the fuzzing arm of the three-engine bit-identity
+contract (docs/engines.md): the T=MAX binary is re-run on the legacy
+interpreter and the compiled template JIT, and every ``SimResult`` field
+— aggregates, energy counters, class counts, final memory image — must
+equal the fast path's, not just the ``out()`` stream.
 
 BITSPEC levels profile on ``inputs_profile`` and run on ``inputs_run`` —
 when those differ, compiled speculation genuinely misspeculates and the
@@ -67,6 +74,7 @@ ALL_LEVELS = (
     "machine-bitspec-avg",
     "machine-bitspec-min",
     "machine-thumb",
+    "engines",
 )
 
 #: step budget for interpreter-level runs (generated programs are tiny)
@@ -159,6 +167,45 @@ def _check_energy(report: OracleReport, level: str, sim) -> None:
         )
 
 
+def _check_engines(report: OracleReport, binary, inputs, fast_sim) -> None:
+    """The ``engines`` oracle level: all three engines bit-identical.
+
+    Re-runs the T=MAX binary on the legacy interpreter and the compiled
+    template JIT and requires every :class:`SimResult` field — not just
+    the ``out()`` stream — to equal the fast path's.
+    """
+    import dataclasses
+
+    for engine in ("legacy", "compiled"):
+        sim = binary.run(inputs, engine=engine)
+        for f in dataclasses.fields(type(fast_sim)):
+            if f.name in ("counters", "memory", "obs"):
+                continue
+            a, b = getattr(sim, f.name), getattr(fast_sim, f.name)
+            if a != b:
+                report.invariant_failures.append(
+                    f"engines: {engine} SimResult.{f.name} {a!r} != fast {b!r}"
+                )
+        for f in dataclasses.fields(type(fast_sim.counters)):
+            a = getattr(sim.counters, f.name)
+            b = getattr(fast_sim.counters, f.name)
+            if a != b:
+                report.invariant_failures.append(
+                    f"engines: {engine} counters.{f.name} {a!r} != fast {b!r}"
+                )
+        if (
+            sim.memory is not None
+            and fast_sim.memory is not None
+            and sim.memory.data != fast_sim.memory.data
+        ):
+            report.invariant_failures.append(
+                f"engines: {engine} final memory image differs from fast"
+            )
+        if engine == "compiled":
+            report.outputs["engines"] = sim.output
+            report.misspeculations["engines"] = sim.misspeculations
+
+
 def _expander(program: FuzzProgram) -> ExpanderConfig:
     if program.expander_enabled:
         return ExpanderConfig()
@@ -239,6 +286,7 @@ def _run_oracles(
                 report.invariant_failures.append(
                     f"machine-bitspec-{heuristic}: obs conservation: {mismatch}"
                 )
+            _check_engines(report, binary, program.inputs_run, sim)
 
     # Machine baseline + Thumb.
     for level, config in (

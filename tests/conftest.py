@@ -4,10 +4,38 @@ from __future__ import annotations
 
 import pytest
 
+from repro.arch.machine import ENGINES
 from repro.core import CompilerConfig, compile_binary, set_global_inputs
 from repro.frontend import compile_source
 from repro.interp import Interpreter
 from repro.ir import verify_module
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--engines",
+        default=",".join(ENGINES),
+        help="comma-separated simulation engines for engine-matrix tests "
+        f"(default: {','.join(ENGINES)})",
+    )
+
+
+def pytest_generate_tests(metafunc):
+    """Any test taking an ``engine`` fixture runs once per selected engine.
+
+    The selection comes from ``--engines``, so CI lanes (and developers
+    bisecting a divergence) can narrow the matrix without editing tests:
+    ``pytest --engines compiled tests/test_machine_predecode.py``.
+    """
+    if "engine" in metafunc.fixturenames:
+        option = metafunc.config.getoption("--engines")
+        engines = [e.strip() for e in option.split(",") if e.strip()]
+        unknown = [e for e in engines if e not in ENGINES]
+        if unknown:
+            raise pytest.UsageError(
+                f"--engines: unknown engines {unknown}; expected {ENGINES}"
+            )
+        metafunc.parametrize("engine", engines)
 
 
 def run_source(source: str, inputs: dict = None, entry: str = "main"):

@@ -14,9 +14,11 @@ hand-built SIR program, below the verifier:
 * every speculative add overflows the 8-bit slice, so control must walk
   entry → hA → hB deterministically, with exactly two misspeculations.
 
-Pinned at the IR interpreter and both machine engines (legacy and
-predecoded), which must agree bit-for-bit: output ``[600]`` and a
-misspeculation count of 2.  The construction deliberately bypasses the
+Pinned at the IR interpreter and all three machine engines (legacy,
+predecoded, compiled), which must agree bit-for-bit: output ``[600]`` and
+a misspeculation count of 2.  A seeded sweep slides the misspeculating
+pcs across block offsets so the compiled engine's mid-region redirect
+fires at varying block-boundary positions.  The construction deliberately bypasses the
 SIR verifier — it checks the squeezer's single-world invariants, and this
 program exists precisely to exercise hardware behavior the squeezer never
 generates.
@@ -95,11 +97,19 @@ def test_interpreter_reenters_through_both_handlers():
     assert result.trace.misspeculations == 2
 
 
-@pytest.mark.parametrize("fast", [True, False], ids=["predecoded", "legacy"])
-def test_machine_reenters_through_both_handlers(fast):
+def test_machine_reenters_through_both_handlers(engine):
+    """All three engines walk entry → hA → hB: exactly 2 misspecs.
+
+    For the compiled engine this is the misspec-inside-handler re-entry
+    property: the first redirect aborts a compiled region mid-block, the
+    dispatcher re-enters at hA's region, and *that* region's own misspec
+    must redirect again — a fallback-inside-fallback path.
+    """
     module = build_reentry_module()
     linked = _link(module)
-    sim = Machine(module=module, linked=linked, fast=fast, step_limit=10_000).run()
+    sim = Machine(
+        module=module, linked=linked, engine=engine, step_limit=10_000
+    ).run()
     assert sim.output == [600]
     assert sim.misspeculations == 2
 
@@ -115,3 +125,93 @@ def test_engines_and_interpreter_agree_exactly():
     interp = Interpreter(build_reentry_module(), trace=True).run("main")
     assert interp.output == fast.output
     assert interp.trace.misspeculations == fast.misspeculations
+
+
+def _lcg(seed: int):
+    """Tiny deterministic generator (hypothesis-style seeded exploration)."""
+    state = (seed * 2654435761 + 1) & 0xFFFFFFFF
+
+    def step() -> int:
+        nonlocal state
+        state = (state * 1664525 + 1013904223) & 0xFFFFFFFF
+        return state >> 16
+
+    return step
+
+
+def build_padded_reentry_module(pad_entry: int, pad_handler: int, rng) -> Module:
+    """The re-entry program with seeded non-speculative padding.
+
+    The filler adds slide the two misspeculating ops across instruction
+    positions — and therefore across compiled-region block offsets and
+    icache line boundaries — so the redirect can fire at the first, a
+    middle, or the last pc of its block.
+    """
+    module = Module("reentry_padded")
+    func = module.add_function(Function("main", VOID))
+    entry = func.add_block("entry")
+    handler_a = func.add_block("hA")
+    handler_b = func.add_block("hB")
+    exit_block = func.add_block("exit")
+
+    b = IRBuilder(entry)
+    for _ in range(pad_entry):
+        v = rng() % 1000
+        b.add(b.const(v, 32), b.const(v + 1, 32))
+    first = b.add(b.const(200, 8), b.const(100, 8))
+    first.speculative = True
+    b.call("__out", [first], VOID)
+    b.br(exit_block)
+
+    b.set_block(handler_a)
+    for _ in range(pad_handler):
+        v = rng() % 1000
+        b.add(b.const(v, 32), b.const(v + 2, 32))
+    second = b.add(b.const(220, 8), b.const(90, 8))
+    second.speculative = True
+    b.call("__out", [second], VOID)
+    b.br(exit_block)
+
+    b.set_block(handler_b)
+    b.call("__out", [b.const(600, 32)], VOID)
+    b.br(exit_block)
+
+    b.set_block(exit_block)
+    b.ret()
+
+    region_a = SpeculativeRegion([entry])
+    region_a.set_handler(handler_a)
+    region_b = SpeculativeRegion([handler_a])
+    region_b.set_handler(handler_b)
+    return module
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_seeded_block_boundary_redirect_sweep(seed):
+    """Seeded sweep: redirects at varying block-boundary pcs, all engines.
+
+    Padding sizes are drawn from the seed, so across the sweep the
+    misspeculating pc lands at different offsets within (and at the edges
+    of) its block.  Every engine must agree with the fast path on the
+    full result — and the walk must still produce exactly 2 misspecs and
+    the hB-only output, whatever the redirect pc.
+    """
+    from test_machine_predecode import assert_sims_identical
+
+    rng = _lcg(seed)
+    pad_entry = rng() % 24
+    pad_handler = rng() % 24
+    module = build_padded_reentry_module(pad_entry, pad_handler, rng)
+    linked = _link(module)
+    ref = Machine(
+        module=module, linked=linked, engine="fast", step_limit=10_000
+    ).run()
+    assert ref.output == [600]
+    assert ref.misspeculations == 2
+    for engine in ("legacy", "compiled"):
+        sim = Machine(
+            module=module, linked=linked, engine=engine, step_limit=10_000
+        ).run()
+        assert_sims_identical(
+            sim, ref, f"seed={seed} pads=({pad_entry},{pad_handler})/{engine}"
+        )

@@ -1,10 +1,19 @@
-"""Differential tests: predecoded fast path vs the legacy Machine loop.
+"""Engine-matrix differential tests: every engine vs the fast-path reference.
 
-The fast path (:mod:`repro.arch.predecode`) must be *bit-identical* to the
-legacy instruction-at-a-time interpreter — same output stream, same cycle
-and instruction counts, same per-width register-file traffic, same cache
-and misspeculation events.  Any divergence silently corrupts every energy
-figure, so equality is checked field-by-field, not just on the totals.
+The Machine has three engines — the legacy instruction-at-a-time
+interpreter, the predecoded fast path (:mod:`repro.arch.predecode`) and
+the compiled template JIT (:mod:`repro.arch.compiled`) — that must be
+*bit-identical*: same output stream, same cycle and instruction counts,
+same per-width register-file traffic, same cache and misspeculation
+events.  Any divergence silently corrupts every energy figure, so
+equality is checked field-by-field, not just on the totals.
+
+Each test here takes the ``engine`` fixture (see conftest), so the matrix
+is (engine × corpus program × config) and (engine × workload × config);
+``pytest --engines compiled`` narrows it when bisecting.  The reference
+runs are computed once per cell and memoized for the session — the deep
+cross-engine matrix over the full corpus lives in
+``tests/test_engine_equivalence.py``.
 """
 
 import dataclasses
@@ -34,41 +43,35 @@ CONFIGS = (
 )
 
 
-def assert_sims_identical(fast: SimResult, legacy: SimResult, label: str) -> None:
+def assert_sims_identical(sim: SimResult, ref: SimResult, label: str) -> None:
     """Field-by-field SimResult equality (counters and class mix included)."""
     for f in dataclasses.fields(SimResult):
-        if f.name in ("counters", "memory"):
+        if f.name in ("counters", "memory", "obs"):
             continue
-        assert getattr(fast, f.name) == getattr(legacy, f.name), (
+        assert getattr(sim, f.name) == getattr(ref, f.name), (
             f"{label}: SimResult.{f.name} differs: "
-            f"fast={getattr(fast, f.name)!r} legacy={getattr(legacy, f.name)!r}"
+            f"sim={getattr(sim, f.name)!r} ref={getattr(ref, f.name)!r}"
         )
     for f in dataclasses.fields(EnergyCounters):
-        assert getattr(fast.counters, f.name) == getattr(legacy.counters, f.name), (
+        assert getattr(sim.counters, f.name) == getattr(ref.counters, f.name), (
             f"{label}: counters.{f.name} differs: "
-            f"fast={getattr(fast.counters, f.name)!r} "
-            f"legacy={getattr(legacy.counters, f.name)!r}"
+            f"sim={getattr(sim.counters, f.name)!r} "
+            f"ref={getattr(ref.counters, f.name)!r}"
         )
-    assert (fast.memory is None) == (legacy.memory is None), label
-    if fast.memory is not None:
-        assert fast.memory.data == legacy.memory.data, (
+    assert (sim.memory is None) == (ref.memory is None), label
+    if sim.memory is not None:
+        assert sim.memory.data == ref.memory.data, (
             f"{label}: final memory images differ"
         )
     # ... and therefore the energy model sees identical inputs
-    assert fast.energy().as_dict() == legacy.energy().as_dict(), label
+    assert sim.energy().as_dict() == ref.energy().as_dict(), label
 
 
-def _run_both(binary, inputs) -> tuple:
-    if inputs:
-        set_global_inputs(binary.module, inputs)
-    legacy = Machine(binary.linked, binary.module, fast=False).run()
-    fast = Machine(binary.linked, binary.module, fast=True).run()
-    return fast, legacy
+#: per-cell fast-path reference runs, computed once for the whole matrix
+_REFERENCE: dict = {}
 
 
-@pytest.mark.parametrize("name", CORPUS_PROGRAMS)
-@pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.name)
-def test_corpus_program_fast_path_identical(name, config):
+def _corpus_binary(name, config):
     program = load_program(CORPUS_DIR / f"{name}.json")
     expander = (
         ExpanderConfig() if program.expander_enabled else ExpanderConfig.disabled()
@@ -77,25 +80,52 @@ def test_corpus_program_fast_path_identical(name, config):
     binary = compile_binary(
         program.source, config, profile_inputs=program.inputs_profile
     )
-    fast, legacy = _run_both(binary, program.inputs_run)
-    assert_sims_identical(fast, legacy, f"{name}/{config.name}")
+    return binary, program.inputs_run
+
+
+def _reference(key, binary, inputs) -> SimResult:
+    ref = _REFERENCE.get(key)
+    if ref is None:
+        if inputs:
+            set_global_inputs(binary.module, inputs)
+        ref = Machine(binary.linked, binary.module, engine="fast").run()
+        _REFERENCE[key] = ref
+    return ref
+
+
+@pytest.mark.parametrize("name", CORPUS_PROGRAMS)
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.name)
+def test_corpus_program_engines_identical(engine, name, config):
+    binary, inputs = _corpus_binary(name, config)
+    ref = _reference(("corpus", name, config.name), binary, inputs)
+    if inputs:
+        set_global_inputs(binary.module, inputs)
+    sim = Machine(binary.linked, binary.module, engine=engine).run()
+    assert_sims_identical(sim, ref, f"{name}/{config.name}/{engine}")
 
 
 @pytest.mark.parametrize("workload_name", WORKLOADS)
 @pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.name)
-def test_workload_fast_path_identical(workload_name, config):
+def test_workload_engines_identical(engine, workload_name, config):
+    if engine == "legacy" and workload_name != "crc32":
+        pytest.skip("legacy workload runs are slow; one workload pins the path")
     binary = get_binary(workload_name, config)
     inputs = get_workload(workload_name).inputs("test", 0)
-    fast, legacy = _run_both(binary, inputs)
-    assert_sims_identical(fast, legacy, f"{workload_name}/{config.name}")
-    assert fast.instructions > 0
+    ref = _reference(("workload", workload_name, config.name), binary, inputs)
+    if inputs:
+        set_global_inputs(binary.module, inputs)
+    sim = Machine(binary.linked, binary.module, engine=engine).run()
+    assert_sims_identical(sim, ref, f"{workload_name}/{config.name}/{engine}")
+    assert sim.instructions > 0
 
 
 def test_fast_path_is_the_default_without_trace_hook(monkeypatch):
     monkeypatch.delenv("REPRO_MACHINE_LEGACY", raising=False)
+    monkeypatch.delenv("REPRO_MACHINE_ENGINE", raising=False)
     binary = get_binary("crc32", CompilerConfig.baseline())
     machine = Machine(binary.linked, binary.module)
     assert machine.fast is None  # auto: resolved at run() time
+    assert machine.resolve_engine() == "fast"
     # an explicit fast=True with a trace hook must be rejected, not ignored
     traced = Machine(
         binary.linked, binary.module, trace_hook=lambda pc, regs: None, fast=True
@@ -114,3 +144,31 @@ def test_legacy_env_escape_hatch(monkeypatch):
     monkeypatch.delenv("REPRO_MACHINE_LEGACY")
     fast = Machine(binary.linked, binary.module).run()
     assert_sims_identical(fast, legacy, "bitcount/env-escape")
+
+
+def test_engine_env_var_selects_compiled(monkeypatch):
+    """REPRO_MACHINE_ENGINE picks an engine when nothing explicit does."""
+    binary = get_binary("crc32", CompilerConfig.bitspec("max"))
+    inputs = get_workload("crc32").inputs("test", 0)
+    set_global_inputs(binary.module, inputs)
+    monkeypatch.setenv("REPRO_MACHINE_ENGINE", "compiled")
+    machine = Machine(binary.linked, binary.module)
+    assert machine.resolve_engine() == "compiled"
+    compiled = machine.run()
+    monkeypatch.delenv("REPRO_MACHINE_ENGINE")
+    fast = Machine(binary.linked, binary.module, engine="fast").run()
+    assert_sims_identical(compiled, fast, "crc32/env-engine")
+    # explicit arguments beat the environment
+    monkeypatch.setenv("REPRO_MACHINE_ENGINE", "legacy")
+    assert Machine(
+        binary.linked, binary.module, engine="compiled"
+    ).resolve_engine() == "compiled"
+
+
+def test_engine_env_var_rejects_unknown(monkeypatch):
+    binary = get_binary("crc32", CompilerConfig.baseline())
+    monkeypatch.setenv("REPRO_MACHINE_ENGINE", "warp")
+    with pytest.raises(ValueError):
+        Machine(binary.linked, binary.module).resolve_engine()
+    with pytest.raises(ValueError):
+        Machine(binary.linked, binary.module, engine="warp")
