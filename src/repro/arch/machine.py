@@ -98,6 +98,29 @@ class SimResult:
 ENGINES = ("legacy", "fast", "compiled")
 
 
+def parse_engine_list(spec: str) -> tuple:
+    """Parse a comma-separated engine selection (``"fast,compiled"``).
+
+    The shared validator behind every engine-list surface (the pytest
+    ``--engines`` option, CLI flags): unknown names and empty selections
+    fail loudly with the valid set spelled out, instead of silently
+    selecting nothing.
+    """
+    engines = tuple(e.strip() for e in spec.split(",") if e.strip())
+    if not engines:
+        raise ValueError(
+            f"empty engine selection {spec!r}: expected a comma-separated "
+            f"subset of {ENGINES}"
+        )
+    unknown = [e for e in engines if e not in ENGINES]
+    if unknown:
+        raise ValueError(
+            f"unknown engines {unknown}: expected a comma-separated "
+            f"subset of {ENGINES}"
+        )
+    return engines
+
+
 class Machine:
     """Executes a :class:`LinkedProgram`.
 

@@ -115,6 +115,7 @@ class FunctionISel:
         #: still occupy one byte cell
         self.slice_bytes = max(1, (slice_width + 7) // 8)
         self.mfunc = MachineFunction(func.name)
+        self.mfunc.signature = _function_signature(func)
         self.vmap: dict[Value, object] = {}
         self.bmap: dict[BasicBlock, MachineBlock] = {}
         self.fused_cmps: set[Icmp] = set()
@@ -725,6 +726,25 @@ def remove_dead_machine_code(mfunc: MachineFunction) -> int:
                 kept.append(inst)
             block.insts = kept
     return removed
+
+
+def _function_signature(func: Function) -> dict:
+    """Source-level signature metadata for link-time debug info.
+
+    :mod:`repro.verify` uses this to delimit per-function entry state (one
+    ``(name, bits, pointer)`` triple per formal parameter) and to mask the
+    exit-state comparison to the declared return width.
+    """
+    params = []
+    for arg in func.args:
+        if isinstance(arg.type, PointerType):
+            params.append((arg.name, 32, True))
+        else:
+            params.append((arg.name, arg.type.bits, False))
+    ret = None
+    if isinstance(func.ret_type, IntType):
+        ret = func.ret_type.bits
+    return {"params": tuple(params), "return_bits": ret}
 
 
 def select_module(

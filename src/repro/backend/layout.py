@@ -52,6 +52,15 @@ class DebugInfo:
     * ``region[pc]`` — speculative-region id or ``None``;
     * ``handler_of`` — pc of a speculative instruction → entry pc of its
       misspeculation handler (what ``pc + Δ``'s skeleton branch targets).
+
+    Function-granular metadata (consumed by :mod:`repro.verify` to delimit
+    per-function entry/exit state):
+
+    * ``func_signature[name]`` — ``{"params": ((pname, bits, is_pointer),
+      ...), "return_bits": int | None}``, captured from the IR signature at
+      instruction selection;
+    * ``func_range[name]`` — half-open ``(start_pc, end_pc)`` span of the
+      function's instructions in the linked image (excluding the skeleton).
     """
 
     var: list = field(default_factory=list)
@@ -59,6 +68,8 @@ class DebugInfo:
     world: list = field(default_factory=list)
     region: list = field(default_factory=list)
     handler_of: dict = field(default_factory=dict)
+    func_signature: dict = field(default_factory=dict)
+    func_range: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -198,6 +209,7 @@ def link_program(
         debug = DebugInfo()
         for func in ordered_functions:
             blocks = _order_blocks(func)
+            func_start = len(flat)
             for b_pos, block in enumerate(blocks):
                 block_index[id(block)] = len(flat)
                 world = "handler" if block.is_handler else (block.world or "")
@@ -219,6 +231,10 @@ def link_program(
             linked.function_entries[func.name] = block_index[
                 id(blocks[0])
             ]
+            debug.func_range[func.name] = (func_start, len(flat))
+            signature = getattr(func, "signature", None)
+            if signature is not None:
+                debug.func_signature[func.name] = signature
         if _round == 0:
             # mark fallthrough candidates by checking adjacency in round 1
             pass

@@ -22,7 +22,10 @@ from repro.arch.widths import DEFAULT_SLICE_WIDTH, validate_slice_width
 from repro.backend.isel import select_module
 from repro.backend.layout import LinkedProgram, link_program
 from repro.backend.regalloc import AllocationStats, RegisterAllocator
-from repro.faults.toolchain import maybe_fail as _maybe_inject_fault
+from repro.faults.toolchain import (
+    maybe_bend_linked as _maybe_bend_linked,
+    maybe_fail as _maybe_inject_fault,
+)
 from repro.frontend.ast_nodes import Program
 from repro.interp.interpreter import Interpreter, RunResult
 from repro.ir.cfg import remove_unreachable_blocks
@@ -216,6 +219,9 @@ class CompiledBinary:
     code_size: int = 0
     #: graceful-degradation events (empty on a clean compile)
     diagnostics: list = field(default_factory=list)
+    #: silent-miscompile injections applied to the linked image (testing
+    #: only — see ``repro.faults.toolchain.bend_compiler``)
+    toolchain_bends: list = field(default_factory=list)
 
     def run(
         self,
@@ -489,4 +495,7 @@ def _compile_binary(
     linked.fallback_functions = fallback_set
     binary.linked = linked
     binary.code_size = linked.code_size
+    # Testing hook: an armed bend_compiler() context silently miscompiles
+    # the image — the soundness canary for repro.verify.
+    binary.toolchain_bends = _maybe_bend_linked(linked)
     return binary

@@ -1,0 +1,121 @@
+"""Bounded bitvector valuation domain for the symbolic executor.
+
+On the bounded domains of ISSUE/ROADMAP item 4 — every scalar input
+ranging over its ``k``-bit pattern set — a bitvector function *is* its
+table of values.  A symbolic machine word is therefore represented
+extensionally: either a plain ``int`` (the value is the same in every
+lane) or a :class:`Vec` holding one concrete word per *lane*, where a
+lane is one joint input assignment.  This is the dense-domain analogue of
+the decision-diagram encodings used by machine-code BMC (the CFLOBDD
+RISC-V work in PAPERS.md): every operator is evaluated pointwise with the
+machine's own width/mask/sign-extension semantics — shared with the
+concrete engines through :mod:`repro.arch.widths` — so there is no
+abstraction gap to close, and a disequality concretizes a counterexample
+by direct lane lookup.
+
+Values collapse back to ``int`` whenever all lanes agree, which keeps the
+common case (loop counters, addresses, constants) scalar-fast: only the
+genuinely input-dependent dataflow pays per-lane cost.
+"""
+
+from __future__ import annotations
+
+from repro.arch.widths import sign_extend as _sign_extend
+
+
+class Vec:
+    """A per-lane valuation of one machine word (aligned to a state's lanes)."""
+
+    __slots__ = ("vals",)
+
+    def __init__(self, vals: tuple) -> None:
+        self.vals = vals
+
+    def __len__(self) -> int:
+        return len(self.vals)
+
+    def __repr__(self) -> str:
+        preview = ", ".join(str(v) for v in self.vals[:6])
+        if len(self.vals) > 6:
+            preview += ", …"
+        return f"Vec[{len(self.vals)}]({preview})"
+
+
+def make(vals) -> object:
+    """A :class:`Vec` over ``vals``, collapsed to ``int`` when uniform."""
+    vals = tuple(vals)
+    first = vals[0]
+    for v in vals:
+        if v != first:
+            return Vec(vals)
+    return first
+
+
+def is_sym(value) -> bool:
+    """True when ``value`` differs across lanes."""
+    return type(value) is Vec
+
+
+def expand(value, n: int) -> tuple:
+    """The per-lane tuple view of ``value`` over ``n`` lanes."""
+    if type(value) is Vec:
+        return value.vals
+    return (value,) * n
+
+
+def lane(value, i: int):
+    """The concrete word ``value`` takes in lane ``i``."""
+    if type(value) is Vec:
+        return value.vals[i]
+    return value
+
+
+def restrict(value, positions: list):
+    """``value`` re-aligned to the lane subset ``positions`` (a fork edge)."""
+    if type(value) is Vec:
+        vals = value.vals
+        return make(vals[p] for p in positions)
+    return value
+
+
+def map1(f, a, n: int):
+    """Apply a unary concrete op pointwise; scalar stays scalar."""
+    if type(a) is Vec:
+        return make(f(v) for v in a.vals)
+    return f(a)
+
+
+def map2(f, a, b, n: int):
+    """Apply a binary concrete op pointwise; scalar×scalar stays scalar."""
+    a_sym = type(a) is Vec
+    b_sym = type(b) is Vec
+    if not a_sym and not b_sym:
+        return f(a, b)
+    if a_sym and b_sym:
+        return make(f(x, y) for x, y in zip(a.vals, b.vals))
+    if a_sym:
+        return make(f(x, b) for x in a.vals)
+    return make(f(a, y) for y in b.vals)
+
+
+def map3(f, a, b, c, n: int):
+    """Apply a ternary concrete op pointwise (``movcond`` lane select)."""
+    if type(a) is not Vec and type(b) is not Vec and type(c) is not Vec:
+        return f(a, b, c)
+    return make(
+        f(x, y, z)
+        for x, y, z in zip(expand(a, n), expand(b, n), expand(c, n))
+    )
+
+
+def partition(pred_vals: tuple) -> tuple:
+    """Split lane positions by a boolean valuation: (true_pos, false_pos)."""
+    true_pos, false_pos = [], []
+    for i, p in enumerate(pred_vals):
+        (true_pos if p else false_pos).append(i)
+    return true_pos, false_pos
+
+
+def sxt(value, src_bits: int, n: int):
+    """Pointwise architectural sign extension (mirrors the ``sxt`` op)."""
+    return map1(lambda v: _sign_extend(v, src_bits, 32), value, n)

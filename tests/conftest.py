@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.arch.machine import ENGINES
+from repro.arch.machine import ENGINES, parse_engine_list
 from repro.core import CompilerConfig, compile_binary, set_global_inputs
 from repro.frontend import compile_source
 from repro.interp import Interpreter
@@ -20,6 +20,16 @@ def pytest_addoption(parser):
     )
 
 
+def pytest_configure(config):
+    """Validate ``--engines`` up front, whether or not any engine-matrix
+    test is collected — an unknown or empty selection must abort the run,
+    never silently deselect the whole matrix."""
+    try:
+        parse_engine_list(config.getoption("--engines"))
+    except ValueError as exc:
+        raise pytest.UsageError(f"--engines: {exc}")
+
+
 def pytest_generate_tests(metafunc):
     """Any test taking an ``engine`` fixture runs once per selected engine.
 
@@ -28,14 +38,8 @@ def pytest_generate_tests(metafunc):
     ``pytest --engines compiled tests/test_machine_predecode.py``.
     """
     if "engine" in metafunc.fixturenames:
-        option = metafunc.config.getoption("--engines")
-        engines = [e.strip() for e in option.split(",") if e.strip()]
-        unknown = [e for e in engines if e not in ENGINES]
-        if unknown:
-            raise pytest.UsageError(
-                f"--engines: unknown engines {unknown}; expected {ENGINES}"
-            )
-        metafunc.parametrize("engine", engines)
+        engines = parse_engine_list(metafunc.config.getoption("--engines"))
+        metafunc.parametrize("engine", list(engines))
 
 
 def run_source(source: str, inputs: dict = None, entry: str = "main"):

@@ -1,0 +1,63 @@
+"""Negative paths of the engine-selection surfaces.
+
+``parse_engine_list`` is the shared validator behind the pytest
+``--engines`` option: a typo'd or empty selection must abort loudly (a
+silently-deselected engine matrix would pass CI while testing nothing).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.arch.machine import ENGINES, parse_engine_list
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def test_parses_full_and_partial_selections():
+    assert parse_engine_list(",".join(ENGINES)) == tuple(ENGINES)
+    assert parse_engine_list(ENGINES[0]) == (ENGINES[0],)
+    # whitespace and trailing commas are tolerated
+    assert parse_engine_list(f" {ENGINES[0]} , {ENGINES[-1]},") == (
+        ENGINES[0],
+        ENGINES[-1],
+    )
+
+
+def test_unknown_engine_raises_with_valid_set():
+    with pytest.raises(ValueError, match="unknown engines"):
+        parse_engine_list("warp")
+    with pytest.raises(ValueError, match=str(ENGINES[0])):
+        parse_engine_list(f"{ENGINES[0]},warp")
+
+
+@pytest.mark.parametrize("spec", ["", "   ", ",", " , ,"])
+def test_empty_selection_raises(spec):
+    with pytest.raises(ValueError, match="empty engine selection"):
+        parse_engine_list(spec)
+
+
+def test_pytest_engines_option_rejects_unknown_engine_up_front():
+    """``pytest --engines warp`` must die with a UsageError during
+    configure — before collection — not silently run zero matrix tests."""
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            "--engines",
+            "warp",
+            "--co",
+            "-q",
+            "tests/test_engine_selection.py",
+        ],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    # pytest exits with EXIT_USAGEERROR (4) on UsageError
+    assert proc.returncode == 4, proc.stdout + proc.stderr
+    assert "unknown engines" in proc.stderr

@@ -1,0 +1,313 @@
+"""Bounded symbolic equivalence checker (:mod:`repro.verify`).
+
+Covers the three verdict families (proved / counterexample /
+bound-exceeded), the misspeculation-handler traversal of the symbolic
+executor, driver synthesis for helper functions, the seeded
+broken-compiler soundness canaries, counterexample feedback into the
+fuzz corpus, and the determinism contract of the CLI report.
+"""
+
+import json
+
+import pytest
+
+from repro.faults.toolchain import BEND_KINDS, bend_compiler
+from repro.fuzz.corpus import program_from_dict, save_program
+from repro.fuzz.generator import FuzzProgram
+from repro.fuzz.oracles import run_oracles
+from repro.verify import (
+    CANARIES,
+    list_targets,
+    run_canary,
+    verify_function,
+)
+from repro.verify.__main__ import main as verify_main
+
+SQUEEZED_LOOP = """
+u32 x;
+void main()
+{
+    u32 t = 0;
+    u32 i = 0;
+    while (i < 8)
+    {
+        t = t + x;
+        i = i + 1;
+    }
+    out(t);
+}
+"""
+
+HELPER_SUM = """
+u32 acc;
+u8 table[8];
+u32 n;
+u32 sum(u8 *t, u32 count)
+{
+    u32 s = 0;
+    u32 i = 0;
+    while (i < count)
+    {
+        s = s + t[i];
+        i = i + 1;
+    }
+    return s;
+}
+void main()
+{
+    acc = sum(table, n);
+    out(acc);
+}
+"""
+
+SUM_INPUTS = {"table": [7, 3, 250, 1, 0, 9, 200, 5], "n": 8}
+
+
+# -- proved verdicts -------------------------------------------------------
+
+
+def test_proves_squeezed_loop_through_misspec_handlers():
+    verdict = verify_function(
+        SQUEEZED_LOOP,
+        inputs_profile={"x": 3},
+        inputs_run={"x": 0},
+        k=8,
+    )
+    assert verdict["verdict"] == "proved"
+    assert verdict["lanes"] == 256
+    assert verdict["inputs"] == ["x"]
+    assert verdict["bends"] == []
+    # the proof is not vacuous: the bitspec world forked through the
+    # Δ-redirect handler on the lanes where 8*x overflows the slice
+    stats = verdict["stats"]["bitspec"]
+    assert stats["misspec_lanes"] > 0
+    assert stats["paths"] > 1
+    assert verdict["stats"]["baseline"]["paths"] >= 1
+
+
+def test_proves_signed_narrow_input():
+    source = (
+        "s8 x;\n"
+        "void main()\n"
+        "{\n"
+        "    s32 w = (s32)x;\n"
+        "    out((u32)(w + 1000));\n"
+        "}\n"
+    )
+    verdict = verify_function(
+        source, inputs_profile={"x": -3}, inputs_run={"x": 0}, k=8
+    )
+    assert verdict["verdict"] == "proved"
+    # signed 8-bit domain is exactly the 256 two's-complement patterns
+    assert verdict["lanes"] == 256
+
+
+def test_driver_verifies_helper_with_pointer_and_scalar_params():
+    verdict = verify_function(
+        HELPER_SUM,
+        "sum",
+        inputs_profile=SUM_INPUTS,
+        inputs_run=SUM_INPUTS,
+        k=4,
+    )
+    assert verdict["verdict"] == "proved"
+    # the pointer param binds to the table global; only the scalar
+    # ``count`` becomes a symbolic input
+    assert verdict["inputs"] == ["__vfy_count"]
+    assert verdict["lanes"] == 16
+
+
+def test_list_targets_orders_helpers_before_main():
+    assert list_targets(HELPER_SUM) == ["sum", "main"]
+
+
+def test_unknown_function_raises():
+    with pytest.raises(ValueError, match="no such function"):
+        verify_function(SQUEEZED_LOOP, "nope", inputs_run={"x": 0})
+
+
+# -- bounds ----------------------------------------------------------------
+
+
+def test_lane_bound_exceeded_is_reported_not_run():
+    verdict = verify_function(
+        SQUEEZED_LOOP,
+        inputs_profile={"x": 3},
+        inputs_run={"x": 0},
+        k=8,
+        max_lanes=100,
+    )
+    assert verdict["verdict"] == "bound-exceeded"
+    assert "max-lanes" in verdict["reason"]
+    assert verdict["lanes"] == 256
+    assert verdict["stats"] == {}
+
+
+def test_step_budget_exceeded_is_reported():
+    verdict = verify_function(
+        SQUEEZED_LOOP,
+        inputs_profile={"x": 3},
+        inputs_run={"x": 0},
+        k=8,
+        step_budget=50,
+    )
+    assert verdict["verdict"] == "bound-exceeded"
+    assert "step budget" in verdict["reason"]
+
+
+def test_no_symbolic_inputs_is_skipped():
+    source = "void main() { out(42); }\n"
+    verdict = verify_function(source, inputs_run={})
+    assert verdict["verdict"] == "skipped"
+    assert "no scalar inputs" in verdict["reason"]
+
+
+def test_region_cap_skips():
+    verdict = verify_function(
+        SQUEEZED_LOOP,
+        inputs_profile={"x": 3},
+        inputs_run={"x": 0},
+        k=4,
+        max_regions=-1,  # any nonzero cap below the real region count
+    )
+    # the loop squeezes into at least one region, so a cap of -1 skips
+    assert verdict["verdict"] == "skipped"
+    assert "regions exceed cap" in verdict["reason"]
+
+
+# -- soundness canaries ----------------------------------------------------
+
+
+@pytest.mark.parametrize("canary", CANARIES, ids=lambda c: c["name"])
+def test_canary_bend_is_caught(canary):
+    """Every seeded silent miscompile must yield a confirmed concrete
+    counterexample — the verifier is allowed to say "proved" on a broken
+    compiler exactly never."""
+    verdict = run_canary(canary)
+    assert verdict["bends"], "bend did not apply — canary is vacuous"
+    assert verdict["verdict"] == "counterexample"
+    assert verdict["caught"] is True
+    cex = verdict["counterexample"]
+    confirmation = cex["confirmation"]
+    assert confirmation["diverged"] is True
+    assert confirmation["engines"]["bitspec"]["unanimous"]
+    assert confirmation["engines"]["baseline"]["unanimous"]
+    # the concretized inputs are inside the bounded domain
+    assert set(cex["inputs"]) == set(verdict["inputs"])
+
+
+def test_canaries_cover_every_bend_kind():
+    assert sorted(c["kind"] for c in CANARIES) == sorted(BEND_KINDS)
+
+
+@pytest.mark.parametrize("canary", CANARIES, ids=lambda c: c["name"])
+def test_canary_source_proves_without_the_bend(canary):
+    """The counterexamples are bend-caused, not checker noise: the same
+    program under the honest compiler verifies clean."""
+    verdict = verify_function(
+        canary["source"],
+        k=canary["k"],
+        inputs_profile=canary["inputs_profile"],
+        inputs_run=canary["inputs_run"],
+    )
+    assert verdict["verdict"] == "proved"
+    assert verdict["bends"] == []
+
+
+def test_counterexample_replays_through_oracle_stack():
+    """The emitted corpus entry is a valid fuzz artifact: it loads, runs
+    through every oracle level under the honest compiler, and produces
+    output (the replay contract of tests/corpus/verify-*.json)."""
+    verdict = run_canary(CANARIES[0])
+    program = program_from_dict(dict(verdict["program"], format=1, name=""))
+    assert program.source == verdict["program"]["source"]
+    report = run_oracles(program)
+    assert report.ok, report.summary()
+    assert report.outputs["ref"]
+
+
+# -- corpus smoke ----------------------------------------------------------
+
+
+def test_corpus_entry_verifies_at_small_k():
+    from repro.fuzz.corpus import load_program
+
+    entry = load_program("tests/corpus/seed003.json")
+    for function in list_targets(entry.source):
+        verdict = verify_function(
+            entry.source,
+            function,
+            k=4,
+            inputs_profile=entry.inputs_profile,
+            inputs_run=entry.inputs_run,
+            expander_enabled=entry.expander_enabled,
+        )
+        assert verdict["verdict"] in ("proved", "bound-exceeded", "skipped")
+
+
+# -- CLI -------------------------------------------------------------------
+
+
+def _write_entry(directory, name, source, profile, run):
+    program = FuzzProgram(
+        source=source,
+        inputs_profile=profile,
+        inputs_run=run,
+        seed=None,
+        expander_enabled=True,
+        note="test entry",
+    )
+    return save_program(program, directory / f"{name}.json")
+
+
+def test_cli_report_is_byte_identical_across_runs(tmp_path):
+    corpus = tmp_path / "corpus"
+    _write_entry(corpus, "loop", SQUEEZED_LOOP, {"x": 3}, {"x": 0})
+    out1, out2 = tmp_path / "r1.json", tmp_path / "r2.json"
+    args = ["--corpus", str(corpus), "--k", "4", "--quiet"]
+    assert verify_main(args + ["--json", str(out1)]) == 0
+    assert verify_main(args + ["--json", str(out2)]) == 0
+    assert out1.read_bytes() == out2.read_bytes()
+    report = json.loads(out1.read_text())
+    assert report["summary"]["proved"] == 1
+    assert report["results"][0]["name"] == "loop:main"
+
+
+def test_cli_exits_nonzero_and_emits_corpus_on_counterexample(tmp_path):
+    corpus = tmp_path / "corpus"
+    emit = tmp_path / "emitted"
+    canary = CANARIES[0]
+    _write_entry(
+        corpus,
+        "bent",
+        canary["source"],
+        canary["inputs_profile"],
+        canary["inputs_run"],
+    )
+    args = [
+        "--corpus", str(corpus), "--quiet",
+        "--json", str(tmp_path / "r.json"),
+        "--emit-corpus", str(emit),
+    ]
+    with bend_compiler(canary["kind"], seed=canary["seed"]):
+        assert verify_main(args) == 1
+    report = json.loads((tmp_path / "r.json").read_text())
+    assert report["summary"]["counterexample"] == 1
+    emitted = sorted(emit.glob("verify-*.json"))
+    assert len(emitted) == 1
+    replay = program_from_dict(json.loads(emitted[0].read_text()))
+    assert replay.source == canary["source"]
+    # and the honest-compiler rerun of the same corpus proves clean
+    assert verify_main(args[:5]) == 0
+
+
+def test_cli_canary_mode_exits_zero_when_all_caught(tmp_path):
+    out = tmp_path / "canary.json"
+    assert verify_main(["--canary", "--quiet", "--json", str(out)]) == 0
+    report = json.loads(out.read_text())
+    assert report["all_canaries_caught"] is True
+    assert report["summary"]["counterexample"] == len(CANARIES)
+
+
+def test_cli_rejects_empty_corpus(tmp_path):
+    assert verify_main(["--corpus", str(tmp_path / "nothing")]) == 2
