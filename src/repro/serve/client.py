@@ -1,0 +1,125 @@
+"""Minimal asyncio HTTP/1.1 client for the serve API (stdlib only).
+
+Just enough protocol for this repo's server and tests: one request per
+connection (the server sends ``Connection: close``), JSON bodies,
+response returned as ``(status, headers, body_bytes)``.  The raw body
+bytes are first-class because the whole point of the service is a
+byte-identity contract — parsing to a dict and re-serializing would hide
+exactly the class of bug the load test exists to catch.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class Response:
+    """One HTTP exchange, body kept as raw bytes."""
+
+    status: int
+    headers: dict
+    body: bytes
+
+    def json(self):
+        return json.loads(self.body.decode())
+
+
+async def http_request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    doc=None,
+    *,
+    timeout: float = 300.0,
+) -> Response:
+    """One request/response round trip on a fresh connection."""
+    payload = b""
+    if doc is not None:
+        payload = json.dumps(doc, sort_keys=True).encode()
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {host}:{port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + payload)
+        await writer.drain()
+
+        async def _read():
+            status_line = (await reader.readline()).decode("latin-1")
+            parts = status_line.split(None, 2)
+            if len(parts) < 2 or not parts[1].isdigit():
+                raise ConnectionError(f"malformed status line: {status_line!r}")
+            status = int(parts[1])
+            headers: dict = {}
+            while True:
+                line = (await reader.readline()).decode("latin-1")
+                if line in ("\r\n", "\n", ""):
+                    break
+                name, _, value = line.partition(":")
+                headers[name.strip().lower()] = value.strip()
+            length = headers.get("content-length")
+            if length is not None:
+                body = await reader.readexactly(int(length))
+            else:
+                body = await reader.read()
+            return Response(status=status, headers=headers, body=body)
+
+        return await asyncio.wait_for(_read(), timeout)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except Exception:
+            pass
+
+
+async def submit_report(
+    host: str, port: int, doc: dict, *, timeout: float = 300.0
+) -> Response:
+    """POST a request document to ``/v1/reports``."""
+    return await http_request(
+        host, port, "POST", "/v1/reports", doc, timeout=timeout
+    )
+
+
+async def get_stats(host: str, port: int) -> dict:
+    return (await http_request(host, port, "GET", "/v1/stats")).json()
+
+
+def request_sync(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    doc=None,
+    *,
+    timeout: float = 300.0,
+) -> Response:
+    """Blocking convenience wrapper for CLI one-shots."""
+    return asyncio.run(
+        http_request(host, port, method, path, doc, timeout=timeout)
+    )
+
+
+def parse_url(url: str) -> tuple:
+    """``http://host:port`` → ``(host, port)``; scheme optional."""
+    from urllib.parse import urlsplit
+
+    if "//" not in url:
+        url = "http://" + url
+    parts = urlsplit(url)
+    if parts.scheme not in ("http", ""):
+        raise ValueError(f"only http:// URLs are supported, got {url!r}")
+    host: Optional[str] = parts.hostname
+    if not host:
+        raise ValueError(f"no host in {url!r}")
+    return host, parts.port or 80

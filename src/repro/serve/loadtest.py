@@ -1,0 +1,204 @@
+"""Fuzz-driven load testing and the zero-nondeterminism gate.
+
+The traffic source is PR 1's seeded MiniC generator
+(:func:`repro.fuzz.generator.generate_program`): hundreds of distinct,
+terminating, trap-free programs with profile/run input pairs — exactly
+the corpus shape that makes compiled speculation really misspeculate.
+Three phases, each a gate the CI ``serve-smoke`` job enforces:
+
+1. **cold** — every program is submitted once over ``concurrency``
+   connections; every response must be a 200 report.
+2. **warm replay** — the identical requests again; every body must be
+   **byte-identical** to its cold twin (the determinism contract), and
+   none may re-execute (cache hits or coalesced joins only).
+3. **coalescing burst** — ``duplicates`` identical submissions of one
+   *fresh* program, all in flight together; the server's ``executed``
+   counter must rise by exactly 1 and all bodies must be identical.
+
+The emitted ``SERVE_<date>.json`` document carries a ``body_digest`` — a
+SHA-256 over every cold response body in request order — so two runs of
+the same scenario against the same code can be diffed with one string
+compare, byte-for-byte, without shipping the bodies around.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import time
+
+from repro.fuzz.generator import generate_program
+from repro.serve.client import get_stats, submit_report
+
+#: config presets cycled over the traffic, so one load test exercises
+#: BASELINE, all three BITSPEC heuristics and the THUMB backend
+TRAFFIC_PRESETS = (
+    "bitspec-max",
+    "baseline",
+    "bitspec-avg",
+    "thumb",
+    "bitspec-min",
+)
+
+
+def build_traffic(
+    programs: int,
+    seed: int = 0,
+    *,
+    tenants: int = 4,
+    pareto: bool = False,
+) -> list:
+    """The deterministic request list for (``programs``, ``seed``)."""
+    docs = []
+    for i in range(programs):
+        prog = generate_program(seed + i)
+        docs.append(
+            {
+                "tenant": f"load-{i % tenants}",
+                "source": prog.source,
+                "config": {"preset": TRAFFIC_PRESETS[i % len(TRAFFIC_PRESETS)]},
+                "inputs": {
+                    "profile": prog.inputs_profile,
+                    "run": prog.inputs_run,
+                },
+                "report": {
+                    "attribution": i % 2 == 0,
+                    "pareto": pareto and i % 10 == 0,
+                },
+            }
+        )
+    return docs
+
+
+async def _submit_all(host, port, docs, concurrency, progress=None):
+    """Submit every doc with bounded concurrency; keeps request order."""
+    semaphore = asyncio.Semaphore(concurrency)
+    results = [None] * len(docs)
+
+    async def _one(index, doc):
+        async with semaphore:
+            response = await submit_report(host, port, doc)
+        results[index] = response
+        if progress is not None:
+            progress(index, response)
+
+    await asyncio.gather(*(_one(i, d) for i, d in enumerate(docs)))
+    return results
+
+
+async def run_load_test(
+    host: str,
+    port: int,
+    *,
+    programs: int = 200,
+    seed: int = 0,
+    concurrency: int = 16,
+    duplicates: int = 16,
+    pareto: bool = False,
+    progress=None,
+) -> dict:
+    """Drive a running server through the three phases; returns the report.
+
+    The returned document's ``ok`` field is the overall verdict; the CLI
+    turns it into the exit code.
+    """
+    docs = build_traffic(programs, seed, pareto=pareto)
+    report: dict = {
+        "schema": 1,
+        "programs": programs,
+        "seed": seed,
+        "concurrency": concurrency,
+        "duplicates": duplicates,
+        "presets": list(TRAFFIC_PRESETS),
+        "failures": [],
+    }
+
+    def _note(phase, index, response):
+        if progress is not None:
+            progress(phase, index, response)
+
+    # -- phase 1: cold ---------------------------------------------------------
+    started = time.perf_counter()
+    cold = await _submit_all(
+        host, port, docs, concurrency, progress=lambda i, r: _note("cold", i, r)
+    )
+    cold_seconds = time.perf_counter() - started
+    cold_failures = [
+        {"phase": "cold", "index": i, "status": r.status, "body": r.json()}
+        for i, r in enumerate(cold)
+        if r.status != 200
+    ]
+    report["failures"].extend(cold_failures[:10])
+    digest = hashlib.sha256()
+    for response in cold:
+        digest.update(response.body)
+    report["cold"] = {
+        "requests": len(cold),
+        "failed": len(cold_failures),
+        "seconds": round(cold_seconds, 3),
+    }
+    report["body_digest"] = digest.hexdigest()
+
+    # -- phase 2: warm replay (byte-identity gate) -----------------------------
+    started = time.perf_counter()
+    stats_before = await get_stats(host, port)
+    warm = await _submit_all(
+        host, port, docs, concurrency, progress=lambda i, r: _note("warm", i, r)
+    )
+    stats_after = await get_stats(host, port)
+    warm_seconds = time.perf_counter() - started
+    mismatches = [
+        i
+        for i, (a, b) in enumerate(zip(cold, warm))
+        if a.body != b.body or b.status != a.status
+    ]
+    report["warm"] = {
+        "requests": len(warm),
+        "seconds": round(warm_seconds, 3),
+        "byte_mismatches": len(mismatches),
+        "mismatched_indices": mismatches[:10],
+        "re_executed": stats_after["executed"] - stats_before["executed"],
+    }
+
+    # -- phase 3: coalescing burst --------------------------------------------
+    burst_prog = generate_program(seed + programs + 1_000_003)
+    burst_doc = {
+        "tenant": "burst",
+        "source": burst_prog.source,
+        "config": {"preset": "bitspec-max"},
+        "inputs": {
+            "profile": burst_prog.inputs_profile,
+            "run": burst_prog.inputs_run,
+        },
+        "report": {"attribution": True, "pareto": False},
+    }
+    stats_before = await get_stats(host, port)
+    burst = await _submit_all(
+        host,
+        port,
+        [burst_doc] * duplicates,
+        duplicates,
+        progress=lambda i, r: _note("burst", i, r),
+    )
+    stats_after = await get_stats(host, port)
+    bodies = {r.body for r in burst}
+    report["coalescing"] = {
+        "duplicates": duplicates,
+        "executed_delta": stats_after["executed"] - stats_before["executed"],
+        "coalesced_delta": stats_after["coalesced"] - stats_before["coalesced"],
+        "distinct_bodies": len(bodies),
+        "statuses": sorted({r.status for r in burst}),
+    }
+
+    report["server_stats"] = stats_after
+    report["ok"] = (
+        not cold_failures
+        and not mismatches
+        and report["warm"]["re_executed"] == 0
+        # exactly 1 on a cold cache; 0 if a persistent cache dir already
+        # holds the burst key — either way, never a duplicate compile
+        and report["coalescing"]["executed_delta"] <= 1
+        and report["coalescing"]["distinct_bodies"] == 1
+        and report["coalescing"]["statuses"] == [200]
+    )
+    return report

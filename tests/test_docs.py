@@ -139,5 +139,56 @@ def test_code_references_resolve(doc):
 
 
 def test_docs_tree_exists():
-    for name in ("architecture.md", "observability.md", "glossary.md"):
+    for name in (
+        "architecture.md",
+        "observability.md",
+        "glossary.md",
+        "serve.md",
+        "configuration.md",
+    ):
         assert (REPO / "docs" / name).is_file(), f"docs/{name} missing"
+
+
+# -- entry points and the serve API reference ---------------------------------
+
+
+def test_every_cli_entry_point_documented_in_readme():
+    """Each ``src/repro/<pkg>/__main__.py`` must appear in README."""
+    readme = (REPO / "README.md").read_text()
+    missing = [
+        f"python -m repro.{main.parent.name}"
+        for main in sorted((REPO / "src" / "repro").glob("*/__main__.py"))
+        if f"python -m repro.{main.parent.name}" not in readme
+    ]
+    assert not missing, f"README does not mention: {missing}"
+
+
+def test_serve_docs_cover_every_error_code():
+    """docs/serve.md is the API reference: every error code must appear."""
+    from repro.serve.server import ERROR_CODES
+
+    page = (REPO / "docs" / "serve.md").read_text()
+    missing = [code for code in ERROR_CODES if f"`{code}`" not in page]
+    assert not missing, f"docs/serve.md missing error codes: {missing}"
+
+
+def test_serve_docs_cover_every_endpoint():
+    page = (REPO / "docs" / "serve.md").read_text()
+    for endpoint in (
+        "/healthz",
+        "/v1/schema",
+        "/v1/stats",
+        "/v1/reports",
+        "/v1/jobs",
+    ):
+        assert endpoint in page, f"docs/serve.md missing endpoint {endpoint}"
+
+
+def test_configuration_docs_cover_every_env_var():
+    """Every REPRO_* variable read by the code is documented."""
+    read_by_code = set()
+    for source in (REPO / "src").rglob("*.py"):
+        read_by_code.update(re.findall(r"REPRO_[A-Z_]+", source.read_text()))
+    page = (REPO / "docs" / "configuration.md").read_text()
+    missing = sorted(v for v in read_by_code if v not in page)
+    assert not missing, f"docs/configuration.md missing env vars: {missing}"

@@ -1,0 +1,394 @@
+"""Tests for repro.serve: schema, quotas, coalescing, byte-identity.
+
+The server tests run the full asyncio stack (real sockets on an
+ephemeral port) but in ``workers=0`` inline mode, so no worker processes
+are spawned and the suite stays fast.  Each async scenario is a plain
+sync test wrapping ``asyncio.run`` — no pytest-asyncio dependency.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve.client import http_request, submit_report
+from repro.serve.report import execute_request
+from repro.serve.schema import (
+    RequestValidationError,
+    build_config,
+    request_key,
+    validate_request,
+)
+from repro.serve.server import ERROR_CODES, ReproServer, ServeConfig, canonical_body
+
+GOOD_SOURCE = """u32 in0;
+u32 acc;
+
+void main()
+{
+    acc = (in0 * 3) + 7;
+    out(((u32)acc));
+}
+"""
+
+BAD_SOURCE = "int main() { return 0; }\n"  # not MiniC: parse error
+
+
+def good_doc(**overrides):
+    doc = {
+        "tenant": "alice",
+        "source": GOOD_SOURCE,
+        "config": {"preset": "bitspec-max"},
+        "inputs": {"profile": {"in0": 5, "acc": 0}, "run": {"in0": 9, "acc": 0}},
+        "report": {"attribution": True, "pareto": False},
+    }
+    doc.update(overrides)
+    return doc
+
+
+def serve_config(tmp_path, **overrides):
+    defaults = dict(
+        port=0,
+        workers=0,
+        cache_dir=str(tmp_path / "cache"),
+        quota_capacity=0.0,  # quotas off unless a test turns them on
+        max_queue=8,
+    )
+    defaults.update(overrides)
+    return ServeConfig(**defaults)
+
+
+async def _with_server(config, body, *, clock=None):
+    server = ReproServer(config, clock=clock)
+    await server.start()
+    try:
+        return await body(server)
+    finally:
+        await server.stop()
+
+
+# -- schema / request key ------------------------------------------------------
+
+
+class TestSchema:
+    def test_valid_document_canonicalizes(self):
+        canonical = validate_request(good_doc())
+        assert canonical["tenant"] == "alice"
+        assert canonical["config"]["preset"] == "bitspec-max"
+        assert canonical["report"]["top"] == 10  # default applied
+
+    def test_missing_source_collects_error_path(self):
+        doc = good_doc()
+        del doc["source"]
+        with pytest.raises(RequestValidationError) as excinfo:
+            validate_request(doc)
+        assert any(e["path"] == "source" for e in excinfo.value.errors)
+
+    def test_multiple_errors_reported_together(self):
+        doc = good_doc(tenant="bad tenant!", config={"preset": "no-such"})
+        doc["report"] = {"top": 0}
+        with pytest.raises(RequestValidationError) as excinfo:
+            validate_request(doc)
+        paths = {e["path"] for e in excinfo.value.errors}
+        assert {"tenant", "config.preset", "report.top"} <= paths
+
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(RequestValidationError):
+            validate_request(good_doc(surprise=1))
+
+    def test_non_integer_inputs_rejected(self):
+        doc = good_doc()
+        doc["inputs"] = {"profile": {"in0": "five"}, "run": {}}
+        with pytest.raises(RequestValidationError):
+            validate_request(doc)
+
+    def test_key_excludes_tenant(self):
+        a = validate_request(good_doc(tenant="alice"))
+        b = validate_request(good_doc(tenant="bob"))
+        assert request_key(a) == request_key(b)
+
+    def test_key_dedupes_preset_and_knob_spellings(self):
+        # the knob defaults ARE bitspec-max, so the fully-spelled-out
+        # document must content-address to the same key as the preset
+        preset = validate_request(good_doc())
+        knobs = good_doc()
+        knobs["config"] = {
+            "slice_width": 8,
+            "heuristic": "max",
+            "squeeze_ops": "all",
+            "min_hotness": 0.0,
+            "confidence_margin": 0,
+            "dts": False,
+        }
+        assert request_key(validate_request(knobs)) == request_key(preset)
+        # the resolved configs are semantically identical (squeeze_ops is
+        # a set; spelling order must not split the address)
+        preset_cfg = build_config(preset["config"])
+        knob_cfg = build_config(validate_request(knobs)["config"])
+        assert set(preset_cfg.squeeze_ops) == set(knob_cfg.squeeze_ops)
+
+    def test_key_differs_across_configs(self):
+        a = validate_request(good_doc(config={"preset": "bitspec-max"}))
+        b = validate_request(good_doc(config={"preset": "baseline"}))
+        assert request_key(a) != request_key(b)
+
+
+# -- pure execution ------------------------------------------------------------
+
+
+class TestExecuteRequest:
+    def test_report_sections(self):
+        canonical = validate_request(good_doc())
+        envelope = execute_request(canonical, request_key(canonical))
+        assert envelope["status"] == 200 and envelope["cacheable"]
+        body = envelope["body"]
+        assert body["result"]["output"] == [9 * 3 + 7]
+        assert body["result"]["energy_total_pj"] > 0
+        assert body["compile"]["isa"]
+        assert "by_variable" in body["attribution"]
+        assert body["attribution"]["conservation"] == "ok"
+
+    def test_compile_error_is_cacheable_422(self):
+        canonical = validate_request(good_doc(source=BAD_SOURCE))
+        envelope = execute_request(canonical, request_key(canonical))
+        assert envelope["status"] == 422 and envelope["cacheable"]
+        error = envelope["body"]["error"]
+        assert error["code"] == "compile-error"
+        assert error["diagnostics"]
+
+    def test_unknown_global_is_input_error(self):
+        doc = good_doc()
+        doc["inputs"]["run"] = {"nope": 1}
+        canonical = validate_request(doc)
+        envelope = execute_request(canonical, request_key(canonical))
+        assert envelope["status"] == 422
+        assert envelope["body"]["error"]["code"] == "input-error"
+
+    def test_pareto_section_positions_request(self):
+        doc = good_doc()
+        doc["report"]["pareto"] = True
+        canonical = validate_request(doc)
+        envelope = execute_request(canonical, request_key(canonical))
+        pareto = envelope["body"]["pareto"]
+        assert len(pareto["grid"]) == 4  # the DSE smoke grid
+        assert isinstance(pareto["position"]["on_front"], bool)
+
+    def test_byte_identical_re_execution(self):
+        canonical = validate_request(good_doc())
+        key = request_key(canonical)
+        first = canonical_body(execute_request(canonical, key)["body"])
+        second = canonical_body(execute_request(canonical, key)["body"])
+        assert first == second
+
+
+# -- the server ----------------------------------------------------------------
+
+
+class TestServer:
+    def test_submit_cache_and_coalescing(self, tmp_path):
+        async def scenario(server):
+            cold = await server.submit(good_doc())
+            assert cold["status"] == 200 and cold["source"] == "executed"
+            warm = await server.submit(good_doc())
+            assert warm["source"] == "cache"
+            assert canonical_body(warm["body"]) == canonical_body(cold["body"])
+
+            # distinct tenants share the storage tier
+            other = await server.submit(good_doc(tenant="bob"))
+            assert other["source"] == "cache"
+
+            assert server.stats.executed == 1
+            assert server.stats.cache_hits == 2
+            return cold
+
+        asyncio.run(_with_server(serve_config(tmp_path), scenario))
+
+    def test_n_identical_concurrent_submits_execute_once(self, tmp_path):
+        async def scenario(server):
+            results = await asyncio.gather(
+                *(server.submit(good_doc()) for _ in range(8))
+            )
+            bodies = {canonical_body(r["body"]) for r in results}
+            assert len(bodies) == 1
+            assert all(r["status"] == 200 for r in results)
+            assert server.stats.executed == 1
+            assert server.stats.coalesced == 7
+
+        asyncio.run(_with_server(serve_config(tmp_path), scenario))
+
+    def test_byte_identical_across_restart(self, tmp_path):
+        config = serve_config(tmp_path)
+
+        async def first(server):
+            return await server.submit(good_doc())
+
+        async def second(server):
+            envelope = await server.submit(good_doc())
+            assert envelope["source"] == "cache"
+            assert server.stats.executed == 0
+            return envelope
+
+        cold = asyncio.run(_with_server(config, first))
+        warm = asyncio.run(_with_server(config, second))
+        assert canonical_body(cold["body"]) == canonical_body(warm["body"])
+
+    def test_validation_rejection_is_structured(self, tmp_path):
+        async def scenario(server):
+            envelope = await server.submit({"config": {"preset": "bitspec-max"}})
+            assert envelope["status"] == 400
+            assert envelope["body"]["error"]["code"] == "invalid-request"
+            assert envelope["body"]["error"]["details"]
+            assert server.stats.validation_rejections == 1
+
+        asyncio.run(_with_server(serve_config(tmp_path), scenario))
+
+    def test_quota_429_then_refill(self, tmp_path):
+        now = [0.0]
+        config = serve_config(tmp_path, quota_capacity=2.0, quota_refill=1.0)
+
+        async def scenario(server):
+            assert (await server.submit(good_doc()))["status"] == 200
+            assert (await server.submit(good_doc()))["status"] == 200
+            third = await server.submit(good_doc())
+            assert third["status"] == 429
+            error = third["body"]["error"]
+            assert error["code"] == "quota-exceeded"
+            assert error["retry_after_seconds"] > 0
+
+            # quotas are per tenant: bob is unaffected by alice's burn
+            assert (await server.submit(good_doc(tenant="bob")))["status"] == 200
+
+            now[0] += 5.0  # refill alice's bucket
+            assert (await server.submit(good_doc()))["status"] == 200
+            assert server.stats.quota_rejections == 1
+
+        asyncio.run(_with_server(config, scenario, clock=lambda: now[0]))
+
+    def test_backpressure_503_when_queue_full(self, tmp_path):
+        config = serve_config(tmp_path, max_queue=0)
+
+        async def scenario(server):
+            envelope = await server.submit(good_doc())
+            assert envelope["status"] == 503
+            assert envelope["body"]["error"]["code"] == "queue-full"
+            assert server.stats.backpressure_rejections == 1
+
+        asyncio.run(_with_server(config, scenario))
+
+    def test_cache_hits_bypass_backpressure(self, tmp_path):
+        config = serve_config(tmp_path)
+
+        async def warm_up(server):
+            await server.submit(good_doc())
+
+        async def saturated(server):
+            server.config.max_queue = 0  # no new work accepted ...
+            envelope = await server.submit(good_doc())
+            assert envelope["status"] == 200  # ... but cached answers flow
+            assert envelope["source"] == "cache"
+
+        asyncio.run(_with_server(config, warm_up))
+        asyncio.run(_with_server(config, saturated))
+
+
+class TestHttp:
+    def test_end_to_end_report_and_errors(self, tmp_path):
+        async def scenario(server):
+            port = server.port
+            health = await http_request("127.0.0.1", port, "GET", "/healthz")
+            assert health.status == 200
+
+            cold = await submit_report("127.0.0.1", port, good_doc())
+            assert cold.status == 200
+            assert cold.headers["x-repro-source"] == "executed"
+            assert cold.headers["x-repro-key"] == cold.json()["key"]
+
+            warm = await submit_report("127.0.0.1", port, good_doc())
+            assert warm.headers["x-repro-source"] == "cache"
+            assert warm.body == cold.body  # the byte-identity contract
+
+            bad = await http_request(
+                "127.0.0.1", port, "POST", "/v1/reports", ["not", "a", "dict"]
+            )
+            assert bad.status == 400
+            assert bad.json()["error"]["code"] == "invalid-request"
+
+            missing = await http_request("127.0.0.1", port, "GET", "/v1/nope")
+            assert missing.status == 404
+            assert missing.json()["error"]["code"] == "not-found"
+
+            wrong_verb = await http_request("127.0.0.1", port, "POST", "/healthz")
+            assert wrong_verb.status == 405
+
+            schema = await http_request("127.0.0.1", port, "GET", "/v1/schema")
+            assert schema.status == 200 and "source" in schema.json()["properties"]
+
+            stats = await http_request("127.0.0.1", port, "GET", "/v1/stats")
+            doc = stats.json()
+            assert doc["executed"] == 1 and doc["cache_hits"] == 1
+            return cold
+
+        asyncio.run(_with_server(serve_config(tmp_path), scenario))
+
+    def test_invalid_json_body_is_400(self, tmp_path):
+        async def scenario(server):
+            reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+            payload = b"{not json"
+            writer.write(
+                b"POST /v1/reports HTTP/1.1\r\n"
+                b"Content-Length: " + str(len(payload)).encode() + b"\r\n"
+                b"Connection: close\r\n\r\n" + payload
+            )
+            await writer.drain()
+            raw = await asyncio.wait_for(reader.read(), 30)
+            writer.close()
+            status = int(raw.split(None, 2)[1])
+            body = json.loads(raw.split(b"\r\n\r\n", 1)[1].decode())
+            assert status == 400
+            assert body["error"]["code"] == "invalid-json"
+
+        asyncio.run(_with_server(serve_config(tmp_path), scenario))
+
+    def test_jobs_endpoint_lifecycle(self, tmp_path):
+        async def scenario(server):
+            port = server.port
+            ticket = await http_request(
+                "127.0.0.1", port, "POST", "/v1/jobs", good_doc()
+            )
+            assert ticket.status == 202
+            job_id = ticket.json()["job_id"]
+            assert len(job_id) == 64
+
+            # resubmission is idempotent: the same content address comes back
+            again = await http_request(
+                "127.0.0.1", port, "POST", "/v1/jobs", good_doc()
+            )
+            assert again.json()["job_id"] == job_id
+
+            for _ in range(200):
+                status = await http_request(
+                    "127.0.0.1", port, "GET", f"/v1/jobs/{job_id}"
+                )
+                if status.json()["status"] == "done":
+                    break
+                await asyncio.sleep(0.05)
+            assert status.json()["status"] == "done"
+
+            report = await http_request(
+                "127.0.0.1", port, "GET", f"/v1/jobs/{job_id}/report"
+            )
+            assert report.status == 200
+            assert report.json()["key"] == job_id
+
+            ghost = await http_request(
+                "127.0.0.1", port, "GET", "/v1/jobs/" + "0" * 64
+            )
+            assert ghost.status == 404
+            assert ghost.json()["error"]["code"] == "job-not-found"
+
+        asyncio.run(_with_server(serve_config(tmp_path), scenario))
+
+
+def test_error_codes_map_to_valid_statuses():
+    for code, status in ERROR_CODES.items():
+        assert 400 <= status <= 599, (code, status)
