@@ -35,7 +35,7 @@ loop indexed by pc.  A transfer to a pc that is not a region entry
 the whole run is replayed on the per-step engine, which is bit-identical,
 so correctness never depends on the compiled cover being complete.
 
-Hook degradation (the three-engine contract, see docs/engines.md):
+Hook degradation (the four-engine contract, see docs/engines.md):
 
 * ``faults`` — a :class:`repro.faults.session.FaultSession` must observe
   every architectural step, so a compiled run with a live fault session

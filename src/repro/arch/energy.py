@@ -38,6 +38,18 @@ COSTS = {
     "move": 1.8,
     # control overhead, charged per cycle (stalls included)
     "pipeline_cycle": 5.0,
+    # out-of-order structures (repro.arch.ooo): rename-map ports, ROB
+    # entries, issue-queue CAM and wakeup broadcast, rename checkpoints.
+    # Folded into the ``pipeline`` component (they are control overhead,
+    # not datapath); zero-count on the in-order engines, so every
+    # legacy/fast/compiled number is unchanged.
+    "rename_read": 0.4,
+    "rename_write": 0.6,
+    "rob_write": 1.3,
+    "rob_read": 1.0,
+    "iq_write": 1.1,
+    "iq_wakeup": 0.9,
+    "ckpt_op": 2.2,
 }
 
 #: component attribution for Fig 9
@@ -62,6 +74,15 @@ class EnergyCounters:
     div_ops: int = 0
     move_ops: int = 0
     cycles: int = 0
+    # out-of-order structure events (repro.arch.ooo); zero on the
+    # in-order engines
+    rename_reads: int = 0
+    rename_writes: int = 0
+    rob_writes: int = 0
+    rob_reads: int = 0
+    iq_writes: int = 0
+    iq_wakeups: int = 0
+    ckpt_ops: int = 0
 
     def merge(self, other: "EnergyCounters") -> None:
         self.icache_l1 += other.icache_l1
@@ -79,6 +100,13 @@ class EnergyCounters:
         self.div_ops += other.div_ops
         self.move_ops += other.move_ops
         self.cycles += other.cycles
+        self.rename_reads += other.rename_reads
+        self.rename_writes += other.rename_writes
+        self.rob_writes += other.rob_writes
+        self.rob_reads += other.rob_reads
+        self.iq_writes += other.iq_writes
+        self.iq_wakeups += other.iq_wakeups
+        self.ckpt_ops += other.ckpt_ops
 
 
 @dataclass
@@ -146,7 +174,16 @@ def compute_energy(
         + counters.div_ops * c["div"]
         + counters.move_ops * c["move"]
     )
-    out.pipeline = counters.cycles * c["pipeline_cycle"]
+    out.pipeline = (
+        counters.cycles * c["pipeline_cycle"]
+        + counters.rename_reads * c["rename_read"]
+        + counters.rename_writes * c["rename_write"]
+        + counters.rob_writes * c["rob_write"]
+        + counters.rob_reads * c["rob_read"]
+        + counters.iq_writes * c["iq_write"]
+        + counters.iq_wakeups * c["iq_wakeup"]
+        + counters.ckpt_ops * c["ckpt_op"]
+    )
     if scale:
         for component, factor in scale.items():
             setattr(out, component, getattr(out, component) * factor)

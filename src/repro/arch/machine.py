@@ -80,6 +80,11 @@ class SimResult:
     #: per-pc observability sample (:class:`repro.obs.events.PcSample`);
     #: populated only when the Machine ran with ``obs=True``
     obs: Optional[object] = None
+    #: out-of-order execution statistics
+    #: (:class:`repro.arch.ooo.OooStats`); populated only by the ``ooo``
+    #: engine — like ``cycles`` and ``counters`` it is timing-model
+    #: state, outside the committed architectural contract
+    ooo: Optional[object] = None
 
     def energy(self, scale: Optional[dict] = None) -> EnergyBreakdown:
         return compute_energy(
@@ -95,7 +100,79 @@ class SimResult:
 
 
 #: recognized values for ``Machine(engine=...)`` / ``REPRO_MACHINE_ENGINE``
-ENGINES = ("legacy", "fast", "compiled")
+ENGINES = ("legacy", "fast", "compiled", "ooo")
+
+#: engines whose results are bit-identical in *every* SimResult field —
+#: the in-order timing model.  The ``ooo`` engine shares the committed
+#: architectural contract (:data:`COMMITTED_FIELDS`) but has its own
+#: cycle/energy model.
+INORDER_ENGINES = ("legacy", "fast", "compiled")
+
+#: SimResult fields in the engine-independent architectural contract
+#: (docs/engines.md): identical across all four engines, bit-for-bit.
+#: ``cycles``, the energy ``counters`` and the ``obs``/``ooo`` samples
+#: are timing-model state and deliberately excluded.
+COMMITTED_FIELDS = (
+    "output",
+    "instructions",
+    "misspeculations",
+    "branches",
+    "taken_branches",
+    "spill_stores",
+    "spill_loads",
+    "copies",
+    "loads",
+    "stores",
+    "class_counts",
+    "return_value",
+    "slice_width",
+)
+
+
+def committed_view(sim: SimResult) -> dict:
+    """The engine-independent slice of a :class:`SimResult`.
+
+    Two engines agree architecturally iff their committed views compare
+    equal — the comparator shared by ``tests/test_engine_equivalence.py``,
+    the ``engines`` fuzz oracle lane and the serve cross-check.
+    """
+    view = {f: getattr(sim, f) for f in COMMITTED_FIELDS}
+    view["memory"] = None if sim.memory is None else sim.memory.data
+    return view
+
+
+def default_engine() -> str:
+    """The engine a ``Machine(engine=None)`` run resolves to from the
+    environment alone, ignoring per-run overrides (``obs``, ``fast=``,
+    trace hooks).  Used by cache layers to partition on timing model."""
+    env = os.environ.get("REPRO_MACHINE_ENGINE", "").strip().lower()
+    if env:
+        if env not in ENGINES:
+            raise ValueError(
+                f"REPRO_MACHINE_ENGINE={env!r}: expected one of {ENGINES}"
+            )
+        return env
+    if os.environ.get("REPRO_MACHINE_LEGACY", "") == "1":
+        return "legacy"
+    return "fast"
+
+
+def timing_model(engine: Optional[str]) -> str:
+    """``"inorder"``, or ``"ooo:..."`` with the resolved structure sizes
+    when the (resolved) engine carries its own cycle/energy model.  The
+    bench disk cache partitions its keys on this — in-order records stay
+    interchangeable across the three bit-identical engines, while OoO
+    records never alias them *or* each other across different
+    ``REPRO_OOO_*`` geometries (an 8-entry-ROB run must not serve a
+    48-entry lookup).  DSE documents stamp the same string as their
+    ``timing_model``, so an OoO sweep records exactly which machine it
+    measured."""
+    if (engine or default_engine()) != "ooo":
+        return "inorder"
+    from repro.arch.ooo import ooo_params
+
+    p = ooo_params()
+    return f"ooo:rob{p.rob}-iq{p.iq}-w{p.width}-bp{p.bp_bits}-ras{p.ras}"
 
 
 def parse_engine_list(spec: str) -> tuple:
@@ -137,7 +214,12 @@ class Machine:
       ``engine="compiled"`` or ``REPRO_MACHINE_ENGINE=compiled``;
     * the *legacy path*: the original instruction-at-a-time interpreter,
       kept as the differential-testing reference and used automatically
-      when a ``trace_hook`` needs per-step callbacks.
+      when a ``trace_hook`` needs per-step callbacks;
+    * the *ooo engine*: an R10K-style out-of-order core model
+      (:mod:`repro.arch.ooo`) — bit-identical in the committed
+      architectural contract (:data:`COMMITTED_FIELDS`) but with its own
+      cycle count and energy events; select it with ``engine="ooo"`` or
+      ``REPRO_MACHINE_ENGINE=ooo``.
 
     Engine selection precedence: an explicit ``engine=`` argument, then
     the boolean ``fast=`` compatibility argument, then the
@@ -205,7 +287,7 @@ class Machine:
                 raise ValueError(
                     f"REPRO_MACHINE_ENGINE={env!r}: expected one of {ENGINES}"
                 )
-            if env == "legacy" and self.obs:
+            if env in ("legacy", "ooo") and self.obs:
                 # obs is a batching-path feature; the env default cannot
                 # force an engine that cannot produce a PcSample
                 return "fast"
@@ -226,6 +308,12 @@ class Machine:
             from repro.arch.compiled import run_compiled
 
             return run_compiled(self)
+        if engine == "ooo":
+            if self.trace_hook is not None:
+                raise ValueError("trace_hook requires the legacy path")
+            from repro.arch.ooo import run_ooo
+
+            return run_ooo(self)
         if engine == "fast":
             if self.trace_hook is not None:
                 raise ValueError("trace_hook requires the legacy path")

@@ -195,9 +195,10 @@ def main(argv=None) -> int:
     parser.add_argument("--quiet", action="store_true", help="no per-task ticker")
     parser.add_argument(
         "--engine",
-        choices=("legacy", "fast", "compiled"),
+        choices=("legacy", "fast", "compiled", "ooo"),
         default=None,
-        help="run the whole matrix under one simulation engine",
+        help="run the whole matrix under one simulation engine (ooo uses "
+        "its own cycle/energy model and a separate disk-cache partition)",
     )
     parser.add_argument(
         "--compare-engines",
@@ -232,7 +233,7 @@ def main(argv=None) -> int:
         engines = tuple(
             e.strip() for e in args.compare_engines.split(",") if e.strip()
         )
-        unknown = [e for e in engines if e not in ("legacy", "fast", "compiled")]
+        unknown = [e for e in engines if e not in ("legacy", "fast", "compiled", "ooo")]
         if unknown:
             parser.error(f"unknown engines: {', '.join(unknown)}")
         if len(engines) < 2:

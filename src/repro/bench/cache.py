@@ -37,7 +37,11 @@ ENERGY_MODEL_VERSION = 1
 #:    alpha/awareness, cache geometry) in their fingerprints.
 #: 4: configs carry ``max_spec_regions`` (graceful-degradation budget)
 #:    in their fingerprints.
-ENTRY_FORMAT = 4
+#: 5: keys carry the ``timing`` partition ("inorder" or "ooo:<geometry>")
+#:    and sims the OoO structure counters + stats — in-order records
+#:    stay interchangeable across the three bit-identical engines while
+#:    ooo records never alias them (nor each other across geometries).
+ENTRY_FORMAT = 5
 
 
 def energy_model_stamp() -> str:
@@ -68,8 +72,16 @@ def run_key(
     run_kind: str = "test",
     run_seed: int = 0,
     energy_stamp: Optional[str] = None,
+    timing: str = "inorder",
 ) -> str:
-    """The content address of one (source × config × inputs) simulation."""
+    """The content address of one (source × config × inputs) simulation.
+
+    ``timing`` partitions on the cycle/energy model
+    (:func:`repro.arch.machine.timing_model`): the three in-order engines
+    share records because they are bit-identical, but an ooo-engine run
+    has its own cycles and counters and must never serve an in-order
+    lookup (or vice versa).
+    """
     basis = {
         "entry_format": ENTRY_FORMAT,
         "source": source,
@@ -77,6 +89,7 @@ def run_key(
         "profile": [profile_kind, profile_seed],
         "run": [run_kind, run_seed],
         "energy": energy_stamp or energy_model_stamp(),
+        "timing": timing,
     }
     blob = json.dumps(basis, sort_keys=True)
     return hashlib.sha256(blob.encode()).hexdigest()
@@ -190,6 +203,13 @@ _COUNTER_INT_FIELDS = (
     "div_ops",
     "move_ops",
     "cycles",
+    "rename_reads",
+    "rename_writes",
+    "rob_writes",
+    "rob_reads",
+    "iq_writes",
+    "iq_wakeups",
+    "ckpt_ops",
 )
 
 
@@ -206,6 +226,7 @@ def _sim_to_dict(sim) -> dict:
     data["class_counts"] = dict(sim.class_counts)
     data["counters"] = counters
     data["slice_width"] = sim.slice_width
+    data["ooo"] = sim.ooo.as_dict() if sim.ooo is not None else None
     return data
 
 
@@ -229,6 +250,10 @@ def _sim_from_dict(data: dict):
         slice_width=data.get("slice_width", 8),
         **{f: data[f] for f in _SIM_INT_FIELDS},
     )
+    if data.get("ooo") is not None:
+        from repro.arch.ooo import OooStats
+
+        sim.ooo = OooStats(**data["ooo"])
     return sim
 
 
@@ -272,7 +297,7 @@ class RunDiskCache(DiskCache):
         # One stamp per process: the model constants cannot change under us.
         self._stamp = energy_model_stamp()
 
-    def _run_key(self, source, config, pk, ps, rk, rs) -> str:
+    def _run_key(self, source, config, pk, ps, rk, rs, timing="inorder") -> str:
         return run_key(
             source,
             config,
@@ -281,20 +306,29 @@ class RunDiskCache(DiskCache):
             run_kind=rk,
             run_seed=rs,
             energy_stamp=self._stamp,
+            timing=timing,
         )
 
-    def contains_run(self, source, config, pk, ps, rk, rs) -> bool:
-        return self.contains(self._run_key(source, config, pk, ps, rk, rs))
+    def contains_run(
+        self, source, config, pk, ps, rk, rs, timing="inorder"
+    ) -> bool:
+        return self.contains(
+            self._run_key(source, config, pk, ps, rk, rs, timing)
+        )
 
-    def lookup_run(self, source, config, pk, ps, rk, rs):
-        payload = self.get(self._run_key(source, config, pk, ps, rk, rs))
+    def lookup_run(self, source, config, pk, ps, rk, rs, timing="inorder"):
+        payload = self.get(
+            self._run_key(source, config, pk, ps, rk, rs, timing)
+        )
         if payload is None:
             return None
         return payload_to_record(payload, config)
 
-    def store_run(self, source, config, pk, ps, rk, rs, record) -> None:
+    def store_run(
+        self, source, config, pk, ps, rk, rs, record, timing="inorder"
+    ) -> None:
         self.put(
-            self._run_key(source, config, pk, ps, rk, rs),
+            self._run_key(source, config, pk, ps, rk, rs, timing),
             record_to_payload(record),
         )
 

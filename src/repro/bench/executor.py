@@ -31,6 +31,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from repro.arch.machine import timing_model
 from repro.core.pipeline import CompilerConfig
 
 #: first-retry backoff ceiling (seconds); doubles per round up to the cap
@@ -211,6 +212,7 @@ def _execute(task: BenchTask) -> TaskOutcome:
                 task.profile_seed,
                 task.run_kind,
                 task.run_seed,
+                timing_model(task.engine),
             )
         )
     except Exception:

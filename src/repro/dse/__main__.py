@@ -91,7 +91,10 @@ def cmd_sweep(args, parser) -> int:
         progress=ticker,
     )
     text = result.to_json()
-    output = args.output or Path(f"DSE_{args.preset}.json")
+    # ooo sweeps measure a different timing/energy model; never let them
+    # clobber (or masquerade as) the in-order document of the same preset
+    stem = f"DSE_ooo_{args.preset}" if result.timing.startswith("ooo") else f"DSE_{args.preset}"
+    output = args.output or Path(f"{stem}.json")
     if args.check and output.is_file():
         previous = output.read_text()
         if previous != text:
@@ -233,10 +236,12 @@ def main(argv=None) -> int:
     sweep.add_argument("--quiet", action="store_true")
     sweep.add_argument(
         "--engine",
-        choices=("legacy", "fast", "compiled"),
+        choices=("legacy", "fast", "compiled", "ooo"),
         default=None,
-        help="simulation engine for every cell (bit-identical; affects "
-        "throughput only, never the emitted document)",
+        help="simulation engine for every cell.  The in-order engines are "
+        "bit-identical (affect throughput only, never the document); "
+        "'ooo' measures the out-of-order timing/energy model and writes "
+        "DSE_ooo_<preset>.json by default",
     )
     sweep.set_defaults(func=cmd_sweep)
 

@@ -77,8 +77,12 @@ def evaluate_points(
     Rows come back point-major in the order given (the executor preserves
     task order), with failures degraded to ``status="failed"`` rather than
     aborting the sweep.  ``engine`` picks the simulation engine for every
-    cell; engines are bit-identical, so the emitted document does not
-    depend on it (the reproducibility gate holds across engines).
+    cell.  The three in-order engines are bit-identical, so the emitted
+    document does not depend on which of them runs (the reproducibility
+    gate holds across them); ``engine="ooo"`` measures the out-of-order
+    timing/energy model instead — same committed counts, different
+    ``cycles``/``energy_pj`` — and documents stamp their
+    ``timing_model`` so the two sweeps are never conflated.
     """
     points = list(points)
     workloads = list(workloads)
@@ -123,6 +127,9 @@ class SweepResult:
     strategy: str = "grid"
     evaluations: int = 0
     rows: list = field(default_factory=list)
+    #: cycle/energy model the cells were measured under
+    #: (:func:`repro.arch.machine.timing_model`)
+    timing: str = "inorder"
 
     def to_document(self) -> dict:
         """The DSE_*.json document — deterministic, no wall-clock state."""
@@ -136,6 +143,7 @@ class SweepResult:
             "schema": SWEEP_SCHEMA,
             "preset": self.preset,
             "strategy": self.strategy,
+            "timing_model": self.timing,
             "workloads": list(self.workloads),
             "space": self.space,
             "evaluations": self.evaluations,
@@ -165,6 +173,7 @@ def run_sweep(
     progress=None,
 ) -> SweepResult:
     """Run one sweep end to end under the chosen search strategy."""
+    from repro.arch.machine import timing_model
     from repro.dse import search
 
     kwargs = dict(
@@ -190,4 +199,5 @@ def run_sweep(
         strategy=strategy,
         evaluations=evaluations,
         rows=rows,
+        timing=timing_model(engine),
     )

@@ -131,14 +131,19 @@ def run(
     """Compile + simulate (memoized); checks output against the oracle.
 
     ``engine`` selects the simulation engine ("legacy" / "fast" /
-    "compiled"; default lets :class:`~repro.arch.machine.Machine`
-    resolve).  Engines are bit-identical (docs/engines.md,
-    ``tests/test_engine_equivalence.py``), so the engine is deliberately
-    excluded from the disk-cache key — records are interchangeable
-    across engines.  It does enter the in-process memo key so that
+    "compiled" / "ooo"; default lets :class:`~repro.arch.machine.Machine`
+    resolve).  The in-order engines are bit-identical (docs/engines.md,
+    ``tests/test_engine_equivalence.py``), so the engine itself is
+    excluded from the disk-cache key — in-order records are
+    interchangeable across those engines.  What *does* partition the
+    disk key is :func:`~repro.arch.machine.timing_model`: ooo-engine
+    records carry different cycles/counters and must never serve an
+    in-order lookup.  The engine enters the in-process memo key so that
     engine-comparison harness code measuring a specific engine is not
     short-circuited by a record produced under another one.
     """
+    from repro.arch.machine import timing_model
+
     key = (
         workload_name,
         _config_key(config),
@@ -152,9 +157,16 @@ def run(
     if cached is not None:
         return cached
     workload = get_workload(workload_name)
+    timing = timing_model(engine)
     if _DISK_CACHE is not None:
         record = _DISK_CACHE.lookup_run(
-            workload.source, config, profile_kind, profile_seed, run_kind, run_seed
+            workload.source,
+            config,
+            profile_kind,
+            profile_seed,
+            run_kind,
+            run_seed,
+            timing,
         )
         if record is not None:
             _RUN_CACHE[key] = record
@@ -191,6 +203,7 @@ def run(
             run_kind,
             run_seed,
             record,
+            timing,
         )
     return record
 

@@ -65,9 +65,10 @@ def _add_common(sub: argparse.ArgumentParser) -> None:
         help="write the canonical coverage-matrix JSON here",
     )
     sub.add_argument(
-        "--engine", choices=("legacy", "fast", "compiled"), default=None,
+        "--engine", choices=("legacy", "fast", "compiled", "ooo"), default=None,
         help="simulation engine for faulted runs (classification and the "
-        "emitted JSON are engine-invariant)",
+        "emitted JSON are engine-invariant across the in-order engines; "
+        "the ooo_* recovery kinds only have a live trigger on --engine ooo)",
     )
 
 

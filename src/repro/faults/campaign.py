@@ -129,8 +129,14 @@ def _mem_window(linked, module) -> tuple[int, int]:
     return base, end - base
 
 
-def golden_profile(binary, golden_sim) -> GoldenProfile:
-    """Derive the plan-derivation profile from a golden ``obs=True`` run."""
+def golden_profile(binary, golden_sim, *, recoveries: int = 0) -> GoldenProfile:
+    """Derive the plan-derivation profile from a golden ``obs=True`` run.
+
+    ``recoveries`` is the ROB recovery count of the golden *ooo* run —
+    always measured on the ooo engine (see :func:`ooo_recoveries`),
+    whatever engine the campaign executes with, so recovery-kind plans
+    serialize identically across engines.
+    """
     base, span = _mem_window(binary.linked, binary.module)
     return GoldenProfile(
         instructions=golden_sim.instructions,
@@ -138,7 +144,16 @@ def golden_profile(binary, golden_sim) -> GoldenProfile:
         spec_successes=spec_successes(binary.linked, golden_sim.obs),
         mem_base=base,
         mem_span=span,
+        recoveries=recoveries,
     )
+
+
+def ooo_recoveries(binary, inputs) -> int:
+    """ROB recoveries of the fault-free ooo-engine run — the trigger pool
+    for :data:`~repro.faults.plan.RECOVERY_KINDS` plans.  Deterministic
+    for fixed ``REPRO_OOO_*`` structure sizes."""
+    sim = binary.run(inputs, engine="ooo")
+    return sim.ooo.recoveries if sim.ooo is not None else 0
 
 
 def _absorbers(linked, golden_obs, faulty_obs) -> list:
@@ -250,7 +265,7 @@ def run_injection(
     elif trapped:
         record["output_matches"] = False
         record["category"] = DETECTED_UNRECOVERABLE
-        record["mechanism"] = (
+        record["mechanism"] = session.trap_mechanism or (
             "parity-trap" if session.detected_by_parity else "machine-exception"
         )
     return record
@@ -276,7 +291,9 @@ def _golden_for(workload: str, config: CompilerConfig):
     binary = harness.get_binary(workload, config)
     inputs = get_workload(workload).inputs("test", 0)
     golden_sim = binary.run(inputs, obs=True)
-    profile = golden_profile(binary, golden_sim)
+    profile = golden_profile(
+        binary, golden_sim, recoveries=ooo_recoveries(binary, inputs)
+    )
     bundle = (binary, inputs, golden_sim, profile)
     _GOLDEN[key] = bundle
     return bundle
@@ -455,7 +472,11 @@ def replay_corpus(
             strict=True,
         )
         golden_sim = binary.run(program.inputs_run, obs=True)
-        profile = golden_profile(binary, golden_sim)
+        profile = golden_profile(
+            binary,
+            golden_sim,
+            recoveries=ooo_recoveries(binary, program.inputs_run),
+        )
         for kind in kinds:
             for _ in range(per_kind):
                 fault_seed = iteration_seed(seed, len(cells))

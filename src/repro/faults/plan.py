@@ -15,6 +15,10 @@ Timing faults come in two trigger flavors:
   natural speculation outcome (misspeculation for suppress/Δ faults,
   in-slice success for spurious assertion).  When the golden run never
   produced the event the plan is *untriggered* and classifies as masked.
+
+A third flavor targets the out-of-order engine's recovery machinery:
+*recovery faults* (:data:`RECOVERY_KINDS`) fire at the ``nth_event``-th
+ROB recovery of the golden ooo run (:class:`GoldenProfile.recoveries`).
 """
 
 from __future__ import annotations
@@ -32,6 +36,8 @@ FAULT_KINDS = (
     "dts_timing",        # Razor-style DTS timing error (detected + replayed)
     "delta_drop",        # misspec detected but the Δ redirect is dropped
     "delta_misroute",    # Δ redirect lands at the wrong skeleton slot
+    "ooo_ckpt_bit",      # rename-map checkpoint restores with one entry corrupted
+    "ooo_flush_drop",    # ROB recovery flush suppressed; wrong-path uops survive
 )
 
 #: kinds triggered at one dynamic step of the golden run
@@ -41,6 +47,12 @@ STEP_KINDS = frozenset({"rf_bit", "mem_bit", "icache", "dts_timing"})
 SPEC_KINDS = frozenset(
     {"misspec_suppress", "misspec_spurious", "delta_drop", "delta_misroute"}
 )
+
+#: kinds triggered at the nth ROB recovery event (branch mispredict, return
+#: mispredict or bitwidth misspeculation) — live only on the ``ooo`` engine,
+#: whose checkpoint/flush machinery they corrupt; the in-order engines have
+#: no recovery events, so these plans are structurally masked there
+RECOVERY_KINDS = frozenset({"ooo_ckpt_bit", "ooo_flush_drop"})
 
 #: size of the misroute displacement pool (skeleton slots past the target)
 _MISROUTE_SPAN = 4
@@ -52,12 +64,15 @@ def detectable_kinds(parity: bool) -> frozenset:
     A detected fault may still be unrecoverable, but it must never be
     silent: the campaign treats any silent-data-corruption in these
     classes as a resilience bug.  ``misspec_spurious`` raises the misspec
-    signal itself; ``dts_timing`` is Razor-detected by construction; with
-    the parity knob on, cache corruption traps at injection time.
+    signal itself; ``dts_timing`` is Razor-detected by construction;
+    ``ooo_flush_drop`` is caught by the ROB's commit-time epoch check
+    whenever the suppressed flush had squashed any wrong-path uop; with
+    the parity knob on, cache corruption traps at injection time and the
+    rename-map checkpoint RAM is parity-protected.
     """
-    kinds = {"misspec_spurious", "dts_timing"}
+    kinds = {"misspec_spurious", "dts_timing", "ooo_flush_drop"}
     if parity:
-        kinds |= {"mem_bit", "icache"}
+        kinds |= {"mem_bit", "icache", "ooo_ckpt_bit"}
     return frozenset(kinds)
 
 
@@ -76,6 +91,11 @@ class GoldenProfile:
     #: byte-address window for data corruption (globals, else stack top)
     mem_base: int
     mem_span: int
+    #: ROB recovery events in the golden ``ooo``-engine run — the trigger
+    #: pool for :data:`RECOVERY_KINDS`; engine-independent by construction
+    #: (always measured on the ooo engine, whatever engine the campaign
+    #: executes with) so plans serialize identically across engines
+    recoveries: int = 0
 
 
 @dataclass(frozen=True)
@@ -108,6 +128,13 @@ class FaultPlan:
             where = f"@ step {self.trigger_step}"
         elif self.kind == "delta_misroute":
             where = f"Δ+{self.offset} @ event {self.nth_event}"
+        elif self.kind == "ooo_ckpt_bit":
+            where = (
+                f"rename[{self.reg}] bit {self.bit} "
+                f"@ recovery {self.nth_event}"
+            )
+        elif self.kind == "ooo_flush_drop":
+            where = f"@ recovery {self.nth_event}"
         else:
             where = f"@ event {self.nth_event}"
         tag = " +parity" if self.parity else ""
@@ -139,6 +166,15 @@ def derive_plan(
         if kind == "icache":
             return FaultPlan(kind, seed, trigger_step=step, parity=parity)
         return FaultPlan(kind, seed, trigger_step=step)  # dts_timing
+    if kind in RECOVERY_KINDS:
+        nth = 1 + (rng.randrange(golden.recoveries) if golden.recoveries else 0)
+        if kind == "ooo_ckpt_bit":
+            # one rename-map entry (any renamed architectural register,
+            # r0-r15) restores with a flipped low bit of its physical tag
+            return FaultPlan(kind, seed, nth_event=nth,
+                             reg=rng.randrange(16), bit=rng.randrange(7),
+                             parity=parity)
+        return FaultPlan(kind, seed, nth_event=nth)  # ooo_flush_drop
     if kind == "misspec_spurious":
         pool = golden.spec_successes
     else:

@@ -17,6 +17,19 @@ no-fault hot path pays one local comparison per step and nothing else:
   returns ``pc + Δ``, but the Δ-fault kinds override one redirect
   (dropped → fall through, misrouted → wrong skeleton slot).
 
+The out-of-order engine adds a fourth entry point for its native fault
+kinds (:data:`~repro.faults.plan.RECOVERY_KINDS`):
+
+* :meth:`recovery_action` — called at every ROB recovery *after* the
+  wrong-path window is modeled and *before* the flush; may corrupt the
+  restored rename-map checkpoint, suppress the flush, or (with parity)
+  trap on the corrupted checkpoint read.
+
+Sessions whose plan is a recovery kind report ``ooo_native = True``; the
+ooo engine runs them natively while degrading every other kind to the
+predecoded stepper, and the in-order engines never call the hook at all
+(recovery faults are structurally masked there — docs/resilience.md).
+
 Both engines keep the fold-consistency invariant under speculation
 faults: successful ops write back and failed ops redirect, whichever way
 the session bent the verdict, so ``writebacks == execs − misspecs``
@@ -26,7 +39,7 @@ still holds and the fast path's batched counters stay self-consistent.
 from __future__ import annotations
 
 from repro.arch.machine import FaultTrap
-from repro.faults.plan import FaultPlan, SPEC_KINDS, STEP_KINDS
+from repro.faults.plan import FaultPlan, RECOVERY_KINDS, SPEC_KINDS, STEP_KINDS
 
 #: cycles one Razor replay costs (detect at latch, flush one stage, retry)
 RAZOR_REPLAY_CYCLES = 2
@@ -37,8 +50,9 @@ class FaultSession:
 
     __slots__ = (
         "plan", "kind", "triggered", "detected_by_parity",
-        "extra_cycles", "razor_recoveries",
+        "extra_cycles", "razor_recoveries", "ooo_native", "trap_mechanism",
         "_spec_seen", "_redirect_kind", "_step_armed", "_trigger_step",
+        "_recovery_seen",
     )
 
     def __init__(self, plan: FaultPlan) -> None:
@@ -48,10 +62,16 @@ class FaultSession:
         self.detected_by_parity = False
         self.extra_cycles = 0
         self.razor_recoveries = 0
+        #: the ooo engine runs this session natively (recovery kinds only)
+        self.ooo_native = plan.kind in RECOVERY_KINDS
+        #: detection mechanism label for trap classification, set by
+        #: :meth:`recovery_action` when an OoO hardware check fires
+        self.trap_mechanism = None
         self._spec_seen = 0
         self._redirect_kind = None
         self._step_armed = plan.kind in STEP_KINDS
         self._trigger_step = plan.trigger_step
+        self._recovery_seen = 0
 
     def on_step(self, step: int, pc: int, regs: list, memory) -> str | None:
         if not self._step_armed or step != self._trigger_step:
@@ -110,6 +130,37 @@ class FaultSession:
                 self.triggered = True
                 self._redirect_kind = kind
         return natural_miss
+
+    def recovery_action(self, wrong_path_uops: int) -> str | None:
+        """Consulted by the ooo engine at each ROB recovery event.
+
+        Returns ``"ckpt_bit"`` (corrupt the restored rename map),
+        ``"flush_drop"`` (suppress the flush — the engine's commit-time
+        epoch check then traps), or ``None`` (recover normally).  With
+        the parity knob on, a corrupted checkpoint read traps here.
+        """
+        if self.kind not in RECOVERY_KINDS:
+            return None
+        self._recovery_seen += 1
+        if self._recovery_seen != self.plan.nth_event:
+            return None
+        self.triggered = True
+        if self.kind == "ooo_ckpt_bit":
+            if self.plan.parity:
+                self.detected_by_parity = True
+                self.trap_mechanism = "rename-parity"
+                raise FaultTrap(
+                    f"rename checkpoint parity error "
+                    f"(entry r{self.plan.reg}, recovery "
+                    f"{self._recovery_seen})"
+                )
+            return "ckpt_bit"
+        # ooo_flush_drop: suppressing the flush of an empty wrong-path
+        # window has no architectural effect — the injection is masked
+        if wrong_path_uops <= 0:
+            return None
+        self.trap_mechanism = "rob-epoch-check"
+        return "flush_drop"
 
     def redirect(self, pc: int, delta: int) -> int:
         kind = self._redirect_kind

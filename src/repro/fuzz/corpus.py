@@ -4,7 +4,10 @@ A corpus entry is one JSON file fully describing a fuzz case: the MiniC
 source, both input vectors, and the generator metadata needed to regenerate
 or attribute it.  ``tests/corpus/`` holds the checked-in seed corpus that
 tier-1 replays through the full oracle stack; the CLI driver writes newly
-shrunk failures next to them as ``failure-*.json``.
+shrunk failures next to them as ``failure-*.json``, and symbolic
+counterexamples (from ``repro.verify`` or the fuzz driver's ``--verify``
+mode) land beside them as ``verify-*.json`` — one corpus economy, every
+entry replayable by the same oracles.
 """
 
 from __future__ import annotations
@@ -50,6 +53,19 @@ def save_program(
     payload = program_to_dict(program, name=name or path.stem)
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
+
+
+def save_counterexample(verdict: dict, out_dir: Union[str, Path]) -> Path:
+    """Concretize a ``repro.verify`` counterexample verdict into the corpus.
+
+    The verdict's embedded program (source + the concrete inputs the
+    symbolic checker found) becomes a replayable ``verify-*.json`` entry,
+    indistinguishable from a shrunk fuzz failure to everything downstream.
+    """
+    program = program_from_dict(dict(verdict["program"], format=1, name=""))
+    stem = verdict["name"].replace(":", "-").replace("/", "-")
+    path = Path(out_dir) / f"verify-{stem}-k{verdict['k']}.json"
+    return save_program(program, path, name=path.stem)
 
 
 def load_program(path: Union[str, Path]) -> FuzzProgram:

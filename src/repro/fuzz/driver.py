@@ -9,6 +9,12 @@ Per-iteration seeds are derived purely from ``(base_seed, index)``, so the
 parent process can regenerate any worker's failing program without shipping
 ASTs across the process boundary — workers return small picklable
 summaries only.
+
+``--verify`` folds ``repro.verify`` into the campaign loop: every
+oracle-clean program is additionally pushed through bounded symbolic
+equivalence checking, and any counterexample is concretized into the same
+corpus directory as the fuzz failures (``verify-*.json``) — one corpus
+economy, and tier-1 replays the new entries like any other artifact.
 """
 
 from __future__ import annotations
@@ -21,7 +27,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional
 
-from repro.fuzz.corpus import save_program
+from repro.fuzz.corpus import save_counterexample, save_program
 from repro.fuzz.generator import generate_program
 from repro.fuzz.oracles import run_oracles
 from repro.fuzz.shrink import Shrinker
@@ -50,12 +56,41 @@ class IterationResult:
     misspeculations: int = 0
     levels: int = 0
     summary: str = ""
+    counterexamples: int = 0  # symbolic counterexamples (--verify mode)
+
+
+def _verify_counterexamples(program, k: int) -> list:
+    """Bounded symbolic verification of one program; counterexample verdicts.
+
+    The fuzz oracles only ever test the concrete input vectors the
+    generator drew; verification covers *all* inputs up to width ``k``, so
+    it can convict programs the oracles wave through.
+    """
+    from repro.verify.checker import list_targets, verify_function
+
+    found = []
+    for function in list_targets(program.source):
+        verdict = verify_function(
+            program.source,
+            function,
+            inputs_profile=program.inputs_profile,
+            inputs_run=program.inputs_run,
+            expander_enabled=program.expander_enabled,
+            name=f"seed{program.seed}-{function}",
+            k=k,
+        )
+        if verdict["verdict"] == "counterexample":
+            found.append(verdict)
+    return found
 
 
 def _run_one(task: tuple) -> IterationResult:
-    index, seed = task
+    index, seed, verify_k = task
     program = generate_program(seed)
     report = run_oracles(program)
+    counterexamples = 0
+    if verify_k and report.ok:
+        counterexamples = len(_verify_counterexamples(program, verify_k))
     return IterationResult(
         index=index,
         seed=seed,
@@ -63,6 +98,7 @@ def _run_one(task: tuple) -> IterationResult:
         misspeculations=sum(report.misspeculations.values()),
         levels=len(report.outputs),
         summary=report.summary(),
+        counterexamples=counterexamples,
     )
 
 
@@ -106,45 +142,54 @@ def fuzz(
     corpus_dir: Optional[Path] = None,
     shrink: bool = True,
     verbose: bool = True,
+    verify_k: int = 0,
 ) -> int:
-    """Run the campaign; returns the number of failing iterations."""
+    """Run the campaign; returns the number of failing iterations.
+
+    ``verify_k > 0`` additionally pushes every oracle-clean program through
+    bounded symbolic verification at that input width; counterexamples
+    count as failures and are concretized into ``corpus_dir``.
+    """
     corpus_dir = Path(corpus_dir) if corpus_dir else DEFAULT_CORPUS_DIR
-    tasks = [(i, iteration_seed(base_seed, i)) for i in range(iters)]
+    tasks = [(i, iteration_seed(base_seed, i), verify_k) for i in range(iters)]
     started = time.monotonic()
     failures: list = []
+    convicted: list = []
     total_misspecs = 0
+
+    def bookkeep(done: int, result: IterationResult) -> None:
+        nonlocal total_misspecs
+        total_misspecs += result.misspeculations
+        if not result.ok:
+            failures.append(result)
+            print(
+                f"[{done}/{iters}] FAIL seed={result.seed}: {result.summary}",
+                flush=True,
+            )
+        elif result.counterexamples:
+            convicted.append(result)
+            print(
+                f"[{done}/{iters}] COUNTEREXAMPLE seed={result.seed}: "
+                f"{result.counterexamples} function(s) refuted at k={verify_k}",
+                flush=True,
+            )
+        elif verbose and done % 10 == 0:
+            print(f"[{done}/{iters}] ok", flush=True)
 
     if jobs > 1:
         with multiprocessing.Pool(processes=jobs) as pool:
             results = pool.imap_unordered(_run_one, tasks, chunksize=1)
             for done, result in enumerate(results, start=1):
-                total_misspecs += result.misspeculations
-                if not result.ok:
-                    failures.append(result)
-                    print(
-                        f"[{done}/{iters}] FAIL seed={result.seed}: "
-                        f"{result.summary}",
-                        flush=True,
-                    )
-                elif verbose and done % 10 == 0:
-                    print(f"[{done}/{iters}] ok", flush=True)
+                bookkeep(done, result)
     else:
         for done, task in enumerate(tasks, start=1):
-            result = _run_one(task)
-            total_misspecs += result.misspeculations
-            if not result.ok:
-                failures.append(result)
-                print(
-                    f"[{done}/{iters}] FAIL seed={result.seed}: {result.summary}",
-                    flush=True,
-                )
-            elif verbose and done % 10 == 0:
-                print(f"[{done}/{iters}] ok", flush=True)
+            bookkeep(done, _run_one(task))
 
     elapsed = time.monotonic() - started
     rate = iters / elapsed if elapsed > 0 else float("inf")
+    verified = f", {len(convicted)} symbolic counterexamples" if verify_k else ""
     print(
-        f"{iters} programs, {len(failures)} failures, "
+        f"{iters} programs, {len(failures)} failures{verified}, "
         f"{total_misspecs} misspeculations observed, "
         f"{elapsed:.1f}s ({rate:.2f} prog/s)",
         flush=True,
@@ -153,7 +198,13 @@ def fuzz(
     for failure in failures:
         path = _handle_failure(failure, corpus_dir, shrink)
         print(f"  artifact: {path}", flush=True)
-    return len(failures)
+    for result in convicted:
+        # regenerate in-process (same economy as failures) and concretize
+        program = generate_program(result.seed)
+        for verdict in _verify_counterexamples(program, verify_k):
+            path = save_counterexample(verdict, corpus_dir)
+            print(f"  artifact: {path}", flush=True)
+    return len(failures) + len(convicted)
 
 
 def replay(path: Path) -> int:
@@ -194,6 +245,19 @@ def main(argv: Optional[list] = None) -> int:
         help="save failing programs unshrunk",
     )
     parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="push every oracle-clean program through bounded symbolic "
+        "verification (repro.verify); counterexamples are concretized "
+        "into the corpus directory as verify-*.json",
+    )
+    parser.add_argument(
+        "--verify-k",
+        type=int,
+        default=6,
+        help="input bit-width bound for --verify (default 6)",
+    )
+    parser.add_argument(
         "--replay",
         type=Path,
         default=None,
@@ -211,6 +275,7 @@ def main(argv: Optional[list] = None) -> int:
         jobs=max(args.jobs, 1),
         corpus_dir=args.corpus_dir,
         shrink=not args.no_shrink,
+        verify_k=args.verify_k if args.verify else 0,
     )
     return 1 if failures else 0
 

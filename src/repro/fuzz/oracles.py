@@ -12,14 +12,19 @@ level                   what executes
 ``machine-baseline``    compiled ARM binary on ``repro.arch.machine``
 ``machine-bitspec-T``   compiled ARM_BS binary, T ∈ {max,avg,min}
 ``machine-thumb``       compiled THUMB binary
-``engines``             the T=MAX binary on the legacy and compiled engines
+``engines``             the T=MAX binary on the legacy, compiled and ooo engines
 ======================  =====================================================
 
-The ``engines`` level is the fuzzing arm of the three-engine bit-identity
-contract (docs/engines.md): the T=MAX binary is re-run on the legacy
-interpreter and the compiled template JIT, and every ``SimResult`` field
-— aggregates, energy counters, class counts, final memory image — must
-equal the fast path's, not just the ``out()`` stream.
+The ``engines`` level is the fuzzing arm of the four-engine contract
+(docs/engines.md): the T=MAX binary is re-run on the legacy interpreter
+and the compiled template JIT, and every ``SimResult`` field —
+aggregates, energy counters, class counts, final memory image — must
+equal the fast path's, not just the ``out()`` stream.  The out-of-order
+engine then re-runs the same binary and its *committed view*
+(:func:`repro.arch.machine.committed_view` — traps, out stream, memory,
+committed instruction/misspeculation counts) must match; its cycles and
+energy counters are its own timing model's and are deliberately not
+compared.
 
 BITSPEC levels profile on ``inputs_profile`` and run on ``inputs_run`` —
 when those differ, compiled speculation genuinely misspeculates and the
@@ -168,11 +173,12 @@ def _check_energy(report: OracleReport, level: str, sim) -> None:
 
 
 def _check_engines(report: OracleReport, binary, inputs, fast_sim) -> None:
-    """The ``engines`` oracle level: all three engines bit-identical.
+    """The ``engines`` oracle level: the four-engine contract.
 
     Re-runs the T=MAX binary on the legacy interpreter and the compiled
     template JIT and requires every :class:`SimResult` field — not just
-    the ``out()`` stream — to equal the fast path's.
+    the ``out()`` stream — to equal the fast path's; then re-runs it on
+    the out-of-order engine and requires committed-view equality.
     """
     import dataclasses
 
@@ -204,6 +210,19 @@ def _check_engines(report: OracleReport, binary, inputs, fast_sim) -> None:
         if engine == "compiled":
             report.outputs["engines"] = sim.output
             report.misspeculations["engines"] = sim.misspeculations
+
+    # the ooo lane: committed architectural contract only
+    from repro.arch.machine import committed_view
+
+    ooo_sim = binary.run(inputs, engine="ooo")
+    ref_view = committed_view(fast_sim)
+    ooo_view = committed_view(ooo_sim)
+    for name, expected in ref_view.items():
+        got = ooo_view[name]
+        if got != expected:
+            report.invariant_failures.append(
+                f"engines: ooo committed {name} {got!r} != fast {expected!r}"
+            )
 
 
 def _expander(program: FuzzProgram) -> ExpanderConfig:

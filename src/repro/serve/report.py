@@ -22,7 +22,7 @@ from __future__ import annotations
 import hashlib
 
 from repro.arch.energy import compute_energy
-from repro.arch.machine import MachineError
+from repro.arch.machine import INORDER_ENGINES, MachineError, committed_view
 from repro.core.pipeline import compile_binary
 from repro.dse.space import PRESETS as DSE_PRESETS
 from repro.obs.report import _region_labels
@@ -284,6 +284,16 @@ def execute_request(canonical: dict, key: str) -> dict:
     strict = config_section.get("strict", False)
     opts = canonical["report"]
     config = build_config(config_section)
+    # the engine spelling never reaches the body: report cycles/energy are
+    # defined under the in-order timing model, so 'ooo' runs the report sim
+    # on the default engine and adds a committed-state cross-check below
+    requested_engine = canonical.get("engine")
+    sim_engine = requested_engine if requested_engine in INORDER_ENGINES else None
+    if sim_engine == "legacy" and opts["attribution"]:
+        # same rule as resolve_engine's env defaulting: the legacy
+        # interpreter cannot produce a PcSample, and the engines are
+        # bit-identical anyway
+        sim_engine = "fast"
 
     # 1. frontend pre-pass: surface parse errors and bad input bindings
     # as their own error classes before burning a full compile
@@ -315,7 +325,9 @@ def execute_request(canonical: dict, key: str) -> dict:
     # 3. simulate (obs-enabled when the report wants attribution)
     try:
         sim = binary.run(
-            dict(canonical["inputs"]["run"]), obs=opts["attribution"]
+            dict(canonical["inputs"]["run"]),
+            obs=opts["attribution"],
+            engine=sim_engine,
         )
     except MachineError as exc:
         return error_envelope(
@@ -329,6 +341,30 @@ def execute_request(canonical: dict, key: str) -> dict:
                 }
             ],
         )
+
+    # 3b. engine='ooo': live four-engine contract check — the out-of-order
+    # engine must commit the same architectural state before the (engine-
+    # independent) body goes out
+    if requested_engine == "ooo":
+        try:
+            ooo_sim = binary.run(dict(canonical["inputs"]["run"]), engine="ooo")
+            diverged = sorted(
+                name
+                for name, value in committed_view(sim).items()
+                if committed_view(ooo_sim)[name] != value
+            )
+        except MachineError as exc:
+            diverged = [f"trap: {type(exc).__name__}: {exc}"]
+        if diverged:
+            return error_envelope(
+                "internal-error",
+                500,
+                "ooo engine diverged from the committed-state contract",
+                details=[
+                    {"path": "engine", "message": str(d)} for d in diverged
+                ],
+                cacheable=False,
+            )
 
     report = {
         "schema": REPORT_SCHEMA,

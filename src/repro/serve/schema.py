@@ -28,6 +28,7 @@ import json
 import re
 from dataclasses import replace
 
+from repro.arch.machine import ENGINES
 from repro.arch.widths import SLICE_WIDTHS
 from repro.core.pipeline import CompilerConfig
 from repro.dse.space import OP_SETS, SpecPoint
@@ -92,6 +93,14 @@ REQUEST_SCHEMA = {
             "type": "string",
             "description": "MiniC program text (must define main)",
             "maxBytes": MAX_SOURCE_BYTES,
+        },
+        "engine": {
+            "enum": list(ENGINES),
+            "description": "simulation engine preference; never partitions "
+            "the cache and never changes the report body (the report's "
+            "cycles/energy are defined under the in-order timing model; "
+            "'ooo' additionally cross-checks the out-of-order engine's "
+            "committed state before the body is emitted)",
         },
         "config": {
             "type": "object",
@@ -298,9 +307,18 @@ def validate_request(doc) -> dict:
         raise RequestValidationError(
             [{"path": "$", "message": "request body must be a JSON object"}]
         )
-    unknown = set(doc) - {"tenant", "source", "config", "inputs", "report"}
+    unknown = set(doc) - {"tenant", "source", "engine", "config", "inputs", "report"}
     if unknown:
         _err(errors, "$", f"unknown fields: {sorted(unknown)}")
+
+    engine = doc.get("engine")
+    if engine is not None and engine not in ENGINES:
+        _err(
+            errors,
+            "engine",
+            f"unknown engine {engine!r}; valid: {', '.join(ENGINES)}",
+        )
+        engine = None
 
     tenant = doc.get("tenant", "anonymous")
     if not isinstance(tenant, str) or not _TENANT_RE.match(tenant):
@@ -351,6 +369,7 @@ def validate_request(doc) -> dict:
     return {
         "tenant": tenant,
         "source": source,
+        "engine": engine,
         "config": config,
         "inputs": {"profile": profile, "run": run},
         "report": {"attribution": attribution, "pareto": pareto, "top": top},
@@ -387,8 +406,10 @@ def request_key(canonical: dict) -> str:
     *resolved* config fingerprint (+ strictness), the input bindings, the
     report options, the report schema version and the energy-model stamp.
     Excludes the tenant — tenants submitting identical work share cache
-    entries (the multi-tenant storage tier) — and, like the bench cache,
-    the simulation engine: engines are bit-identical.
+    entries (the multi-tenant storage tier) — and the simulation engine:
+    the in-order engines are bit-identical, and the ``ooo`` spelling only
+    adds a committed-state cross-check without touching the body, so all
+    four spellings must hash to the same key and share one cache entry.
     """
     from repro.bench.cache import energy_model_stamp
 

@@ -29,7 +29,7 @@ import json
 import sys
 from pathlib import Path
 
-from repro.fuzz.corpus import iter_corpus, program_from_dict, save_program
+from repro.fuzz.corpus import iter_corpus, save_counterexample
 from repro.verify.checker import (
     CANARIES,
     DEFAULT_MAX_LANES,
@@ -148,11 +148,7 @@ def _report_line(verdict: dict) -> str:
 
 
 def _emit(verdict: dict, out_dir: str, emitted: list) -> None:
-    program = program_from_dict(dict(verdict["program"], format=1, name=""))
-    stem = verdict["name"].replace(":", "-").replace("/", "-")
-    path = Path(out_dir) / f"verify-{stem}-k{verdict['k']}.json"
-    save_program(program, path, name=path.stem)
-    emitted.append(str(path))
+    emitted.append(str(save_counterexample(verdict, out_dir)))
 
 
 def _verify_program(source, name, targets, results, args, emitted, log):

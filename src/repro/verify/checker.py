@@ -256,12 +256,14 @@ def confirm_counterexample(
 ) -> dict:
     """Replay a concretized counterexample through the full oracle stack.
 
-    Runs the IR interpreter plus all three machine engines on both
-    worlds.  ``diverged`` is True only when each world is internally
-    unanimous *and* the two worlds disagree — i.e. the divergence is a
-    real property of the BITSPEC image, not executor or engine noise.
+    Runs the IR interpreter plus all four machine engines on both
+    worlds (the ooo engine shares the committed trap/output contract, so
+    it participates in the unanimity vote).  ``diverged`` is True only
+    when each world is internally unanimous *and* the two worlds
+    disagree — i.e. the divergence is a real property of the BITSPEC
+    image, not executor or engine noise.
     """
-    engines = ("legacy", "fast", "compiled")
+    engines = ("legacy", "fast", "compiled", "ooo")
     record = {"engines": {}, "interp": None, "diverged": False}
     world_obs = {}
     for world, binary in (
@@ -313,7 +315,7 @@ def verify_function(
 
     Returns a JSON-ready verdict record.  When the verdict is
     ``counterexample`` the record carries the concretized input
-    assignment, per-world lane observations, the concrete three-engine
+    assignment, per-world lane observations, the concrete cross-engine
     confirmation, and ``program`` — a replayable corpus entry dict.
     ``max_regions`` (when nonzero) skips functions whose squeeze produced
     more speculative regions than the cap.

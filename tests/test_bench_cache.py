@@ -280,7 +280,7 @@ def test_previous_entry_format_is_evicted(disk_cache):
     key = disk_cache._run_key(SOURCE, config, "test", 0, "test", 0)
     path = _entry_path(disk_cache, key)
     entry = json.loads(path.read_text())
-    assert entry["format"] == bench_cache.ENTRY_FORMAT == 4
+    assert entry["format"] == bench_cache.ENTRY_FORMAT == 5
     entry["format"] = 2
     del entry["payload"]["sim"]["slice_width"]  # the format-2 shape
     path.write_text(json.dumps(entry))

@@ -1,10 +1,13 @@
-"""The cross-engine differential matrix: three engines, one semantics.
+"""The cross-engine differential matrix: four engines, one semantics.
 
-This is the enforcement arm of the three-engine contract (docs/engines.md):
+This is the enforcement arm of the four-engine contract (docs/engines.md):
 the legacy interpreter, the predecoded fast path and the compiled template
 JIT must be *bit-identical* on every observable — ``SimResult`` aggregates
 and energy counters, final memory images, per-pc observability samples,
-and fault-injection classification matrices.
+and fault-injection classification matrices — while the out-of-order
+engine (:mod:`repro.arch.ooo`), whose cycles and energy belong to its own
+timing model, must match the *committed* architectural view: traps, out
+stream, memory image, committed instruction/misspeculation counts.
 
 Coverage axes:
 
@@ -33,7 +36,7 @@ from repro.fuzz.corpus import load_program
 from repro.passes.expander import ExpanderConfig
 from repro.workloads import get_workload
 
-from test_machine_predecode import assert_sims_identical
+from test_machine_predecode import assert_engine_matches, assert_sims_identical
 
 CORPUS_DIR = Path(__file__).parent / "corpus"
 
@@ -79,15 +82,17 @@ def _run(binary, inputs, engine: str, obs: bool = False):
 
 def _assert_all_engines_identical(binary, inputs, label: str) -> None:
     ref = _run(binary, inputs, "fast")
-    for engine in ("legacy", "compiled"):
-        assert_sims_identical(_run(binary, inputs, engine), ref, f"{label}/{engine}")
+    for engine in ("legacy", "compiled", "ooo"):
+        assert_engine_matches(
+            _run(binary, inputs, engine), ref, engine, f"{label}/{engine}"
+        )
 
 
 # -- corpus matrix ------------------------------------------------------------
 
 
 @pytest.mark.parametrize("name", SMOKE_CORPUS)
-def test_corpus_smoke_three_engines(name):
+def test_corpus_smoke_all_engines(name):
     binary, inputs = _corpus_binary(name, CompilerConfig.bitspec("max"))
     _assert_all_engines_identical(binary, inputs, name)
 
@@ -95,7 +100,7 @@ def test_corpus_smoke_three_engines(name):
 @pytest.mark.slow
 @pytest.mark.parametrize("name", FULL_CORPUS)
 @pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.name)
-def test_corpus_full_three_engines(name, config):
+def test_corpus_full_all_engines(name, config):
     binary, inputs = _corpus_binary(name, config)
     _assert_all_engines_identical(binary, inputs, f"{name}/{config.name}")
 
@@ -114,8 +119,21 @@ def test_workload_smoke_compiled_vs_fast(workload_name):
     )
 
 
+def test_workload_smoke_ooo_committed():
+    """One smoke workload pins the OoO committed contract in tier-1."""
+    config = CompilerConfig.bitspec("max")
+    binary = get_binary("crc32", config)
+    inputs = get_workload("crc32").inputs("test", 0)
+    ref = _run(binary, inputs, "fast")
+    sim = _run(binary, inputs, "ooo")
+    assert_engine_matches(sim, ref, "ooo", "crc32/ooo")
+    # the timing model is genuinely different, not a relabeled in-order run
+    assert sim.cycles != ref.cycles
+    assert sim.ooo.fetched_uops >= sim.instructions
+
+
 @pytest.mark.slow
-def test_workload_roster_three_engines():
+def test_workload_roster_all_engines():
     """All 14 benchmark workloads, every engine vs the fast path."""
     from repro.eval.harness import BENCHMARKS
 
@@ -125,9 +143,10 @@ def test_workload_roster_three_engines():
         inputs = get_workload(workload_name).inputs("test", 0)
         ref = _run(binary, inputs, "fast")
         assert ref.instructions > 0
-        for engine in ("legacy", "compiled"):
-            assert_sims_identical(
-                _run(binary, inputs, engine), ref, f"{workload_name}/{engine}"
+        for engine in ("legacy", "compiled", "ooo"):
+            assert_engine_matches(
+                _run(binary, inputs, engine), ref, engine,
+                f"{workload_name}/{engine}",
             )
 
 

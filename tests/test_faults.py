@@ -129,11 +129,16 @@ def test_unknown_kind_rejected():
 
 
 def test_kind_partition():
-    assert STEP_KINDS | SPEC_KINDS == frozenset(FAULT_KINDS)
+    from repro.faults.plan import RECOVERY_KINDS
+
+    assert STEP_KINDS | SPEC_KINDS | RECOVERY_KINDS == frozenset(FAULT_KINDS)
     assert not STEP_KINDS & SPEC_KINDS
-    assert DETECTABLE_KINDS == frozenset({"misspec_spurious", "dts_timing"})
+    assert not (STEP_KINDS | SPEC_KINDS) & RECOVERY_KINDS
+    assert DETECTABLE_KINDS == frozenset(
+        {"misspec_spurious", "dts_timing", "ooo_flush_drop"}
+    )
     assert detectable_kinds(parity=True) == DETECTABLE_KINDS | {
-        "mem_bit", "icache"
+        "mem_bit", "icache", "ooo_ckpt_bit"
     }
 
 

@@ -98,7 +98,7 @@ def test_interpreter_reenters_through_both_handlers():
 
 
 def test_machine_reenters_through_both_handlers(engine):
-    """All three engines walk entry → hA → hB: exactly 2 misspecs.
+    """Every engine walks entry → hA → hB: exactly 2 misspecs.
 
     For the compiled engine this is the misspec-inside-handler re-entry
     property: the first redirect aborts a compiled region mid-block, the
@@ -196,7 +196,7 @@ def test_seeded_block_boundary_redirect_sweep(seed):
     full result — and the walk must still produce exactly 2 misspecs and
     the hB-only output, whatever the redirect pc.
     """
-    from test_machine_predecode import assert_sims_identical
+    from test_machine_predecode import assert_engine_matches
 
     rng = _lcg(seed)
     pad_entry = rng() % 24
@@ -208,10 +208,11 @@ def test_seeded_block_boundary_redirect_sweep(seed):
     ).run()
     assert ref.output == [600]
     assert ref.misspeculations == 2
-    for engine in ("legacy", "compiled"):
+    for engine in ("legacy", "compiled", "ooo"):
         sim = Machine(
             module=module, linked=linked, engine=engine, step_limit=10_000
         ).run()
-        assert_sims_identical(
-            sim, ref, f"seed={seed} pads=({pad_entry},{pad_handler})/{engine}"
+        assert_engine_matches(
+            sim, ref, engine,
+            f"seed={seed} pads=({pad_entry},{pad_handler})/{engine}",
         )

@@ -1,12 +1,16 @@
 """Engine-matrix differential tests: every engine vs the fast-path reference.
 
-The Machine has three engines — the legacy instruction-at-a-time
-interpreter, the predecoded fast path (:mod:`repro.arch.predecode`) and
-the compiled template JIT (:mod:`repro.arch.compiled`) — that must be
-*bit-identical*: same output stream, same cycle and instruction counts,
-same per-width register-file traffic, same cache and misspeculation
-events.  Any divergence silently corrupts every energy figure, so
-equality is checked field-by-field, not just on the totals.
+The Machine has four engines.  The three in-order ones — the legacy
+instruction-at-a-time interpreter, the predecoded fast path
+(:mod:`repro.arch.predecode`) and the compiled template JIT
+(:mod:`repro.arch.compiled`) — must be *bit-identical*: same output
+stream, same cycle and instruction counts, same per-width register-file
+traffic, same cache and misspeculation events.  Any divergence silently
+corrupts every energy figure, so equality is checked field-by-field, not
+just on the totals.  The out-of-order engine (:mod:`repro.arch.ooo`) has
+its own timing/energy model and is held to the *committed* contract
+instead: identical traps, out stream, memory image and committed
+instruction/misspeculation counts (:func:`repro.arch.machine.committed_view`).
 
 Each test here takes the ``engine`` fixture (see conftest), so the matrix
 is (engine × corpus program × config) and (engine × workload × config);
@@ -22,7 +26,7 @@ from pathlib import Path
 import pytest
 
 from repro.arch.energy import EnergyCounters
-from repro.arch.machine import Machine, SimResult
+from repro.arch.machine import Machine, SimResult, committed_view
 from repro.core.pipeline import CompilerConfig, compile_binary, set_global_inputs
 from repro.eval.harness import get_binary
 from repro.fuzz.corpus import load_program
@@ -46,7 +50,7 @@ CONFIGS = (
 def assert_sims_identical(sim: SimResult, ref: SimResult, label: str) -> None:
     """Field-by-field SimResult equality (counters and class mix included)."""
     for f in dataclasses.fields(SimResult):
-        if f.name in ("counters", "memory", "obs"):
+        if f.name in ("counters", "memory", "obs", "ooo"):
             continue
         assert getattr(sim, f.name) == getattr(ref, f.name), (
             f"{label}: SimResult.{f.name} differs: "
@@ -65,6 +69,30 @@ def assert_sims_identical(sim: SimResult, ref: SimResult, label: str) -> None:
         )
     # ... and therefore the energy model sees identical inputs
     assert sim.energy().as_dict() == ref.energy().as_dict(), label
+
+
+def assert_committed_identical(sim: SimResult, ref: SimResult, label: str) -> None:
+    """The ooo contract: committed architectural state only (docs/engines.md)."""
+    got, want = committed_view(sim), committed_view(ref)
+    for name in want:
+        assert got[name] == want[name], (
+            f"{label}: committed {name} differs: "
+            f"sim={got[name]!r} ref={want[name]!r}"
+        )
+    assert (sim.memory is None) == (ref.memory is None), label
+    if sim.memory is not None:
+        assert sim.memory.data == ref.memory.data, (
+            f"{label}: final memory images differ"
+        )
+
+
+def assert_engine_matches(sim: SimResult, ref: SimResult, engine: str, label: str):
+    """Dispatch to the contract the engine is held to."""
+    if engine == "ooo":
+        assert_committed_identical(sim, ref, label)
+        assert sim.ooo is not None and sim.cycles > 0, label
+    else:
+        assert_sims_identical(sim, ref, label)
 
 
 #: per-cell fast-path reference runs, computed once for the whole matrix
@@ -101,21 +129,21 @@ def test_corpus_program_engines_identical(engine, name, config):
     if inputs:
         set_global_inputs(binary.module, inputs)
     sim = Machine(binary.linked, binary.module, engine=engine).run()
-    assert_sims_identical(sim, ref, f"{name}/{config.name}/{engine}")
+    assert_engine_matches(sim, ref, engine, f"{name}/{config.name}/{engine}")
 
 
 @pytest.mark.parametrize("workload_name", WORKLOADS)
 @pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.name)
 def test_workload_engines_identical(engine, workload_name, config):
-    if engine == "legacy" and workload_name != "crc32":
-        pytest.skip("legacy workload runs are slow; one workload pins the path")
+    if engine in ("legacy", "ooo") and workload_name != "crc32":
+        pytest.skip("stepper workload runs are slow; one workload pins the path")
     binary = get_binary(workload_name, config)
     inputs = get_workload(workload_name).inputs("test", 0)
     ref = _reference(("workload", workload_name, config.name), binary, inputs)
     if inputs:
         set_global_inputs(binary.module, inputs)
     sim = Machine(binary.linked, binary.module, engine=engine).run()
-    assert_sims_identical(sim, ref, f"{workload_name}/{config.name}/{engine}")
+    assert_engine_matches(sim, ref, engine, f"{workload_name}/{config.name}/{engine}")
     assert sim.instructions > 0
 
 

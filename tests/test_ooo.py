@@ -1,0 +1,179 @@
+"""Unit tests for the out-of-order engine (:mod:`repro.arch.ooo`).
+
+The cross-engine committed-state matrix lives in
+``test_engine_equivalence.py`` / ``test_machine_predecode.py``; this file
+covers the OoO-specific surface: structure-size parameters and their env
+overrides, the degradation ladder, the OoO stats/energy event taxonomy,
+composition of bitwidth-misspeculation recovery with branch recovery, and
+the rename/ROB recovery fault kinds.
+"""
+
+import pytest
+
+from repro.arch.machine import FaultTrap, Machine, committed_view
+from repro.arch.ooo import OooParams, ooo_params
+from repro.core.pipeline import CompilerConfig, set_global_inputs
+from repro.eval.harness import get_binary
+from repro.faults.plan import GoldenProfile, derive_plan
+from repro.faults.session import FaultSession
+from repro.workloads import get_workload
+
+#: the seven energy-event counters only the OoO engine drives
+OOO_COUNTERS = (
+    "rename_reads", "rename_writes", "rob_writes", "rob_reads",
+    "iq_writes", "iq_wakeups", "ckpt_ops",
+)
+
+
+def _run(workload, config, engine="ooo", obs=False):
+    binary = get_binary(workload, config)
+    inputs = get_workload(workload).inputs("test", 0)
+    if inputs:
+        set_global_inputs(binary.module, inputs)
+    return Machine(binary.linked, binary.module, engine=engine, obs=obs).run()
+
+
+# -- parameters ---------------------------------------------------------------
+
+
+def test_params_defaults():
+    assert ooo_params() == OooParams(rob=48, iq=24, width=2, bp_bits=9, ras=8)
+
+
+def test_params_env_overrides(monkeypatch):
+    monkeypatch.setenv("REPRO_OOO_ROB", "16")
+    monkeypatch.setenv("REPRO_OOO_WIDTH", "4")
+    params = ooo_params()
+    assert params.rob == 16 and params.width == 4
+    assert params.iq == 24  # untouched knobs keep their defaults
+
+
+def test_params_env_rejects_bad_values(monkeypatch):
+    monkeypatch.setenv("REPRO_OOO_IQ", "100000")  # out of range
+    with pytest.raises(ValueError, match="REPRO_OOO_IQ"):
+        ooo_params()
+    monkeypatch.setenv("REPRO_OOO_IQ", "nonsense")
+    with pytest.raises(ValueError, match="expected an integer"):
+        ooo_params()
+
+
+# -- degradation ladder -------------------------------------------------------
+
+
+def test_obs_request_degrades_to_fast():
+    """obs needs a PcSample; the ooo engine hands the run to the fast path."""
+    sim = _run("crc32", CompilerConfig.bitspec("max"), obs=True)
+    assert sim.obs is not None
+    assert sim.ooo is None  # the fast path ran, not the OoO core
+
+
+# -- stats, counters, energy --------------------------------------------------
+
+
+def test_stats_and_energy_events():
+    config = CompilerConfig.bitspec("max")
+    ooo = _run("crc32", config)
+    fast = _run("crc32", config, engine="fast")
+    assert ooo.ooo is not None and fast.ooo is None
+    assert ooo.ooo.fetched_uops >= ooo.instructions
+    assert ooo.ooo.checkpoints >= ooo.ooo.recoveries
+    for name in OOO_COUNTERS:
+        assert getattr(ooo.counters, name) > 0, name
+        assert getattr(fast.counters, name) == 0, name
+    # the OoO events price into the pipeline component, so total energy
+    # moves while the committed architectural state does not
+    assert ooo.energy().total != fast.energy().total
+    assert committed_view(ooo) == committed_view(fast)
+
+
+def test_structure_sizes_change_timing_not_state(monkeypatch):
+    config = CompilerConfig.bitspec("max")
+    wide = _run("crc32", config)
+    monkeypatch.setenv("REPRO_OOO_ROB", "8")
+    monkeypatch.setenv("REPRO_OOO_WIDTH", "1")
+    narrow = _run("crc32", config)
+    assert committed_view(narrow) == committed_view(wide)
+    assert narrow.cycles > wide.cycles  # a 1-wide 8-entry core is slower
+
+
+def test_misspec_recovery_composes_with_branch_recovery():
+    """Every bitwidth misspeculation redirects through the same ROB
+    recovery path as a mispredicted branch (the composition contract)."""
+    sim = _run("crc32", CompilerConfig.bitspec("min"))
+    assert sim.misspeculations > 0
+    assert sim.ooo.misspec_recoveries == sim.misspeculations
+    assert sim.ooo.recoveries >= (
+        sim.ooo.misspec_recoveries + sim.ooo.branch_mispredicts
+    )
+
+
+# -- recovery fault kinds -----------------------------------------------------
+
+
+def test_recovery_plan_derivation():
+    golden = GoldenProfile(
+        instructions=100, misspeculations=3, spec_successes=50,
+        mem_base=0x400000, mem_span=64, recoveries=12,
+    )
+    plan = derive_plan("ooo_ckpt_bit", 7, golden, parity=True)
+    assert 1 <= plan.nth_event <= 12
+    assert 0 <= plan.reg < 16 and 0 <= plan.bit < 7
+    assert "rename[" in plan.describe() and "+parity" in plan.describe()
+    drop = derive_plan("ooo_flush_drop", 7, golden)
+    assert 1 <= drop.nth_event <= 12
+    assert drop.describe().startswith("ooo_flush_drop @ recovery")
+
+
+def test_recovery_session_actions():
+    golden = GoldenProfile(
+        instructions=10, misspeculations=0, spec_successes=0,
+        mem_base=0, mem_span=1, recoveries=2,
+    )
+    plan = derive_plan("ooo_flush_drop", 0, golden)
+    session = FaultSession(plan)
+    assert session.ooo_native
+    actions = [session.recovery_action(5) for _ in range(plan.nth_event)]
+    assert actions[-1] == "flush_drop" and all(a is None for a in actions[:-1])
+    assert session.triggered and session.trap_mechanism == "rob-epoch-check"
+
+    # suppressing the flush of an empty wrong-path window is masked
+    masked = FaultSession(plan)
+    assert all(masked.recovery_action(0) is None for _ in range(plan.nth_event))
+    assert masked.triggered and masked.trap_mechanism is None
+
+    corrupt = FaultSession(derive_plan("ooo_ckpt_bit", 0, golden))
+    acts = [corrupt.recovery_action(3) for _ in range(corrupt.plan.nth_event)]
+    assert acts[-1] == "ckpt_bit"
+
+    protected = FaultSession(derive_plan("ooo_ckpt_bit", 0, golden, parity=True))
+    with pytest.raises(FaultTrap):
+        for _ in range(protected.plan.nth_event):
+            protected.recovery_action(3)
+    assert protected.detected_by_parity
+    assert protected.trap_mechanism == "rename-parity"
+
+
+def test_recovery_campaign_zero_sdc_under_parity():
+    """The acceptance gate: rename/ROB faults are never silent when the
+    hardware model makes them detectable."""
+    from repro.faults.campaign import run_campaign, to_canonical_json
+
+    document = run_campaign(
+        workloads=("crc32",),
+        config_names=("bitspec-min",),
+        kinds=("ooo_ckpt_bit", "ooo_flush_drop"),
+        seed=0,
+        per_kind=1,
+        parity=True,
+        jobs=1,
+        engine="ooo",
+    )
+    from repro.faults.campaign import SDC
+
+    records = document["cells"]
+    assert records and all(r["status"] == "ok" for r in records)
+    assert all(r["category"] != SDC for r in records)
+    triggered = [r for r in records if r["triggered"]]
+    assert triggered, "both kinds untriggered — golden run had no recoveries?"
+    assert all(r["category"].startswith("detected") for r in triggered)
+    assert '"engine"' not in to_canonical_json(document)

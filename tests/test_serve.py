@@ -107,6 +107,19 @@ class TestSchema:
         b = validate_request(good_doc(tenant="bob"))
         assert request_key(a) == request_key(b)
 
+    def test_key_excludes_engine_spelling(self):
+        keys = {
+            request_key(validate_request(good_doc(engine=engine)))
+            for engine in ("legacy", "fast", "compiled", "ooo")
+        }
+        keys.add(request_key(validate_request(good_doc())))
+        assert len(keys) == 1
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(RequestValidationError) as excinfo:
+            validate_request(good_doc(engine="warp"))
+        assert any(e["path"] == "engine" for e in excinfo.value.errors)
+
     def test_key_dedupes_preset_and_knob_spellings(self):
         # the knob defaults ARE bitspec-max, so the fully-spelled-out
         # document must content-address to the same key as the preset
@@ -179,6 +192,19 @@ class TestExecuteRequest:
         first = canonical_body(execute_request(canonical, key)["body"])
         second = canonical_body(execute_request(canonical, key)["body"])
         assert first == second
+
+    def test_envelope_byte_identical_across_engines(self):
+        # all four engine spellings share one request key and must produce
+        # byte-identical report bodies; 'ooo' additionally runs the live
+        # committed-state cross-check, which must pass silently
+        reference = validate_request(good_doc())
+        key = request_key(reference)
+        expected = canonical_body(execute_request(reference, key)["body"])
+        for engine in ("legacy", "fast", "compiled", "ooo"):
+            canonical = validate_request(good_doc(engine=engine))
+            envelope = execute_request(canonical, key)
+            assert envelope["status"] == 200, engine
+            assert canonical_body(envelope["body"]) == expected, engine
 
 
 # -- the server ----------------------------------------------------------------
