@@ -300,8 +300,34 @@ class Machine:
             return "legacy"
         return "fast"
 
-    def run(self) -> SimResult:
+    def run(self, *, checkpoint_at=None, resume_from=None) -> SimResult:
+        """Execute the program; returns a :class:`SimResult`.
+
+        ``checkpoint_at=N`` stops at the first instruction-count
+        boundary ``>= N`` and returns a
+        :class:`repro.arch.checkpoint.Snapshot` instead (or a normal
+        SimResult when the program halts first); ``resume_from``
+        continues a snapshot.  ``run(checkpoint_at=N)`` +
+        ``run(resume_from=snap)`` is bit-identical to one uninterrupted
+        run (docs/resilience.md).  The ``compiled`` and ``ooo`` engines
+        have no mid-run boundary and degrade to the predecoded stepper
+        whole-run, exactly as fault injection does.
+        """
         engine = self.resolve_engine()
+        if checkpoint_at is not None or resume_from is not None:
+            if self.faults is not None:
+                raise ValueError(
+                    "checkpoint/resume does not compose with fault "
+                    "injection: a FaultSession is positional in the "
+                    "dynamic stream and cannot be split across runs"
+                )
+            if checkpoint_at is not None and checkpoint_at < 0:
+                raise ValueError("checkpoint_at must be >= 0")
+            if engine in ("compiled", "ooo"):
+                # degradation ladder: the batching/OoO engines cannot
+                # stop at an instruction boundary; the predecoded
+                # stepper is bit-identical in the committed contract
+                engine = "fast"
         if engine == "compiled":
             if self.trace_hook is not None:
                 raise ValueError("trace_hook requires the legacy path")
@@ -319,12 +345,16 @@ class Machine:
                 raise ValueError("trace_hook requires the legacy path")
             from repro.arch.predecode import run_fast
 
-            return run_fast(self)
+            return run_fast(
+                self, checkpoint_at=checkpoint_at, resume_from=resume_from
+            )
         if self.obs:
             raise ValueError("obs=True requires the predecoded fast path")
-        return self._run_legacy()
+        return self._run_legacy(
+            checkpoint_at=checkpoint_at, resume_from=resume_from
+        )
 
-    def _run_legacy(self) -> SimResult:
+    def _run_legacy(self, checkpoint_at=None, resume_from=None) -> SimResult:
         linked = self.linked
         insts = linked.insts
         delta = linked.delta
@@ -364,6 +394,45 @@ class Machine:
         last_load_reg = -1
         out_l1 = out_l2 = out_mem = 0  # dcache level counters
         ic_l1 = ic_l2 = ic_mem = 0
+
+        if resume_from is not None:
+            from repro.arch.checkpoint import restore_hierarchy
+
+            snap = resume_from
+            snap.check_resume(self, "legacy")
+            hierarchy = restore_hierarchy(snap.hierarchy, self.geometry)
+            fetch = hierarchy.fetch
+            data_access = hierarchy.data_access
+            memory.data[:] = snap.memory_data
+            regs[:] = snap.regs
+            cmp_state = tuple(snap.cmp_state)
+            carry = snap.carry
+            last_load_reg = snap.last_load_reg
+            pc = snap.pc
+            steps = instructions = snap.instructions
+            state = snap.state
+            cycles = state["cycles"]
+            misspecs = state["misspeculations"]
+            ic_l1, ic_l2, ic_mem = state["ic_l1"], state["ic_l2"], state["ic_mem"]
+            out_l1, out_l2, out_mem = (
+                state["out_l1"], state["out_l2"], state["out_mem"]
+            )
+            result.output[:] = snap.output
+            result.branches = state["branches"]
+            result.taken_branches = state["taken_branches"]
+            result.spill_stores = state["spill_stores"]
+            result.spill_loads = state["spill_loads"]
+            result.copies = state["copies"]
+            result.stores = state["stores"]
+            result.loads = state["loads"]
+            class_counts.update(state["class_counts"])
+            rf_reads.update({int(k): v for k, v in state["rf_reads"].items()})
+            rf_writes.update({int(k): v for k, v in state["rf_writes"].items()})
+            counters.alu32_ops = state["alu32_ops"]
+            counters.alu8_ops = state["alu8_ops"]
+            counters.mul_ops = state["mul_ops"]
+            counters.div_ops = state["div_ops"]
+            counters.move_ops = state["move_ops"]
 
         def read(op):
             if type(op) is Slice:
@@ -407,6 +476,38 @@ class Machine:
         limit = self.step_limit
         trace_hook = self.trace_hook
         while pc != HALT:
+            if checkpoint_at is not None and instructions >= checkpoint_at:
+                from repro.arch.checkpoint import make_snapshot
+
+                return make_snapshot(
+                    self, "legacy",
+                    instructions=instructions, pc=pc, regs=regs,
+                    cmp_state=cmp_state, carry=carry,
+                    last_load_reg=last_load_reg, output=result.output,
+                    memory=memory, hierarchy=hierarchy,
+                    state={
+                        "cycles": cycles,
+                        "misspeculations": misspecs,
+                        "ic_l1": ic_l1, "ic_l2": ic_l2, "ic_mem": ic_mem,
+                        "out_l1": out_l1, "out_l2": out_l2,
+                        "out_mem": out_mem,
+                        "branches": result.branches,
+                        "taken_branches": result.taken_branches,
+                        "spill_stores": result.spill_stores,
+                        "spill_loads": result.spill_loads,
+                        "copies": result.copies,
+                        "loads": result.loads,
+                        "stores": result.stores,
+                        "class_counts": dict(class_counts),
+                        "rf_reads": dict(rf_reads),
+                        "rf_writes": dict(rf_writes),
+                        "alu32_ops": counters.alu32_ops,
+                        "alu8_ops": counters.alu8_ops,
+                        "mul_ops": counters.mul_ops,
+                        "div_ops": counters.div_ops,
+                        "move_ops": counters.move_ops,
+                    },
+                )
             if not 0 <= pc < len(insts):
                 raise MachineError(f"pc out of range: {pc}")
             if trace_hook is not None:

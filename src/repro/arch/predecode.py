@@ -411,11 +411,19 @@ def predecode(linked, narrow_rf: bool):
     return cache[narrow_rf]
 
 
-def run_fast(machine) -> "SimResult":
+def run_fast(machine, checkpoint_at=None, resume_from=None) -> "SimResult":
     """Execute a linked program on the predecoded fast path.
 
     Produces a :class:`repro.arch.machine.SimResult` with event counts
     bit-identical to :meth:`Machine._run_legacy`.
+
+    ``checkpoint_at=N`` returns a
+    :class:`repro.arch.checkpoint.Snapshot` at the first
+    instruction-count boundary ``>= N`` (a SimResult when the program
+    halts first); ``resume_from`` restores one.  The fast path's
+    in-flight state is the per-pc event arrays, captured wholesale —
+    the fold at halt then sees exactly what an uninterrupted run would
+    have accumulated, so resume is bit-identical by construction.
     """
     from repro.arch.machine import MachineError, SimResult
 
@@ -466,7 +474,54 @@ def run_fast(machine) -> "SimResult":
     taken_pc = [0] * n_insts  # conditional branch taken
     movcond_pc = [0] * n_insts  # movcond condition was true (committed)
 
+    if resume_from is not None:
+        from repro.arch.checkpoint import restore_hierarchy
+
+        snap = resume_from
+        snap.check_resume(machine, "fast")
+        hierarchy = restore_hierarchy(snap.hierarchy, machine.geometry)
+        fetch = hierarchy.fetch
+        data_access = hierarchy.data_access
+        memory.data[:] = snap.memory_data
+        regs[:] = snap.regs
+        cmp_state = tuple(snap.cmp_state)
+        carry = snap.carry
+        last_load_reg = snap.last_load_reg
+        pc = snap.pc
+        steps = snap.instructions
+        output[:] = snap.output
+        state = snap.state
+        exec_counts[:] = state["exec_counts"]
+        ic_l2_pc[:] = state["ic_l2_pc"]
+        ic_mem_pc[:] = state["ic_mem_pc"]
+        d_l2_pc[:] = state["d_l2_pc"]
+        d_mem_pc[:] = state["d_mem_pc"]
+        hazard_pc[:] = state["hazard_pc"]
+        misspec_pc[:] = state["misspec_pc"]
+        taken_pc[:] = state["taken_pc"]
+        movcond_pc[:] = state["movcond_pc"]
+
     while pc != HALT:
+        if checkpoint_at is not None and steps >= checkpoint_at:
+            from repro.arch.checkpoint import make_snapshot
+
+            return make_snapshot(
+                machine, "fast",
+                instructions=steps, pc=pc, regs=regs, cmp_state=cmp_state,
+                carry=carry, last_load_reg=last_load_reg, output=output,
+                memory=memory, hierarchy=hierarchy,
+                state={
+                    "exec_counts": list(exec_counts),
+                    "ic_l2_pc": list(ic_l2_pc),
+                    "ic_mem_pc": list(ic_mem_pc),
+                    "d_l2_pc": list(d_l2_pc),
+                    "d_mem_pc": list(d_mem_pc),
+                    "hazard_pc": list(hazard_pc),
+                    "misspec_pc": list(misspec_pc),
+                    "taken_pc": list(taken_pc),
+                    "movcond_pc": list(movcond_pc),
+                },
+            )
         if not 0 <= pc < n_insts:
             raise MachineError(f"pc out of range: {pc}")
         t = code[pc]

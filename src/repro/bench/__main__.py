@@ -256,13 +256,30 @@ def main(argv=None) -> int:
             flush=True,
         )
 
-    outcomes, stats = run_matrix(
-        tasks,
-        jobs=max(args.jobs, 1),
-        cache_dir=cache_dir,
-        timeout=args.timeout or None,
-        progress=ticker,
-    )
+    try:
+        outcomes, stats = run_matrix(
+            tasks,
+            jobs=max(args.jobs, 1),
+            cache_dir=cache_dir,
+            timeout=args.timeout or None,
+            progress=ticker,
+        )
+    except KeyboardInterrupt:
+        # completed RunRecords are already fsync'd in the disk cache —
+        # a rerun resumes from them instead of recomputing
+        if cache_dir is not None:
+            print(
+                f"interrupted: partial results are flushed to {cache_dir}; "
+                "rerun the same command to resume from the cache",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                "interrupted: no cache dir configured, partial results "
+                "were discarded",
+                file=sys.stderr,
+            )
+        return 130
 
     report = summarize(
         outcomes,

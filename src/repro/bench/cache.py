@@ -10,9 +10,12 @@ constants.  Change any one ingredient and the key (hence the cache entry)
 changes; see ``tests/test_bench_cache.py`` for the property tests.
 
 Layout: ``<root>/<key[:2]>/<key>.json``, one JSON document per record,
-written atomically (temp file + ``os.replace``) so concurrent bench
-workers never observe torn entries.  A corrupt or stale-format file is
-*evicted* on read, never raised.
+written atomically (temp file + fsync + ``os.replace``) so concurrent
+bench workers never observe torn entries and a power loss mid-write
+cannot publish an empty or partial file under the final name.  A
+corrupt, truncated, or stale-format file is *evicted* on read, never
+raised; ``.tmp-*`` orphans left by a killed writer are swept on the
+next cache open.
 """
 
 from __future__ import annotations
@@ -41,7 +44,11 @@ ENERGY_MODEL_VERSION = 1
 #:    and sims the OoO structure counters + stats — in-order records
 #:    stay interchangeable across the three bit-identical engines while
 #:    ooo records never alias them (nor each other across geometries).
-ENTRY_FORMAT = 5
+#: 6: entries carry a payload checksum (``sha``): a bit-flipped or
+#:    torn-but-parseable payload is detected and evicted instead of
+#:    being served as a valid result (the chaos campaign's
+#:    zero-corruption gate depends on this).
+ENTRY_FORMAT = 6
 
 
 def energy_model_stamp() -> str:
@@ -108,6 +115,12 @@ class CacheStats:
         return self.hits / total if total else 0.0
 
 
+def payload_digest(payload: dict) -> str:
+    """Checksum stored alongside every entry's payload (format 6+)."""
+    blob = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
 class DiskCache:
     """Key → JSON-payload store with corruption eviction."""
 
@@ -115,6 +128,23 @@ class DiskCache:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.stats = CacheStats()
+        self._sweep_orphans()
+
+    def _sweep_orphans(self) -> None:
+        """Remove ``.tmp-*`` files a killed writer never renamed.
+
+        Only files older than an hour are touched: a young temp file may
+        belong to a concurrent live writer about to ``os.replace`` it.
+        """
+        import time
+
+        cutoff = time.time() - 3600.0
+        for tmp in self.root.glob("*/.tmp-*.json"):
+            try:
+                if tmp.stat().st_mtime < cutoff:
+                    tmp.unlink()
+            except OSError:
+                pass
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -125,17 +155,20 @@ class DiskCache:
     def get(self, key: str) -> Optional[dict]:
         path = self._path(key)
         try:
-            text = path.read_text()
+            raw = path.read_bytes()
         except OSError:
             self.stats.misses += 1
             return None
         try:
-            entry = json.loads(text)
+            # decode inside the eviction guard: a bit-flipped shard can
+            # be invalid UTF-8, which is corruption, not a crash
+            entry = json.loads(raw.decode())
             if (
                 not isinstance(entry, dict)
                 or entry.get("format") != ENTRY_FORMAT
                 or entry.get("key") != key
                 or not isinstance(entry.get("payload"), dict)
+                or entry.get("sha") != payload_digest(entry["payload"])
             ):
                 raise ValueError("malformed cache entry")
         except (ValueError, TypeError):
@@ -153,7 +186,12 @@ class DiskCache:
     def put(self, key: str, payload: dict) -> None:
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        entry = {"format": ENTRY_FORMAT, "key": key, "payload": payload}
+        entry = {
+            "format": ENTRY_FORMAT,
+            "key": key,
+            "payload": payload,
+            "sha": payload_digest(payload),
+        }
         blob = json.dumps(entry, sort_keys=True)
         fd, tmp = tempfile.mkstemp(
             dir=path.parent, prefix=".tmp-", suffix=".json"
@@ -161,6 +199,8 @@ class DiskCache:
         try:
             with os.fdopen(fd, "w") as handle:
                 handle.write(blob)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp, path)
         except OSError:
             try:

@@ -1,0 +1,43 @@
+"""Deterministic process-chaos campaigns.
+
+Where :mod:`repro.faults` injects *architectural* faults (bit flips in
+the register file, caches, and speculation machinery) and classifies
+what the speculation contract's detection mechanisms absorb, this
+package injects *process-level* failures — workers killed mid-task,
+cache shards and journal tails torn or bit-flipped, disk-full writes,
+the serve loop restarted mid-burst — and classifies what the repo's
+crash-safety machinery absorbs: simulation snapshots
+(:mod:`repro.arch.checkpoint`), the write-ahead job journal
+(:mod:`repro.serve.journal`), and the checksummed atomic cache
+(:mod:`repro.bench.cache`).
+
+The taxonomy deliberately mirrors the fault campaigns: every injection
+lands in exactly one of ``recovered`` / ``degraded`` / ``lost-work`` /
+``corruption``, the campaign JSON is byte-identical for a given seed,
+and the CLI (``python -m repro.chaos``) exits non-zero on any
+``corruption`` — the hard gate CI enforces.
+"""
+
+from repro.chaos.campaign import (
+    CATEGORIES,
+    CORRUPTION,
+    DEGRADED,
+    LOST_WORK,
+    RECOVERED,
+    SCENARIOS,
+    render_campaign,
+    run_campaign,
+    to_canonical_json,
+)
+
+__all__ = [
+    "CATEGORIES",
+    "CORRUPTION",
+    "DEGRADED",
+    "LOST_WORK",
+    "RECOVERED",
+    "SCENARIOS",
+    "render_campaign",
+    "run_campaign",
+    "to_canonical_json",
+]

@@ -76,20 +76,37 @@ def cmd_sweep(args, parser) -> int:
             flush=True,
         )
 
-    result = run_sweep(
-        space,
-        workloads,
-        preset=args.preset,
-        strategy=args.strategy,
-        jobs=args.jobs,
-        cache_dir=cache_dir,
-        timeout=args.timeout,
-        random_n=args.random_n,
-        random_seed=args.random_seed,
-        halving_eta=args.eta,
-        engine=args.engine,
-        progress=ticker,
-    )
+    try:
+        result = run_sweep(
+            space,
+            workloads,
+            preset=args.preset,
+            strategy=args.strategy,
+            jobs=args.jobs,
+            cache_dir=cache_dir,
+            timeout=args.timeout,
+            random_n=args.random_n,
+            random_seed=args.random_seed,
+            halving_eta=args.eta,
+            engine=args.engine,
+            progress=ticker,
+        )
+    except KeyboardInterrupt:
+        # evaluated cells are already fsync'd in the disk cache — a
+        # rerun resumes from them instead of recomputing the sweep
+        if cache_dir is not None:
+            print(
+                f"interrupted: completed evaluations are flushed to "
+                f"{cache_dir}; rerun the same command to resume",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                "interrupted: no cache dir configured, completed "
+                "evaluations were discarded",
+                file=sys.stderr,
+            )
+        return 130
     text = result.to_json()
     # ooo sweeps measure a different timing/energy model; never let them
     # clobber (or masquerade as) the in-order document of the same preset

@@ -73,9 +73,30 @@ def load_program(path: Union[str, Path]) -> FuzzProgram:
 
 
 def iter_corpus(directory: Union[str, Path]) -> Iterator[tuple]:
-    """Yield (path, FuzzProgram) for every entry, sorted by file name."""
+    """Yield (path, FuzzProgram) for every entry, sorted by file name.
+
+    A damaged entry — truncated JSON, a non-object document, or a record
+    missing its ``source`` — is *skipped with a warning* rather than
+    aborting the walk: one torn file written by a killed fuzz driver must
+    not take the rest of the corpus down with it.
+    """
+    import warnings
+
     directory = Path(directory)
     if not directory.is_dir():
         return
     for path in sorted(directory.glob("*.json")):
-        yield path, load_program(path)
+        try:
+            data = json.loads(path.read_text())
+            if not isinstance(data, dict) or not isinstance(
+                data.get("source"), str
+            ):
+                raise ValueError("not a corpus entry (missing 'source')")
+            program = program_from_dict(data)
+        except (ValueError, OSError, UnicodeDecodeError) as exc:
+            warnings.warn(
+                f"skipping corpus entry {path.name}: {exc}",
+                stacklevel=2,
+            )
+            continue
+        yield path, program

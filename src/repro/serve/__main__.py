@@ -41,6 +41,7 @@ def _cmd_serve(args) -> int:
         max_queue=args.max_queue,
         quota_capacity=args.quota_capacity,
         quota_refill=args.quota_refill,
+        journal_path=str(args.journal) if args.journal else None,
     )
 
     async def _run():
@@ -49,7 +50,8 @@ def _cmd_serve(args) -> int:
         print(
             f"repro.serve listening on http://{config.host}:{server.port} "
             f"({config.workers} worker(s), cache="
-            f"{config.cache_dir or 'disabled'})",
+            f"{config.cache_dir or 'disabled'}, journal="
+            f"{config.journal_path or 'disabled'})",
             flush=True,
         )
         try:
@@ -126,22 +128,33 @@ def _cmd_load_test(args) -> int:
             cache_dir=str(cache_dir),
             max_queue=max(args.concurrency, args.duplicates) + 4,
             quota_capacity=0.0,  # throughput run: quotas off
+            journal_path=str(Path(cache_dir) / "jobs.journal"),
         )
-        server = ReproServer(config)
-        await server.start()
+        state = {"server": ReproServer(config)}
+        await state["server"].start()
+
+        async def _restart():
+            # the durability phase: drop the server mid-burst, then come
+            # back up on the same cache dir + journal
+            await state["server"].stop()
+            state["server"] = ReproServer(config)
+            await state["server"].start()
+            return "127.0.0.1", state["server"].port
+
         try:
             return await run_load_test(
                 "127.0.0.1",
-                server.port,
+                state["server"].port,
                 programs=args.programs,
                 seed=args.seed,
                 concurrency=args.concurrency,
                 duplicates=args.duplicates,
                 pareto=args.pareto,
+                restart=None if args.no_restart else _restart,
                 progress=progress,
             )
         finally:
-            await server.stop()
+            await state["server"].stop()
 
     report = asyncio.run(_run())
     output = args.json or Path(
@@ -160,6 +173,16 @@ def _cmd_load_test(args) -> int:
         f"{coalescing['duplicates']} identical submissions",
         flush=True,
     )
+    if "restart" in report:
+        restart = report["restart"]
+        print(
+            f"restart: {restart['jobs']} async jobs through a mid-burst "
+            f"restart, {restart['lost']} lost, "
+            f"{restart['byte_mismatches']} byte mismatches "
+            f"({restart['requeued_jobs']} requeued, "
+            f"{restart['recovered_jobs']} recovered)",
+            flush=True,
+        )
     print(f"body digest {report['body_digest']}", flush=True)
     print(f"wrote {output}", flush=True)
     print("PASS" if report["ok"] else "FAIL", flush=True)
@@ -187,6 +210,9 @@ def main(argv=None) -> int:
                        help="per-tenant token-bucket size (0 disables quotas)")
     serve.add_argument("--quota-refill", type=float, default=20.0,
                        help="tokens per second per tenant")
+    serve.add_argument("--journal", type=Path, default=None,
+                       help="write-ahead job journal file: async jobs "
+                            "survive a restart (default: disabled)")
     serve.set_defaults(func=_cmd_serve)
 
     submit = sub.add_parser("submit", help="submit one request document")
@@ -225,6 +251,8 @@ def main(argv=None) -> int:
                       help="self-hosted cache dir (default: fresh temp dir)")
     load.add_argument("--json", type=Path, default=None,
                       help="report path (default: SERVE_<date>.json)")
+    load.add_argument("--no-restart", action="store_true",
+                      help="skip the mid-burst durability restart phase")
     load.add_argument("--quiet", action="store_true")
     load.set_defaults(func=_cmd_load_test)
 

@@ -1,0 +1,193 @@
+"""Write-ahead job journal: async jobs survive a server crash.
+
+The server's job table (`ReproServer._jobs`) is in-memory; before this
+module, a restart silently forgot every async job — pending work was
+lost and completed-but-uncacheable outcomes vanished.  The journal
+makes the job lifecycle durable with the classic write-ahead rule:
+**append and fsync the intent before acting on it**.
+
+One JSON object per line, three record kinds:
+
+* ``submit`` — a new execution was admitted; carries the canonical
+  request document so recovery can re-enqueue it verbatim;
+* ``start`` — the worker pool began executing the job;
+* ``complete`` — the job finished; cacheable envelopes live in the
+  content-addressed report cache (the journal stores only the flag —
+  replay is byte-identical because the cache body is), while
+  uncacheable outcomes (timeouts, worker crashes) ride inline so the
+  job id still resolves after a restart.
+
+Recovery (:func:`scan`) is tolerant by construction: a torn final line
+— the signature of a crash mid-append — is dropped and counted, never
+raised; interior garbage is skipped the same way.  The scan folds the
+surviving records into per-key job states (``submitted`` < ``started``
+< ``done``); :meth:`repro.serve.server.ReproServer.start` re-enqueues
+every non-done job and re-registers every done one.
+
+Determinism note: re-executing a re-enqueued job yields the
+byte-identical report body — simulations are pure functions of the
+request — so crash recovery composes with the serve determinism
+contract instead of weakening it (docs/serve.md, docs/resilience.md).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+#: journal line schema version
+JOURNAL_FORMAT = 1
+
+#: record kinds, in lifecycle order
+RECORD_KINDS = ("submit", "start", "complete")
+
+_RANK = {"submitted": 0, "started": 1, "done": 2}
+
+
+def record_digest(record: dict) -> str:
+    """Checksum appended to every record (over the sha-less canonical
+    form) — a bit-flipped record is dropped by :func:`scan`, never
+    replayed; without it a damaged inline envelope would be served
+    verbatim."""
+    blob = json.dumps(record, sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+@dataclass
+class ScanResult:
+    """What a journal scan recovered (and what it had to drop)."""
+
+    #: key → {"state", "tenant", "request", "envelope"}
+    jobs: dict = field(default_factory=dict)
+    records: int = 0
+    #: unparseable final line — a crash mid-append; recovered by truncation
+    torn_tail: bool = False
+    #: interior lines dropped (bad JSON / unknown kind / wrong format)
+    dropped: int = 0
+
+
+def scan(path) -> ScanResult:
+    """Fold a journal into per-key job states; never raises on damage."""
+    result = ScanResult()
+    try:
+        raw = Path(path).read_bytes()
+    except OSError:
+        return result
+    lines = raw.split(b"\n")
+    # a well-formed journal ends with a newline, so the final split
+    # element is empty; anything else is a torn tail
+    if lines and lines[-1] != b"":
+        result.torn_tail = True
+    lines = lines[:-1] if lines else []
+    for line in lines:
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+            if (
+                not isinstance(record, dict)
+                or record.get("format") != JOURNAL_FORMAT
+                or record.get("rec") not in RECORD_KINDS
+                or not isinstance(record.get("key"), str)
+                or record.pop("sha", None) != record_digest(record)
+            ):
+                raise ValueError("malformed journal record")
+        except (ValueError, TypeError):
+            result.dropped += 1
+            continue
+        result.records += 1
+        key = record["key"]
+        job = result.jobs.setdefault(
+            key,
+            {"state": "submitted", "tenant": None, "request": None,
+             "envelope": None},
+        )
+        kind = record["rec"]
+        if kind == "submit":
+            job["tenant"] = record.get("tenant")
+            job["request"] = record.get("request")
+        elif kind == "start":
+            if _RANK[job["state"]] < _RANK["started"]:
+                job["state"] = "started"
+        else:  # complete
+            job["state"] = "done"
+            if record.get("envelope") is not None:
+                job["envelope"] = record["envelope"]
+    return result
+
+
+class JobJournal:
+    """Append-fsync job journal; one instance owns the file handle."""
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "ab")
+
+    def _append(self, record: dict) -> None:
+        record = dict(record, sha=record_digest(record))
+        line = json.dumps(record, sort_keys=True).encode() + b"\n"
+        self._handle.write(line)
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def submit(self, key: str, tenant: str, request: dict) -> None:
+        """Record an admitted execution *before* it is scheduled."""
+        self._append(
+            {
+                "format": JOURNAL_FORMAT,
+                "rec": "submit",
+                "key": key,
+                "tenant": tenant,
+                "request": request,
+            }
+        )
+
+    def start(self, key: str) -> None:
+        self._append({"format": JOURNAL_FORMAT, "rec": "start", "key": key})
+
+    def complete(
+        self, key: str, *, cacheable: bool, envelope: Optional[dict] = None
+    ) -> None:
+        """Record an outcome; ``envelope`` rides inline only when the
+        content-addressed cache cannot serve it (uncacheable)."""
+        self._append(
+            {
+                "format": JOURNAL_FORMAT,
+                "rec": "complete",
+                "key": key,
+                "cacheable": cacheable,
+                "envelope": None if cacheable else envelope,
+            }
+        )
+
+    def truncate_to_valid(self) -> bool:
+        """Chop a torn tail off the file in place; True if trimmed.
+
+        Called on startup before appending: a crash mid-append leaves a
+        partial final line that would corrupt the next record appended
+        after it.
+        """
+        try:
+            raw = self.path.read_bytes()
+        except OSError:
+            return False
+        if not raw or raw.endswith(b"\n"):
+            return False
+        keep = raw.rfind(b"\n") + 1  # 0 when no newline survives
+        self._handle.close()
+        with open(self.path, "r+b") as handle:
+            handle.truncate(keep)
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._handle = open(self.path, "ab")
+        return True
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None

@@ -14,6 +14,14 @@ Three phases, each a gate the CI ``serve-smoke`` job enforces:
 3. **coalescing burst** — ``duplicates`` identical submissions of one
    *fresh* program, all in flight together; the server's ``executed``
    counter must rise by exactly 1 and all bodies must be identical.
+4. **durability restart** (when the caller can restart the server, i.e.
+   the self-hosted CLI path) — a burst of *async* jobs is submitted and
+   the server is stopped **mid-burst**, then a fresh server is started
+   on the same cache directory and write-ahead journal
+   (:mod:`repro.serve.journal`).  Every job id must still resolve, zero
+   jobs may be lost, and each recovered report body must be
+   byte-identical to a direct synchronous request for the same
+   document.
 
 The emitted ``SERVE_<date>.json`` document carries a ``body_digest`` — a
 SHA-256 over every cold response body in request order — so two runs of
@@ -28,7 +36,7 @@ import hashlib
 import time
 
 from repro.fuzz.generator import generate_program
-from repro.serve.client import get_stats, submit_report
+from repro.serve.client import get_stats, http_request, submit_report
 
 #: config presets cycled over the traffic, so one load test exercises
 #: BASELINE, all three BITSPEC heuristics and the THUMB backend
@@ -95,12 +103,18 @@ async def run_load_test(
     concurrency: int = 16,
     duplicates: int = 16,
     pareto: bool = False,
+    restart=None,
+    restart_jobs: int = 8,
     progress=None,
 ) -> dict:
-    """Drive a running server through the three phases; returns the report.
+    """Drive a running server through the phases; returns the report.
 
     The returned document's ``ok`` field is the overall verdict; the CLI
-    turns it into the exit code.
+    turns it into the exit code.  ``restart``, when given, is an async
+    callable that stops the server and starts a fresh one on the same
+    cache directory and journal, returning the new ``(host, port)`` —
+    it enables the durability restart phase (impossible against an
+    external ``--url`` server, so it defaults to off).
     """
     docs = build_traffic(programs, seed, pareto=pareto)
     report: dict = {
@@ -201,4 +215,91 @@ async def run_load_test(
         and report["coalescing"]["distinct_bodies"] == 1
         and report["coalescing"]["statuses"] == [200]
     )
+
+    # -- phase 4: durability restart -------------------------------------------
+    if restart is not None:
+        host, port = await _restart_phase(
+            host, port, report,
+            seed=seed, programs=programs, restart=restart,
+            restart_jobs=restart_jobs, note=_note,
+        )
+        report["ok"] = bool(
+            report["ok"]
+            and report["restart"]["lost"] == 0
+            and report["restart"]["byte_mismatches"] == 0
+            and report["restart"]["jobs"] == report["restart"]["submitted"]
+        )
     return report
+
+
+async def _restart_phase(
+    host, port, report, *, seed, programs, restart, restart_jobs, note
+):
+    """Submit async jobs, kill the server mid-burst, recover, verify."""
+    docs = []
+    for i in range(restart_jobs):
+        prog = generate_program(seed + programs + 2_000_003 + i)
+        docs.append(
+            {
+                "tenant": "restart",
+                "source": prog.source,
+                "config": {
+                    "preset": TRAFFIC_PRESETS[i % len(TRAFFIC_PRESETS)]
+                },
+                "inputs": {
+                    "profile": prog.inputs_profile,
+                    "run": prog.inputs_run,
+                },
+                "report": {"attribution": True, "pareto": False},
+            }
+        )
+    job_ids = []
+    for i, doc in enumerate(docs):
+        response = await http_request(host, port, "POST", "/v1/jobs", doc)
+        note("restart", i, response)
+        if response.status == 202:
+            job_ids.append(response.json()["job_id"])
+
+    # mid-burst: the jobs above are (at best) still executing
+    host, port = await restart()
+
+    lost, resolved = [], {}
+    deadline = time.perf_counter() + 120.0
+    for job_id in job_ids:
+        body = None
+        while time.perf_counter() < deadline:
+            response = await http_request(
+                host, port, "GET", f"/v1/jobs/{job_id}/report"
+            )
+            if response.status == 200:
+                body = response.body
+                break
+            if response.status == 404:
+                break  # the job was forgotten: lost work
+            await asyncio.sleep(0.05)
+        if body is None:
+            lost.append(job_id)
+        else:
+            resolved[job_id] = body
+
+    # byte-identity: each recovered report must equal a direct request's
+    mismatches = []
+    for doc, job_id in zip(docs, job_ids):
+        if job_id not in resolved:
+            continue
+        direct = await submit_report(host, port, doc)
+        if direct.body != resolved[job_id]:
+            mismatches.append(job_id)
+
+    stats = await get_stats(host, port)
+    report["restart"] = {
+        "submitted": len(docs),
+        "jobs": len(job_ids),
+        "lost": len(lost),
+        "lost_ids": lost[:10],
+        "byte_mismatches": len(mismatches),
+        "mismatched_ids": mismatches[:10],
+        "recovered_jobs": stats.get("recovered_jobs", 0),
+        "requeued_jobs": stats.get("requeued_jobs", 0),
+    }
+    return host, port

@@ -16,6 +16,12 @@ One :class:`ReproServer` owns four cooperating pieces:
   replay (same process or a fresh server on the same directory) returns
   the byte-identical body without touching the worker pool.
 
+With a ``journal_path`` configured, a fifth piece makes the async-job
+lifecycle **durable**: every admission, start, and completion is
+append-fsynced to a write-ahead journal (:mod:`repro.serve.journal`),
+and :meth:`ReproServer.start` replays it — completed jobs keep
+resolving with byte-identical bodies, incomplete ones are re-enqueued.
+
 Backpressure is queue-depth based: when ``max_queue`` executions are in
 flight, new *work* is rejected 503 (``queue-full``) — cache hits and
 coalesced joins still succeed, because they add no load.  The
@@ -112,6 +118,9 @@ class ServeConfig:
     max_body_bytes: int = 1 << 20
     #: completed async-job records kept in memory (oldest evicted first)
     max_jobs: int = 1024
+    #: write-ahead job journal file (None disables durability); see
+    #: :mod:`repro.serve.journal`
+    journal_path: Optional[str] = None
 
 
 @dataclass
@@ -127,6 +136,10 @@ class ServeStats:
     quota_rejections: int = 0
     backpressure_rejections: int = 0
     compile_rejections: int = 0
+    #: completed jobs re-registered from the journal at startup
+    recovered_jobs: int = 0
+    #: incomplete jobs re-enqueued from the journal at startup
+    requeued_jobs: int = 0
     per_tenant: dict = field(default_factory=dict)
 
     def as_dict(self) -> dict:
@@ -155,13 +168,62 @@ class ReproServer:
         #: async-job records: key → {"status", "tenant", "envelope"|None}
         self._jobs: OrderedDict = OrderedDict()
         self._server: Optional[asyncio.AbstractServer] = None
+        self.journal = None
 
     # -- lifecycle ------------------------------------------------------------
 
     async def start(self) -> None:
+        self._recover_journal()
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
         )
+
+    def _recover_journal(self) -> None:
+        """Replay the write-ahead journal before the listener binds.
+
+        Completed jobs are re-registered so their ids keep resolving
+        (cacheable bodies replay byte-identically from the report cache;
+        uncacheable envelopes ride in the journal itself).  Incomplete
+        jobs — submitted or started, but never completed — are
+        re-enqueued verbatim, bypassing the quota gate they already
+        passed before the crash.
+        """
+        if self.config.journal_path is None:
+            return
+        from repro.serve.journal import JobJournal, scan
+
+        recovered = scan(self.config.journal_path)
+        self.journal = JobJournal(self.config.journal_path)
+        self.journal.truncate_to_valid()
+        for key, job in recovered.jobs.items():
+            tenant = job["tenant"] or "anonymous"
+            if job["state"] == "done":
+                self._record_job(key, tenant)
+                record = self._jobs[key]
+                record["status"] = "done"
+                if job["envelope"] is not None:
+                    record["envelope"] = job["envelope"]
+                self.stats.recovered_jobs += 1
+            elif job["request"] is not None:
+                self._requeue(key, job["request"], tenant)
+
+    def _requeue(self, key: str, canonical: dict, tenant: str) -> None:
+        if key in self._inflight:
+            return
+        if self.cache is not None and self.cache.contains(key):
+            # crashed between the cache write and the complete record:
+            # the answer survived; heal the journal instead of re-running
+            self._record_job(key, tenant)
+            self._jobs[key]["status"] = "done"
+            self.journal.complete(key, cacheable=True)
+            self.stats.recovered_jobs += 1
+            return
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._inflight[key] = future
+        self._record_job(key, tenant)
+        loop.create_task(self._run_job(key, canonical, future))
+        self.stats.requeued_jobs += 1
 
     @property
     def port(self) -> int:
@@ -180,6 +242,9 @@ class ReproServer:
             if not future.done():
                 future.cancel()
         self.pool.close()
+        if self.journal is not None:
+            self.journal.close()
+            self.journal = None
 
     # -- the submission pipeline ----------------------------------------------
 
@@ -265,10 +330,15 @@ class ReproServer:
         future: asyncio.Future = loop.create_future()
         self._inflight[key] = future
         self._record_job(key, canonical["tenant"])
+        if self.journal is not None:
+            # write-ahead: the admission is durable before it is scheduled
+            self.journal.submit(key, canonical["tenant"], canonical)
         loop.create_task(self._run_job(key, canonical, future))
         return None, future, "executed"
 
     async def _run_job(self, key: str, canonical: dict, future) -> None:
+        if self.journal is not None:
+            self.journal.start(key)
         try:
             envelope = await self.pool.execute(canonical, key)
         except Exception as exc:  # worker infrastructure failure
@@ -276,12 +346,17 @@ class ReproServer:
                 "internal-error", f"worker failure: {exc}", cacheable=False
             )
         self.stats.executed += 1
-        if envelope.get("cacheable") and self.cache is not None:
+        cached = bool(envelope.get("cacheable")) and self.cache is not None
+        if cached:
             self.cache.put(key, envelope)
+        if self.journal is not None:
+            # after the cache write: a crash in between re-enqueues the
+            # job, which deterministically re-produces the same body
+            self.journal.complete(key, cacheable=cached, envelope=envelope)
         job = self._jobs.get(key)
         if job is not None:
             job["status"] = "done"
-            if not (envelope.get("cacheable") and self.cache is not None):
+            if not cached:
                 job["envelope"] = envelope
         self._inflight.pop(key, None)
         if not future.done():

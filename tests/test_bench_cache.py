@@ -280,7 +280,7 @@ def test_previous_entry_format_is_evicted(disk_cache):
     key = disk_cache._run_key(SOURCE, config, "test", 0, "test", 0)
     path = _entry_path(disk_cache, key)
     entry = json.loads(path.read_text())
-    assert entry["format"] == bench_cache.ENTRY_FORMAT == 5
+    assert entry["format"] == bench_cache.ENTRY_FORMAT == 6
     entry["format"] = 2
     del entry["payload"]["sim"]["slice_width"]  # the format-2 shape
     path.write_text(json.dumps(entry))
@@ -317,6 +317,118 @@ def test_put_then_get_round_trips_payload(tmp_path):
     cache.put(key, payload)
     assert cache.get(key) == payload
     assert len(cache) == 1
+
+
+# ---------------------------------------------------------------------------
+# torn writes — what a SIGKILL'd writer process leaves behind
+# ---------------------------------------------------------------------------
+
+
+def test_truncated_shard_is_evicted_not_served(tmp_path):
+    """A shard cut mid-document (power loss / SIGKILL between write and
+    rename on a filesystem that published it anyway) evicts cleanly."""
+    cache = DiskCache(tmp_path)
+    key = "ee" + "1" * 62
+    cache.put(key, {"value": list(range(64))})
+    path = _entry_path(cache, key)
+    raw = path.read_bytes()
+    for cut in (1, len(raw) // 2, len(raw) - 2):
+        path.write_bytes(raw[:cut])
+        assert cache.get(key) is None
+        assert not path.exists()
+        cache.put(key, {"value": list(range(64))})
+    assert cache.stats.evictions == 3
+
+
+def test_bitflipped_shard_fails_checksum_and_evicts(tmp_path):
+    """Parseable-but-wrong payloads are caught by the ``sha`` field —
+    including flips that only change a digit inside the payload."""
+    cache = DiskCache(tmp_path)
+    key = "ee" + "2" * 62
+    cache.put(key, {"value": 12345})
+    path = _entry_path(cache, key)
+    raw = path.read_bytes()
+    flipped = raw.replace(b"12345", b"12245")
+    assert flipped != raw
+    path.write_bytes(flipped)
+    assert cache.get(key) is None
+    assert cache.stats.evictions == 1
+
+
+def test_invalid_utf8_shard_is_evicted_not_raised(tmp_path):
+    """A bit flip can produce invalid UTF-8; that is corruption, not a
+    crash — the decode happens inside the eviction guard."""
+    cache = DiskCache(tmp_path)
+    key = "ee" + "3" * 62
+    cache.put(key, {"value": 1})
+    path = _entry_path(cache, key)
+    raw = bytearray(path.read_bytes())
+    raw[len(raw) // 2] = 0xFF
+    path.write_bytes(bytes(raw))
+    assert cache.get(key) is None
+    assert cache.stats.evictions == 1
+
+
+def test_orphan_tmp_files_are_swept_on_open(tmp_path):
+    """Stale ``.tmp-*`` files from a killed writer are removed on the
+    next cache open; young ones (a live concurrent writer) are kept."""
+    import os
+    import time
+
+    shard_dir = tmp_path / "ee"
+    shard_dir.mkdir(parents=True)
+    stale = shard_dir / ".tmp-stale.json"
+    stale.write_text("{partial")
+    old = time.time() - 7200
+    os.utime(stale, (old, old))
+    young = shard_dir / ".tmp-young.json"
+    young.write_text("{partial")
+
+    DiskCache(tmp_path)
+    assert not stale.exists(), "stale orphan should be swept"
+    assert young.exists(), "young temp may belong to a live writer"
+
+
+def _killable_writer(root, key, barrier):
+    """Writer child: signal readiness, then put in a tight loop forever —
+    the parent SIGKILLs it at an arbitrary point mid-put."""
+    cache = DiskCache(root)
+    barrier.wait()
+    i = 0
+    while True:
+        cache.put(key, {"round": i, "pad": "y" * 8192})
+        i += 1
+
+
+def test_killed_writer_never_publishes_torn_entry(tmp_path):
+    """SIGKILL a writer mid-put-loop; the published shard (if any) must
+    be a complete, checksum-valid payload — the atomic temp-file +
+    fsync + rename discipline means a kill can only lose the in-flight
+    write, never tear the published one."""
+    import multiprocessing
+    import os
+    import signal
+    import time
+
+    key = "ff" + "a" * 62
+    ctx = multiprocessing.get_context()
+    barrier = ctx.Barrier(2)
+    writer = ctx.Process(target=_killable_writer, args=(tmp_path, key, barrier))
+    writer.start()
+    barrier.wait()
+    deadline = time.time() + 30
+    while not (tmp_path / "ff").is_dir() and time.time() < deadline:
+        time.sleep(0.005)
+    time.sleep(0.05)  # let a few put rounds land
+    os.kill(writer.pid, signal.SIGKILL)
+    writer.join(timeout=30)
+
+    cache = DiskCache(tmp_path)
+    payload = cache.get(key)  # must never raise
+    if payload is not None:
+        assert len(payload["pad"]) == 8192, "torn payload served"
+        assert payload["round"] >= 0
+    assert cache.stats.evictions == 0
 
 
 # ---------------------------------------------------------------------------

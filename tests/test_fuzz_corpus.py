@@ -53,3 +53,26 @@ def test_corpus_round_trips():
         assert data["source"] == program.source
         assert data["inputs_run"] == program.inputs_run
         assert data["inputs_profile"] == program.inputs_profile
+
+
+def test_iter_corpus_skips_truncated_entry_with_warning(tmp_path):
+    """A torn file (killed writer) warns and skips; good entries survive."""
+    good = CORPUS_DIR / ENTRIES[0].name
+    (tmp_path / "aaa-good.json").write_text(good.read_text())
+    # truncate a valid entry mid-document, as a SIGKILL'd writer would
+    (tmp_path / "bbb-torn.json").write_text(good.read_text()[:40])
+    with pytest.warns(UserWarning, match="bbb-torn"):
+        loaded = list(iter_corpus(tmp_path))
+    assert [p.name for p, _ in loaded] == ["aaa-good.json"]
+
+
+def test_iter_corpus_skips_schema_violations_with_warning(tmp_path):
+    good = CORPUS_DIR / ENTRIES[0].name
+    (tmp_path / "aaa-good.json").write_text(good.read_text())
+    (tmp_path / "bbb-list.json").write_text("[1, 2, 3]\n")
+    (tmp_path / "ccc-nosource.json").write_text('{"format": 1, "seed": 0}\n')
+    with pytest.warns(UserWarning) as caught:
+        loaded = list(iter_corpus(tmp_path))
+    assert [p.name for p, _ in loaded] == ["aaa-good.json"]
+    warned = "".join(str(w.message) for w in caught)
+    assert "bbb-list" in warned and "ccc-nosource" in warned
